@@ -1,0 +1,221 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! exact reuse timers vs RFC 2439 reuse lists, plain vs RCN vs
+//! selective penalty filters, and topology generation costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfd_bgp::{NetworkConfig, PenaltyFilter};
+use rfd_core::{Damper, DampingParams, ReuseCheck, ReuseList, UpdateKind};
+use rfd_experiments::{run_workload, TopologyKind};
+use rfd_sim::{SimDuration, SimTime};
+use rfd_topology::{internet_like, mesh_torus, Relationships};
+
+const SMALL_MESH: TopologyKind = TopologyKind::Mesh {
+    width: 5,
+    height: 5,
+};
+
+/// Exact timers: walk each suppressed damper's reuse deadline directly.
+fn exact_timer_walk(dampers: &mut [Damper]) -> usize {
+    let mut released = 0;
+    for d in dampers.iter_mut() {
+        if !d.is_suppressed() {
+            continue;
+        }
+        let mut due = d.reuse_at(SimTime::from_secs(600)).expect("suppressed");
+        loop {
+            match d.on_reuse_due(due) {
+                ReuseCheck::Released => {
+                    released += 1;
+                    break;
+                }
+                ReuseCheck::StillSuppressed { retry_at } => due = retry_at,
+            }
+        }
+    }
+    released
+}
+
+/// Reuse lists: quantised ticks draining buckets.
+fn reuse_list_walk(dampers: &mut [Damper], granularity: SimDuration) -> usize {
+    let mut list: ReuseList<usize> = ReuseList::new(granularity);
+    for (i, d) in dampers.iter().enumerate() {
+        if d.is_suppressed() {
+            list.schedule(i, d.reuse_at(SimTime::from_secs(600)).expect("suppressed"));
+        }
+    }
+    let mut released = 0;
+    let mut now = SimTime::from_secs(600);
+    while !list.is_empty() {
+        now += granularity;
+        for i in list.drain_due(now) {
+            match dampers[i].on_reuse_due(now) {
+                ReuseCheck::Released => released += 1,
+                ReuseCheck::StillSuppressed { retry_at } => list.schedule(i, retry_at),
+            }
+        }
+    }
+    released
+}
+
+fn suppressed_population(n: usize) -> Vec<Damper> {
+    let params = DampingParams::cisco();
+    (0..n)
+        .map(|i| {
+            let mut d = Damper::new(params);
+            // Stagger suppression levels.
+            d.charge_raw(
+                SimTime::from_secs(i as u64 % 300),
+                2200.0 + (i as f64 % 7.0) * 400.0,
+            );
+            d
+        })
+        .collect()
+}
+
+fn bench_reuse_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reuse_mechanism");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("exact_timers", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut d = suppressed_population(n);
+                black_box(exact_timer_walk(&mut d))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reuse_list_15s", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut d = suppressed_population(n);
+                black_box(reuse_list_walk(&mut d, SimDuration::from_secs(15)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_filters_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/penalty_filter");
+    group.sample_size(10);
+    for filter in [
+        PenaltyFilter::Plain,
+        PenaltyFilter::Rcn,
+        PenaltyFilter::Selective,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{filter:?}")),
+            &filter,
+            |b, &filter| {
+                b.iter(|| {
+                    let config = NetworkConfig {
+                        filter,
+                        ..NetworkConfig::paper_full_damping(1)
+                    };
+                    let (report, _) = run_workload(SMALL_MESH, config, 2);
+                    black_box(report.message_count)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vendor_params(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/vendor_params");
+    group.sample_size(10);
+    for (label, params) in [
+        ("cisco", DampingParams::cisco()),
+        ("juniper", DampingParams::juniper()),
+        ("ripe229", DampingParams::ripe229_aggressive()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &params, |b, params| {
+            b.iter(|| {
+                let mut d = Damper::new(*params);
+                for pulse in 0..6u64 {
+                    d.record_update(SimTime::from_secs(pulse * 120), UpdateKind::Withdrawal);
+                    d.record_update(
+                        SimTime::from_secs(pulse * 120 + 60),
+                        UpdateKind::ReAnnouncement,
+                    );
+                }
+                black_box(d.time_until_reusable(SimTime::from_secs(700)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    c.bench_function("topology/mesh_10x10", |b| {
+        b.iter(|| black_box(mesh_torus(10, 10).link_count()))
+    });
+    c.bench_function("topology/internet_208", |b| {
+        b.iter(|| black_box(internet_like(208, 2, 1).link_count()))
+    });
+    c.bench_function("topology/relationships_208", |b| {
+        let g = internet_like(208, 2, 1);
+        b.iter(|| black_box(Relationships::infer_by_degree(&g, 0.25).customer_provider_count()))
+    });
+}
+
+fn bench_multi_prefix(c: &mut Criterion) {
+    use rfd_bgp::Network;
+    use rfd_core::FlapSchedule;
+    use rfd_topology::NodeId;
+    let mut group = c.benchmark_group("ablation/origins");
+    group.sample_size(10);
+    for origins in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(origins),
+            &origins,
+            |b, &origins| {
+                let graph = mesh_torus(5, 5);
+                let isps: Vec<NodeId> = (0..origins).map(|i| NodeId::new((i * 7) as u32)).collect();
+                let schedule = FlapSchedule::from(rfd_core::FlapPattern::paper_default(2));
+                b.iter(|| {
+                    let mut net =
+                        Network::new_multi(&graph, &isps, NetworkConfig::paper_full_damping(1));
+                    net.warm_up();
+                    let pairs: Vec<(usize, &FlapSchedule)> =
+                        (0..origins).map(|i| (i, &schedule)).collect();
+                    let report = net.run_schedules(&pairs, SimDuration::from_secs(100));
+                    black_box(report.message_count)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_session_flaps(c: &mut Criterion) {
+    use rfd_bgp::Network;
+    use rfd_core::{FlapPattern, FlapSchedule};
+    use rfd_topology::NodeId;
+    let mut group = c.benchmark_group("ablation/failure_injection");
+    group.sample_size(10);
+    group.bench_function("interior_link_4pulses", |b| {
+        let graph = mesh_torus(5, 5);
+        let schedule = FlapSchedule::from(FlapPattern::paper_default(4));
+        b.iter(|| {
+            let mut net =
+                Network::new(&graph, NodeId::new(0), NetworkConfig::paper_full_damping(1));
+            net.warm_up();
+            let report = net.run_link_schedule(
+                NodeId::new(0),
+                NodeId::new(1),
+                &schedule,
+                SimDuration::from_secs(50),
+            );
+            black_box(report.message_count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_mechanisms,
+    bench_filters_end_to_end,
+    bench_vendor_params,
+    bench_topologies,
+    bench_multi_prefix,
+    bench_session_flaps
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the damping core: penalty arithmetic, the
+//! suppression state machine, and the RCN/selective filters.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfd_core::{
+    Damper, DampingParams, LinkStatus, Penalty, RcnChargePolicy, RcnFilter, RootCause,
+    RootCauseHistory, SelectiveFilter, UpdateKind,
+};
+use rfd_sim::{SimDuration, SimTime};
+
+fn bench_penalty(c: &mut Criterion) {
+    let params = DampingParams::cisco();
+    c.bench_function("penalty/charge", |b| {
+        let mut p = Penalty::new();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_secs(60);
+            black_box(p.charge(t, 500.0, &params))
+        });
+    });
+    c.bench_function("penalty/value_at", |b| {
+        let mut p = Penalty::new();
+        p.charge(SimTime::ZERO, 3000.0, &params);
+        b.iter(|| black_box(p.value_at(SimTime::from_secs(1234), &params)));
+    });
+    c.bench_function("penalty/time_until_below", |b| {
+        let mut p = Penalty::new();
+        p.charge(SimTime::ZERO, 3000.0, &params);
+        b.iter(|| black_box(p.time_until_below(SimTime::from_secs(10), 750.0, &params)));
+    });
+}
+
+fn bench_damper(c: &mut Criterion) {
+    let params = DampingParams::cisco();
+    c.bench_function("damper/record_update", |b| {
+        let mut d = Damper::new(params);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_secs(30);
+            black_box(d.record_update(t, UpdateKind::AttributeChange))
+        });
+    });
+    c.bench_function("damper/flap_cycle", |b| {
+        b.iter(|| {
+            let mut d = Damper::new(params);
+            for pulse in 0..5u64 {
+                d.record_update(SimTime::from_secs(pulse * 120), UpdateKind::Withdrawal);
+                d.record_update(
+                    SimTime::from_secs(pulse * 120 + 60),
+                    UpdateKind::ReAnnouncement,
+                );
+            }
+            black_box(d.is_suppressed())
+        });
+    });
+}
+
+fn bench_rcn(c: &mut Criterion) {
+    let params = DampingParams::cisco();
+    c.bench_function("rcn/charge_for_repeat_cause", |b| {
+        let mut f = RcnFilter::new(128, RcnChargePolicy::ByRootCause);
+        let rc = RootCause::new((1, 2), LinkStatus::Down, 1);
+        f.charge_for(UpdateKind::Withdrawal, Some(rc), &params);
+        b.iter(|| black_box(f.charge_for(UpdateKind::AttributeChange, Some(rc), &params)));
+    });
+    let mut group = c.benchmark_group("rcn/history_observe");
+    for capacity in [16usize, 128, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                let mut h = RootCauseHistory::new(cap);
+                let mut seq = 0u64;
+                b.iter(|| {
+                    seq += 1;
+                    black_box(h.observe(RootCause::new((1, 2), LinkStatus::Down, seq)))
+                });
+            },
+        );
+    }
+    group.finish();
+    c.bench_function("selective/charge_for", |b| {
+        let mut f = SelectiveFilter::new();
+        b.iter(|| {
+            black_box(f.charge_for(
+                UpdateKind::AttributeChange,
+                rfd_core::RelativePreference::Degraded,
+                &params,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_penalty, bench_damper, bench_rcn);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the protocol path: the router's receive → damp →
+//! select → advertise pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfd_bgp::{PenaltyFilter, Policy, Route, Router, RouterConfig, RouterOutput, UpdateMessage};
+use rfd_core::DampingParams;
+use rfd_sim::{DetRng, SimDuration, SimTime};
+use rfd_topology::NodeId;
+
+fn router_with_peers(peers: usize, damping: bool) -> Router {
+    let config = RouterConfig {
+        damping: damping.then(DampingParams::cisco),
+        filter: PenaltyFilter::Plain,
+        mrai: SimDuration::from_secs(30),
+        mrai_jitter: (0.75, 1.0),
+        protocol: rfd_bgp::ProtocolOptions::default(),
+    };
+    let peer_ids: Vec<NodeId> = (1..=peers as u32).map(NodeId::new).collect();
+    Router::new(NodeId::new(0), peer_ids, false, config)
+}
+
+fn bench_handle_update(c: &mut Criterion) {
+    let policy = Policy::ShortestPath;
+    let mut group = c.benchmark_group("router/handle_update");
+    for peers in [4usize, 16, 64] {
+        for damping in [false, true] {
+            let label = format!("{peers}peers_damping={damping}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &peers, |b, &peers| {
+                let mut router = router_with_peers(peers, damping);
+                let mut rng = DetRng::from_seed(1);
+                // Pre-populate every peer with a route.
+                for p in 1..=peers as u32 {
+                    let msg = UpdateMessage::announce(
+                        Route::originate(NodeId::new(1000)).prepend(NodeId::new(p)),
+                    );
+                    let mut out = RouterOutput::default();
+                    router.handle_update(
+                        SimTime::ZERO,
+                        NodeId::new(p),
+                        &msg,
+                        &mut rng,
+                        &policy,
+                        &mut out,
+                    );
+                }
+                let mut t = SimTime::from_secs(1);
+                let mut flip = false;
+                b.iter(|| {
+                    t += SimDuration::from_millis(200);
+                    flip = !flip;
+                    // Alternate the announced route so the decision
+                    // process and damping always have work to do.
+                    let route = if flip {
+                        Route::originate(NodeId::new(1000))
+                            .prepend(NodeId::new(999))
+                            .prepend(NodeId::new(1))
+                    } else {
+                        Route::originate(NodeId::new(1000)).prepend(NodeId::new(1))
+                    };
+                    let msg = UpdateMessage::announce(route);
+                    let mut out = RouterOutput::default();
+                    router.handle_update(t, NodeId::new(1), &msg, &mut rng, &policy, &mut out);
+                    black_box(out.sends.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_route_ops(c: &mut Criterion) {
+    c.bench_function("route/prepend_clone_10hops", |b| {
+        let mut route = Route::originate(NodeId::new(0));
+        for i in 1..10u32 {
+            route = route.prepend(NodeId::new(i));
+        }
+        b.iter(|| black_box(route.prepend(NodeId::new(99))));
+    });
+    c.bench_function("route/contains_10hops", |b| {
+        let mut route = Route::originate(NodeId::new(0));
+        for i in 1..10u32 {
+            route = route.prepend(NodeId::new(i));
+        }
+        b.iter(|| black_box(route.contains(NodeId::new(5))));
+    });
+}
+
+criterion_group!(benches, bench_handle_update, bench_route_ops);
+criterion_main!(benches);

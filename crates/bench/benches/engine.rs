@@ -1,0 +1,95 @@
+//! Microbenchmarks of the simulation kernel: agenda operations and the
+//! engine loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfd_sim::{Context, DetRng, Engine, Scheduler, SimDuration, SimTime, World};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/schedule_pop");
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = DetRng::from_seed(7);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_micros(rng.next_u64() % 1_000_000))
+                .collect();
+            b.iter(|| {
+                let mut s = Scheduler::new();
+                for (i, &t) in times.iter().enumerate() {
+                    s.schedule(t, i);
+                }
+                let mut total = 0usize;
+                while let Some((_, e)) = s.pop() {
+                    total += e;
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("scheduler/cancel_heavy", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            let ids: Vec<_> = (0..1000u64)
+                .map(|i| s.schedule(SimTime::from_micros(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                s.cancel(*id);
+            }
+            let mut count = 0;
+            while s.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        });
+    });
+}
+
+/// A world that fans out: each event schedules two children until a
+/// global budget is exhausted — a stress pattern similar to update
+/// propagation bursts.
+struct Fanout {
+    remaining: u64,
+}
+
+impl World for Fanout {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Context<'_, u32>, depth: u32) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        if depth > 0 {
+            ctx.schedule_in(SimDuration::from_micros(3), depth - 1);
+            ctx.schedule_in(SimDuration::from_micros(5), depth - 1);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/fanout_100k_events", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            engine.prime(SimTime::ZERO, 40);
+            let mut world = Fanout { remaining: 100_000 };
+            let (_, stats) = engine.run(&mut world);
+            black_box(stats.events_processed)
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/duration_between", |b| {
+        let mut rng = DetRng::from_seed(3);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(500);
+        b.iter(|| black_box(rng.duration_between(lo, hi)));
+    });
+    c.bench_function("rng/derive", |b| {
+        let rng = DetRng::from_seed(3);
+        b.iter(|| black_box(rng.derive("child")));
+    });
+}
+
+criterion_group!(benches, bench_scheduler, bench_engine, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! End-to-end benches: one per paper artefact, at sizes reduced enough
+//! for Criterion's repetition but exercising the full pipeline the
+//! `fig*` binaries use at paper scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfd_bgp::NetworkConfig;
+use rfd_core::DampingParams;
+use rfd_experiments::figures::fig10::figure10_with;
+use rfd_experiments::figures::fig3::figure3;
+use rfd_experiments::figures::fig7::figure7_with;
+use rfd_experiments::figures::table1::table1;
+use rfd_experiments::sweep::{calculation_series, SweepOptions};
+use rfd_experiments::{run_workload, TopologyKind};
+use rfd_sim::SimDuration;
+
+const SMALL_MESH: TopologyKind = TopologyKind::Mesh {
+    width: 5,
+    height: 5,
+};
+const SMALL_INTERNET: TopologyKind = TopologyKind::Internet { nodes: 25, m: 2 };
+
+fn bench_table1_fig3(c: &mut Criterion) {
+    c.bench_function("figures/table1", |b| {
+        b.iter(|| black_box(table1().render().to_csv()))
+    });
+    c.bench_function("figures/fig3_penalty_trace", |b| {
+        b.iter(|| black_box(figure3().curve.len()))
+    });
+    c.bench_function("figures/fig8_calculation_series", |b| {
+        b.iter(|| {
+            black_box(calculation_series(
+                &DampingParams::cisco(),
+                10,
+                SimDuration::from_secs(60),
+            ))
+        })
+    });
+}
+
+fn bench_workload_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/workload_run");
+    group.sample_size(10);
+    for (label, config, pulses) in [
+        ("fig8_no_damping_n3", NetworkConfig::paper_no_damping(1), 3),
+        (
+            "fig8_full_damping_n1",
+            NetworkConfig::paper_full_damping(1),
+            1,
+        ),
+        (
+            "fig8_full_damping_n5",
+            NetworkConfig::paper_full_damping(1),
+            5,
+        ),
+        ("fig13_rcn_n3", NetworkConfig::paper_rcn_damping(1), 3),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(config, pulses),
+            |b, (config, pulses)| {
+                b.iter(|| {
+                    let (report, _) = run_workload(SMALL_MESH, config.clone(), *pulses);
+                    black_box(report.message_count)
+                });
+            },
+        );
+    }
+    group.bench_function("fig9_internet_full_damping_n3", |b| {
+        b.iter(|| {
+            let (report, _) = run_workload(SMALL_INTERNET, NetworkConfig::paper_full_damping(1), 3);
+            black_box(report.message_count)
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig7_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/analysis");
+    group.sample_size(10);
+    group.bench_function("fig7_penalty_extraction", |b| {
+        b.iter(|| black_box(figure7_with(SMALL_MESH, 1, 3).curve.len()));
+    });
+    group.bench_function("fig10_series_and_states", |b| {
+        b.iter(|| black_box(figure10_with(SMALL_MESH, &[1], 1).panels.len()));
+    });
+    group.finish();
+}
+
+fn bench_quick_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/sweep");
+    group.sample_size(10);
+    group.bench_function("fig8_quick_sweep", |b| {
+        let opts = SweepOptions {
+            max_pulses: 3,
+            seeds: vec![1],
+        };
+        b.iter(|| {
+            black_box(rfd_experiments::figures::fig8_9::figure8_9_on(
+                &opts,
+                SMALL_MESH,
+                SMALL_INTERNET,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_fig3,
+    bench_workload_runs,
+    bench_fig7_fig10,
+    bench_quick_sweep
+);
+criterion_main!(benches);

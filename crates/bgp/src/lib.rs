@@ -1,0 +1,46 @@
+//! # rfd-bgp — the BGP-4 protocol model
+//!
+//! A path-vector protocol implementation in the style of the SSFNet BGP
+//! model the paper simulated with, bound to the [`rfd_sim`] event
+//! engine:
+//!
+//! * [`UpdateMessage`] / [`Route`] — announcements, withdrawals, AS
+//!   paths, and the optional RCN / selective-damping attributes;
+//! * [`Router`] — RIB-IN / Local-RIB / RIB-OUT, the decision process,
+//!   per-peer MRAI pacing, damping with pluggable penalty filters and
+//!   reuse timers;
+//! * [`Policy`] — shortest-path and no-valley (Gao–Rexford) routing;
+//! * [`Network`] — the Figure 1 experiment harness: a topology plus an
+//!   origin AS attached to a chosen ISP AS, warm-up, pulse injection,
+//!   and trace capture.
+//!
+//! # Examples
+//!
+//! Run one pulse over a small mesh with full Cisco-default damping:
+//!
+//! ```
+//! use rfd_bgp::{Network, NetworkConfig};
+//! use rfd_topology::{mesh_torus, NodeId};
+//!
+//! let mesh = mesh_torus(3, 3);
+//! let mut net = Network::new(&mesh, NodeId::new(4), NetworkConfig::paper_full_damping(42));
+//! let report = net.run_paper_workload(1);
+//! assert!(report.message_count > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod message;
+mod network;
+mod policy;
+mod rib;
+mod router;
+
+pub use config::{ConfigError, DampingDeployment, NetworkConfig, PenaltyFilter, ProtocolOptions};
+pub use message::{Prefix, Route, UpdateMessage, UpdatePayload};
+pub use network::{NetEvent, Network, OriginAttachment, RunReport};
+pub use policy::Policy;
+pub use rib::{BestRoute, RibInEntry};
+pub use router::{Router, RouterConfig, RouterOutput};

@@ -1,0 +1,256 @@
+//! BGP update messages and routes.
+
+use std::fmt;
+
+use rfd_core::RootCause;
+use rfd_topology::NodeId;
+
+/// A destination prefix. The paper's experiments use a single prefix
+/// originated by the origin AS; the type exists so multi-prefix
+/// workloads stay expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Prefix(u32);
+
+impl Prefix {
+    /// The experiment prefix (originated by the origin AS).
+    pub const ORIGIN: Prefix = Prefix(0);
+
+    /// Creates a prefix with an explicit id.
+    pub const fn new(id: u32) -> Self {
+        Prefix(id)
+    }
+
+    /// The raw id.
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfx{}", self.0)
+    }
+}
+
+/// A route: the AS-level path from the advertising router to the
+/// origin. `path[0]` is the advertising router, `path.last()` the
+/// origin AS.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Route {
+    path: Vec<NodeId>,
+}
+
+impl Route {
+    /// A route originated by `origin` itself.
+    pub fn originate(origin: NodeId) -> Self {
+        Route { path: vec![origin] }
+    }
+
+    /// A route with an explicit path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty or contains a repeated AS (a looped
+    /// path must never be constructed).
+    pub fn from_path(path: Vec<NodeId>) -> Self {
+        assert!(!path.is_empty(), "a route needs a non-empty AS path");
+        let mut seen = std::collections::HashSet::new();
+        assert!(
+            path.iter().all(|n| seen.insert(*n)),
+            "AS path contains a loop: {path:?}"
+        );
+        Route { path }
+    }
+
+    /// The AS path.
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// Number of AS hops (path length; 1 for an originated route).
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True when the path has exactly the origin (never otherwise —
+    /// paths are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The advertising (first) AS.
+    pub fn head(&self) -> NodeId {
+        self.path[0]
+    }
+
+    /// The origin (last) AS.
+    pub fn origin(&self) -> NodeId {
+        *self.path.last().expect("paths are non-empty")
+    }
+
+    /// Whether `node` appears in the path (loop detection).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.path.contains(&node)
+    }
+
+    /// The route as re-advertised by `node`: `node` prepended to the
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already in the path (would create a loop).
+    pub fn prepend(&self, node: NodeId) -> Route {
+        assert!(
+            !self.contains(node),
+            "prepending {node} onto {self} would loop"
+        );
+        let mut path = Vec::with_capacity(self.path.len() + 1);
+        path.push(node);
+        path.extend_from_slice(&self.path);
+        Route { path }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.path.iter().map(ToString::to_string).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// The body of an update message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdatePayload {
+    /// Advertises a (new) route.
+    Announce(Route),
+    /// Withdraws the previously advertised route.
+    Withdraw,
+}
+
+impl UpdatePayload {
+    /// True for withdrawals.
+    pub fn is_withdrawal(&self) -> bool {
+        matches!(self, UpdatePayload::Withdraw)
+    }
+}
+
+/// A BGP update message as exchanged between peers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateMessage {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// Announcement or withdrawal.
+    pub payload: UpdatePayload,
+    /// Root cause attribute (present when RCN is deployed, §6.1).
+    pub root_cause: Option<RootCause>,
+    /// Selective-damping attribute: `Some(true)` when the announced
+    /// route is less preferred than the sender's previous announcement
+    /// to this peer (Mao et al.).
+    pub degraded: Option<bool>,
+}
+
+impl UpdateMessage {
+    /// An announcement with no optional attributes.
+    pub fn announce(route: Route) -> Self {
+        UpdateMessage {
+            prefix: Prefix::ORIGIN,
+            payload: UpdatePayload::Announce(route),
+            root_cause: None,
+            degraded: None,
+        }
+    }
+
+    /// A withdrawal with no optional attributes.
+    pub fn withdraw() -> Self {
+        UpdateMessage {
+            prefix: Prefix::ORIGIN,
+            payload: UpdatePayload::Withdraw,
+            root_cause: None,
+            degraded: None,
+        }
+    }
+
+    /// Sets the root cause attribute (builder style).
+    pub fn with_root_cause(mut self, rc: Option<RootCause>) -> Self {
+        self.root_cause = rc;
+        self
+    }
+
+    /// Sets the degraded attribute (builder style).
+    pub fn with_degraded(mut self, degraded: Option<bool>) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// True for withdrawals.
+    pub fn is_withdrawal(&self) -> bool {
+        self.payload.is_withdrawal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_core::LinkStatus;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn originated_route() {
+        let r = Route::originate(n(7));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.head(), n(7));
+        assert_eq!(r.origin(), n(7));
+    }
+
+    #[test]
+    fn prepend_builds_path() {
+        let r = Route::originate(n(0)).prepend(n(1)).prepend(n(2));
+        assert_eq!(r.path(), &[n(2), n(1), n(0)]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.head(), n(2));
+        assert_eq!(r.origin(), n(0));
+        assert!(r.contains(n(1)));
+        assert!(!r.contains(n(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "loop")]
+    fn prepend_loop_panics() {
+        let r = Route::originate(n(0)).prepend(n(1));
+        let _ = r.prepend(n(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "loop")]
+    fn from_path_rejects_loops() {
+        Route::from_path(vec![n(1), n(2), n(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn from_path_rejects_empty() {
+        Route::from_path(vec![]);
+    }
+
+    #[test]
+    fn message_builders() {
+        let rc = RootCause::new((1, 2), LinkStatus::Down, 3);
+        let m = UpdateMessage::withdraw().with_root_cause(Some(rc));
+        assert!(m.is_withdrawal());
+        assert_eq!(m.root_cause, Some(rc));
+        let a = UpdateMessage::announce(Route::originate(n(1))).with_degraded(Some(true));
+        assert!(!a.is_withdrawal());
+        assert_eq!(a.degraded, Some(true));
+        assert_eq!(a.prefix, Prefix::ORIGIN);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Route::originate(n(0)).prepend(n(1));
+        assert_eq!(r.to_string(), "AS1 AS0");
+        assert_eq!(Prefix::new(4).to_string(), "pfx4");
+    }
+}

@@ -1,0 +1,1016 @@
+//! The whole-network simulation harness.
+//!
+//! [`Network`] builds one [`Router`] per topology node, appends the
+//! origin AS (Figure 1: `originAS` attached to a chosen `ispAS`), wires
+//! everything into the [`rfd_sim::Engine`], injects the paper's pulse
+//! workload on the origin link, and records an [`rfd_metrics::Trace`].
+//!
+//! A run has three phases:
+//!
+//! 1. **warm-up** — the origin announces its prefix and the network
+//!    converges with penalty charging disabled ("before the simulation
+//!    starts, every node learns a stable route to the originAS", §5.1);
+//! 2. **flapping** — `n` pulses (withdrawal, announcement 60 s later) on
+//!    the `[originAS, ispAS]` link, charging enabled;
+//! 3. **drain** — the run continues to quiescence: every pending update,
+//!    MRAI and reuse timer fires (silent reuse timers do not affect the
+//!    metrics, matching the paper's footnote 3).
+
+use rfd_core::{FlapPattern, LinkStatus, RootCause};
+use rfd_metrics::{Trace, TraceEventKind};
+use rfd_sim::{Context, DetRng, Engine, RunOutcome, SimDuration, SimTime, World};
+use rfd_topology::{Graph, NodeId};
+
+use crate::config::NetworkConfig;
+use crate::message::{Prefix, Route, UpdateMessage};
+use crate::policy::Policy;
+use crate::router::{Router, RouterConfig, RouterOutput};
+
+/// Events exchanged through the simulation engine.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// Delivery of an update message to `to`.
+    Deliver {
+        /// Sending router.
+        from: NodeId,
+        /// Receiving router.
+        to: NodeId,
+        /// The message.
+        msg: UpdateMessage,
+    },
+    /// Per-(peer, prefix) MRAI expiry callback.
+    MraiExpiry {
+        /// Router owning the timer.
+        node: NodeId,
+        /// The peer the timer paces.
+        peer: NodeId,
+        /// The prefix the timer paces.
+        prefix: Prefix,
+    },
+    /// Reuse-timer callback for the entry of `prefix` that `node`
+    /// learned from `peer`.
+    ReuseTimer {
+        /// Router owning the suppressed entry.
+        node: NodeId,
+        /// The peer the entry belongs to.
+        peer: NodeId,
+        /// The suppressed prefix.
+        prefix: Prefix,
+    },
+    /// Status change of an origin link (the flap workload).
+    OriginLink {
+        /// Index into the network's origin list.
+        origin: usize,
+        /// New link status.
+        up: bool,
+    },
+    /// Status change of an interior link (failure injection): both
+    /// endpoint sessions reset.
+    LinkStatus {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// New link status.
+        up: bool,
+    },
+}
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The paper's convergence-time metric.
+    pub convergence_time: SimDuration,
+    /// The paper's message-count metric.
+    pub message_count: usize,
+    /// Engine events processed during the measured phase.
+    pub events_processed: u64,
+    /// How the run ended (should be `Quiescent`).
+    pub outcome: RunOutcome,
+}
+
+struct NetWorld {
+    routers: Vec<Router>,
+    policy: Policy,
+    trace: Trace,
+    delay_rng: DetRng,
+    mrai_rng: DetRng,
+    delay_range: (SimDuration, SimDuration),
+    origins: Vec<OriginAttachment>,
+    rcn_enabled: bool,
+    rc_seq: u64,
+    /// Per directed link: the latest delivery instant scheduled so far.
+    /// BGP sessions run over TCP, so updates between two peers arrive
+    /// in the order they were sent — later messages are clamped to
+    /// arrive strictly after earlier ones (without this, a withdrawal
+    /// can be overtaken by an older announcement and install a
+    /// permanently stale route).
+    last_delivery: std::collections::HashMap<(u32, u32), SimTime>,
+    /// Interior links currently down (normalised endpoint order).
+    /// In-flight messages crossing a dead link are dropped at delivery
+    /// time, like the TCP session teardown would lose them.
+    down_links: std::collections::HashSet<(u32, u32)>,
+    /// Messages dropped on dead links.
+    dropped: u64,
+}
+
+/// One origin AS attached to the network (Figure 1's originAS/ispAS
+/// pair); the network supports several, each originating its own
+/// prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct OriginAttachment {
+    /// The appended origin node.
+    pub node: NodeId,
+    /// The ISP it attaches to.
+    pub isp: NodeId,
+    /// The prefix it originates.
+    pub prefix: Prefix,
+}
+
+fn norm_link(a: NodeId, b: NodeId) -> (u32, u32) {
+    let (x, y) = (a.raw(), b.raw());
+    if x < y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+impl NetWorld {
+    fn delay(&mut self) -> SimDuration {
+        let (lo, hi) = self.delay_range;
+        self.delay_rng.duration_between(lo, hi)
+    }
+
+    /// Delivery instant for a message sent now on `from → to`:
+    /// `now + random delay`, pushed past any earlier in-flight message
+    /// on the same directed link (TCP ordering).
+    fn delivery_at(&mut self, now: SimTime, from: NodeId, to: NodeId) -> SimTime {
+        let natural = now + self.delay();
+        let slot = self
+            .last_delivery
+            .entry((from.raw(), to.raw()))
+            .or_insert(SimTime::ZERO);
+        let at = if natural > *slot {
+            natural
+        } else {
+            *slot + SimDuration::from_micros(1)
+        };
+        *slot = at;
+        at
+    }
+
+    fn apply_output(&mut self, ctx: &mut Context<'_, NetEvent>, node: NodeId, out: RouterOutput) {
+        let now = ctx.now();
+        for kind in out.traces {
+            self.trace.record(now, kind);
+        }
+        for (to, msg) in out.sends {
+            self.trace.record(
+                now,
+                TraceEventKind::UpdateSent {
+                    from: node.raw(),
+                    to: to.raw(),
+                    withdrawal: msg.is_withdrawal(),
+                },
+            );
+            let at = self.delivery_at(now, node, to);
+            ctx.schedule_at(
+                at,
+                NetEvent::Deliver {
+                    from: node,
+                    to,
+                    msg,
+                },
+            );
+        }
+        for (peer, prefix, at) in out.mrai_timers {
+            ctx.schedule_at(at, NetEvent::MraiExpiry { node, peer, prefix });
+        }
+        for (peer, prefix, at) in out.reuse_timers {
+            ctx.schedule_at(at, NetEvent::ReuseTimer { node, peer, prefix });
+        }
+    }
+}
+
+impl World for NetWorld {
+    type Event = NetEvent;
+
+    fn handle(&mut self, ctx: &mut Context<'_, NetEvent>, event: NetEvent) {
+        match event {
+            NetEvent::Deliver { from, to, msg } => {
+                if self.down_links.contains(&norm_link(from, to)) {
+                    // The session died while this message was in
+                    // flight: TCP loses it.
+                    self.dropped += 1;
+                    return;
+                }
+                self.trace.record(
+                    ctx.now(),
+                    TraceEventKind::UpdateReceived {
+                        from: from.raw(),
+                        to: to.raw(),
+                        withdrawal: msg.is_withdrawal(),
+                    },
+                );
+                let mut out = RouterOutput::default();
+                self.routers[to.index()].handle_update(
+                    ctx.now(),
+                    from,
+                    &msg,
+                    &mut self.mrai_rng,
+                    &self.policy,
+                    &mut out,
+                );
+                self.apply_output(ctx, to, out);
+            }
+            NetEvent::MraiExpiry { node, peer, prefix } => {
+                let mut out = RouterOutput::default();
+                self.routers[node.index()].on_mrai_expiry(
+                    ctx.now(),
+                    peer,
+                    prefix,
+                    &mut self.mrai_rng,
+                    &self.policy,
+                    &mut out,
+                );
+                self.apply_output(ctx, node, out);
+            }
+            NetEvent::ReuseTimer { node, peer, prefix } => {
+                let mut out = RouterOutput::default();
+                self.routers[node.index()].on_reuse_timer(
+                    ctx.now(),
+                    peer,
+                    prefix,
+                    &mut self.mrai_rng,
+                    &self.policy,
+                    &mut out,
+                );
+                self.apply_output(ctx, node, out);
+            }
+            NetEvent::OriginLink { origin, up } => {
+                let attachment = self.origins[origin];
+                self.trace.record(
+                    ctx.now(),
+                    TraceEventKind::OriginFlap {
+                        prefix: attachment.prefix.id(),
+                        up,
+                    },
+                );
+                // The detecting endpoint stamps a fresh root cause
+                // (§6.1: {[ispAS originAS], status, seq}).
+                let rc = if self.rcn_enabled {
+                    self.rc_seq += 1;
+                    Some(RootCause::new(
+                        (attachment.isp.raw(), attachment.node.raw()),
+                        if up { LinkStatus::Up } else { LinkStatus::Down },
+                        self.rc_seq,
+                    ))
+                } else {
+                    None
+                };
+                let mut msg = if up {
+                    UpdateMessage::announce(Route::originate(attachment.node)).with_root_cause(rc)
+                } else {
+                    UpdateMessage::withdraw().with_root_cause(rc)
+                };
+                msg.prefix = attachment.prefix;
+                self.trace.record(
+                    ctx.now(),
+                    TraceEventKind::UpdateSent {
+                        from: attachment.node.raw(),
+                        to: attachment.isp.raw(),
+                        withdrawal: msg.is_withdrawal(),
+                    },
+                );
+                let at = self.delivery_at(ctx.now(), attachment.node, attachment.isp);
+                ctx.schedule_at(
+                    at,
+                    NetEvent::Deliver {
+                        from: attachment.node,
+                        to: attachment.isp,
+                        msg,
+                    },
+                );
+            }
+            NetEvent::LinkStatus { a, b, up } => {
+                self.trace.record(
+                    ctx.now(),
+                    TraceEventKind::LinkFlap {
+                        a: a.raw(),
+                        b: b.raw(),
+                        up,
+                    },
+                );
+                let key = norm_link(a, b);
+                let rc = if self.rcn_enabled {
+                    self.rc_seq += 1;
+                    Some(RootCause::new(
+                        key,
+                        if up { LinkStatus::Up } else { LinkStatus::Down },
+                        self.rc_seq,
+                    ))
+                } else {
+                    None
+                };
+                if up {
+                    self.down_links.remove(&key);
+                } else {
+                    self.down_links.insert(key);
+                }
+                for (node, peer) in [(a, b), (b, a)] {
+                    let mut out = RouterOutput::default();
+                    if up {
+                        self.routers[node.index()].on_session_up(
+                            ctx.now(),
+                            peer,
+                            rc,
+                            &mut self.mrai_rng,
+                            &self.policy,
+                            &mut out,
+                        );
+                    } else {
+                        self.routers[node.index()].on_session_down(
+                            ctx.now(),
+                            peer,
+                            rc,
+                            &mut self.mrai_rng,
+                            &self.policy,
+                            &mut out,
+                        );
+                    }
+                    self.apply_output(ctx, node, out);
+                }
+            }
+        }
+    }
+}
+
+/// A simulated BGP network running the paper's workload.
+#[derive(Debug)]
+pub struct Network {
+    engine: Engine<NetEvent>,
+    world: NetWorld,
+    warmed_up: bool,
+}
+
+impl std::fmt::Debug for NetWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetWorld")
+            .field("routers", &self.routers.len())
+            .field("origins", &self.origins)
+            .field("trace_events", &self.trace.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds a network over `base` with the origin AS attached to
+    /// `isp` (Figure 1), under the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NetworkConfig::validate`]) or `isp` is out of range.
+    pub fn new(base: &Graph, isp: NodeId, config: NetworkConfig) -> Self {
+        Network::new_multi(base, &[isp], config)
+    }
+
+    /// Builds a network with one origin AS per entry of `isps`: origin
+    /// `i` is appended as a new node attached to `isps[i]` and
+    /// originates [`Prefix::new`]`(i)`. (So the single-origin
+    /// [`Network::new`] yields [`Prefix::ORIGIN`].)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NetworkConfig::validate`]), `isps` is empty, or an ISP is out
+    /// of range.
+    pub fn new_multi(base: &Graph, isps: &[NodeId], config: NetworkConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        assert!(!isps.is_empty(), "need at least one origin attachment");
+        let mut graph = base.clone();
+        let mut policy = config.policy.clone();
+        let mut origins = Vec::with_capacity(isps.len());
+        for (i, &isp) in isps.iter().enumerate() {
+            assert!(
+                isp.index() < base.node_count(),
+                "isp {isp} outside the base graph"
+            );
+            let origin = graph.add_node();
+            graph.add_link(origin, isp);
+            // Under policy routing, each origin AS is a *customer* of
+            // its ISP (Figure 1: "a customer network, the originAS, is
+            // connected to a router in its provider network, the
+            // ispAS") — label the appended link accordingly so the
+            // origin's announcements climb the hierarchy.
+            if let Policy::NoValley(rel) = &mut policy {
+                rel.set_provider(rfd_topology::Link::new(origin, isp), isp);
+            }
+            origins.push(OriginAttachment {
+                node: origin,
+                isp,
+                prefix: Prefix::new(i as u32),
+            });
+        }
+
+        let mut deploy_rng = DetRng::from_seed_and_label(config.seed, "damping-deployment");
+        let damping = config.damping.resolve(graph.node_count(), &mut deploy_rng);
+
+        let routers: Vec<Router> = graph
+            .nodes()
+            .map(|id| {
+                let peers: Vec<NodeId> = graph.neighbors(id).to_vec();
+                let rc = RouterConfig {
+                    damping: damping[id.index()],
+                    filter: config.filter,
+                    mrai: config.mrai,
+                    mrai_jitter: config.mrai_jitter,
+                    protocol: config.protocol,
+                };
+                let mut router = Router::new(id, peers, false, rc);
+                if let Some(att) = origins.iter().find(|a| a.node == id) {
+                    router.originate(att.prefix);
+                }
+                router.set_charging(false); // warm-up first
+                router
+            })
+            .collect();
+
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::ZERO + config.horizon);
+
+        let world = NetWorld {
+            routers,
+            policy,
+            trace: Trace::new(),
+            delay_rng: DetRng::from_seed_and_label(config.seed, "delays"),
+            mrai_rng: DetRng::from_seed_and_label(config.seed, "mrai"),
+            delay_range: config.delay_range,
+            origins,
+            rcn_enabled: config.filter == crate::config::PenaltyFilter::Rcn,
+            rc_seq: 0,
+            last_delivery: std::collections::HashMap::new(),
+            down_links: std::collections::HashSet::new(),
+            dropped: 0,
+        };
+
+        Network {
+            engine,
+            world,
+            warmed_up: false,
+        }
+    }
+
+    /// The first origin AS id (the appended node).
+    pub fn origin(&self) -> NodeId {
+        self.world.origins[0].node
+    }
+
+    /// The first origin's ISP AS id.
+    pub fn isp(&self) -> NodeId {
+        self.world.origins[0].isp
+    }
+
+    /// All origin attachments.
+    pub fn origins(&self) -> &[OriginAttachment] {
+        &self.world.origins
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.world.trace
+    }
+
+    /// Read access to a router (for tests and inspection).
+    pub fn router(&self, id: NodeId) -> &Router {
+        &self.world.routers[id.index()]
+    }
+
+    /// Total suppressed RIB-IN entries across the network.
+    pub fn suppressed_entries(&self) -> usize {
+        self.world
+            .routers
+            .iter()
+            .map(Router::suppressed_entries)
+            .sum()
+    }
+
+    /// Phase 1: the origin announces its prefix and the network
+    /// converges with penalty charging disabled. The warm-up trace is
+    /// discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network fails to reach quiescence (horizon or
+    /// budget hit — a configuration pathology).
+    pub fn warm_up(&mut self) -> &mut Self {
+        assert!(!self.warmed_up, "warm_up may only run once");
+        for i in 0..self.world.origins.len() {
+            let origin = self.world.origins[i].node;
+            let mut out = RouterOutput::default();
+            {
+                let world = &mut self.world;
+                world.routers[origin.index()].kickoff(
+                    SimTime::ZERO,
+                    &mut world.mrai_rng,
+                    &world.policy,
+                    &mut out,
+                );
+            }
+            // Feed the kickoff output through priming events: replicate
+            // apply_output semantics by scheduling directly on the
+            // engine.
+            for (to, msg) in out.sends {
+                let at = self.world.delivery_at(SimTime::ZERO, origin, to);
+                self.engine.prime(
+                    at,
+                    NetEvent::Deliver {
+                        from: origin,
+                        to,
+                        msg,
+                    },
+                );
+            }
+        }
+        let (outcome, _) = self.engine.run(&mut self.world);
+        assert_eq!(outcome, RunOutcome::Quiescent, "warm-up failed to converge");
+        for att in &self.world.origins {
+            assert!(
+                self.world
+                    .routers
+                    .iter()
+                    .all(|r| r.best_for(att.prefix).is_some()),
+                "warm-up left some router without a route to {}",
+                att.prefix
+            );
+        }
+        for r in &mut self.world.routers {
+            r.set_charging(true);
+        }
+        self.world.trace = Trace::new();
+        self.warmed_up = true;
+        self
+    }
+
+    /// Phase 2+3: injects `pattern` on the origin link starting
+    /// `lead_in` after the current clock, then runs to quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`].
+    pub fn run_pulses(&mut self, pattern: FlapPattern, lead_in: SimDuration) -> RunReport {
+        self.run_schedule(&rfd_core::FlapSchedule::from(pattern), lead_in)
+    }
+
+    /// Like [`Network::run_pulses`], but with an arbitrary
+    /// [`rfd_core::FlapSchedule`] (randomised gaps, bursts, …) on the
+    /// origin link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`].
+    pub fn run_schedule(
+        &mut self,
+        schedule: &rfd_core::FlapSchedule,
+        lead_in: SimDuration,
+    ) -> RunReport {
+        self.run_schedules(&[(0, schedule)], lead_in)
+    }
+
+    /// Runs several origin-link schedules simultaneously (multi-origin
+    /// workloads): each `(origin index, schedule)` pair flaps that
+    /// origin's access link, all offsets measured from the same start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`] or an origin index
+    /// is out of range.
+    pub fn run_schedules(
+        &mut self,
+        schedules: &[(usize, &rfd_core::FlapSchedule)],
+        lead_in: SimDuration,
+    ) -> RunReport {
+        assert!(self.warmed_up, "call warm_up() before running a workload");
+        let start = self.engine.now() + lead_in;
+        for &(origin, schedule) in schedules {
+            assert!(
+                origin < self.world.origins.len(),
+                "origin index {origin} out of range"
+            );
+            for &(offset, status) in schedule.events() {
+                let at = start + offset.since(SimTime::ZERO);
+                self.engine.prime(
+                    at,
+                    NetEvent::OriginLink {
+                        origin,
+                        up: status == rfd_core::LinkStatus::Up,
+                    },
+                );
+            }
+        }
+        let (outcome, stats) = self.engine.run(&mut self.world);
+        RunReport {
+            convergence_time: self.world.trace.convergence_time(),
+            message_count: self.world.trace.message_count(),
+            events_processed: stats.events_processed,
+            outcome,
+        }
+    }
+
+    /// Flaps an **interior** link per `schedule` (failure injection):
+    /// both endpoint sessions reset on each down event and re-advertise
+    /// on each up event; in-flight messages on the dead link are lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`], or if `a`–`b` is
+    /// not a link of the network.
+    pub fn run_link_schedule(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        schedule: &rfd_core::FlapSchedule,
+        lead_in: SimDuration,
+    ) -> RunReport {
+        assert!(self.warmed_up, "call warm_up() before running a workload");
+        assert!(
+            self.world
+                .routers
+                .get(a.index())
+                .is_some_and(|r| r.peers().contains(&b)),
+            "{a}–{b} is not a link of this network"
+        );
+        let start = self.engine.now() + lead_in;
+        for &(offset, status) in schedule.events() {
+            let at = start + offset.since(SimTime::ZERO);
+            self.engine.prime(
+                at,
+                NetEvent::LinkStatus {
+                    a,
+                    b,
+                    up: status == rfd_core::LinkStatus::Up,
+                },
+            );
+        }
+        let (outcome, stats) = self.engine.run(&mut self.world);
+        RunReport {
+            convergence_time: self.world.trace.convergence_time(),
+            message_count: self.world.trace.message_count(),
+            events_processed: stats.events_processed,
+            outcome,
+        }
+    }
+
+    /// Messages lost on links that went down while they were in flight.
+    pub fn dropped_messages(&self) -> u64 {
+        self.world.dropped
+    }
+
+    /// Convenience: warm up and run the paper's default workload of
+    /// `pulses` pulses at 60-second intervals.
+    pub fn run_paper_workload(&mut self, pulses: usize) -> RunReport {
+        if !self.warmed_up {
+            self.warm_up();
+        }
+        self.run_pulses(
+            FlapPattern::paper_default(pulses),
+            SimDuration::from_secs(100),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_topology::{line, mesh_torus, ring};
+
+    fn small_cfg(seed: u64) -> NetworkConfig {
+        NetworkConfig::paper_no_damping(seed)
+    }
+
+    #[test]
+    fn warm_up_gives_every_node_a_route() {
+        let g = ring(8);
+        let mut net = Network::new(&g, NodeId::new(3), small_cfg(1));
+        net.warm_up();
+        for id in 0..8u32 {
+            let best = net.router(NodeId::new(id)).best();
+            assert!(best.is_some(), "node {id} has no route");
+        }
+        assert_eq!(net.trace().len(), 0, "warm-up trace is discarded");
+    }
+
+    #[test]
+    fn warm_up_routes_are_shortest_paths() {
+        let g = mesh_torus(4, 4);
+        let isp = NodeId::new(5);
+        let mut net = Network::new(&g, isp, small_cfg(2));
+        net.warm_up();
+        let dist = g.bfs_distances(isp);
+        for id in net_nodes(&g) {
+            let best = net.router(id).best().expect("warmed up");
+            // Path: [peer, ..., isp, origin] → hops to origin =
+            // path length; BFS distance + 1 (origin link) + 1 for the
+            // self hop... path len counts ASes from the advertising
+            // peer to the origin inclusive.
+            let hops_via_path = best.route.len();
+            let expect = dist[id.index()].unwrap() + 1; // to isp, then origin
+            assert_eq!(
+                hops_via_path, expect,
+                "node {id}: path {} vs bfs {expect}",
+                best.route
+            );
+        }
+    }
+
+    fn net_nodes(g: &Graph) -> Vec<NodeId> {
+        g.nodes().collect()
+    }
+
+    #[test]
+    fn single_pulse_without_damping_converges_fast() {
+        let g = mesh_torus(4, 4);
+        let mut net = Network::new(&g, NodeId::new(0), small_cfg(3));
+        let report = net.run_paper_workload(1);
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        assert!(report.message_count > 0);
+        // Without damping, convergence after the final announcement is
+        // a few MRAI rounds at most.
+        assert!(
+            report.convergence_time < SimDuration::from_secs(300),
+            "took {}",
+            report.convergence_time
+        );
+        assert_eq!(net.suppressed_entries(), 0);
+    }
+
+    #[test]
+    fn message_count_grows_with_pulses_without_damping() {
+        let g = mesh_torus(3, 3);
+        let count = |n: usize| {
+            let mut net = Network::new(&g, NodeId::new(4), small_cfg(17));
+            net.run_paper_workload(n).message_count
+        };
+        let one = count(1);
+        let three = count(3);
+        let five = count(5);
+        assert!(one < three && three < five, "{one} {three} {five}");
+    }
+
+    #[test]
+    fn zero_pulses_is_a_no_op() {
+        let g = ring(5);
+        let mut net = Network::new(&g, NodeId::new(0), small_cfg(4));
+        let report = net.run_paper_workload(0);
+        assert_eq!(report.message_count, 0);
+        assert_eq!(report.convergence_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn damping_suppresses_origin_entry_on_third_pulse() {
+        // On a line there are no alternate paths, so no path
+        // exploration: only the ispAS entry charges, exactly like the
+        // analytic model — suppression on pulse 3 (§5.2).
+        let g = line(4);
+        let isp = NodeId::new(3);
+        let mut net = Network::new(&g, isp, NetworkConfig::paper_full_damping(5));
+        net.warm_up();
+
+        let two = net.run_pulses(FlapPattern::paper_default(2), SimDuration::from_secs(100));
+        assert_eq!(two.outcome, RunOutcome::Quiescent);
+        assert_eq!(
+            net.trace().ever_suppressed_entries(),
+            0,
+            "two pulses must not suppress anywhere"
+        );
+
+        let mut net = Network::new(&g, isp, NetworkConfig::paper_full_damping(5));
+        net.warm_up();
+        let three = net.run_pulses(FlapPattern::paper_default(3), SimDuration::from_secs(100));
+        assert_eq!(three.outcome, RunOutcome::Quiescent);
+        let origin = net.origin();
+        let entry_suppressions: Vec<_> = net
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    rfd_metrics::TraceEventKind::Suppressed { node, peer, .. }
+                        if node == isp.raw() && peer == origin.raw()
+                )
+            })
+            .collect();
+        assert_eq!(
+            entry_suppressions.len(),
+            1,
+            "third pulse suppresses the [originAS, ispAS] entry"
+        );
+        // Convergence is dominated by the reuse delay: > 20 minutes.
+        assert!(
+            three.convergence_time > SimDuration::from_mins(20),
+            "took {}",
+            three.convergence_time
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let g = mesh_torus(3, 3);
+        let run = || {
+            let mut net = Network::new(&g, NodeId::new(2), NetworkConfig::paper_full_damping(11));
+            let r = net.run_paper_workload(2);
+            (r.message_count, r.convergence_time, net.trace().len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seed_changes_timings() {
+        let g = mesh_torus(3, 3);
+        let run = |seed| {
+            let mut net = Network::new(&g, NodeId::new(2), small_cfg(seed));
+            net.run_paper_workload(1).convergence_time
+        };
+        // Different seeds draw different delays; convergence times are
+        // extremely unlikely to coincide to the microsecond.
+        assert_ne!(run(100), run(200));
+    }
+
+    #[test]
+    fn interior_link_flap_damps_transit_routes() {
+        // Flap a mesh link repeatedly: entries for routes through it
+        // get suppressed even though the origin never flapped.
+        let g = mesh_torus(4, 4);
+        let isp = NodeId::new(0);
+        let mut net = Network::new(&g, isp, NetworkConfig::paper_full_damping(3));
+        net.warm_up();
+        // Pick a link on the shortest-path tree near the ISP.
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let schedule = rfd_core::FlapSchedule::from(FlapPattern::paper_default(4));
+        let report = net.run_link_schedule(a, b, &schedule, SimDuration::from_secs(50));
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        assert!(report.message_count > 0);
+        assert!(
+            net.trace().ever_suppressed_entries() > 0,
+            "transit flapping must trigger damping somewhere"
+        );
+        // Everybody recovers a route once the link stays up.
+        for id in g.nodes() {
+            assert!(net.router(id).best().is_some(), "node {id} recovered");
+        }
+    }
+
+    #[test]
+    fn in_flight_messages_are_lost_on_session_death() {
+        // Rapid flapping makes some messages cross a dying link.
+        let g = mesh_torus(3, 3);
+        let mut net = Network::new(&g, NodeId::new(0), NetworkConfig::paper_no_damping(9));
+        net.warm_up();
+        let mut events = Vec::new();
+        for k in 0..8u64 {
+            events.push((
+                SimTime::from_micros(k * 400_000),
+                if k % 2 == 0 {
+                    rfd_core::LinkStatus::Down
+                } else {
+                    rfd_core::LinkStatus::Up
+                },
+            ));
+        }
+        let schedule = rfd_core::FlapSchedule::new(events);
+        let report = net.run_link_schedule(
+            NodeId::new(1),
+            NodeId::new(2),
+            &schedule,
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        // Sent == received + dropped.
+        let sent = net
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.is_update_sent())
+            .count() as u64;
+        let received = net
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.is_update_received())
+            .count() as u64;
+        assert_eq!(sent, received + net.dropped_messages());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a link")]
+    fn flapping_a_non_link_panics() {
+        let g = mesh_torus(3, 3);
+        let mut net = Network::new(&g, NodeId::new(0), NetworkConfig::paper_no_damping(1));
+        net.warm_up();
+        // 0 and 4 are diagonal — not adjacent in the torus.
+        net.run_link_schedule(
+            NodeId::new(0),
+            NodeId::new(4),
+            &rfd_core::FlapSchedule::from(FlapPattern::paper_default(1)),
+            SimDuration::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn randomized_schedule_runs_to_quiescence() {
+        let g = mesh_torus(4, 4);
+        let mut net = Network::new(&g, NodeId::new(5), NetworkConfig::paper_full_damping(13));
+        net.warm_up();
+        let mut rng = rfd_sim::DetRng::from_seed(77);
+        let schedule = rfd_core::FlapSchedule::randomized(
+            4,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(120),
+            &mut rng,
+        );
+        let report = net.run_schedule(&schedule, SimDuration::from_secs(100));
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        assert!(report.message_count > 0);
+    }
+
+    #[test]
+    fn multi_origin_routes_independently() {
+        // Two origins on opposite corners; flap only origin 0 — origin
+        // 1's prefix must stay perfectly stable.
+        let g = mesh_torus(4, 4);
+        let isps = [NodeId::new(0), NodeId::new(10)];
+        let mut net = Network::new_multi(&g, &isps, NetworkConfig::paper_full_damping(7));
+        net.warm_up();
+        assert_eq!(net.origins().len(), 2);
+        let pfx0 = net.origins()[0].prefix;
+        let pfx1 = net.origins()[1].prefix;
+        // Every base node routes to both prefixes after warm-up.
+        for id in g.nodes() {
+            assert!(net.router(id).best_for(pfx0).is_some());
+            assert!(net.router(id).best_for(pfx1).is_some());
+        }
+        let schedule = rfd_core::FlapSchedule::from(FlapPattern::paper_default(3));
+        let report = net.run_schedules(&[(0, &schedule)], SimDuration::from_secs(100));
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        // Damping engaged for prefix 0 only.
+        let trace = net.trace();
+        let suppressed_pfx: std::collections::BTreeSet<u32> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                rfd_metrics::TraceEventKind::Suppressed { prefix, .. } => Some(prefix),
+                _ => None,
+            })
+            .collect();
+        assert!(suppressed_pfx.contains(&pfx0.id()));
+        assert!(
+            !suppressed_pfx.contains(&pfx1.id()),
+            "the stable prefix must never be suppressed"
+        );
+        // Both prefixes routable at the end.
+        for id in g.nodes() {
+            assert!(net.router(id).best_for(pfx0).is_some());
+            assert!(net.router(id).best_for(pfx1).is_some());
+        }
+    }
+
+    #[test]
+    fn two_origins_flapping_concurrently() {
+        let g = mesh_torus(4, 4);
+        let isps = [NodeId::new(2), NodeId::new(13)];
+        let mut net = Network::new_multi(&g, &isps, NetworkConfig::paper_full_damping(8));
+        net.warm_up();
+        let s0 = rfd_core::FlapSchedule::from(FlapPattern::paper_default(2));
+        let s1 = rfd_core::FlapSchedule::from(FlapPattern::paper_default(4));
+        let report = net.run_schedules(&[(0, &s0), (1, &s1)], SimDuration::from_secs(100));
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        assert!(report.message_count > 0);
+        // Full recovery for both prefixes.
+        for att in net.origins().to_vec() {
+            for id in g.nodes() {
+                assert!(
+                    net.router(id).best_for(att.prefix).is_some(),
+                    "node {id} lost {}",
+                    att.prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warm_up")]
+    fn pulses_before_warm_up_panic() {
+        let g = ring(4);
+        let mut net = Network::new(&g, NodeId::new(0), small_cfg(1));
+        net.run_pulses(FlapPattern::paper_default(1), SimDuration::from_secs(1));
+    }
+}

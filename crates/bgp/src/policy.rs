@@ -1,0 +1,135 @@
+//! Routing policies: shortest-path and no-valley (Gao–Rexford).
+//!
+//! The paper runs its headline experiments with shortest-path routing
+//! and §7 with the "no-valley" policy "widely adopted in practice": a
+//! router transits traffic only from or to its customers, so routes
+//! learned from a peer or provider are exported to customers only.
+//! Preference follows the usual economics: customer routes over peer
+//! routes over provider routes, then shorter AS paths.
+
+use rfd_topology::{NodeId, Relationship, Relationships};
+
+/// A routing policy.
+#[derive(Debug, Clone, Default)]
+pub enum Policy {
+    /// Announce the best route to every peer; prefer shorter AS paths.
+    #[default]
+    ShortestPath,
+    /// Gao–Rexford no-valley export and preference over the given
+    /// relationship labelling.
+    NoValley(Relationships),
+}
+
+impl Policy {
+    /// Preference class of a route learned from `peer` at `node`; lower
+    /// is better. Shortest-path treats all peers alike.
+    pub fn preference_class(&self, node: NodeId, peer: NodeId) -> u8 {
+        match self {
+            Policy::ShortestPath => 0,
+            Policy::NoValley(rel) => match rel.classify(node, peer) {
+                Relationship::Customer => 0,
+                Relationship::Peer => 1,
+                Relationship::Provider => 2,
+            },
+        }
+    }
+
+    /// Whether `node` may export a route learned from `learned_from`
+    /// (`None` for self-originated routes) to neighbour `to`.
+    ///
+    /// No-valley: self-originated and customer-learned routes go to
+    /// everyone; peer- and provider-learned routes go to customers
+    /// only.
+    pub fn may_export(&self, node: NodeId, learned_from: Option<NodeId>, to: NodeId) -> bool {
+        match self {
+            Policy::ShortestPath => true,
+            Policy::NoValley(rel) => match learned_from {
+                None => true,
+                Some(src) => match rel.classify(node, src) {
+                    Relationship::Customer => true,
+                    Relationship::Peer | Relationship::Provider => {
+                        rel.classify(node, to) == Relationship::Customer
+                    }
+                },
+            },
+        }
+    }
+
+    /// True when this is the no-valley policy.
+    pub fn is_no_valley(&self) -> bool {
+        matches!(self, Policy::NoValley(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_topology::{star, Graph};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// hub 0 provides for leaves 1..=4.
+    fn star_policy() -> Policy {
+        let g = star(5);
+        Policy::NoValley(Relationships::infer_by_degree(&g, 0.25))
+    }
+
+    #[test]
+    fn shortest_path_is_permissive() {
+        let p = Policy::ShortestPath;
+        assert_eq!(p.preference_class(n(0), n(1)), 0);
+        assert!(p.may_export(n(0), Some(n(1)), n(2)));
+        assert!(p.may_export(n(0), None, n(2)));
+        assert!(!p.is_no_valley());
+    }
+
+    #[test]
+    fn no_valley_preference_ordering() {
+        let p = star_policy();
+        // For the hub, every leaf is a customer (class 0).
+        assert_eq!(p.preference_class(n(0), n(1)), 0);
+        // For a leaf, the hub is its provider (class 2).
+        assert_eq!(p.preference_class(n(1), n(0)), 2);
+    }
+
+    #[test]
+    fn no_valley_blocks_leaf_transit() {
+        let p = star_policy();
+        // A leaf may not export a provider-learned route to its
+        // provider — no valley.
+        assert!(!p.may_export(n(1), Some(n(0)), n(0)));
+        // Self-originated routes always export.
+        assert!(p.may_export(n(1), None, n(0)));
+        // The hub exports customer-learned routes everywhere.
+        assert!(p.may_export(n(0), Some(n(1)), n(2)));
+    }
+
+    #[test]
+    fn no_valley_peer_routes_to_customers_only() {
+        // Root 0 over same-tier hubs 1 and 2 (adjacent, comparable high
+        // degree → peers), each with a leaf customer.
+        let mut g = Graph::with_nodes(6);
+        g.add_link(n(0), n(1));
+        g.add_link(n(0), n(2));
+        g.add_link(n(1), n(2));
+        g.add_link(n(0), n(3));
+        g.add_link(n(1), n(4));
+        g.add_link(n(2), n(5));
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        let p = Policy::NoValley(rel);
+        // 1 and 2 share tier 1 with equal degree → peers (class 1).
+        assert_eq!(p.preference_class(n(1), n(2)), 1);
+        // 1 may export a peer-learned (from 2) route to its customer 4…
+        assert!(p.may_export(n(1), Some(n(2)), n(4)));
+        // …but not to its provider 0 or back to a peer.
+        assert!(!p.may_export(n(1), Some(n(2)), n(0)));
+        assert!(!p.may_export(n(2), Some(n(1)), n(1)));
+    }
+
+    #[test]
+    fn default_policy_is_shortest_path() {
+        assert!(!Policy::default().is_no_valley());
+    }
+}

@@ -1,0 +1,1538 @@
+//! The BGP router model.
+//!
+//! Each router implements the receive → damp → select → advertise
+//! pipeline of Figure 2, independently **per prefix** (RFC 2439
+//! damping state is per (peer, prefix) pair):
+//!
+//! 1. an incoming update charges the (peer, prefix) damping penalty
+//!    (through the RCN or selective filter when deployed) and updates
+//!    the RIB-IN;
+//! 2. the decision process picks the best usable route (suppressed
+//!    entries and looped paths are ineligible);
+//! 3. if the best route changed, the RIB-OUT is synchronised with every
+//!    peer: withdrawals go out immediately, announcements are paced by
+//!    the per-(peer, prefix) MRAI timer and coalesced while it runs.
+//!
+//! Reuse timers are delivered back to the router by the network
+//! harness; a released route re-enters the decision process, which
+//! makes the reuse *noisy* (best route changes, updates sent) or
+//! *silent* (no change) — the distinction at the centre of the paper's
+//! timer-interaction analysis (Figures 5 and 6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rfd_core::{DampingParams, RelativePreference, ReuseCheck, RootCause, UpdateKind};
+use rfd_metrics::TraceEventKind;
+use rfd_sim::{DetRng, SimDuration, SimTime};
+use rfd_topology::NodeId;
+
+use crate::config::{PenaltyFilter, ProtocolOptions};
+use crate::message::{Prefix, Route, UpdateMessage, UpdatePayload};
+use crate::policy::Policy;
+use crate::rib::{BestRoute, RibInEntry};
+
+/// Per-router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Damping parameters; `None` disables damping at this router.
+    pub damping: Option<DampingParams>,
+    /// Penalty filter in front of the damper.
+    pub filter: PenaltyFilter,
+    /// Base MRAI.
+    pub mrai: SimDuration,
+    /// Multiplicative MRAI jitter range.
+    pub mrai_jitter: (f64, f64),
+    /// Protocol-behaviour knobs (WRATE, loop avoidance, reuse
+    /// quantisation).
+    pub protocol: ProtocolOptions,
+}
+
+/// Effects produced by handling one event at a router; the network
+/// harness turns them into scheduled events and trace records.
+#[derive(Debug, Default)]
+pub struct RouterOutput {
+    /// Messages to put on the wire, in order.
+    pub sends: Vec<(NodeId, UpdateMessage)>,
+    /// `(peer, prefix, at)`: schedule an MRAI-expiry callback.
+    pub mrai_timers: Vec<(NodeId, Prefix, SimTime)>,
+    /// `(peer, prefix, at)`: schedule a reuse-timer callback.
+    pub reuse_timers: Vec<(NodeId, Prefix, SimTime)>,
+    /// Trace events to record at the current instant.
+    pub traces: Vec<TraceEventKind>,
+}
+
+/// Rounds a deadline up to the next multiple of `granularity`
+/// (identity when `None`) — RFC 2439's reuse-list quantisation.
+fn quantize_up(at: SimTime, granularity: Option<SimDuration>) -> SimTime {
+    match granularity {
+        None => at,
+        Some(g) => {
+            let g_us = g.as_micros();
+            let ticks = at.as_micros().div_ceil(g_us);
+            SimTime::from_micros(ticks * g_us)
+        }
+    }
+}
+
+/// Per-(peer, prefix) advertisement pacing state.
+#[derive(Debug, Clone)]
+struct MraiPeer {
+    /// Earliest instant the next announcement may be sent.
+    ready_at: SimTime,
+    /// An advertisement is owed once the timer allows it.
+    dirty: bool,
+    /// An expiry callback is already scheduled.
+    timer_pending: bool,
+    /// Path length of the last announcement sent (drives the
+    /// selective-damping `degraded` attribute).
+    last_announced_len: Option<usize>,
+}
+
+impl MraiPeer {
+    fn new() -> Self {
+        MraiPeer {
+            ready_at: SimTime::ZERO,
+            dirty: false,
+            timer_pending: false,
+            last_announced_len: None,
+        }
+    }
+}
+
+/// All per-prefix routing state.
+#[derive(Debug, Clone, Default)]
+struct PrefixState {
+    /// This router originates the prefix.
+    originated: bool,
+    /// Latest route per peer, with damping state.
+    rib_in: BTreeMap<NodeId, RibInEntry>,
+    /// The selected best route.
+    best: Option<BestRoute>,
+    /// Last route advertised per peer.
+    rib_out: BTreeMap<NodeId, Option<Route>>,
+    /// Root cause to stamp on outgoing updates for this prefix.
+    current_rc: Option<RootCause>,
+}
+
+/// A single BGP router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    prefixes: BTreeMap<Prefix, PrefixState>,
+    mrai: BTreeMap<(NodeId, Prefix), MraiPeer>,
+    config: RouterConfig,
+    charging_enabled: bool,
+    /// Peers whose session is currently down (failure injection); no
+    /// messages are sent to them.
+    down_peers: BTreeSet<NodeId>,
+}
+
+impl Router {
+    /// Creates a router with the given neighbour set. When `originates`
+    /// is true the router originates [`Prefix::ORIGIN`] (nothing is
+    /// advertised until [`Router::kickoff`]); further prefixes can be
+    /// added with [`Router::originate`].
+    pub fn new(id: NodeId, peers: Vec<NodeId>, originates: bool, config: RouterConfig) -> Self {
+        let mut router = Router {
+            id,
+            peers,
+            prefixes: BTreeMap::new(),
+            mrai: BTreeMap::new(),
+            config,
+            charging_enabled: true,
+            down_peers: BTreeSet::new(),
+        };
+        if originates {
+            router.originate(Prefix::ORIGIN);
+        }
+        router
+    }
+
+    /// Registers this router as the originator of `prefix`.
+    pub fn originate(&mut self, prefix: Prefix) {
+        let state = self.prefixes.entry(prefix).or_default();
+        state.originated = true;
+        state.best = Some(BestRoute {
+            learned_from: None,
+            route: Route::originate(self.id),
+        });
+    }
+
+    /// This router's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This router's neighbour set.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Whether this router originates the default experiment prefix.
+    pub fn originates(&self) -> bool {
+        self.prefixes
+            .get(&Prefix::ORIGIN)
+            .is_some_and(|s| s.originated)
+    }
+
+    /// The best route for the default experiment prefix.
+    pub fn best(&self) -> Option<&BestRoute> {
+        self.best_for(Prefix::ORIGIN)
+    }
+
+    /// The best route for `prefix`, if any.
+    pub fn best_for(&self, prefix: Prefix) -> Option<&BestRoute> {
+        self.prefixes.get(&prefix)?.best.as_ref()
+    }
+
+    /// Prefixes this router has state for.
+    pub fn known_prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.prefixes.keys().copied()
+    }
+
+    /// Enables or disables penalty charging (used to warm the network
+    /// up without poisoning penalties; see `Network::warm_up`).
+    pub fn set_charging(&mut self, enabled: bool) {
+        self.charging_enabled = enabled;
+    }
+
+    /// Read access to the RIB-IN entry for the default prefix.
+    pub fn rib_in(&self, peer: NodeId) -> Option<&RibInEntry> {
+        self.rib_in_for(Prefix::ORIGIN, peer)
+    }
+
+    /// Read access to the RIB-IN entry for one (peer, prefix).
+    pub fn rib_in_for(&self, prefix: Prefix, peer: NodeId) -> Option<&RibInEntry> {
+        self.prefixes.get(&prefix)?.rib_in.get(&peer)
+    }
+
+    /// Number of currently suppressed RIB-IN entries across all
+    /// prefixes.
+    pub fn suppressed_entries(&self) -> usize {
+        self.prefixes
+            .values()
+            .flat_map(|s| s.rib_in.values())
+            .filter(|e| e.is_suppressed())
+            .count()
+    }
+
+    /// Whether the session to `peer` is currently down.
+    pub fn session_is_down(&self, peer: NodeId) -> bool {
+        self.down_peers.contains(&peer)
+    }
+
+    /// Advertises every originated/known prefix to all peers (used once
+    /// at start-of-world for originating routers).
+    pub fn kickoff(
+        &mut self,
+        now: SimTime,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        for prefix in self.prefixes.keys().copied().collect::<Vec<_>>() {
+            self.sync_all_peers(now, prefix, rng, policy, out);
+        }
+    }
+
+    /// Handles one received update message.
+    pub fn handle_update(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: &UpdateMessage,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        assert!(
+            self.peers.contains(&from),
+            "router {} received update from non-peer {from}",
+            self.id
+        );
+        let prefix = msg.prefix;
+        let (config_damping, config_filter) = (self.config.damping, self.config.filter);
+        let state = self.prefixes.entry(prefix).or_default();
+        let entry = state
+            .rib_in
+            .entry(from)
+            .or_insert_with(|| RibInEntry::new(config_damping, config_filter));
+
+        // Classify relative to the currently held route. A route whose
+        // path contains this AS is unusable (RFC 4271 treats it as a
+        // withdrawal); sender-side loop avoidance means these are rare.
+        let (new_route, kind) = match &msg.payload {
+            UpdatePayload::Withdraw => {
+                if entry.route.is_none() {
+                    return; // spurious withdrawal: ignored, no penalty
+                }
+                (None, UpdateKind::Withdrawal)
+            }
+            UpdatePayload::Announce(route) if route.contains(self.id) => {
+                if entry.route.is_none() {
+                    return;
+                }
+                (None, UpdateKind::Withdrawal)
+            }
+            UpdatePayload::Announce(route) => {
+                let had = entry.route.is_some();
+                let same = entry.route.as_ref() == Some(route);
+                (
+                    Some(route.clone()),
+                    UpdateKind::classify_announcement(had, same),
+                )
+            }
+        };
+
+        // Charge the damping penalty (RFC 2439: every update for the
+        // entry charges — unless a filter intervenes).
+        if self.charging_enabled {
+            if let Some(damper) = entry.damper.as_mut() {
+                let params: DampingParams = *damper.params();
+                let amount = if let Some(rcn) = entry.rcn.as_mut() {
+                    rcn.charge_for(kind, msg.root_cause, &params)
+                } else if let Some(sel) = entry.selective.as_mut() {
+                    let pref = match msg.degraded {
+                        Some(true) => RelativePreference::Degraded,
+                        Some(false) => RelativePreference::Improved,
+                        None => RelativePreference::Unknown,
+                    };
+                    sel.charge_for(kind, pref, &params)
+                } else {
+                    kind.penalty(&params)
+                };
+                let outcome = damper.charge_raw(now, amount);
+                out.traces.push(TraceEventKind::PenaltySample {
+                    node: self.id.raw(),
+                    peer: from.raw(),
+                    prefix: prefix.id(),
+                    value: outcome.penalty,
+                    charge: amount,
+                    suppressed: damper.is_suppressed(),
+                });
+                if outcome.newly_suppressed {
+                    out.traces.push(TraceEventKind::Suppressed {
+                        node: self.id.raw(),
+                        peer: from.raw(),
+                        prefix: prefix.id(),
+                    });
+                    let due = outcome
+                        .reuse_at
+                        .expect("newly suppressed entries have a deadline");
+                    out.reuse_timers.push((
+                        from,
+                        prefix,
+                        quantize_up(due, self.config.protocol.reuse_granularity),
+                    ));
+                }
+            }
+        }
+
+        // Install the route and remember its root cause.
+        entry.route = new_route;
+        if msg.root_cause.is_some() {
+            entry.last_rc = msg.root_cause;
+        }
+
+        self.reselect(now, prefix, msg.root_cause, rng, policy, out);
+    }
+
+    /// Handles loss of the session to `peer` (the shared link went
+    /// down). The peer's routes are implicitly withdrawn for **every**
+    /// prefix — and, per RFC 2439, those withdrawals charge the damping
+    /// penalty like any other; our own advertisements over the dead
+    /// link are forgotten.
+    ///
+    /// `rc` is the root cause stamped for the link event (RCN
+    /// deployments).
+    pub fn on_session_down(
+        &mut self,
+        now: SimTime,
+        peer: NodeId,
+        rc: Option<RootCause>,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        assert!(
+            self.peers.contains(&peer),
+            "session event for non-peer {peer}"
+        );
+        self.down_peers.insert(peer);
+        let prefixes: Vec<Prefix> = self.prefixes.keys().copied().collect();
+        for prefix in prefixes {
+            // Nothing stays advertised over a dead session.
+            let state = self.prefixes.get_mut(&prefix).expect("listed prefix");
+            state.rib_out.insert(peer, None);
+            if let Some(m) = self.mrai.get_mut(&(peer, prefix)) {
+                m.dirty = false;
+            }
+            // The peer's routes vanish: synthesize the implicit
+            // withdrawal through the normal pipeline (damping charge +
+            // reselection).
+            let mut msg = UpdateMessage::withdraw().with_root_cause(rc);
+            msg.prefix = prefix;
+            self.handle_update(now, peer, &msg, rng, policy, out);
+        }
+    }
+
+    /// Handles recovery of the session to `peer`: re-advertises
+    /// whatever export policy dictates over the fresh session, for
+    /// every prefix.
+    pub fn on_session_up(
+        &mut self,
+        now: SimTime,
+        peer: NodeId,
+        rc: Option<RootCause>,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        assert!(
+            self.peers.contains(&peer),
+            "session event for non-peer {peer}"
+        );
+        self.down_peers.remove(&peer);
+        let prefixes: Vec<Prefix> = self.prefixes.keys().copied().collect();
+        for prefix in prefixes {
+            // Updates triggered by the restored session carry its root
+            // cause.
+            if rc.is_some() {
+                self.prefixes
+                    .get_mut(&prefix)
+                    .expect("listed prefix")
+                    .current_rc = rc;
+            }
+            self.sync_peer(now, prefix, peer, rng, policy, out);
+        }
+    }
+
+    /// Handles an MRAI expiry callback for `(peer, prefix)`.
+    pub fn on_mrai_expiry(
+        &mut self,
+        now: SimTime,
+        peer: NodeId,
+        prefix: Prefix,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        let m = self
+            .mrai
+            .get_mut(&(peer, prefix))
+            .expect("MRAI timer for unknown peer/prefix");
+        m.timer_pending = false;
+        if m.dirty {
+            self.sync_peer(now, prefix, peer, rng, policy, out);
+        }
+    }
+
+    /// Handles a reuse-timer callback for the entry of `prefix` learned
+    /// from `peer`.
+    pub fn on_reuse_timer(
+        &mut self,
+        now: SimTime,
+        peer: NodeId,
+        prefix: Prefix,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        let state = self
+            .prefixes
+            .get_mut(&prefix)
+            .expect("reuse timer for unknown prefix");
+        let entry = state
+            .rib_in
+            .get_mut(&peer)
+            .expect("reuse timer for unknown peer");
+        let Some(damper) = entry.damper.as_mut() else {
+            return;
+        };
+        if !damper.is_suppressed() {
+            return; // stale timer (entry already released)
+        }
+        match damper.on_reuse_due(now) {
+            ReuseCheck::StillSuppressed { retry_at } => {
+                // Charges since suppression pushed the deadline out —
+                // re-arm (this is how secondary charging extends reuse
+                // timers).
+                out.reuse_timers.push((
+                    peer,
+                    prefix,
+                    quantize_up(retry_at, self.config.protocol.reuse_granularity),
+                ));
+            }
+            ReuseCheck::Released => {
+                let reuse_rc = entry.last_rc;
+                let old_best = state.best.clone();
+                let new_best = Self::decide(self.id, state, policy);
+                let noisy = new_best != old_best;
+                out.traces.push(TraceEventKind::Reused {
+                    node: self.id.raw(),
+                    peer: peer.raw(),
+                    prefix: prefix.id(),
+                    noisy,
+                });
+                if noisy {
+                    // The released route wins (Figure 6): announce it,
+                    // carrying the root cause it arrived with.
+                    state.best = new_best;
+                    state.current_rc = reuse_rc;
+                    out.traces.push(TraceEventKind::BestRouteChanged {
+                        node: self.id.raw(),
+                        unreachable: state.best.is_none(),
+                    });
+                    self.sync_all_peers(now, prefix, rng, policy, out);
+                }
+                // Silent expiry (Figure 5): nothing to do.
+            }
+        }
+    }
+
+    /// Re-runs the decision process for `prefix`; on a best-route
+    /// change, records it, adopts `trigger_rc` as the root cause for
+    /// outgoing updates, and synchronises every peer.
+    fn reselect(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        trigger_rc: Option<RootCause>,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        let state = self.prefixes.get_mut(&prefix).expect("prefix exists");
+        let new_best = Self::decide(self.id, state, policy);
+        if new_best == state.best {
+            return;
+        }
+        state.best = new_best;
+        state.current_rc = trigger_rc;
+        out.traces.push(TraceEventKind::BestRouteChanged {
+            node: self.id.raw(),
+            unreachable: state.best.is_none(),
+        });
+        self.sync_all_peers(now, prefix, rng, policy, out);
+    }
+
+    /// The decision process: best usable route by (policy class, path
+    /// length, lowest peer id). A self-originated route always wins.
+    fn decide(id: NodeId, state: &PrefixState, policy: &Policy) -> Option<BestRoute> {
+        if state.originated {
+            return Some(BestRoute {
+                learned_from: None,
+                route: Route::originate(id),
+            });
+        }
+        let mut best: Option<((u8, usize, usize), BestRoute)> = None;
+        for (&peer, entry) in &state.rib_in {
+            let Some(route) = entry.usable_route() else {
+                continue;
+            };
+            if route.contains(id) {
+                continue; // loop
+            }
+            let rank = (policy.preference_class(id, peer), route.len(), peer.index());
+            let better = match &best {
+                None => true,
+                Some((best_rank, _)) => rank < *best_rank,
+            };
+            if better {
+                best = Some((
+                    rank,
+                    BestRoute {
+                        learned_from: Some(peer),
+                        route: route.clone(),
+                    },
+                ));
+            }
+        }
+        best.map(|(_, b)| b)
+    }
+
+    /// The route this router would advertise to `to` right now, after
+    /// policy export rules and sender-side loop avoidance; `None` means
+    /// "nothing" (and implies a withdrawal if something was advertised
+    /// before).
+    fn export_route(
+        id: NodeId,
+        state: &PrefixState,
+        to: NodeId,
+        policy: &Policy,
+        protocol: &ProtocolOptions,
+    ) -> Option<Route> {
+        let best = state.best.as_ref()?;
+        if protocol.sender_side_loop_avoidance && best.route.contains(to) {
+            return None; // receiver is on the path; it would reject
+        }
+        if !policy.may_export(id, best.learned_from, to) {
+            return None;
+        }
+        Some(match best.learned_from {
+            None => best.route.clone(),
+            Some(_) => best.route.prepend(id),
+        })
+    }
+
+    fn sync_all_peers(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        for peer in self.peers.clone() {
+            self.sync_peer(now, prefix, peer, rng, policy, out);
+        }
+    }
+
+    /// Brings RIB-OUT for `(peer, prefix)` in line with the current
+    /// best route: withdrawals immediately, announcements under MRAI
+    /// pacing.
+    fn sync_peer(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        peer: NodeId,
+        rng: &mut DetRng,
+        policy: &Policy,
+        out: &mut RouterOutput,
+    ) {
+        if self.down_peers.contains(&peer) {
+            return; // dead session: nothing can be sent
+        }
+        let state = self.prefixes.get_mut(&prefix).expect("prefix exists");
+        let desired = Self::export_route(self.id, state, peer, policy, &self.config.protocol);
+        let current = state.rib_out.get(&peer).cloned().flatten();
+        let m = self
+            .mrai
+            .entry((peer, prefix))
+            .or_insert_with(MraiPeer::new);
+        if desired == current {
+            m.dirty = false;
+            return;
+        }
+        match desired {
+            None => {
+                // Withdrawals are rate-limited only under the WRATE
+                // option (SSFNet defaults to immediate, as does the
+                // paper's setup).
+                if self.config.protocol.withdrawal_pacing && now < m.ready_at {
+                    m.dirty = true;
+                    if !m.timer_pending {
+                        m.timer_pending = true;
+                        out.mrai_timers.push((peer, prefix, m.ready_at));
+                    }
+                    return;
+                }
+                m.dirty = false;
+                state.rib_out.insert(peer, None);
+                if self.config.protocol.withdrawal_pacing {
+                    let (jlo, jhi) = self.config.mrai_jitter;
+                    m.ready_at = now + self.config.mrai.mul_f64(rng.uniform(jlo, jhi));
+                }
+                let mut msg = UpdateMessage::withdraw().with_root_cause(state.current_rc);
+                msg.prefix = prefix;
+                out.sends.push((peer, msg));
+            }
+            Some(route) => {
+                if now >= m.ready_at {
+                    let degraded = m.last_announced_len.map(|prev| route.len() > prev);
+                    m.last_announced_len = Some(route.len());
+                    let (jlo, jhi) = self.config.mrai_jitter;
+                    m.ready_at = now + self.config.mrai.mul_f64(rng.uniform(jlo, jhi));
+                    m.dirty = false;
+                    state.rib_out.insert(peer, Some(route.clone()));
+                    let mut msg = UpdateMessage::announce(route)
+                        .with_root_cause(state.current_rc)
+                        .with_degraded(degraded);
+                    msg.prefix = prefix;
+                    out.sends.push((peer, msg));
+                } else {
+                    // Owe an advertisement; coalesce behind the timer.
+                    m.dirty = true;
+                    if !m.timer_pending {
+                        m.timer_pending = true;
+                        out.mrai_timers.push((peer, prefix, m.ready_at));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_core::DampingParams;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn plain_config(damping: bool) -> RouterConfig {
+        RouterConfig {
+            damping: damping.then(DampingParams::cisco),
+            filter: PenaltyFilter::Plain,
+            mrai: SimDuration::from_secs(30),
+            mrai_jitter: (1.0, 1.0),
+            protocol: ProtocolOptions::default(),
+        }
+    }
+
+    fn rng() -> DetRng {
+        DetRng::from_seed(7)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn announce_from(origin: u32) -> UpdateMessage {
+        UpdateMessage::announce(Route::originate(n(origin)))
+    }
+
+    #[test]
+    fn originator_kickoff_announces_to_all() {
+        let mut r = Router::new(n(0), vec![n(1), n(2)], true, plain_config(false));
+        let mut out = RouterOutput::default();
+        r.kickoff(t(0), &mut rng(), &Policy::ShortestPath, &mut out);
+        assert_eq!(out.sends.len(), 2);
+        assert!(out.sends.iter().all(|(_, m)| !m.is_withdrawal()));
+        // Second kickoff is a no-op (RIB-OUT already in sync).
+        let mut out2 = RouterOutput::default();
+        r.kickoff(t(1), &mut rng(), &Policy::ShortestPath, &mut out2);
+        assert!(out2.sends.is_empty());
+    }
+
+    #[test]
+    fn update_installs_and_propagates() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &announce_from(0),
+            &mut rng(),
+            &Policy::ShortestPath,
+            &mut out,
+        );
+        assert_eq!(r.best().unwrap().learned_from, Some(n(0)));
+        // Propagated to peer 2 only: peer 0 is on the path.
+        assert_eq!(out.sends.len(), 1);
+        let (to, msg) = &out.sends[0];
+        assert_eq!(*to, n(2));
+        match &msg.payload {
+            UpdatePayload::Announce(route) => {
+                assert_eq!(route.path(), &[n(1), n(0)]);
+            }
+            UpdatePayload::Withdraw => panic!("expected announcement"),
+        }
+    }
+
+    #[test]
+    fn withdrawal_propagates_immediately() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut out = RouterOutput::default();
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(10),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(r.best().is_none());
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.sends[0].1.is_withdrawal());
+        assert_eq!(out.sends[0].0, n(2));
+        // No MRAI timer needed for withdrawals.
+        assert!(out.mrai_timers.is_empty());
+    }
+
+    #[test]
+    fn spurious_withdrawal_ignored() {
+        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true));
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut rng(),
+            &Policy::ShortestPath,
+            &mut out,
+        );
+        assert!(out.sends.is_empty() && out.traces.is_empty());
+        assert_eq!(
+            r.rib_in(n(0)).map(|e| e.route.clone()),
+            Some(None),
+            "entry exists but holds no route"
+        );
+    }
+
+    #[test]
+    fn mrai_paces_consecutive_announcements() {
+        // Peer 0 announces, then improves the route — the second
+        // announcement to peer 2 must wait for the MRAI.
+        let mut r = Router::new(n(1), vec![n(0), n(2), n(3)], false, plain_config(false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        // Route via 0 with length 3.
+        let long = Route::originate(n(9)).prepend(n(5)).prepend(n(0));
+        r.handle_update(
+            t(0),
+            n(0),
+            &UpdateMessage::announce(long),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 2, "announce to 2 and 3");
+        // Better route from 3 arrives within the MRAI window.
+        let short = Route::originate(n(9)).prepend(n(3));
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(5),
+            n(3),
+            &UpdateMessage::announce(short),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        // To peer 2: deferred by MRAI (timer scheduled; the t=0 send
+        // armed it). To peer 0: never sent to before, so its MRAI is
+        // ready → announced immediately. To peer 3: loop avoidance
+        // stops the export; the earlier announcement is withdrawn now.
+        assert_eq!(out.sends.len(), 2);
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| *to == n(0) && !m.is_withdrawal()));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| *to == n(3) && m.is_withdrawal()));
+        assert_eq!(out.mrai_timers.len(), 1);
+        let (peer, prefix, at) = out.mrai_timers[0];
+        assert_eq!(peer, n(2));
+        assert_eq!(prefix, Prefix::ORIGIN);
+        assert_eq!(at, t(30));
+        // Fire the timer: the deferred announcement goes out.
+        let mut out = RouterOutput::default();
+        r.on_mrai_expiry(t(30), peer, prefix, &mut rng, &policy, &mut out);
+        assert_eq!(out.sends.len(), 1);
+        assert!(!out.sends[0].1.is_withdrawal());
+    }
+
+    #[test]
+    fn mrai_coalesces_flaps() {
+        // Two best-route changes inside one MRAI window produce a
+        // single deferred announcement with the latest route.
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        // Withdraw and re-announce rapidly.
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(1),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1, "withdrawal to 2 immediate");
+        let mut out = RouterOutput::default();
+        r.handle_update(t(2), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        // Announcement to 2 deferred (MRAI from the t=0 send).
+        assert!(out.sends.is_empty());
+        assert_eq!(out.mrai_timers.len(), 1);
+        let mut out = RouterOutput::default();
+        r.on_mrai_expiry(t(30), n(2), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        assert_eq!(out.sends.len(), 1);
+        assert!(!out.sends[0].1.is_withdrawal());
+    }
+
+    #[test]
+    fn damping_suppresses_and_reuses() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        // Three withdrawals (with re-announcements) at 120 s spacing.
+        let mut reuse_at = None;
+        for pulse in 0..3u64 {
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(pulse * 120),
+                n(0),
+                &announce_from(0),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(pulse * 120 + 60),
+                n(0),
+                &UpdateMessage::withdraw(),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            for (peer, prefix, at) in out.reuse_timers {
+                assert_eq!(peer, n(0));
+                assert_eq!(prefix, Prefix::ORIGIN);
+                reuse_at = Some(at);
+            }
+        }
+        let reuse_at = reuse_at.expect("third withdrawal suppresses");
+        assert!(r.rib_in(n(0)).unwrap().is_suppressed());
+        assert_eq!(r.suppressed_entries(), 1);
+
+        // Announcement arriving while suppressed is *not* used.
+        let mut out = RouterOutput::default();
+        r.handle_update(t(400), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        assert!(r.best().is_none(), "suppressed route must not be selected");
+        assert!(out.sends.is_empty());
+
+        // The reuse timer fires: either it releases directly, or (if the
+        // penalty was recharged meanwhile) reschedules once and then
+        // releases.
+        let mut out = RouterOutput::default();
+        r.on_reuse_timer(reuse_at, n(0), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        if let Some(&(_, _, retry)) = out.reuse_timers.first() {
+            out = RouterOutput::default();
+            r.on_reuse_timer(retry, n(0), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        }
+        assert!(!r.rib_in(n(0)).unwrap().is_suppressed());
+        let noisy = out
+            .traces
+            .iter()
+            .any(|t| matches!(t, TraceEventKind::Reused { noisy: true, .. }));
+        assert!(noisy, "reuse with a held route must be noisy");
+        assert!(r.best().is_some());
+    }
+
+    #[test]
+    fn silent_reuse_when_not_best() {
+        // Figure 5: the suppressed route from C is worse than the one
+        // from B; its reuse changes nothing.
+        let mut r = Router::new(n(1), vec![n(2), n(3)], false, plain_config(true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        // Good short route from peer 2.
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(2),
+            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(2))),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        // Suppress peer 3's entry with rapid flaps of a longer route.
+        let long = Route::originate(n(9)).prepend(n(5)).prepend(n(3));
+        let mut reuse_at = None;
+        for i in 0..4u64 {
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(10 + i * 20),
+                n(3),
+                &UpdateMessage::announce(long.clone()),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(20 + i * 20),
+                n(3),
+                &UpdateMessage::withdraw(),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            if let Some(&(_, _, at)) = out.reuse_timers.first() {
+                reuse_at = Some(at);
+            }
+        }
+        // Re-announce while suppressed so the entry holds a route.
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(200),
+            n(3),
+            &UpdateMessage::announce(long),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(r.rib_in(n(3)).unwrap().is_suppressed());
+        // Walk reuse retries until released.
+        let mut due = reuse_at.expect("suppressed");
+        for _ in 0..5 {
+            let mut out = RouterOutput::default();
+            r.on_reuse_timer(due, n(3), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+            if let Some(&(_, _, at)) = out.reuse_timers.first() {
+                due = at;
+                continue;
+            }
+            let reused = out
+                .traces
+                .iter()
+                .find_map(|tr| match tr {
+                    TraceEventKind::Reused { noisy, .. } => Some(*noisy),
+                    _ => None,
+                })
+                .expect("reuse recorded");
+            assert!(!reused, "reuse must be silent: best is still via peer 2");
+            assert!(out.sends.is_empty());
+            break;
+        }
+        assert_eq!(r.best().unwrap().learned_from, Some(n(2)));
+    }
+
+    #[test]
+    fn charging_disabled_never_suppresses() {
+        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true));
+        r.set_charging(false);
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        for i in 0..20u64 {
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(i * 2),
+                n(0),
+                &announce_from(0),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(i * 2 + 1),
+                n(0),
+                &UpdateMessage::withdraw(),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+        }
+        assert_eq!(r.suppressed_entries(), 0);
+    }
+
+    #[test]
+    fn no_valley_policy_limits_export() {
+        // 1 is a leaf customer of hub 0 (star graph); 1 also peers…
+        // build: 0-1, 0-2, 1-3 relationships via degree: 0 has degree 2,
+        // 1 degree 2, 2,3 degree 1. Core decile → 0,1 peers.
+        let mut g = rfd_topology::Graph::with_nodes(4);
+        g.add_link(n(0), n(1));
+        g.add_link(n(0), n(2));
+        g.add_link(n(1), n(3));
+        let policy = Policy::NoValley(rfd_topology::Relationships::infer_by_degree(&g, 0.25));
+        // Router 1 peers with 0, provides for 3.
+        let mut r = Router::new(n(1), vec![n(0), n(3)], false, plain_config(false));
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        // Learn a route from peer 0 (provider/peer relationship).
+        r.handle_update(
+            t(0),
+            n(0),
+            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(0))),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        // Exported to customer 3 only — and 0 is on the path anyway.
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, n(3));
+    }
+
+    #[test]
+    fn session_down_withdraws_and_charges() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        assert!(r.best().is_some());
+
+        let mut out = RouterOutput::default();
+        r.on_session_down(t(10), n(0), None, &mut rng, &policy, &mut out);
+        assert!(r.session_is_down(n(0)));
+        assert!(r.best().is_none(), "session loss withdraws the route");
+        // The loss charged the damping penalty like a withdrawal.
+        let charged = out.traces.iter().any(
+            |tr| matches!(tr, TraceEventKind::PenaltySample { charge, .. } if *charge == 1000.0),
+        );
+        assert!(charged, "session loss must charge the withdrawal penalty");
+        // Downstream peer 2 was told.
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| *to == n(2) && m.is_withdrawal()));
+        // Nothing goes to the dead peer itself.
+        assert!(out.sends.iter().all(|(to, _)| *to != n(0)));
+    }
+
+    #[test]
+    fn session_up_readvertises() {
+        // Router 1 originates nothing but hears a route from peer 2;
+        // the 0–1 session bounces and must be resynchronised.
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(2),
+            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(2))),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(
+            out.sends.iter().any(|(to, _)| *to == n(0)),
+            "advertised to 0"
+        );
+
+        let mut out = RouterOutput::default();
+        r.on_session_down(t(5), n(0), None, &mut rng, &policy, &mut out);
+        // While down, best changes don't reach peer 0.
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(6),
+            n(2),
+            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(8)).prepend(n(2))),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(out.sends.iter().all(|(to, _)| *to != n(0)));
+
+        // On recovery the fresh session gets the current best.
+        let mut out = RouterOutput::default();
+        r.on_session_up(t(60), n(0), None, &mut rng, &policy, &mut out);
+        assert!(!r.session_is_down(n(0)));
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, n(0));
+        assert!(!out.sends[0].1.is_withdrawal());
+    }
+
+    #[test]
+    fn session_down_when_no_route_is_quiet() {
+        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true));
+        // Give the router prefix state without a route from peer 0.
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut rng(),
+            &Policy::ShortestPath,
+            &mut out,
+        );
+        let mut out = RouterOutput::default();
+        r.on_session_down(
+            t(1),
+            n(0),
+            None,
+            &mut rng(),
+            &Policy::ShortestPath,
+            &mut out,
+        );
+        assert!(out.sends.is_empty());
+        assert!(out.traces.is_empty(), "no route held → no charge");
+    }
+
+    #[test]
+    fn repeated_session_flaps_suppress_like_route_flaps() {
+        // RFC 2439's original motivation: a bouncing session is a
+        // flapping route.
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut suppressed = false;
+        for k in 0..4u64 {
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(k * 120),
+                n(0),
+                &announce_from(0),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let mut out = RouterOutput::default();
+            r.on_session_down(t(k * 120 + 60), n(0), None, &mut rng, &policy, &mut out);
+            suppressed |= !out.reuse_timers.is_empty();
+            let mut out = RouterOutput::default();
+            r.on_session_up(t(k * 120 + 61), n(0), None, &mut rng, &policy, &mut out);
+        }
+        assert!(suppressed, "repeated session loss must trip the cut-off");
+        assert!(r.rib_in(n(0)).unwrap().is_suppressed());
+    }
+
+    #[test]
+    fn loop_containing_announcement_acts_as_withdrawal() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        assert!(r.best().is_some());
+        // Announcement whose path contains router 1 itself.
+        let looped = Route::from_path(vec![n(0), n(5), n(1), n(9)]);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(1),
+            n(0),
+            &UpdateMessage::announce(looped),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(r.best().is_none());
+        assert_eq!(r.rib_in(n(0)).unwrap().route, None);
+    }
+
+    // ---- protocol knobs ----
+
+    fn config_with(protocol: ProtocolOptions, damping: bool) -> RouterConfig {
+        RouterConfig {
+            damping: damping.then(DampingParams::cisco),
+            filter: PenaltyFilter::Plain,
+            mrai: SimDuration::from_secs(30),
+            mrai_jitter: (1.0, 1.0),
+            protocol,
+        }
+    }
+
+    #[test]
+    fn wrate_paces_withdrawals() {
+        let protocol = ProtocolOptions {
+            withdrawal_pacing: true,
+            ..ProtocolOptions::default()
+        };
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        assert_eq!(out.sends.len(), 1, "announce to 2");
+        // Withdraw within the MRAI window: deferred under WRATE.
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(5),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(out.sends.is_empty(), "withdrawal must wait for the MRAI");
+        assert_eq!(out.mrai_timers.len(), 1);
+        let (peer, prefix, at) = out.mrai_timers[0];
+        assert_eq!(at, t(30));
+        let mut out = RouterOutput::default();
+        r.on_mrai_expiry(t(30), peer, prefix, &mut rng, &policy, &mut out);
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.sends[0].1.is_withdrawal());
+    }
+
+    #[test]
+    fn wrate_coalesces_flap_into_nothing() {
+        // Withdraw + re-announce within one MRAI window: under WRATE
+        // the downstream peer sees *neither* (the flap is absorbed).
+        let protocol = ProtocolOptions {
+            withdrawal_pacing: true,
+            ..ProtocolOptions::default()
+        };
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(3),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(out.sends.is_empty());
+        let mut out = RouterOutput::default();
+        r.handle_update(t(6), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        assert!(out.sends.is_empty());
+        // MRAI expiry: desired == current (the same route is back) → no
+        // message at all.
+        let mut out = RouterOutput::default();
+        r.on_mrai_expiry(t(30), n(2), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        assert!(out.sends.is_empty(), "flap absorbed by WRATE coalescing");
+    }
+
+    #[test]
+    fn without_loop_avoidance_looped_routes_are_sent() {
+        let protocol = ProtocolOptions {
+            sender_side_loop_avoidance: false,
+            ..ProtocolOptions::default()
+        };
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        // Plain BGP-4: the route is advertised back toward peer 0's
+        // side too (path [1, 0]) — receivers do the loop detection.
+        let to_zero: Vec<_> = out.sends.iter().filter(|(to, _)| *to == n(0)).collect();
+        assert_eq!(to_zero.len(), 1, "looped advertisement is sent");
+        match &to_zero[0].1.payload {
+            UpdatePayload::Announce(route) => assert!(route.contains(n(0))),
+            UpdatePayload::Withdraw => panic!("expected announcement"),
+        }
+    }
+
+    #[test]
+    fn reuse_granularity_quantizes_deadlines() {
+        let g = SimDuration::from_secs(100);
+        let protocol = ProtocolOptions {
+            reuse_granularity: Some(g),
+            ..ProtocolOptions::default()
+        };
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut due = None;
+        for pulse in 0..3u64 {
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(pulse * 120),
+                n(0),
+                &announce_from(0),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(pulse * 120 + 60),
+                n(0),
+                &UpdateMessage::withdraw(),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            if let Some(&(_, _, at)) = out.reuse_timers.first() {
+                due = Some(at);
+            }
+        }
+        let due = due.expect("suppressed");
+        assert_eq!(
+            due.as_micros() % g.as_micros(),
+            0,
+            "deadline {due} not on the {g} grid"
+        );
+        // Firing at the quantised instant still releases (it is never
+        // earlier than the exact deadline).
+        let mut out = RouterOutput::default();
+        r.on_reuse_timer(due, n(0), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        assert!(!r.rib_in(n(0)).unwrap().is_suppressed());
+    }
+
+    #[test]
+    fn quantize_up_math() {
+        let g = Some(SimDuration::from_secs(10));
+        assert_eq!(quantize_up(t(0), g), t(0));
+        assert_eq!(quantize_up(t(1), g), t(10));
+        assert_eq!(quantize_up(t(10), g), t(10));
+        assert_eq!(quantize_up(t(11), g), t(20));
+        assert_eq!(quantize_up(t(7), None), t(7));
+    }
+
+    // ---- multi-prefix behaviour ----
+
+    fn announce_prefix(origin: u32, prefix: Prefix) -> UpdateMessage {
+        let mut m = UpdateMessage::announce(Route::originate(n(origin)));
+        m.prefix = prefix;
+        m
+    }
+
+    #[test]
+    fn prefixes_route_independently() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let pfx_a = Prefix::new(10);
+        let pfx_b = Prefix::new(11);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &announce_prefix(0, pfx_a),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(1),
+            n(2),
+            &announce_prefix(2, pfx_b),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert_eq!(r.best_for(pfx_a).unwrap().learned_from, Some(n(0)));
+        assert_eq!(r.best_for(pfx_b).unwrap().learned_from, Some(n(2)));
+        assert!(r.best_for(Prefix::new(99)).is_none());
+        assert_eq!(r.known_prefixes().count(), 2);
+
+        // Withdrawing one prefix leaves the other untouched.
+        let mut w = UpdateMessage::withdraw();
+        w.prefix = pfx_a;
+        let mut out = RouterOutput::default();
+        r.handle_update(t(2), n(0), &w, &mut rng, &policy, &mut out);
+        assert!(r.best_for(pfx_a).is_none());
+        assert!(r.best_for(pfx_b).is_some());
+    }
+
+    #[test]
+    fn damping_state_is_per_prefix() {
+        // Flapping prefix A from peer 0 must not suppress prefix B from
+        // the same peer.
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let pfx_a = Prefix::new(10);
+        let pfx_b = Prefix::new(11);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &announce_prefix(0, pfx_b),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        for k in 0..3u64 {
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(k * 120 + 1),
+                n(0),
+                &announce_prefix(0, pfx_a),
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let mut w = UpdateMessage::withdraw();
+            w.prefix = pfx_a;
+            let mut out = RouterOutput::default();
+            r.handle_update(t(k * 120 + 61), n(0), &w, &mut rng, &policy, &mut out);
+        }
+        assert!(r.rib_in_for(pfx_a, n(0)).unwrap().is_suppressed());
+        assert!(!r.rib_in_for(pfx_b, n(0)).unwrap().is_suppressed());
+        assert_eq!(r.suppressed_entries(), 1);
+        // Prefix B still routes.
+        assert!(r.best_for(pfx_b).is_some());
+        assert!(r.best_for(pfx_a).is_none());
+    }
+
+    #[test]
+    fn mrai_is_per_prefix() {
+        // Announcing prefix A must not delay prefix B's announcements
+        // to the same peer.
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let pfx_a = Prefix::new(10);
+        let pfx_b = Prefix::new(11);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &announce_prefix(0, pfx_a),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1, "prefix A announced to peer 2");
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(1),
+            n(0),
+            &announce_prefix(0, pfx_b),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert_eq!(
+            out.sends.len(),
+            1,
+            "prefix B goes out immediately despite A's fresh MRAI"
+        );
+        assert!(out.mrai_timers.is_empty());
+    }
+
+    #[test]
+    fn session_down_withdraws_every_prefix() {
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let pfx_a = Prefix::new(10);
+        let pfx_b = Prefix::new(11);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(0),
+            n(0),
+            &announce_prefix(0, pfx_a),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(1),
+            n(0),
+            &announce_prefix(0, pfx_b),
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        let mut out = RouterOutput::default();
+        r.on_session_down(t(10), n(0), None, &mut rng, &policy, &mut out);
+        assert!(r.best_for(pfx_a).is_none());
+        assert!(r.best_for(pfx_b).is_none());
+        // Two withdrawals went to peer 2 (one per prefix).
+        let withdrawals = out
+            .sends
+            .iter()
+            .filter(|(to, m)| *to == n(2) && m.is_withdrawal())
+            .count();
+        assert_eq!(withdrawals, 2);
+    }
+
+    #[test]
+    fn multi_origination() {
+        let mut r = Router::new(n(0), vec![n(1)], true, plain_config(false));
+        r.originate(Prefix::new(5));
+        let mut out = RouterOutput::default();
+        r.kickoff(t(0), &mut rng(), &Policy::ShortestPath, &mut out);
+        assert_eq!(out.sends.len(), 2, "one announcement per originated prefix");
+        let prefixes: std::collections::BTreeSet<_> =
+            out.sends.iter().map(|(_, m)| m.prefix).collect();
+        assert!(prefixes.contains(&Prefix::ORIGIN));
+        assert!(prefixes.contains(&Prefix::new(5)));
+    }
+}

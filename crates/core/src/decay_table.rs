@@ -1,0 +1,176 @@
+//! Precomputed decay arrays — RFC 2439 §4.8.6's implementation
+//! strategy.
+//!
+//! Real routers avoid calling `exp()` on every update by quantising
+//! time into ticks and looking the decay factor up in a precomputed
+//! array. The simulation uses exact decay ([`crate::Penalty`]); this
+//! module exists for fidelity to the RFC, for the ablation bench, and
+//! so downstream users can reproduce vendor-quantised behaviour. The
+//! tests bound the quantisation error against the exact exponential.
+
+use rfd_sim::SimDuration;
+
+use crate::params::DampingParams;
+
+/// A quantised decay table.
+///
+/// `factors[i]` is the decay over `i` ticks; durations are rounded to
+/// the nearest tick, and durations beyond the table reuse the last
+/// entry multiplicatively (whole-table chunks), exactly as the RFC's
+/// "decay array" scheme suggests.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::{DampingParams, DecayTable};
+/// use rfd_sim::SimDuration;
+///
+/// let params = DampingParams::cisco();
+/// let table = DecayTable::new(&params, SimDuration::from_secs(5), 720);
+/// // One half-life (900 s) decays to ~0.5 within quantisation error.
+/// let f = table.decay_factor(SimDuration::from_mins(15));
+/// assert!((f - 0.5).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayTable {
+    tick: SimDuration,
+    factors: Vec<f64>,
+}
+
+impl DecayTable {
+    /// Builds a table with `entries` ticks of granularity `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero or `entries` is zero.
+    pub fn new(params: &DampingParams, tick: SimDuration, entries: usize) -> Self {
+        assert!(!tick.is_zero(), "tick must be positive");
+        assert!(entries > 0, "table needs at least one entry");
+        let per_tick = params.decay_factor(tick);
+        let mut factors = Vec::with_capacity(entries + 1);
+        factors.push(1.0);
+        for i in 1..=entries {
+            factors.push(factors[i - 1] * per_tick);
+        }
+        DecayTable { tick, factors }
+    }
+
+    /// The tick granularity.
+    pub fn tick(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// Number of table entries (excluding the implicit factor 1.0).
+    pub fn len(&self) -> usize {
+        self.factors.len() - 1
+    }
+
+    /// Tables are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decay factor over `dt`, quantised to the nearest tick.
+    pub fn decay_factor(&self, dt: SimDuration) -> f64 {
+        let tick_us = self.tick.as_micros();
+        let mut ticks = (dt.as_micros() + tick_us / 2) / tick_us;
+        let max = self.len() as u64;
+        let mut factor = 1.0;
+        // Whole-table chunks for long silences.
+        while ticks > max {
+            factor *= self.factors[max as usize];
+            ticks -= max;
+        }
+        factor * self.factors[ticks as usize]
+    }
+
+    /// `value` decayed over `dt`.
+    pub fn decayed(&self, value: f64, dt: SimDuration) -> f64 {
+        value * self.decay_factor(dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_sim::SimTime;
+
+    fn cisco() -> DampingParams {
+        DampingParams::cisco()
+    }
+
+    #[test]
+    fn matches_exact_at_tick_multiples() {
+        let params = cisco();
+        let table = DecayTable::new(&params, SimDuration::from_secs(10), 1000);
+        for ticks in [0u64, 1, 7, 90, 900] {
+            let dt = SimDuration::from_secs(ticks * 10);
+            let exact = params.decay_factor(dt);
+            let quant = table.decay_factor(dt);
+            assert!(
+                (exact - quant).abs() < 1e-9,
+                "{ticks} ticks: {exact} vs {quant}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantisation_error_bounded_by_half_tick() {
+        let params = cisco();
+        let tick = SimDuration::from_secs(5);
+        let table = DecayTable::new(&params, tick, 2000);
+        // Worst-case relative error is the decay over half a tick.
+        let bound = 1.0 - params.decay_factor(tick / 2) + 1e-12;
+        for secs in (1u64..3600).step_by(17) {
+            let dt = SimDuration::from_secs(secs) + SimDuration::from_millis(secs % 997);
+            let exact = params.decay_factor(dt);
+            let quant = table.decay_factor(dt);
+            let rel = (exact - quant).abs() / exact;
+            assert!(rel <= bound, "dt={dt}: rel err {rel} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn long_silences_chunk_through_the_table() {
+        let params = cisco();
+        let table = DecayTable::new(&params, SimDuration::from_secs(60), 10);
+        // 2 hours with a 10-minute table: 12 chunks.
+        let dt = SimDuration::from_mins(120);
+        let exact = params.decay_factor(dt);
+        let quant = table.decay_factor(dt);
+        assert!((exact - quant).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn usable_as_penalty_substitute() {
+        // A damping loop computed with the table stays within 1% of the
+        // exact penalty for realistic workloads.
+        let params = cisco();
+        let table = DecayTable::new(&params, SimDuration::from_secs(1), 4000);
+        let charges = [(0u64, 1000.0), (120, 1000.0), (247, 500.0), (360, 1000.0)];
+        let mut exact = crate::Penalty::new();
+        let mut quant = 0.0f64;
+        let mut last = SimDuration::ZERO;
+        for &(secs, amount) in &charges {
+            let at = SimTime::from_secs(secs);
+            exact.charge(at, amount, &params);
+            let dt = SimDuration::from_secs(secs) - last;
+            quant = table.decayed(quant, dt) + amount;
+            last = SimDuration::from_secs(secs);
+        }
+        let e = exact.value_at(SimTime::from_secs(360), &params);
+        assert!((e - quant).abs() / e < 0.01, "{e} vs {quant}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tick_panics() {
+        DecayTable::new(&cisco(), SimDuration::ZERO, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry")]
+    fn empty_table_panics() {
+        DecayTable::new(&cisco(), SimDuration::from_secs(1), 0);
+    }
+}

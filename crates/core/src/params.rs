@@ -1,0 +1,470 @@
+//! Damping configuration parameters (RFC 2439 §4.2, paper Table 1).
+
+use std::fmt;
+
+use rfd_sim::SimDuration;
+
+/// Error returned when a [`DampingParams`] configuration is inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateParamsError(String);
+
+impl fmt::Display for ValidateParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid damping parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateParamsError {}
+
+/// Route flap damping parameters.
+///
+/// The defaults of the two major router vendors (paper Table 1):
+///
+/// | Parameter | Cisco | Juniper |
+/// |---|---|---|
+/// | Withdrawal penalty `P_W` | 1000 | 1000 |
+/// | Re-announcement penalty `P_A` | 0 | 1000 |
+/// | Attributes-change penalty | 500 | 500 |
+/// | Cut-off threshold `P_cut` | 2000 | 3000 |
+/// | Half-life `H` | 15 min | 15 min |
+/// | Reuse threshold `P_reuse` | 750 | 750 |
+/// | Max hold-down time | 60 min | 60 min |
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::DampingParams;
+///
+/// let cisco = DampingParams::cisco();
+/// assert_eq!(cisco.cutoff_threshold(), 2000.0);
+/// // RFC 2439 penalty ceiling: reuse · 2^(max_hold / half_life) = 12 000,
+/// // the value §5.2 of the paper discusses.
+/// assert_eq!(cisco.penalty_ceiling(), 12_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DampingParams {
+    withdrawal_penalty: f64,
+    reannouncement_penalty: f64,
+    attribute_change_penalty: f64,
+    duplicate_penalty: f64,
+    cutoff_threshold: f64,
+    reuse_threshold: f64,
+    half_life: SimDuration,
+    half_life_unreachable: Option<SimDuration>,
+    max_hold_down: SimDuration,
+}
+
+impl DampingParams {
+    /// Cisco IOS default parameters (paper Table 1, left column).
+    pub fn cisco() -> Self {
+        DampingParams {
+            withdrawal_penalty: 1000.0,
+            reannouncement_penalty: 0.0,
+            attribute_change_penalty: 500.0,
+            duplicate_penalty: 0.0,
+            cutoff_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_mins(15),
+            half_life_unreachable: None,
+            max_hold_down: SimDuration::from_mins(60),
+        }
+    }
+
+    /// JunOS default parameters (paper Table 1, right column).
+    pub fn juniper() -> Self {
+        DampingParams {
+            withdrawal_penalty: 1000.0,
+            reannouncement_penalty: 1000.0,
+            attribute_change_penalty: 500.0,
+            duplicate_penalty: 0.0,
+            cutoff_threshold: 3000.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_mins(15),
+            half_life_unreachable: None,
+            max_hold_down: SimDuration::from_mins(60),
+        }
+    }
+
+    /// RIPE-229 "aggressive" recommendation for short prefixes
+    /// (an extension preset used by the heterogeneous-parameter
+    /// experiments; RIPE recommended graduated parameters by prefix
+    /// length).
+    pub fn ripe229_aggressive() -> Self {
+        DampingParams {
+            withdrawal_penalty: 1000.0,
+            reannouncement_penalty: 0.0,
+            attribute_change_penalty: 500.0,
+            duplicate_penalty: 0.0,
+            cutoff_threshold: 1500.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_mins(30),
+            half_life_unreachable: None,
+            max_hold_down: SimDuration::from_mins(60),
+        }
+    }
+
+    /// Starts a builder seeded with the Cisco defaults.
+    pub fn builder() -> DampingParamsBuilder {
+        DampingParamsBuilder {
+            params: DampingParams::cisco(),
+        }
+    }
+
+    /// Penalty added by a route withdrawal.
+    pub fn withdrawal_penalty(&self) -> f64 {
+        self.withdrawal_penalty
+    }
+
+    /// Penalty added by a re-announcement (an announcement following a
+    /// withdrawal).
+    pub fn reannouncement_penalty(&self) -> f64 {
+        self.reannouncement_penalty
+    }
+
+    /// Penalty added by an announcement whose attributes (e.g. AS path)
+    /// differ from the previously announced route.
+    pub fn attribute_change_penalty(&self) -> f64 {
+        self.attribute_change_penalty
+    }
+
+    /// Penalty added by a duplicate announcement (default 0).
+    pub fn duplicate_penalty(&self) -> f64 {
+        self.duplicate_penalty
+    }
+
+    /// Penalty above which the route is suppressed.
+    pub fn cutoff_threshold(&self) -> f64 {
+        self.cutoff_threshold
+    }
+
+    /// Penalty below which a suppressed route is reused.
+    pub fn reuse_threshold(&self) -> f64 {
+        self.reuse_threshold
+    }
+
+    /// Time for the penalty to halve in the absence of new flaps
+    /// (while the route is reachable).
+    pub fn half_life(&self) -> SimDuration {
+        self.half_life
+    }
+
+    /// RFC 2439 §4.2's optional separate half-life applied while the
+    /// route is **unreachable** (withdrawn); defaults to the reachable
+    /// half-life.
+    pub fn half_life_unreachable(&self) -> SimDuration {
+        self.half_life_unreachable.unwrap_or(self.half_life)
+    }
+
+    /// The effective parameters while the route is unreachable: same
+    /// thresholds and increments, the unreachable half-life. Returns
+    /// `self` unchanged when no separate rate is configured.
+    pub fn as_unreachable(&self) -> DampingParams {
+        DampingParams {
+            half_life: self.half_life_unreachable(),
+            half_life_unreachable: None,
+            ..*self
+        }
+    }
+
+    /// Upper bound on how long a route may stay suppressed; enforced via
+    /// the penalty ceiling.
+    pub fn max_hold_down(&self) -> SimDuration {
+        self.max_hold_down
+    }
+
+    /// The exponential decay constant λ = ln 2 / H, in 1/second.
+    pub fn lambda(&self) -> f64 {
+        std::f64::consts::LN_2 / self.half_life.as_secs_f64()
+    }
+
+    /// Multiplicative decay over `dt`: `e^(−λ·dt)`.
+    pub fn decay_factor(&self, dt: SimDuration) -> f64 {
+        (-self.lambda() * dt.as_secs_f64()).exp()
+    }
+
+    /// RFC 2439 penalty ceiling: `P_reuse · 2^(max_hold_down / H)`.
+    ///
+    /// Clamping the penalty here guarantees no route stays suppressed
+    /// longer than the max hold-down time. For Cisco defaults this is
+    /// 12 000 — the penalty §5.2 of the paper shows path exploration alone
+    /// can never reach.
+    pub fn penalty_ceiling(&self) -> f64 {
+        let ratio = self.max_hold_down.as_secs_f64() / self.half_life.as_secs_f64();
+        self.reuse_threshold * 2f64.powf(ratio)
+    }
+
+    /// Penalty below which damping state can be garbage-collected
+    /// (RFC 2439 suggests half the reuse threshold).
+    pub fn forgive_threshold(&self) -> f64 {
+        self.reuse_threshold / 2.0
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when thresholds are non-positive or ordered
+    /// incorrectly, penalties are negative or non-finite, or the cut-off
+    /// exceeds the penalty ceiling (a route could then never be
+    /// suppressed).
+    pub fn validate(&self) -> Result<(), ValidateParamsError> {
+        let finite_nonneg = [
+            ("withdrawal_penalty", self.withdrawal_penalty),
+            ("reannouncement_penalty", self.reannouncement_penalty),
+            ("attribute_change_penalty", self.attribute_change_penalty),
+            ("duplicate_penalty", self.duplicate_penalty),
+        ];
+        for (name, v) in finite_nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ValidateParamsError(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        if !(self.reuse_threshold.is_finite() && self.reuse_threshold > 0.0) {
+            return Err(ValidateParamsError(format!(
+                "reuse_threshold must be positive, got {}",
+                self.reuse_threshold
+            )));
+        }
+        if !(self.cutoff_threshold.is_finite() && self.cutoff_threshold > self.reuse_threshold) {
+            return Err(ValidateParamsError(format!(
+                "cutoff_threshold ({}) must exceed reuse_threshold ({})",
+                self.cutoff_threshold, self.reuse_threshold
+            )));
+        }
+        if self.half_life.is_zero() {
+            return Err(ValidateParamsError("half_life must be positive".into()));
+        }
+        if self.half_life_unreachable.is_some_and(SimDuration::is_zero) {
+            return Err(ValidateParamsError(
+                "half_life_unreachable must be positive when set".into(),
+            ));
+        }
+        if self.max_hold_down.is_zero() {
+            return Err(ValidateParamsError("max_hold_down must be positive".into()));
+        }
+        if self.penalty_ceiling() < self.cutoff_threshold {
+            return Err(ValidateParamsError(format!(
+                "penalty ceiling ({:.1}) below cutoff threshold ({:.1}); suppression unreachable",
+                self.penalty_ceiling(),
+                self.cutoff_threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DampingParams {
+    /// The Cisco defaults, which the paper's headline experiments use.
+    fn default() -> Self {
+        DampingParams::cisco()
+    }
+}
+
+/// Builder for [`DampingParams`].
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::DampingParams;
+/// use rfd_sim::SimDuration;
+///
+/// let params = DampingParams::builder()
+///     .cutoff_threshold(2500.0)
+///     .half_life(SimDuration::from_mins(20))
+///     .build()?;
+/// assert_eq!(params.cutoff_threshold(), 2500.0);
+/// # Ok::<(), rfd_core::ValidateParamsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DampingParamsBuilder {
+    params: DampingParams,
+}
+
+impl DampingParamsBuilder {
+    /// Sets the withdrawal penalty.
+    pub fn withdrawal_penalty(mut self, v: f64) -> Self {
+        self.params.withdrawal_penalty = v;
+        self
+    }
+
+    /// Sets the re-announcement penalty.
+    pub fn reannouncement_penalty(mut self, v: f64) -> Self {
+        self.params.reannouncement_penalty = v;
+        self
+    }
+
+    /// Sets the attributes-change penalty.
+    pub fn attribute_change_penalty(mut self, v: f64) -> Self {
+        self.params.attribute_change_penalty = v;
+        self
+    }
+
+    /// Sets the duplicate-announcement penalty.
+    pub fn duplicate_penalty(mut self, v: f64) -> Self {
+        self.params.duplicate_penalty = v;
+        self
+    }
+
+    /// Sets the cut-off (suppression) threshold.
+    pub fn cutoff_threshold(mut self, v: f64) -> Self {
+        self.params.cutoff_threshold = v;
+        self
+    }
+
+    /// Sets the reuse threshold.
+    pub fn reuse_threshold(mut self, v: f64) -> Self {
+        self.params.reuse_threshold = v;
+        self
+    }
+
+    /// Sets the half-life (reachable routes).
+    pub fn half_life(mut self, v: SimDuration) -> Self {
+        self.params.half_life = v;
+        self
+    }
+
+    /// Sets a separate half-life for unreachable (withdrawn) routes.
+    pub fn half_life_unreachable(mut self, v: SimDuration) -> Self {
+        self.params.half_life_unreachable = Some(v);
+        self
+    }
+
+    /// Sets the maximum hold-down time.
+    pub fn max_hold_down(mut self, v: SimDuration) -> Self {
+        self.params.max_hold_down = v;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`DampingParams::validate`].
+    pub fn build(self) -> Result<DampingParams, ValidateParamsError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cisco_values() {
+        let p = DampingParams::cisco();
+        assert_eq!(p.withdrawal_penalty(), 1000.0);
+        assert_eq!(p.reannouncement_penalty(), 0.0);
+        assert_eq!(p.attribute_change_penalty(), 500.0);
+        assert_eq!(p.cutoff_threshold(), 2000.0);
+        assert_eq!(p.reuse_threshold(), 750.0);
+        assert_eq!(p.half_life(), SimDuration::from_mins(15));
+        assert_eq!(p.max_hold_down(), SimDuration::from_mins(60));
+        p.validate().expect("cisco defaults are valid");
+    }
+
+    #[test]
+    fn table1_juniper_values() {
+        let p = DampingParams::juniper();
+        assert_eq!(p.withdrawal_penalty(), 1000.0);
+        assert_eq!(p.reannouncement_penalty(), 1000.0);
+        assert_eq!(p.attribute_change_penalty(), 500.0);
+        assert_eq!(p.cutoff_threshold(), 3000.0);
+        assert_eq!(p.reuse_threshold(), 750.0);
+        p.validate().expect("juniper defaults are valid");
+    }
+
+    #[test]
+    fn ceiling_matches_rfc_formula() {
+        // reuse 750, max_hold 60 min, half-life 15 min → 750 · 2^4 = 12 000.
+        assert!((DampingParams::cisco().penalty_ceiling() - 12_000.0).abs() < 1e-9);
+        assert!((DampingParams::juniper().penalty_ceiling() - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lambda_and_decay() {
+        let p = DampingParams::cisco();
+        // Decay over one half-life halves the penalty.
+        let f = p.decay_factor(SimDuration::from_mins(15));
+        assert!((f - 0.5).abs() < 1e-12);
+        // λ ≈ ln2 / 900 s.
+        assert!((p.lambda() - std::f64::consts::LN_2 / 900.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = DampingParams::builder()
+            .withdrawal_penalty(800.0)
+            .cutoff_threshold(1600.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.withdrawal_penalty(), 800.0);
+        assert_eq!(p.cutoff_threshold(), 1600.0);
+        // untouched fields keep Cisco defaults
+        assert_eq!(p.reuse_threshold(), 750.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_thresholds() {
+        assert!(DampingParams::builder()
+            .cutoff_threshold(500.0) // below reuse
+            .build()
+            .is_err());
+        assert!(DampingParams::builder()
+            .reuse_threshold(-1.0)
+            .build()
+            .is_err());
+        assert!(DampingParams::builder()
+            .withdrawal_penalty(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_unreachable_suppression() {
+        // Ceiling = 750 · 2^(10/60·60/15)… make max_hold tiny so the
+        // ceiling drops below the cutoff.
+        let err = DampingParams::builder()
+            .max_hold_down(SimDuration::from_mins(1))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("ceiling"));
+    }
+
+    #[test]
+    fn unreachable_half_life_defaults_and_overrides() {
+        let p = DampingParams::cisco();
+        assert_eq!(p.half_life_unreachable(), p.half_life());
+        assert_eq!(p.as_unreachable(), p);
+        let q = DampingParams::builder()
+            .half_life_unreachable(SimDuration::from_mins(45))
+            .build()
+            .unwrap();
+        assert_eq!(q.half_life_unreachable(), SimDuration::from_mins(45));
+        let u = q.as_unreachable();
+        assert_eq!(u.half_life(), SimDuration::from_mins(45));
+        // Thresholds and increments untouched.
+        assert_eq!(u.cutoff_threshold(), q.cutoff_threshold());
+        assert_eq!(u.withdrawal_penalty(), q.withdrawal_penalty());
+    }
+
+    #[test]
+    fn zero_unreachable_half_life_rejected() {
+        assert!(DampingParams::builder()
+            .half_life_unreachable(SimDuration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn forgive_threshold_is_half_reuse() {
+        assert_eq!(DampingParams::cisco().forgive_threshold(), 375.0);
+    }
+
+    #[test]
+    fn default_is_cisco() {
+        assert_eq!(DampingParams::default(), DampingParams::cisco());
+    }
+}

@@ -1,0 +1,182 @@
+//! RFC 2439 reuse lists: the quantised alternative to exact reuse timers.
+//!
+//! RFC 2439 §4.8.7 suggests implementing route reuse with an array of
+//! lists scanned at a fixed tick, rather than one timer per suppressed
+//! route. A route whose penalty will cross the reuse threshold at time
+//! `t` is appended to the list for the tick covering `t`; each tick, the
+//! due lists are drained and every entry re-checked. The headline
+//! experiments use exact timers; this module exists for fidelity and for
+//! the ablation bench comparing the two (reuse can be delayed by up to
+//! one granularity tick, slightly lengthening convergence).
+
+use std::collections::BTreeMap;
+
+use rfd_sim::{SimDuration, SimTime};
+
+/// A quantised reuse schedule over keys of type `K` (e.g. (peer, prefix)
+/// pairs).
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::ReuseList;
+/// use rfd_sim::{SimDuration, SimTime};
+///
+/// let mut list: ReuseList<&str> = ReuseList::new(SimDuration::from_secs(10));
+/// list.schedule("route-a", SimTime::from_secs(25));
+/// // Nothing due at t=20 (the covering tick ends at 30)…
+/// assert!(list.drain_due(SimTime::from_secs(20)).is_empty());
+/// // …the entry is released by the tick at t=30.
+/// assert_eq!(list.drain_due(SimTime::from_secs(30)), vec!["route-a"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseList<K> {
+    granularity: SimDuration,
+    buckets: BTreeMap<u64, Vec<K>>,
+    len: usize,
+}
+
+impl<K> ReuseList<K> {
+    /// Creates a reuse list with the given tick granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero.
+    pub fn new(granularity: SimDuration) -> Self {
+        assert!(!granularity.is_zero(), "granularity must be positive");
+        ReuseList {
+            granularity,
+            buckets: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The tick granularity.
+    pub fn granularity(&self) -> SimDuration {
+        self.granularity
+    }
+
+    /// Number of scheduled entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tick index whose *end* covers `at` — entries are released at the
+    /// end of their tick so reuse never happens early.
+    fn bucket_for(&self, at: SimTime) -> u64 {
+        at.as_micros().div_ceil(self.granularity.as_micros())
+    }
+
+    /// Schedules `key` for reuse no earlier than `reuse_at`.
+    pub fn schedule(&mut self, key: K, reuse_at: SimTime) {
+        let bucket = self.bucket_for(reuse_at);
+        self.buckets.entry(bucket).or_default().push(key);
+        self.len += 1;
+    }
+
+    /// The next instant at which [`ReuseList::drain_due`] will release
+    /// something, if any entries are scheduled.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.buckets
+            .keys()
+            .next()
+            .map(|&b| SimTime::from_micros(b * self.granularity.as_micros()))
+    }
+
+    /// Removes and returns every entry whose tick has passed by `now`,
+    /// in scheduling order within each tick.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<K> {
+        let current = now.as_micros() / self.granularity.as_micros();
+        let mut due = Vec::new();
+        let ready: Vec<u64> = self.buckets.range(..=current).map(|(&b, _)| b).collect();
+        for b in ready {
+            let mut entries = self.buckets.remove(&b).expect("bucket existed");
+            self.len -= entries.len();
+            due.append(&mut entries);
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn releases_at_tick_boundary_never_early() {
+        let mut list: ReuseList<u32> = ReuseList::new(SimDuration::from_secs(15));
+        list.schedule(1, t(31)); // covering tick ends at 45
+        assert!(list.drain_due(t(31)).is_empty());
+        assert!(list.drain_due(t(44)).is_empty());
+        assert_eq!(list.drain_due(t(45)), vec![1]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn exact_boundary_releases_on_time() {
+        let mut list: ReuseList<u32> = ReuseList::new(SimDuration::from_secs(10));
+        list.schedule(7, t(30)); // exactly at a boundary
+        assert!(list.drain_due(t(29)).is_empty());
+        assert_eq!(list.drain_due(t(30)), vec![7]);
+    }
+
+    #[test]
+    fn drains_multiple_ticks_in_order() {
+        let mut list: ReuseList<&str> = ReuseList::new(SimDuration::from_secs(10));
+        list.schedule("late", t(35));
+        list.schedule("early-a", t(12));
+        list.schedule("early-b", t(17));
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.drain_due(t(100)), vec!["early-a", "early-b", "late"]);
+        assert_eq!(list.len(), 0);
+    }
+
+    #[test]
+    fn next_due_reports_earliest_tick() {
+        let mut list: ReuseList<u32> = ReuseList::new(SimDuration::from_secs(10));
+        assert_eq!(list.next_due(), None);
+        list.schedule(1, t(25));
+        list.schedule(2, t(5));
+        assert_eq!(list.next_due(), Some(t(10)));
+    }
+
+    #[test]
+    fn quantisation_delay_is_bounded_by_granularity() {
+        // Whatever the requested time, release happens within one tick.
+        let g = SimDuration::from_secs(7);
+        let mut list: ReuseList<u64> = ReuseList::new(g);
+        for reuse_at in [1u64, 6, 7, 8, 13, 20, 21] {
+            list.schedule(reuse_at, t(reuse_at));
+        }
+        let mut released: Vec<(u64, u64)> = Vec::new(); // (requested, released_at)
+        for tick in 0..5u64 {
+            let now = tick * 7;
+            for k in list.drain_due(t(now)) {
+                released.push((k, now));
+            }
+        }
+        assert_eq!(released.len(), 7);
+        for (requested, released_at) in released {
+            assert!(released_at >= requested, "never early");
+            assert!(
+                released_at - requested < 7,
+                "delay bounded by granularity: {requested} → {released_at}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_granularity_panics() {
+        let _: ReuseList<u32> = ReuseList::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,329 @@
+//! Generalised flap schedules.
+//!
+//! The paper's workload is periodic pulses ([`crate::FlapPattern`]);
+//! its companion technical report [15] varies flapping patterns and
+//! intervals. A [`FlapSchedule`] is an arbitrary, time-ordered sequence
+//! of link status changes ending with the link up, so workloads beyond
+//! strict pulses (randomised gaps, bursts) can drive the same
+//! machinery.
+
+use rfd_sim::{DetRng, SimDuration, SimTime};
+
+use crate::params::DampingParams;
+use crate::rcn::LinkStatus;
+use crate::update::UpdateKind;
+use crate::{analytic::FlapPattern, Damper};
+
+/// A time-ordered sequence of link status changes.
+///
+/// Invariants: events strictly increase in time, statuses alternate
+/// (down, up, down, …) starting with `Down`, and the final event is
+/// `Up` (the link fully recovers — §5.1's workload contract).
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::{FlapPattern, FlapSchedule, LinkStatus};
+///
+/// let schedule = FlapSchedule::from(FlapPattern::paper_default(2));
+/// assert_eq!(schedule.len(), 4);
+/// assert_eq!(schedule.events().last().unwrap().1, LinkStatus::Up);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlapSchedule {
+    events: Vec<(SimTime, LinkStatus)>,
+}
+
+impl FlapSchedule {
+    /// Builds a schedule from explicit events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariants above are violated.
+    pub fn new(events: Vec<(SimTime, LinkStatus)>) -> Self {
+        let mut expected = LinkStatus::Down;
+        let mut last: Option<SimTime> = None;
+        for &(at, status) in &events {
+            assert_eq!(status, expected, "statuses must alternate starting Down");
+            if let Some(prev) = last {
+                assert!(at > prev, "events must strictly increase in time");
+            }
+            last = Some(at);
+            expected = match status {
+                LinkStatus::Down => LinkStatus::Up,
+                LinkStatus::Up => LinkStatus::Down,
+            };
+        }
+        if let Some(&(_, status)) = events.last() {
+            assert_eq!(
+                status,
+                LinkStatus::Up,
+                "the final event must bring the link up"
+            );
+        }
+        FlapSchedule { events }
+    }
+
+    /// The empty schedule (no flaps).
+    pub fn empty() -> Self {
+        FlapSchedule { events: Vec::new() }
+    }
+
+    /// Periodic pulses with randomised inter-event gaps drawn uniformly
+    /// from `[lo, hi]` — the tech report's "different flapping
+    /// patterns" knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is zero or `lo > hi`.
+    pub fn randomized(pulses: usize, lo: SimDuration, hi: SimDuration, rng: &mut DetRng) -> Self {
+        assert!(!lo.is_zero(), "gaps must be positive");
+        assert!(lo <= hi, "invalid gap range");
+        let mut events = Vec::with_capacity(pulses * 2);
+        let mut at = SimTime::ZERO;
+        for k in 0..pulses * 2 {
+            if k > 0 {
+                at += rng.duration_between(lo, hi);
+            }
+            let status = if k % 2 == 0 {
+                LinkStatus::Down
+            } else {
+                LinkStatus::Up
+            };
+            events.push((at, status));
+        }
+        FlapSchedule::new(events)
+    }
+
+    /// Bursts of rapid pulses separated by long quiet gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is zero or `pulses_per_burst == 0`.
+    pub fn bursty(
+        bursts: usize,
+        pulses_per_burst: usize,
+        intra_gap: SimDuration,
+        inter_gap: SimDuration,
+    ) -> Self {
+        assert!(pulses_per_burst > 0, "bursts need pulses");
+        assert!(
+            !intra_gap.is_zero() && !inter_gap.is_zero(),
+            "gaps must be positive"
+        );
+        let mut events = Vec::new();
+        let mut at = SimTime::ZERO;
+        for burst in 0..bursts {
+            if burst > 0 {
+                at += inter_gap;
+            }
+            for k in 0..pulses_per_burst * 2 {
+                if k > 0 {
+                    at += intra_gap;
+                }
+                let status = if k % 2 == 0 {
+                    LinkStatus::Down
+                } else {
+                    LinkStatus::Up
+                };
+                events.push((at, status));
+            }
+        }
+        FlapSchedule::new(events)
+    }
+
+    /// The events.
+    pub fn events(&self) -> &[(SimTime, LinkStatus)] {
+        &self.events
+    }
+
+    /// Number of events (twice the pulse count).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no flaps are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of pulses (down/up pairs).
+    pub fn pulses(&self) -> usize {
+        self.events.len() / 2
+    }
+
+    /// Instant of the final announcement, if any.
+    pub fn final_announcement_at(&self) -> Option<SimTime> {
+        self.events.last().map(|&(at, _)| at)
+    }
+
+    /// The event sequence as update kinds seen by the adjacent router.
+    pub fn update_events(&self) -> Vec<(SimTime, UpdateKind)> {
+        self.events
+            .iter()
+            .map(|&(at, status)| {
+                let kind = match status {
+                    LinkStatus::Down => UpdateKind::Withdrawal,
+                    LinkStatus::Up => UpdateKind::ReAnnouncement,
+                };
+                (at, kind)
+            })
+            .collect()
+    }
+
+    /// Evaluates the §3 intended-behaviour model on this schedule:
+    /// returns `(suppression ever triggered, reuse delay after the
+    /// final announcement)`.
+    pub fn intended_reuse_delay(&self, params: &DampingParams) -> (bool, SimDuration) {
+        let mut damper = Damper::new(*params);
+        let mut suppressed = false;
+        for (at, kind) in self.update_events() {
+            let out = damper.record_update(at, kind);
+            suppressed |= out.newly_suppressed;
+        }
+        let delay = match self.final_announcement_at() {
+            Some(end) if damper.is_suppressed() => damper.time_until_reusable(end),
+            _ => SimDuration::ZERO,
+        };
+        (suppressed, delay)
+    }
+}
+
+impl From<FlapPattern> for FlapSchedule {
+    fn from(pattern: FlapPattern) -> Self {
+        let events = pattern
+            .events()
+            .into_iter()
+            .map(|(at, kind)| {
+                let status = match kind {
+                    UpdateKind::Withdrawal => LinkStatus::Down,
+                    _ => LinkStatus::Up,
+                };
+                (at, status)
+            })
+            .collect();
+        FlapSchedule::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn from_pattern_matches_paper_layout() {
+        let s = FlapSchedule::from(FlapPattern::paper_default(3));
+        assert_eq!(s.pulses(), 3);
+        assert_eq!(s.events()[0], (t(0), LinkStatus::Down));
+        assert_eq!(s.events()[5], (t(300), LinkStatus::Up));
+        assert_eq!(s.final_announcement_at(), Some(t(300)));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = FlapSchedule::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.pulses(), 0);
+        assert_eq!(s.final_announcement_at(), None);
+        let (suppressed, delay) = s.intended_reuse_delay(&DampingParams::cisco());
+        assert!(!suppressed);
+        assert_eq!(delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn randomized_respects_bounds_and_alternation() {
+        let mut rng = DetRng::from_seed(5);
+        let s = FlapSchedule::randomized(
+            5,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(90),
+            &mut rng,
+        );
+        assert_eq!(s.pulses(), 5);
+        for w in s.events().windows(2) {
+            let gap = w[1].0 - w[0].0;
+            assert!(gap >= SimDuration::from_secs(30) && gap <= SimDuration::from_secs(90));
+            assert_ne!(w[0].1, w[1].1, "alternating statuses");
+        }
+        assert_eq!(s.events().last().unwrap().1, LinkStatus::Up);
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut rng = DetRng::from_seed(seed);
+            FlapSchedule::randomized(
+                3,
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(50),
+                &mut rng,
+            )
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn bursty_layout() {
+        let s = FlapSchedule::bursty(
+            2,
+            2,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(600),
+        );
+        assert_eq!(s.pulses(), 4);
+        // Burst 1: 0,10,20,30. Burst 2 starts 600 s after event 30.
+        assert_eq!(s.events()[3].0, t(30));
+        assert_eq!(s.events()[4].0, t(630));
+        assert_eq!(s.events().last().unwrap().1, LinkStatus::Up);
+    }
+
+    #[test]
+    fn intended_reuse_delay_matches_pattern_model() {
+        let params = DampingParams::cisco();
+        let schedule = FlapSchedule::from(FlapPattern::paper_default(4));
+        let (suppressed, delay) = schedule.intended_reuse_delay(&params);
+        assert!(suppressed);
+        let direct =
+            crate::intended_behavior(&params, FlapPattern::paper_default(4), SimDuration::ZERO);
+        assert_eq!(delay, direct.convergence_time);
+    }
+
+    #[test]
+    fn slow_flapping_does_not_suppress() {
+        let params = DampingParams::cisco();
+        let mut rng = DetRng::from_seed(9);
+        // 30–40 minute gaps: penalties decay away between flaps.
+        let s = FlapSchedule::randomized(
+            6,
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(40),
+            &mut rng,
+        );
+        let (suppressed, delay) = s.intended_reuse_delay(&params);
+        assert!(!suppressed);
+        assert_eq!(delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "alternate")]
+    fn non_alternating_rejected() {
+        FlapSchedule::new(vec![(t(0), LinkStatus::Down), (t(10), LinkStatus::Down)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final event")]
+    fn must_end_up() {
+        FlapSchedule::new(vec![(t(0), LinkStatus::Down)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn non_increasing_rejected() {
+        FlapSchedule::new(vec![(t(10), LinkStatus::Down), (t(10), LinkStatus::Up)]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Penalty trace recording — the data behind Figures 3 and 7.
+//!
+//! A [`PenaltyTrace`] records the penalty value at every charge and can
+//! interpolate the exponential decay between charges, producing the
+//! smooth sawtooth curves the paper plots against the cut-off and reuse
+//! thresholds.
+
+use rfd_sim::{SimDuration, SimTime};
+
+use crate::params::DampingParams;
+
+/// One recorded penalty sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltySample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Penalty value immediately *after* any charge at this instant.
+    pub value: f64,
+    /// Whether the entry was suppressed at this instant.
+    pub suppressed: bool,
+}
+
+/// A time-ordered record of one damper's penalty evolution.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::{DampingParams, PenaltyTrace};
+/// use rfd_sim::{SimDuration, SimTime};
+///
+/// let params = DampingParams::cisco();
+/// let mut trace = PenaltyTrace::new();
+/// trace.record(SimTime::ZERO, 1000.0, false);
+/// trace.record(SimTime::from_secs(120), 1912.0, false);
+/// let curve = trace.decay_curve(&params, SimTime::from_secs(300), SimDuration::from_secs(60));
+/// assert!(!curve.is_empty());
+/// // the curve decays after the last charge
+/// assert!(curve.last().unwrap().1 < 1912.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PenaltyTrace {
+    samples: Vec<PenaltySample>,
+}
+
+impl PenaltyTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        PenaltyTrace::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous sample.
+    pub fn record(&mut self, at: SimTime, value: f64, suppressed: bool) {
+        if let Some(last) = self.samples.last() {
+            assert!(at >= last.at, "trace samples must be time-ordered");
+        }
+        self.samples.push(PenaltySample {
+            at,
+            value,
+            suppressed,
+        });
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[PenaltySample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum recorded penalty (0.0 for an empty trace).
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).fold(0.0, f64::max)
+    }
+
+    /// Spans during which the entry was suppressed, as consecutive
+    /// `(from, to)` sample pairs (the final span extends to the last
+    /// sample).
+    pub fn suppressed_spans(&self) -> Vec<(SimTime, SimTime)> {
+        let mut spans = Vec::new();
+        let mut start: Option<SimTime> = None;
+        for s in &self.samples {
+            match (start, s.suppressed) {
+                (None, true) => start = Some(s.at),
+                (Some(from), false) => {
+                    spans.push((from, s.at));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let (Some(from), Some(last)) = (start, self.samples.last()) {
+            spans.push((from, last.at));
+        }
+        spans
+    }
+
+    /// Expands the trace into a plottable `(time, value)` curve: between
+    /// charges (and after the last one, up to `until`) the value decays
+    /// exponentially, sampled every `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn decay_curve(
+        &self,
+        params: &DampingParams,
+        until: SimTime,
+        step: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "step must be positive");
+        let mut out = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push((s.at, s.value));
+            let segment_end = self
+                .samples
+                .get(i + 1)
+                .map(|n| n.at)
+                .unwrap_or(until)
+                .max(s.at);
+            let mut t = s.at + step;
+            while t < segment_end {
+                out.push((t, s.value * params.decay_factor(t - s.at)));
+                t += step;
+            }
+        }
+        if let Some(last) = self.samples.last() {
+            if until > last.at {
+                out.push((until, last.value * params.decay_factor(until - last.at)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn records_and_reports_peak() {
+        let mut tr = PenaltyTrace::new();
+        assert!(tr.is_empty());
+        tr.record(t(0), 1000.0, false);
+        tr.record(t(10), 2500.0, true);
+        tr.record(t(20), 1200.0, true);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.peak(), 2500.0);
+    }
+
+    #[test]
+    fn suppressed_spans_pairs_transitions() {
+        let mut tr = PenaltyTrace::new();
+        tr.record(t(0), 1000.0, false);
+        tr.record(t(10), 2500.0, true);
+        tr.record(t(50), 600.0, false);
+        tr.record(t(60), 2600.0, true);
+        tr.record(t(90), 2700.0, true);
+        let spans = tr.suppressed_spans();
+        assert_eq!(spans, vec![(t(10), t(50)), (t(60), t(90))]);
+    }
+
+    #[test]
+    fn decay_curve_is_monotone_between_charges() {
+        let params = DampingParams::cisco();
+        let mut tr = PenaltyTrace::new();
+        tr.record(t(0), 2000.0, false);
+        let curve = tr.decay_curve(&params, t(900), SimDuration::from_secs(100));
+        assert_eq!(curve.first().unwrap(), &(t(0), 2000.0));
+        for w in curve.windows(2) {
+            assert!(w[1].1 < w[0].1, "decay is strictly decreasing");
+        }
+        // After one half-life (900 s) the value has halved.
+        let (last_t, last_v) = *curve.last().unwrap();
+        assert_eq!(last_t, t(900));
+        assert!((last_v - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_curve_keeps_charge_points() {
+        let params = DampingParams::cisco();
+        let mut tr = PenaltyTrace::new();
+        tr.record(t(0), 1000.0, false);
+        tr.record(t(120), 1900.0, false);
+        let curve = tr.decay_curve(&params, t(240), SimDuration::from_secs(30));
+        assert!(curve.contains(&(t(0), 1000.0)));
+        assert!(curve.contains(&(t(120), 1900.0)));
+        // Sample count: 0,30,60,90 + 120,150,180,210 + 240 = 9.
+        assert_eq!(curve.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_record_panics() {
+        let mut tr = PenaltyTrace::new();
+        tr.record(t(10), 1.0, false);
+        tr.record(t(5), 1.0, false);
+    }
+}

@@ -1,0 +1,90 @@
+//! Classification of routing updates for penalty assignment.
+
+use crate::params::DampingParams;
+
+/// How an incoming update relates to the route previously held for the
+/// same (peer, prefix) entry — this determines its penalty increment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// The route was withdrawn.
+    Withdrawal,
+    /// An announcement arrived while no route was held (it follows a
+    /// withdrawal).
+    ReAnnouncement,
+    /// An announcement replaced a held route with different attributes
+    /// (e.g. a new AS path) — path exploration produces these.
+    AttributeChange,
+    /// An announcement identical to the held route.
+    Duplicate,
+}
+
+impl UpdateKind {
+    /// The penalty increment this update kind incurs under `params`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfd_core::{DampingParams, UpdateKind};
+    ///
+    /// let cisco = DampingParams::cisco();
+    /// assert_eq!(UpdateKind::Withdrawal.penalty(&cisco), 1000.0);
+    /// assert_eq!(UpdateKind::ReAnnouncement.penalty(&cisco), 0.0);
+    /// assert_eq!(UpdateKind::AttributeChange.penalty(&cisco), 500.0);
+    /// ```
+    pub fn penalty(self, params: &DampingParams) -> f64 {
+        match self {
+            UpdateKind::Withdrawal => params.withdrawal_penalty(),
+            UpdateKind::ReAnnouncement => params.reannouncement_penalty(),
+            UpdateKind::AttributeChange => params.attribute_change_penalty(),
+            UpdateKind::Duplicate => params.duplicate_penalty(),
+        }
+    }
+
+    /// Classifies an announcement given whether a route was previously
+    /// held and whether the new route equals it.
+    ///
+    /// Withdrawals are classified by the caller directly (they are
+    /// [`UpdateKind::Withdrawal`] whenever a route was held; a withdrawal
+    /// for a route not held is ignored upstream).
+    pub fn classify_announcement(had_route: bool, same_route: bool) -> UpdateKind {
+        match (had_route, same_route) {
+            (false, _) => UpdateKind::ReAnnouncement,
+            (true, true) => UpdateKind::Duplicate,
+            (true, false) => UpdateKind::AttributeChange,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn juniper_increments() {
+        let p = DampingParams::juniper();
+        assert_eq!(UpdateKind::Withdrawal.penalty(&p), 1000.0);
+        assert_eq!(UpdateKind::ReAnnouncement.penalty(&p), 1000.0);
+        assert_eq!(UpdateKind::AttributeChange.penalty(&p), 500.0);
+        assert_eq!(UpdateKind::Duplicate.penalty(&p), 0.0);
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(
+            UpdateKind::classify_announcement(false, false),
+            UpdateKind::ReAnnouncement
+        );
+        assert_eq!(
+            UpdateKind::classify_announcement(false, true),
+            UpdateKind::ReAnnouncement
+        );
+        assert_eq!(
+            UpdateKind::classify_announcement(true, true),
+            UpdateKind::Duplicate
+        );
+        assert_eq!(
+            UpdateKind::classify_announcement(true, false),
+            UpdateKind::AttributeChange
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 14: message count versus number of pulses, with
+//! RCN-enhanced damping (slightly more messages than plain damping —
+//! no premature false suppression).
+
+use rfd_experiments::figures::fig13_14::figure13_14;
+use rfd_experiments::output::{banner, save_csv, saved, sweep_options};
+
+fn main() {
+    banner("Figure 14", "message count vs pulses, with RCN");
+    let sweep = figure13_14(&sweep_options());
+    let table = sweep.message_table();
+    println!("{table}");
+    saved(&save_csv("fig14", &table));
+}

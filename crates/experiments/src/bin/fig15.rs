@@ -1,0 +1,41 @@
+//! Regenerates Figure 15: impact of the no-valley routing policy on
+//! damping convergence (208-node Internet-derived topology).
+
+use rfd_experiments::figures::fig15::{
+    figure15, figure15_on, mean_convergence, INTENDED, NO_POLICY, WITH_POLICY,
+};
+use rfd_experiments::output::{banner, quick_flag, save_csv, saved, sweep_options};
+use rfd_experiments::TopologyKind;
+use rfd_metrics::AsciiChart;
+
+fn main() {
+    banner("Figure 15", "impact of routing policy (208-node Internet)");
+    let opts = sweep_options();
+    let sweep = if quick_flag() {
+        figure15_on(&opts, TopologyKind::Internet { nodes: 60, m: 2 })
+    } else {
+        figure15(&opts)
+    };
+    let table = sweep.convergence_table();
+    println!("{table}");
+    let curves: Vec<(&str, Vec<(f64, f64)>)> = sweep
+        .series
+        .iter()
+        .map(|s| {
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|p| (p.pulses as f64, p.convergence_secs))
+                .collect();
+            (s.label.as_str(), pts)
+        })
+        .collect();
+    let refs: Vec<(&str, &[(f64, f64)])> = curves.iter().map(|(l, v)| (*l, v.as_slice())).collect();
+    println!("{}", AsciiChart::new(66, 16).render(&refs));
+    for label in [WITH_POLICY, NO_POLICY, INTENDED] {
+        if let Some(mean) = mean_convergence(&sweep, label) {
+            println!("mean convergence, {label}: {mean:.0}s");
+        }
+    }
+    saved(&save_csv("fig15", &table));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 9: message count versus number of pulses.
+
+use rfd_experiments::figures::fig8_9::figure8_9;
+use rfd_experiments::output::{banner, save_csv, saved, sweep_options};
+
+fn main() {
+    banner("Figure 9", "message count vs number of pulses");
+    let sweep = figure8_9(&sweep_options());
+    let table = sweep.message_table();
+    println!("{table}");
+    saved(&save_csv("fig9", &table));
+}

@@ -1,0 +1,63 @@
+//! Regenerates the technical-report \[15\] parameter studies: flapping
+//! interval, topology size, and damping-parameter presets.
+
+use rfd_core::DampingParams;
+use rfd_experiments::figures::report15::{
+    interval_sweep, interval_table, parameter_sweep, parameter_table, size_sweep, size_table,
+};
+use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::TopologyKind;
+use rfd_sim::SimDuration;
+
+fn main() {
+    banner(
+        "Sweeps [15]",
+        "flapping interval, topology size, damping parameters",
+    );
+    let quick = quick_flag();
+    let kind = if quick {
+        TopologyKind::Mesh {
+            width: 5,
+            height: 5,
+        }
+    } else {
+        TopologyKind::PAPER_MESH
+    };
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+
+    println!("-- flapping interval (3 pulses, full Cisco damping) --");
+    let intervals = [
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(30),
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(120),
+        SimDuration::from_secs(300),
+        SimDuration::from_mins(25),
+    ];
+    let points = interval_sweep(kind, 3, &intervals, seeds);
+    let table = interval_table(&points);
+    println!("{table}");
+    saved(&save_csv("sweep_interval", &table));
+
+    println!("\n-- topology size (1 pulse) --");
+    let sizes: &[(usize, usize)] = if quick {
+        &[(3, 3), (5, 5)]
+    } else {
+        &[(4, 4), (6, 6), (8, 8), (10, 10), (12, 12)]
+    };
+    let points = size_sweep(sizes, 1, seeds);
+    let table = size_table(&points);
+    println!("{table}");
+    saved(&save_csv("sweep_size", &table));
+
+    println!("\n-- damping parameter presets (3 pulses) --");
+    let presets = [
+        ("cisco", DampingParams::cisco()),
+        ("juniper", DampingParams::juniper()),
+        ("ripe229-aggressive", DampingParams::ripe229_aggressive()),
+    ];
+    let points = parameter_sweep(kind, &presets, 3, seeds);
+    let table = parameter_table(&points);
+    println!("{table}");
+    saved(&save_csv("sweep_params", &table));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1: default damping parameters (Cisco / Juniper).
+
+use rfd_experiments::figures::table1::table1;
+use rfd_experiments::output::{banner, save_csv, saved};
+
+fn main() {
+    banner("Table 1", "default damping parameters");
+    let table = table1().render();
+    println!("{table}");
+    saved(&save_csv("table1", &table));
+}

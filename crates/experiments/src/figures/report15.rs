@@ -1,0 +1,316 @@
+//! Parameter studies from the authors' technical report \[15\] ("BGP
+//! Dynamics during Route Flap Damping", USC-CSD 03-805), which §5.1
+//! summarises: "we report more simulation results from using different
+//! damping parameters, flapping intervals, topology sizes, and partial
+//! deployment of damping. Though varying different factors results in
+//! different values …, the overall trend is the same."
+//!
+//! Three sweeps (partial deployment lives in
+//! [`crate::figures::extensions`]):
+//!
+//! * flapping interval — how fast must a route flap for damping to
+//!   engage;
+//! * topology size — the interactions are scale-driven, not
+//!   size-driven;
+//! * damping parameters — vendor presets change thresholds, not the
+//!   phenomenon.
+
+use rfd_bgp::{DampingDeployment, NetworkConfig};
+use rfd_core::{intended_behavior, DampingParams, FlapPattern};
+use rfd_metrics::{fmt_f64, Table};
+use rfd_sim::SimDuration;
+
+use crate::scenarios::{run_workload, TopologyKind};
+
+/// One row of the flapping-interval sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalPoint {
+    /// Gap between consecutive flap events, seconds.
+    pub interval_secs: f64,
+    /// Measured convergence time, seconds.
+    pub convergence_secs: f64,
+    /// Measured message count.
+    pub messages: f64,
+    /// Entries ever suppressed.
+    pub suppressed: f64,
+    /// The §3 model's reuse delay for this interval, seconds.
+    pub intended_secs: f64,
+}
+
+/// Sweeps the flapping interval at a fixed pulse count.
+pub fn interval_sweep(
+    kind: TopologyKind,
+    pulses: usize,
+    intervals: &[SimDuration],
+    seeds: &[u64],
+) -> Vec<IntervalPoint> {
+    let params = DampingParams::cisco();
+    intervals
+        .iter()
+        .map(|&interval| {
+            let mut conv = 0.0;
+            let mut msgs = 0.0;
+            let mut supp = 0.0;
+            for &seed in seeds {
+                let pattern = FlapPattern::new(pulses, interval);
+                let graph = kind.build(seed);
+                let isp = crate::scenarios::pick_isp(&graph, seed);
+                let mut net =
+                    rfd_bgp::Network::new(&graph, isp, NetworkConfig::paper_full_damping(seed));
+                net.warm_up();
+                let report = net.run_pulses(pattern, SimDuration::from_secs(100));
+                conv += report.convergence_time.as_secs_f64();
+                msgs += report.message_count as f64;
+                supp += net.trace().ever_suppressed_entries() as f64;
+            }
+            let k = seeds.len() as f64;
+            let intended = intended_behavior(
+                &params,
+                FlapPattern::new(pulses, interval),
+                SimDuration::from_secs(60),
+            );
+            IntervalPoint {
+                interval_secs: interval.as_secs_f64(),
+                convergence_secs: conv / k,
+                messages: msgs / k,
+                suppressed: supp / k,
+                intended_secs: intended.convergence_time.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Renders an interval sweep.
+pub fn interval_table(points: &[IntervalPoint]) -> Table {
+    let mut t = Table::new(vec![
+        "interval (s)",
+        "convergence (s)",
+        "updates",
+        "suppressed entries",
+        "intended (s)",
+    ]);
+    for p in points {
+        t.add_row(vec![
+            fmt_f64(p.interval_secs, 0),
+            fmt_f64(p.convergence_secs, 1),
+            fmt_f64(p.messages, 1),
+            fmt_f64(p.suppressed, 1),
+            fmt_f64(p.intended_secs, 1),
+        ]);
+    }
+    t
+}
+
+/// One row of the topology-size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SizePoint {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Measured convergence time, seconds.
+    pub convergence_secs: f64,
+    /// Measured message count.
+    pub messages: f64,
+    /// Entries ever suppressed, normalised by node count.
+    pub suppressed_per_node: f64,
+}
+
+/// Sweeps mesh sizes at a fixed workload.
+pub fn size_sweep(sizes: &[(usize, usize)], pulses: usize, seeds: &[u64]) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&(w, h)| {
+            let kind = TopologyKind::Mesh {
+                width: w,
+                height: h,
+            };
+            let mut conv = 0.0;
+            let mut msgs = 0.0;
+            let mut supp = 0.0;
+            for &seed in seeds {
+                let (report, network) =
+                    run_workload(kind, NetworkConfig::paper_full_damping(seed), pulses);
+                conv += report.convergence_time.as_secs_f64();
+                msgs += report.message_count as f64;
+                supp += network.trace().ever_suppressed_entries() as f64;
+            }
+            let k = seeds.len() as f64;
+            SizePoint {
+                nodes: w * h,
+                convergence_secs: conv / k,
+                messages: msgs / k,
+                suppressed_per_node: supp / (k * (w * h) as f64),
+            }
+        })
+        .collect()
+}
+
+/// Renders a size sweep.
+pub fn size_table(points: &[SizePoint]) -> Table {
+    let mut t = Table::new(vec![
+        "nodes",
+        "convergence (s)",
+        "updates",
+        "suppressed / node",
+    ]);
+    for p in points {
+        t.add_row(vec![
+            p.nodes.to_string(),
+            fmt_f64(p.convergence_secs, 1),
+            fmt_f64(p.messages, 1),
+            fmt_f64(p.suppressed_per_node, 2),
+        ]);
+    }
+    t
+}
+
+/// One row of the parameter sweep.
+#[derive(Debug, Clone)]
+pub struct ParamPoint {
+    /// Preset label.
+    pub label: String,
+    /// Measured convergence time, seconds.
+    pub convergence_secs: f64,
+    /// Measured message count.
+    pub messages: f64,
+    /// Entries ever suppressed.
+    pub suppressed: f64,
+}
+
+/// Compares damping parameter presets on the same workload.
+pub fn parameter_sweep(
+    kind: TopologyKind,
+    presets: &[(&str, DampingParams)],
+    pulses: usize,
+    seeds: &[u64],
+) -> Vec<ParamPoint> {
+    presets
+        .iter()
+        .map(|(label, params)| {
+            let mut conv = 0.0;
+            let mut msgs = 0.0;
+            let mut supp = 0.0;
+            for &seed in seeds {
+                let config = NetworkConfig {
+                    seed,
+                    damping: DampingDeployment::Full(*params),
+                    ..NetworkConfig::default()
+                };
+                let (report, network) = run_workload(kind, config, pulses);
+                conv += report.convergence_time.as_secs_f64();
+                msgs += report.message_count as f64;
+                supp += network.trace().ever_suppressed_entries() as f64;
+            }
+            let k = seeds.len() as f64;
+            ParamPoint {
+                label: (*label).to_owned(),
+                convergence_secs: conv / k,
+                messages: msgs / k,
+                suppressed: supp / k,
+            }
+        })
+        .collect()
+}
+
+/// Renders a parameter sweep.
+pub fn parameter_table(points: &[ParamPoint]) -> Table {
+    let mut t = Table::new(vec![
+        "preset",
+        "convergence (s)",
+        "updates",
+        "suppressed entries",
+    ]);
+    for p in points {
+        t.add_row(vec![
+            p.label.clone(),
+            fmt_f64(p.convergence_secs, 1),
+            fmt_f64(p.messages, 1),
+            fmt_f64(p.suppressed, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: TopologyKind = TopologyKind::Mesh {
+        width: 4,
+        height: 4,
+    };
+
+    #[test]
+    fn slow_flapping_avoids_suppression() {
+        let points = interval_sweep(
+            SMALL,
+            3,
+            &[SimDuration::from_secs(60), SimDuration::from_mins(25)],
+            &[1],
+        );
+        // Fast flapping suppresses; 25-minute gaps decay away.
+        assert!(points[0].suppressed > 0.0);
+        assert!(
+            points[1].suppressed < points[0].suppressed,
+            "slow flapping must suppress less: {points:?}"
+        );
+        assert!(points[1].convergence_secs < points[0].convergence_secs);
+        // Intended model agrees: suppression-free at 25-minute gaps.
+        assert!(points[1].intended_secs < 120.0);
+    }
+
+    #[test]
+    fn size_sweep_trend_is_stable() {
+        let points = size_sweep(&[(3, 3), (5, 5)], 1, &[2]);
+        assert_eq!(points[0].nodes, 9);
+        assert_eq!(points[1].nodes, 25);
+        // More nodes, more messages; per-node suppression of the same
+        // order (the phenomenon is not a small-network artefact).
+        assert!(points[1].messages > points[0].messages);
+        assert!(points[1].suppressed_per_node > 0.5);
+    }
+
+    #[test]
+    fn juniper_suppresses_differently_than_cisco() {
+        let presets = [
+            ("cisco", DampingParams::cisco()),
+            ("juniper", DampingParams::juniper()),
+        ];
+        let points = parameter_sweep(SMALL, &presets, 2, &[3]);
+        assert_eq!(points.len(), 2);
+        // Both engage damping for 2 fast pulses (exploration helps),
+        // with different magnitudes — the trend, not the values, is
+        // shared (tech report's conclusion).
+        assert!(points.iter().all(|p| p.messages > 0.0));
+        assert_ne!(
+            (points[0].convergence_secs * 10.0).round(),
+            (points[1].convergence_secs * 10.0).round(),
+            "presets should not coincide exactly"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let it = interval_table(&[IntervalPoint {
+            interval_secs: 60.0,
+            convergence_secs: 100.0,
+            messages: 5.0,
+            suppressed: 1.0,
+            intended_secs: 90.0,
+        }]);
+        assert!(it.to_string().contains("60"));
+        let st = size_table(&[SizePoint {
+            nodes: 100,
+            convergence_secs: 1.0,
+            messages: 2.0,
+            suppressed_per_node: 3.0,
+        }]);
+        assert!(st.to_string().contains("100"));
+        let pt = parameter_table(&[ParamPoint {
+            label: "x".into(),
+            convergence_secs: 1.0,
+            messages: 2.0,
+            suppressed: 3.0,
+        }]);
+        assert!(pt.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,95 @@
+//! Table 1: default damping parameters of the two major router vendors.
+
+use rfd_core::DampingParams;
+use rfd_metrics::Table;
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Cisco defaults.
+    pub cisco: DampingParams,
+    /// Juniper defaults.
+    pub juniper: DampingParams,
+}
+
+/// Builds Table 1 from the vendor presets.
+pub fn table1() -> Table1 {
+    Table1 {
+        cisco: DampingParams::cisco(),
+        juniper: DampingParams::juniper(),
+    }
+}
+
+impl Table1 {
+    /// Renders the table in the paper's row order.
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(vec!["Damping Parameters", "Cisco", "Juniper"]);
+        let rows: Vec<(&str, f64, f64)> = vec![
+            (
+                "Withdrawal Penalty (PW)",
+                self.cisco.withdrawal_penalty(),
+                self.juniper.withdrawal_penalty(),
+            ),
+            (
+                "Re-announcement Penalty (PA)",
+                self.cisco.reannouncement_penalty(),
+                self.juniper.reannouncement_penalty(),
+            ),
+            (
+                "Attributes Change Penalty",
+                self.cisco.attribute_change_penalty(),
+                self.juniper.attribute_change_penalty(),
+            ),
+            (
+                "Cut-off Threshold (Pcut)",
+                self.cisco.cutoff_threshold(),
+                self.juniper.cutoff_threshold(),
+            ),
+            (
+                "Half Life (minute) (H)",
+                self.cisco.half_life().as_secs_f64() / 60.0,
+                self.juniper.half_life().as_secs_f64() / 60.0,
+            ),
+            (
+                "Reuse Threshold (Preuse)",
+                self.cisco.reuse_threshold(),
+                self.juniper.reuse_threshold(),
+            ),
+            (
+                "Max Hold-down Time (minute)",
+                self.cisco.max_hold_down().as_secs_f64() / 60.0,
+                self.juniper.max_hold_down().as_secs_f64() / 60.0,
+            ),
+        ];
+        for (name, c, j) in rows {
+            t.add_row(vec![name.to_owned(), format!("{c:.0}"), format!("{j:.0}")]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_values() {
+        let t = table1().render();
+        let text = t.to_string();
+        // Spot-check every number printed in the paper's Table 1.
+        for needle in [
+            "Withdrawal Penalty (PW)",
+            "1000",
+            "Re-announcement Penalty (PA)",
+            "500",
+            "2000",
+            "3000",
+            "15",
+            "750",
+            "60",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert_eq!(t.row_count(), 7);
+    }
+}

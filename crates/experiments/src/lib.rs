@@ -1,0 +1,32 @@
+//! # rfd-experiments — the paper's evaluation, regenerated
+//!
+//! One entry point per table and figure of *Timer Interaction in Route
+//! Flap Damping* (ICDCS 2005), plus the §6/§7 extension studies:
+//!
+//! | Artefact | Entry point | Binary |
+//! |---|---|---|
+//! | Table 1 | [`figures::table1::table1`] | `table1` |
+//! | Figure 3 | [`figures::fig3::figure3`] | `fig3` |
+//! | Figure 7 | [`figures::fig7::figure7`] | `fig7` |
+//! | Figures 8 & 9 | [`figures::fig8_9::figure8_9`] | `fig8`, `fig9` |
+//! | Figure 10 (a–f) | [`figures::fig10::figure10`] | `fig10` |
+//! | Figures 13 & 14 | [`figures::fig13_14::figure13_14`] | `fig13`, `fig14` |
+//! | Figure 15 | [`figures::fig15::figure15`] | `fig15` |
+//! | §6 heterogeneous params, \[15\] partial deployment | [`figures::extensions`] | `extensions` |
+//!
+//! Each binary prints the series the paper plots and writes CSV files
+//! under `results/`. `run_all` regenerates everything.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod output;
+pub mod scenarios;
+pub mod sweep;
+
+pub use scenarios::{pick_isp, run_workload, run_workload_on, TopologyKind};
+pub use sweep::{
+    calculation_series, estimate_t_up, measure_series, measure_series_on, PulseSweep, SweepOptions,
+    SweepPoint, SweepSeries,
+};

@@ -1,0 +1,79 @@
+//! Shared output plumbing for the experiment binaries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rfd_metrics::Table;
+
+/// Where result CSVs go (`results/` under the working directory, or
+/// `$RFD_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("RFD_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes a table as `results/<name>.csv` and reports the path.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written (experiment
+/// binaries want loud failures).
+pub fn save_csv(name: &str, table: &Table) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+/// True when `--quick` was passed (reduced sizes for smoke runs).
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Sweep options honouring `--quick`.
+pub fn sweep_options() -> crate::sweep::SweepOptions {
+    if quick_flag() {
+        crate::sweep::SweepOptions::quick()
+    } else {
+        crate::sweep::SweepOptions::default()
+    }
+}
+
+/// Prints a standard experiment header.
+pub fn banner(figure: &str, description: &str) {
+    println!("== {figure} — {description} ==");
+    if quick_flag() {
+        println!("(quick mode: reduced sizes)");
+    }
+    println!();
+}
+
+/// Prints where a CSV landed.
+pub fn saved(path: &Path) {
+    println!("\nsaved {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covers both env behaviours: parallel tests must not
+    /// race on the process-wide environment.
+    #[test]
+    fn results_dir_env_and_save_csv() {
+        let dir = std::env::temp_dir().join(format!("rfd-csv-test-{}", std::process::id()));
+        std::env::set_var("RFD_RESULTS_DIR", &dir);
+        assert_eq!(results_dir(), dir);
+        let mut t = Table::new(vec!["a"]);
+        t.add_row(vec!["1".into()]);
+        let path = save_csv("unit", &t);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a\n1\n");
+        std::env::remove_var("RFD_RESULTS_DIR");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

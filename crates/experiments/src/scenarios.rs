@@ -1,0 +1,147 @@
+//! Experiment scenario builders (paper §5.1).
+//!
+//! "Two types of network topologies are used: mesh topologies and
+//! Internet-derived topologies. … Given a network topology, we randomly
+//! select a node to be the ispAS and attach an originAS to it."
+
+use rfd_bgp::{Network, NetworkConfig, RunReport};
+use rfd_sim::{DetRng, SimDuration};
+use rfd_topology::{internet_like, mesh_torus, Graph, NodeId, Relationships};
+
+/// Which topology family an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// A `width × height` torus ("mesh"); the paper uses 10×10.
+    Mesh {
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// Internet-like preferential-attachment graph; the paper uses 100
+    /// and (for the policy experiment) 208 nodes.
+    Internet {
+        /// Number of ASes.
+        nodes: usize,
+        /// Attachment degree.
+        m: usize,
+    },
+}
+
+impl TopologyKind {
+    /// The paper's 100-node mesh.
+    pub const PAPER_MESH: TopologyKind = TopologyKind::Mesh {
+        width: 10,
+        height: 10,
+    };
+
+    /// The paper's 100-node Internet-derived topology (our BA stand-in).
+    pub const PAPER_INTERNET: TopologyKind = TopologyKind::Internet { nodes: 100, m: 2 };
+
+    /// The §7 policy experiment's 208-node Internet-derived topology.
+    pub const PAPER_INTERNET_208: TopologyKind = TopologyKind::Internet { nodes: 208, m: 2 };
+
+    /// Builds the graph (Internet graphs are wired from `seed`).
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            TopologyKind::Mesh { width, height } => mesh_torus(width, height),
+            TopologyKind::Internet { nodes, m } => internet_like(nodes, m, seed),
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match *self {
+            TopologyKind::Mesh { width, height } => format!("mesh {}x{}", width, height),
+            TopologyKind::Internet { nodes, .. } => format!("Internet {nodes}"),
+        }
+    }
+}
+
+/// Picks the ispAS uniformly from the base graph, derived from the
+/// experiment seed (§5.1: "we randomly select a node to be the ispAS").
+pub fn pick_isp(graph: &Graph, seed: u64) -> NodeId {
+    let mut rng = DetRng::from_seed_and_label(seed, "isp-selection");
+    NodeId::new(rng.below(graph.node_count()) as u32)
+}
+
+/// Degree-heuristic relationship labelling for policy runs (§7).
+pub fn infer_relationships(graph: &Graph) -> Relationships {
+    Relationships::infer_by_degree(graph, 0.25)
+}
+
+/// Builds, warms up and runs one workload; returns the report and the
+/// network (whose trace holds the detailed series).
+pub fn run_workload(
+    kind: TopologyKind,
+    config: NetworkConfig,
+    pulses: usize,
+) -> (RunReport, Network) {
+    let seed = config.seed;
+    run_workload_on(kind, seed, pulses, move |_| config)
+}
+
+/// Like [`run_workload`], but the configuration may depend on the built
+/// graph — needed for policies that carry a relationship labelling of
+/// that specific graph (§7).
+pub fn run_workload_on(
+    kind: TopologyKind,
+    seed: u64,
+    pulses: usize,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> (RunReport, Network) {
+    let graph = kind.build(seed);
+    let isp = pick_isp(&graph, seed);
+    let config = make_config(&graph);
+    let mut network = Network::new(&graph, isp, config);
+    network.warm_up();
+    let report = network.run_pulses(
+        rfd_core::FlapPattern::paper_default(pulses),
+        SimDuration::from_secs(100),
+    );
+    (report, network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topologies_have_paper_sizes() {
+        assert_eq!(TopologyKind::PAPER_MESH.build(1).node_count(), 100);
+        assert_eq!(TopologyKind::PAPER_INTERNET.build(1).node_count(), 100);
+        assert_eq!(TopologyKind::PAPER_INTERNET_208.build(1).node_count(), 208);
+    }
+
+    #[test]
+    fn isp_selection_is_seeded_and_in_range() {
+        let g = TopologyKind::PAPER_MESH.build(1);
+        let a = pick_isp(&g, 42);
+        let b = pick_isp(&g, 42);
+        assert_eq!(a, b);
+        assert!(a.index() < g.node_count());
+        // Different seeds eventually pick different nodes.
+        let picks: std::collections::HashSet<_> = (0..20).map(|s| pick_isp(&g, s)).collect();
+        assert!(picks.len() > 3);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(TopologyKind::PAPER_MESH.label(), "mesh 10x10");
+        assert_eq!(TopologyKind::PAPER_INTERNET_208.label(), "Internet 208");
+    }
+
+    #[test]
+    fn run_workload_round_trip() {
+        let (report, network) = run_workload(
+            TopologyKind::Mesh {
+                width: 3,
+                height: 3,
+            },
+            NetworkConfig::paper_no_damping(7),
+            1,
+        );
+        assert!(report.message_count > 0);
+        assert_eq!(report.message_count, network.trace().message_count());
+    }
+}

@@ -1,0 +1,264 @@
+//! Pulse-count sweeps: the machinery behind Figures 8, 9, 13, 14
+//! and 15 (convergence time and message count versus number of pulses).
+
+use rfd_bgp::NetworkConfig;
+use rfd_core::{intended_behavior, DampingParams, FlapPattern};
+use rfd_metrics::{fmt_f64, Table};
+use rfd_sim::SimDuration;
+
+use crate::scenarios::{run_workload, TopologyKind};
+
+/// One measured point of a sweep (averaged over seeds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Number of pulses `n`.
+    pub pulses: usize,
+    /// Mean convergence time, seconds.
+    pub convergence_secs: f64,
+    /// Sample standard deviation of the convergence time across seeds
+    /// (0 for single-seed sweeps and for calculated series).
+    pub convergence_std: f64,
+    /// Mean message count.
+    pub messages: f64,
+}
+
+/// One labelled curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeries {
+    /// Legend label (matches the paper's).
+    pub label: String,
+    /// Points for `n = 0..=max`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// The point for a given pulse count.
+    pub fn at(&self, pulses: usize) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| p.pulses == pulses)
+    }
+}
+
+/// A full sweep: several series over the same pulse counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseSweep {
+    /// The curves.
+    pub series: Vec<SweepSeries>,
+}
+
+impl PulseSweep {
+    /// Looks a series up by label.
+    pub fn series(&self, label: &str) -> Option<&SweepSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders convergence times as a table (one column per series) —
+    /// the data of Figures 8/13/15.
+    pub fn convergence_table(&self) -> Table {
+        self.metric_table(|p| p.convergence_secs, "convergence time (s)")
+    }
+
+    /// Renders message counts as a table — the data of Figures 9/14.
+    pub fn message_table(&self) -> Table {
+        self.metric_table(|p| p.messages, "updates")
+    }
+
+    fn metric_table(&self, metric: impl Fn(&SweepPoint) -> f64, _unit: &str) -> Table {
+        let mut headers = vec!["pulses".to_owned()];
+        headers.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut table = Table::new(headers);
+        let max_n = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.pulses))
+            .max()
+            .unwrap_or(0);
+        for n in 0..=max_n {
+            let mut row = vec![n.to_string()];
+            for s in &self.series {
+                row.push(match s.at(n) {
+                    Some(p) => fmt_f64(metric(p), 1),
+                    None => "-".to_owned(),
+                });
+            }
+            table.add_row(row);
+        }
+        table
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Largest pulse count (the paper plots `0..=10`).
+    pub max_pulses: usize,
+    /// Seeds averaged per point.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            max_pulses: 10,
+            seeds: vec![1, 2, 3],
+        }
+    }
+}
+
+impl SweepOptions {
+    /// A cheap variant for unit tests and benches.
+    pub fn quick() -> Self {
+        SweepOptions {
+            max_pulses: 5,
+            seeds: vec![1],
+        }
+    }
+}
+
+/// Runs one series: the workload for every pulse count, averaged over
+/// seeds. `make_config` receives the seed.
+pub fn measure_series(
+    label: &str,
+    kind: TopologyKind,
+    opts: &SweepOptions,
+    make_config: impl Fn(u64) -> NetworkConfig,
+) -> SweepSeries {
+    measure_series_on(label, kind, opts, |_, seed| make_config(seed))
+}
+
+/// Like [`measure_series`], but the configuration may depend on the
+/// built graph (for relationship-carrying policies, §7).
+pub fn measure_series_on(
+    label: &str,
+    kind: TopologyKind,
+    opts: &SweepOptions,
+    make_config: impl Fn(&rfd_topology::Graph, u64) -> NetworkConfig,
+) -> SweepSeries {
+    let points = (0..=opts.max_pulses)
+        .map(|n| {
+            let mut convs = Vec::with_capacity(opts.seeds.len());
+            let mut msgs = 0.0;
+            for &seed in &opts.seeds {
+                let (report, _) =
+                    crate::scenarios::run_workload_on(kind, seed, n, |g| make_config(g, seed));
+                convs.push(report.convergence_time.as_secs_f64());
+                msgs += report.message_count as f64;
+            }
+            let summary =
+                rfd_metrics::Summary::from_samples(&convs).expect("sweeps use at least one seed");
+            SweepPoint {
+                pulses: n,
+                convergence_secs: summary.mean,
+                convergence_std: summary.std_dev,
+                messages: msgs / opts.seeds.len() as f64,
+            }
+        })
+        .collect();
+    SweepSeries {
+        label: label.to_owned(),
+        points,
+    }
+}
+
+/// The §3 "Full Damping (calculation)" series: intended convergence
+/// time from the closed-form model. `t_up` is the damping-free
+/// convergence time of a single announcement (measure it with a
+/// no-damping run, or pass an estimate).
+pub fn calculation_series(
+    params: &DampingParams,
+    max_pulses: usize,
+    t_up: SimDuration,
+) -> SweepSeries {
+    let points = (0..=max_pulses)
+        .map(|n| {
+            let b = intended_behavior(params, FlapPattern::paper_default(n), t_up);
+            SweepPoint {
+                pulses: n,
+                convergence_secs: b.convergence_time.as_secs_f64(),
+                convergence_std: 0.0,
+                // Message count has no closed form (§3); mark as NaN so
+                // tables render "-".
+                messages: f64::NAN,
+            }
+        })
+        .collect();
+    SweepSeries {
+        label: "Full Damping (calculation)".to_owned(),
+        points,
+    }
+}
+
+/// Estimates `t_up` as the measured no-damping convergence time of a
+/// single pulse on the given topology (averaged over the sweep seeds).
+pub fn estimate_t_up(kind: TopologyKind, opts: &SweepOptions) -> SimDuration {
+    let mut total = 0.0;
+    for &seed in &opts.seeds {
+        let (report, _) = run_workload(kind, NetworkConfig::paper_no_damping(seed), 1);
+        total += report.convergence_time.as_secs_f64();
+    }
+    SimDuration::from_secs_f64(total / opts.seeds.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: TopologyKind = TopologyKind::Mesh {
+        width: 3,
+        height: 3,
+    };
+
+    #[test]
+    fn measure_series_covers_all_pulse_counts() {
+        let opts = SweepOptions {
+            max_pulses: 2,
+            seeds: vec![1],
+        };
+        let s = measure_series("No Damping", TINY, &opts, NetworkConfig::paper_no_damping);
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.at(0).unwrap().messages, 0.0);
+        assert!(s.at(1).unwrap().messages > 0.0);
+        assert!(s.at(2).unwrap().messages > s.at(1).unwrap().messages);
+    }
+
+    #[test]
+    fn calculation_series_matches_analytic_shape() {
+        let s = calculation_series(&DampingParams::cisco(), 6, SimDuration::from_secs(30));
+        // n=1,2: just t_up; n>=3: dominated by the reuse delay.
+        assert_eq!(s.at(1).unwrap().convergence_secs, 30.0);
+        assert_eq!(s.at(2).unwrap().convergence_secs, 30.0);
+        assert!(s.at(3).unwrap().convergence_secs > 1200.0);
+        assert!(s.at(4).unwrap().convergence_secs >= s.at(3).unwrap().convergence_secs);
+        assert!(s.at(3).unwrap().messages.is_nan());
+    }
+
+    #[test]
+    fn tables_render_all_series() {
+        let sweep = PulseSweep {
+            series: vec![
+                SweepSeries {
+                    label: "A".into(),
+                    points: vec![SweepPoint {
+                        pulses: 0,
+                        convergence_secs: 1.0,
+                        convergence_std: 0.0,
+                        messages: 2.0,
+                    }],
+                },
+                calculation_series(&DampingParams::cisco(), 0, SimDuration::ZERO),
+            ],
+        };
+        let conv = sweep.convergence_table().to_string();
+        assert!(conv.contains('A') && conv.contains("calculation"));
+        let msg = sweep.message_table().to_string();
+        assert!(msg.contains('-'), "NaN message counts render as -");
+        assert!(sweep.series("A").is_some());
+        assert!(sweep.series("missing").is_none());
+    }
+
+    #[test]
+    fn estimate_t_up_is_positive_and_small() {
+        let t_up = estimate_t_up(TINY, &SweepOptions::quick());
+        assert!(t_up > SimDuration::ZERO);
+        assert!(t_up < SimDuration::from_secs(300));
+    }
+}

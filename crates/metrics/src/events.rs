@@ -1,0 +1,122 @@
+//! Trace events emitted by the protocol simulation.
+//!
+//! The metrics crate is deliberately independent of the protocol and
+//! topology crates: nodes are raw `u32` indices here, and the protocol
+//! layer maps its identifiers down when it records events.
+
+use rfd_sim::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// The origin link flapped (`up = false`: withdrawal injected;
+    /// `up = true`: announcement injected).
+    OriginFlap {
+        /// The prefix whose origin link flapped.
+        prefix: u32,
+        /// New status of the origin link.
+        up: bool,
+    },
+    /// An interior link changed status (failure-injection workloads):
+    /// both endpoint sessions reset.
+    LinkFlap {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// New status of the link.
+        up: bool,
+    },
+    /// A router put an update message on the wire.
+    UpdateSent {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// True for withdrawals, false for announcements.
+        withdrawal: bool,
+    },
+    /// A router received and processed an update message.
+    UpdateReceived {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// True for withdrawals, false for announcements.
+        withdrawal: bool,
+    },
+    /// A router's best path to the prefix changed (including loss).
+    BestRouteChanged {
+        /// The node whose Local-RIB changed.
+        node: u32,
+        /// True if the node now has no route.
+        unreachable: bool,
+    },
+    /// A RIB-IN entry crossed the cut-off threshold and was suppressed.
+    Suppressed {
+        /// The damping node.
+        node: u32,
+        /// The peer whose route is suppressed.
+        peer: u32,
+        /// The suppressed prefix.
+        prefix: u32,
+    },
+    /// A suppressed RIB-IN entry was released (reuse timer fired with
+    /// the penalty below the reuse threshold).
+    Reused {
+        /// The damping node.
+        node: u32,
+        /// The peer whose route was released.
+        peer: u32,
+        /// The released prefix.
+        prefix: u32,
+        /// True if the release changed the node's best route (a *noisy*
+        /// reuse); false for a *silent* one.
+        noisy: bool,
+    },
+    /// Sampled penalty value for one (node, peer) entry. A sample is
+    /// recorded at every charge attempt (the increment may be zero,
+    /// e.g. a Cisco re-announcement or an RCN-filtered update).
+    PenaltySample {
+        /// The damping node.
+        node: u32,
+        /// The peer the entry belongs to.
+        peer: u32,
+        /// The entry's prefix.
+        prefix: u32,
+        /// Penalty value right after the triggering charge.
+        value: f64,
+        /// The increment this update added (0 when filtered or for
+        /// zero-penalty update kinds).
+        charge: f64,
+        /// Whether the entry is suppressed at this instant.
+        suppressed: bool,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor.
+    pub fn new(at: SimTime, kind: TraceEventKind) -> Self {
+        TraceEvent { at, kind }
+    }
+
+    /// True for update-received events (the paper's "updates observed in
+    /// the network").
+    pub fn is_update_received(&self) -> bool {
+        matches!(self.kind, TraceEventKind::UpdateReceived { .. })
+    }
+
+    /// True for update-sent events.
+    pub fn is_update_sent(&self) -> bool {
+        matches!(self.kind, TraceEventKind::UpdateSent { .. })
+    }
+}

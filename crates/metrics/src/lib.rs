@@ -1,0 +1,39 @@
+//! # rfd-metrics — traces, time series and state classification
+//!
+//! Instrumentation layer for the route-flap-damping reproduction. The
+//! protocol simulation records a [`Trace`] of everything that happens;
+//! this crate turns it into the paper's measurements:
+//!
+//! * [`Trace::convergence_time`] / [`Trace::message_count`] — the two
+//!   headline metrics of §3 (Figures 8, 9, 13, 14, 15);
+//! * [`bin_events`] — 5-second update bins (Figure 10, top row);
+//! * [`Trace::damped_link_series`] — suppressed-entry counts over time
+//!   (Figure 10, bottom row);
+//! * [`StateClassifier`] — the charging / suppression / releasing /
+//!   converged reconstruction of §4.1 (Figure 4);
+//! * [`Table`] — plain-text and CSV reporting for the experiment
+//!   binaries.
+//!
+//! Nodes are raw `u32` indices here so the crate stays independent of
+//! the protocol and topology layers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod events;
+mod export;
+mod plot;
+mod report;
+mod series;
+mod states;
+mod stats;
+mod trace;
+
+pub use events::{TraceEvent, TraceEventKind};
+pub use export::{export_trace, parse_trace, ParseTraceError};
+pub use plot::AsciiChart;
+pub use report::{fmt_f64, Table};
+pub use series::{bin_events, StepSeries};
+pub use states::{DampingState, StateClassifier, StateSpan};
+pub use stats::Summary;
+pub use trace::{PenaltyPoint, Trace};

@@ -1,0 +1,195 @@
+//! Terminal plots: a small ASCII chart renderer so the experiment
+//! binaries can *show* the paper's figures, not just tabulate them.
+
+/// An ASCII line/scatter chart.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::AsciiChart;
+///
+/// let points: Vec<(f64, f64)> = (0..100).map(|i| {
+///     let x = i as f64 / 10.0;
+///     (x, x.sin())
+/// }).collect();
+/// let chart = AsciiChart::new(60, 12).render(&[("sin", &points)]);
+/// assert!(chart.contains('*'));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+impl AsciiChart {
+    /// Creates a chart with the given plot-area size (excluding axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart too small");
+        AsciiChart { width, height }
+    }
+
+    /// Renders one or more labelled series into a string. Empty input
+    /// or all-empty series render a placeholder message.
+    pub fn render(&self, series: &[(&str, &[(f64, f64)])]) -> String {
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return "(no data)\n".to_owned();
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &all {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (idx, (_, pts)) in series.iter().enumerate() {
+            let glyph = GLYPHS[idx % GLYPHS.len()];
+            for &(x, y) in pts.iter() {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx] = glyph;
+            }
+        }
+
+        let label_w = 10;
+        let mut out = String::new();
+        for (row_idx, row) in grid.iter().enumerate() {
+            // y labels on the top, middle and bottom rows.
+            let y_here = y_max - (y_max - y_min) * row_idx as f64 / (self.height - 1) as f64;
+            let label = if row_idx == 0 || row_idx == self.height - 1 || row_idx == self.height / 2
+            {
+                format!("{y_here:>label_w$.1}")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        // x labels: min and max.
+        let left = format!("{x_min:.0}");
+        let right = format!("{x_max:.0}");
+        let pad = (self.width + 1).saturating_sub(left.len() + right.len());
+        out.push_str(&" ".repeat(label_w));
+        out.push_str(&left);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(&right);
+        out.push('\n');
+        // legend
+        if series.len() > 1 || !series.is_empty() {
+            out.push_str(&" ".repeat(label_w));
+            let legend: Vec<String> = series
+                .iter()
+                .enumerate()
+                .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+                .collect();
+            out.push_str(&legend.join("   "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Convenience: render a single unlabelled series.
+    pub fn render_one(&self, name: &str, points: &[(f64, f64)]) -> String {
+        self.render(&[(name, points)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_within_bounds() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let chart = AsciiChart::new(40, 10).render_one("sq", &pts);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 10 plot rows + axis + x labels + legend.
+        assert_eq!(lines.len(), 13);
+        for line in &lines[..10] {
+            assert!(line.len() <= 10 + 1 + 40, "line too wide: {line}");
+        }
+        assert!(chart.contains('*'));
+        assert!(chart.contains("sq"));
+    }
+
+    #[test]
+    fn corners_are_plotted() {
+        let pts = [(0.0, 0.0), (10.0, 10.0)];
+        let chart = AsciiChart::new(20, 5).render_one("d", &pts);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max lands top-right, min bottom-left of the plot area.
+        assert_eq!(lines[0].chars().last(), Some('*'));
+        assert_eq!(lines[4].chars().nth(11), Some('*'));
+    }
+
+    #[test]
+    fn multi_series_use_distinct_glyphs() {
+        let a = [(0.0, 0.0), (1.0, 1.0)];
+        let b = [(0.0, 1.0), (1.0, 0.0)];
+        let chart = AsciiChart::new(20, 5).render(&[("up", &a), ("down", &b)]);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("up") && chart.contains("down"));
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let chart = AsciiChart::new(10, 4).render_one("flat", &pts);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn empty_and_nan_handled() {
+        let chart = AsciiChart::new(10, 4);
+        assert_eq!(chart.render(&[]), "(no data)\n");
+        assert_eq!(chart.render_one("x", &[]), "(no data)\n");
+        let with_nan = [(0.0, f64::NAN), (1.0, 2.0)];
+        assert!(chart.render_one("x", &with_nan).contains('*'));
+    }
+
+    #[test]
+    fn y_labels_show_extremes() {
+        let pts = [(0.0, 0.0), (1.0, 100.0)];
+        let chart = AsciiChart::new(10, 5).render_one("v", &pts);
+        assert!(chart.contains("100.0"));
+        assert!(chart.contains("0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_panics() {
+        AsciiChart::new(1, 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fixed-width ASCII tables and CSV output for the experiment binaries.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::Table;
+///
+/// let mut table = Table::new(vec!["pulses", "convergence (s)"]);
+/// table.add_row(vec!["1".into(), "5147.2".into()]);
+/// let text = table.to_string();
+/// assert!(text.contains("pulses"));
+/// assert!(text.contains("5147.2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as CSV (headers first; fields containing commas or
+    /// quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ");
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ");
+        writeln!(f, "{rule}")?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a fixed number of decimals, rendering NaN as
+/// `-` (useful in sparse result tables).
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    if value.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{value:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_display() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.add_row(vec!["1".into(), "10".into()]);
+        t.add_row(vec!["10".into(), "3".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("value"));
+        assert!(lines[1].chars().all(|c| c == '-' || c == ' '));
+        // right-aligned: "10" in the n column lines up with header width
+        assert!(lines[3].starts_with("10"));
+    }
+
+    #[test]
+    fn csv_output_and_quoting() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["plain".into(), "with,comma".into()]);
+        t.add_row(vec!["quote\"inside".into(), "x".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+    }
+
+    #[test]
+    fn row_count_tracks() {
+        let mut t = Table::new(vec!["x"]);
+        assert_eq!(t.row_count(), 0);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_handles_nan() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::NAN, 2), "-");
+    }
+}

@@ -1,0 +1,286 @@
+//! Time-series utilities: event binning and integer step functions.
+
+use rfd_sim::{SimDuration, SimTime};
+
+/// Bins event timestamps into fixed-width counts — the paper's update
+/// series "in 5-second bins" (Figure 10, top row).
+///
+/// Returns `(bin_start, count)` pairs covering `[start, end)`; the last
+/// bin is included even if partially covered.
+///
+/// # Panics
+///
+/// Panics if `bin` is zero or `end < start`.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::bin_events;
+/// use rfd_sim::{SimDuration, SimTime};
+///
+/// let times = vec![SimTime::from_secs(1), SimTime::from_secs(2), SimTime::from_secs(7)];
+/// let bins = bin_events(&times, SimDuration::from_secs(5), SimTime::ZERO, SimTime::from_secs(10));
+/// assert_eq!(bins[0], (SimTime::ZERO, 2));
+/// assert_eq!(bins[1], (SimTime::from_secs(5), 1));
+/// ```
+pub fn bin_events(
+    times: &[SimTime],
+    bin: SimDuration,
+    start: SimTime,
+    end: SimTime,
+) -> Vec<(SimTime, usize)> {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    assert!(end >= start, "end must not precede start");
+    let width = bin.as_micros();
+    let span = end.saturating_since(start).as_micros();
+    let bins = span.div_ceil(width).max(1) as usize;
+    let mut counts = vec![0usize; bins];
+    for &t in times {
+        if t < start || t >= end {
+            continue;
+        }
+        let idx = (t.saturating_since(start).as_micros() / width) as usize;
+        counts[idx] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (start + bin * i as u64, c))
+        .collect()
+}
+
+/// An integer-valued step function built from timed increments — used
+/// for the damped-link count and in-flight update count.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::StepSeries;
+/// use rfd_sim::SimTime;
+///
+/// let mut s = StepSeries::new();
+/// s.shift(SimTime::from_secs(10), 2);
+/// s.shift(SimTime::from_secs(20), -1);
+/// assert_eq!(s.value_at(SimTime::from_secs(15)), 2);
+/// assert_eq!(s.value_at(SimTime::from_secs(25)), 1);
+/// assert_eq!(s.max_value(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StepSeries {
+    /// `(time, value-after-time)` change points, time-ordered.
+    points: Vec<(SimTime, i64)>,
+}
+
+impl StepSeries {
+    /// An empty series (constant zero).
+    pub fn new() -> Self {
+        StepSeries::default()
+    }
+
+    /// Applies a delta at `at`. Deltas at the same instant coalesce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last change point.
+    pub fn shift(&mut self, at: SimTime, delta: i64) {
+        let current = self.points.last().map_or(0, |&(_, v)| v);
+        match self.points.last_mut() {
+            Some((last_at, v)) if *last_at == at => *v += delta,
+            Some((last_at, _)) => {
+                assert!(at > *last_at, "step series shifts must be time-ordered");
+                self.points.push((at, current + delta));
+            }
+            None => self.points.push((at, delta)),
+        }
+    }
+
+    /// The value at `at` (changes take effect exactly at their
+    /// timestamp).
+    pub fn value_at(&self, at: SimTime) -> i64 {
+        match self.points.binary_search_by(|&(t, _)| t.cmp(&at)) {
+            Ok(idx) => self.points[idx].1,
+            Err(0) => 0,
+            Err(idx) => self.points[idx - 1].1,
+        }
+    }
+
+    /// All change points as `(time, value-after)` pairs.
+    pub fn points(&self) -> &[(SimTime, i64)] {
+        &self.points
+    }
+
+    /// Maximum value ever attained (at least 0).
+    pub fn max_value(&self) -> i64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0)
+            .max(0)
+    }
+
+    /// The final value.
+    pub fn final_value(&self) -> i64 {
+        self.points.last().map_or(0, |&(_, v)| v)
+    }
+
+    /// Maximal intervals during which the value is strictly positive,
+    /// merging intervals separated by gaps of at most `merge_gap`.
+    /// The final interval is closed by the last change point.
+    pub fn positive_intervals(&self, merge_gap: SimDuration) -> Vec<(SimTime, SimTime)> {
+        let mut raw: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut open: Option<SimTime> = None;
+        for &(t, v) in &self.points {
+            match (open, v > 0) {
+                (None, true) => open = Some(t),
+                (Some(from), false) => {
+                    raw.push((from, t));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let (Some(from), Some(&(last, _))) = (open, self.points.last()) {
+            raw.push((from, last.max(from)));
+        }
+        // Merge near-adjacent intervals.
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+        for (from, to) in raw {
+            match merged.last_mut() {
+                Some((_, prev_to)) if from.saturating_since(*prev_to) <= merge_gap => {
+                    *prev_to = to.max(*prev_to);
+                }
+                _ => merged.push((from, to)),
+            }
+        }
+        merged
+    }
+
+    /// Samples the series at a fixed step over `[start, end]`
+    /// (inclusive), for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn sampled(&self, start: SimTime, end: SimTime, step: SimDuration) -> Vec<(SimTime, i64)> {
+        assert!(!step.is_zero(), "step must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end {
+            out.push((t, self.value_at(t)));
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn binning_basic() {
+        let times: Vec<SimTime> = [0u64, 1, 4, 5, 9, 10, 14].iter().map(|&s| t(s)).collect();
+        let bins = bin_events(&times, SimDuration::from_secs(5), t(0), t(15));
+        assert_eq!(bins, vec![(t(0), 3), (t(5), 2), (t(10), 2)]);
+    }
+
+    #[test]
+    fn binning_ignores_out_of_range() {
+        let times = vec![t(100)];
+        let bins = bin_events(&times, SimDuration::from_secs(5), t(0), t(10));
+        assert_eq!(bins.iter().map(|&(_, c)| c).sum::<usize>(), 0);
+        assert_eq!(bins.len(), 2);
+    }
+
+    #[test]
+    fn binning_covers_partial_last_bin() {
+        let times = vec![t(11)];
+        let bins = bin_events(&times, SimDuration::from_secs(5), t(0), t(12));
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[2], (t(10), 1));
+    }
+
+    #[test]
+    fn empty_range_yields_one_bin() {
+        let bins = bin_events(&[], SimDuration::from_secs(5), t(0), t(0));
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].1, 0);
+    }
+
+    #[test]
+    fn step_series_coalesces_same_instant() {
+        let mut s = StepSeries::new();
+        s.shift(t(5), 1);
+        s.shift(t(5), 1);
+        s.shift(t(5), -1);
+        assert_eq!(s.points().len(), 1);
+        assert_eq!(s.value_at(t(5)), 1);
+        assert_eq!(s.value_at(t(4)), 0);
+    }
+
+    #[test]
+    fn step_series_values() {
+        let mut s = StepSeries::new();
+        s.shift(t(10), 3);
+        s.shift(t(20), -2);
+        s.shift(t(30), -1);
+        assert_eq!(s.value_at(t(0)), 0);
+        assert_eq!(s.value_at(t(10)), 3);
+        assert_eq!(s.value_at(t(19)), 3);
+        assert_eq!(s.value_at(t(20)), 1);
+        assert_eq!(s.value_at(t(30)), 0);
+        assert_eq!(s.final_value(), 0);
+        assert_eq!(s.max_value(), 3);
+    }
+
+    #[test]
+    fn positive_intervals_no_merge() {
+        let mut s = StepSeries::new();
+        s.shift(t(10), 1);
+        s.shift(t(20), -1);
+        s.shift(t(100), 1);
+        s.shift(t(110), -1);
+        let iv = s.positive_intervals(SimDuration::from_secs(5));
+        assert_eq!(iv, vec![(t(10), t(20)), (t(100), t(110))]);
+    }
+
+    #[test]
+    fn positive_intervals_merge_small_gaps() {
+        let mut s = StepSeries::new();
+        s.shift(t(10), 1);
+        s.shift(t(20), -1);
+        s.shift(t(22), 1);
+        s.shift(t(30), -1);
+        let iv = s.positive_intervals(SimDuration::from_secs(5));
+        assert_eq!(iv, vec![(t(10), t(30))]);
+    }
+
+    #[test]
+    fn positive_interval_left_open_at_end() {
+        let mut s = StepSeries::new();
+        s.shift(t(10), 1);
+        let iv = s.positive_intervals(SimDuration::ZERO);
+        assert_eq!(iv, vec![(t(10), t(10))]);
+    }
+
+    #[test]
+    fn sampled_grid() {
+        let mut s = StepSeries::new();
+        s.shift(t(10), 2);
+        let grid = s.sampled(t(0), t(20), SimDuration::from_secs(10));
+        assert_eq!(grid, vec![(t(0), 0), (t(10), 2), (t(20), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn step_series_rejects_out_of_order() {
+        let mut s = StepSeries::new();
+        s.shift(t(10), 1);
+        s.shift(t(5), 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! The four-state classification of a damping episode (paper §4.1,
+//! Figure 4): **charging → suppression → releasing → converged**, with
+//! secondary charging able to re-enter suppression.
+//!
+//! The paper defines the states by what is pending (updates in flight,
+//! noisy reuse timers). Offline we classify from the trace:
+//!
+//! * *activity periods* are maximal spans with updates outstanding,
+//!   merging bursts separated by less than `merge_gap` (MRAI pacing and
+//!   staggered reuse expirations fragment logically-continuous periods);
+//! * the first activity period (it contains the flapping) is
+//!   **charging**; later ones are **releasing**;
+//! * a quiet span between activity periods is **suppression** when
+//!   suppressed entries exist during it, otherwise **converged**;
+//! * everything after the last activity is **converged** — suppressed
+//!   entries may remain, but as the paper's footnote 3 notes, timers
+//!   that expire silently "do not contribute to either convergence time
+//!   or message count".
+//!
+//! The paper's own footnote 1 concedes the states "may not be clearly
+//! separated" in a large network; the classifier is a best-effort
+//! reconstruction and its `merge_gap` is configurable.
+
+use rfd_sim::{SimDuration, SimTime};
+
+use crate::trace::Trace;
+
+/// One of the paper's four network-wide damping states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DampingState {
+    /// Updates are being exchanged and charging penalties.
+    Charging,
+    /// No updates outstanding; suppressed best routes wait on reuse
+    /// timers.
+    Suppression,
+    /// Reuse expirations are triggering new updates.
+    Releasing,
+    /// No meaningful activity pending.
+    Converged,
+}
+
+impl std::fmt::Display for DampingState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DampingState::Charging => "charging",
+            DampingState::Suppression => "suppression",
+            DampingState::Releasing => "releasing",
+            DampingState::Converged => "converged",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A labelled span of the episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSpan {
+    /// The state during this span.
+    pub state: DampingState,
+    /// Span start (inclusive).
+    pub from: SimTime,
+    /// Span end (exclusive; the last span's end is the last event).
+    pub to: SimTime,
+}
+
+impl StateSpan {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.to.saturating_since(self.from)
+    }
+}
+
+/// Configuration for the offline state classifier.
+#[derive(Debug, Clone, Copy)]
+pub struct StateClassifier {
+    /// Bursts separated by at most this gap belong to one activity
+    /// period. Should comfortably exceed the MRAI.
+    pub merge_gap: SimDuration,
+}
+
+impl Default for StateClassifier {
+    fn default() -> Self {
+        StateClassifier {
+            // 4 minutes: > MRAI (30 s) and > intra-release straggler
+            // gaps, < the shortest suppression stretch the paper shows
+            // (~8 minutes for the n=3 secondary suppression).
+            merge_gap: SimDuration::from_secs(240),
+        }
+    }
+}
+
+impl StateClassifier {
+    /// Creates a classifier with an explicit merge gap.
+    pub fn with_merge_gap(merge_gap: SimDuration) -> Self {
+        StateClassifier { merge_gap }
+    }
+
+    /// Classifies a trace into state spans.
+    ///
+    /// Returns an empty vector for traces without flaps or updates.
+    pub fn classify(&self, trace: &Trace) -> Vec<StateSpan> {
+        let Some(first_flap) = trace.first_flap_at() else {
+            return Vec::new();
+        };
+        let activity = trace.in_flight_series().positive_intervals(self.merge_gap);
+        if activity.is_empty() {
+            return Vec::new();
+        }
+        let damped = trace.damped_link_series();
+        let mut spans = Vec::new();
+        for (i, &(from, to)) in activity.iter().enumerate() {
+            let state = if i == 0 {
+                DampingState::Charging
+            } else {
+                DampingState::Releasing
+            };
+            let from = if i == 0 { from.min(first_flap) } else { from };
+            spans.push(StateSpan { state, from, to });
+            if let Some(&(next_from, _)) = activity.get(i + 1) {
+                // Label the quiet gap by whether suppression is active
+                // in its interior.
+                let probe = to + next_from.saturating_since(to) / 2;
+                let state = if damped.value_at(probe) > 0 {
+                    DampingState::Suppression
+                } else {
+                    DampingState::Converged
+                };
+                spans.push(StateSpan {
+                    state,
+                    from: to,
+                    to: next_from,
+                });
+            }
+        }
+        spans
+    }
+
+    /// Total time spent in `state` across all spans.
+    pub fn time_in(&self, trace: &Trace, state: DampingState) -> SimDuration {
+        self.classify(trace)
+            .iter()
+            .filter(|s| s.state == state)
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Number of distinct suppression spans (≥ 2 indicates secondary
+    /// charging drove the network back into suppression, as in the
+    /// paper's n = 3 case).
+    pub fn suppression_periods(&self, trace: &Trace) -> usize {
+        self.classify(trace)
+            .iter()
+            .filter(|s| s.state == DampingState::Suppression)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::TraceEventKind;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    /// Builds a trace shaped like the paper's single-pulse episode:
+    /// charging burst, long suppressed silence, releasing burst.
+    fn single_pulse_trace() -> Trace {
+        let mut events: Vec<(SimTime, TraceEventKind)> = Vec::new();
+        events.push((
+            t(0),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: false,
+            },
+        ));
+        events.push((
+            t(60),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: true,
+            },
+        ));
+        events.push((
+            t(100),
+            TraceEventKind::Suppressed {
+                node: 5,
+                peer: 6,
+                prefix: 0,
+            },
+        ));
+        // charging burst 0–120 s
+        for s in [1u64, 30, 60, 90, 119] {
+            events.push((
+                t(s),
+                TraceEventKind::UpdateSent {
+                    from: 0,
+                    to: 1,
+                    withdrawal: s == 1,
+                },
+            ));
+            events.push((
+                t(s + 1),
+                TraceEventKind::UpdateReceived {
+                    from: 0,
+                    to: 1,
+                    withdrawal: s == 1,
+                },
+            ));
+        }
+        // silence 120–1574 s (suppression), then releasing burst
+        events.push((
+            t(1574),
+            TraceEventKind::Reused {
+                node: 5,
+                peer: 6,
+                prefix: 0,
+                noisy: true,
+            },
+        ));
+        for s in [1575u64, 1600, 1700] {
+            events.push((
+                t(s),
+                TraceEventKind::UpdateSent {
+                    from: 5,
+                    to: 1,
+                    withdrawal: false,
+                },
+            ));
+            events.push((
+                t(s + 1),
+                TraceEventKind::UpdateReceived {
+                    from: 5,
+                    to: 1,
+                    withdrawal: false,
+                },
+            ));
+        }
+        events.sort_by_key(|&(at, _)| at);
+        let mut tr = Trace::new();
+        for (at, kind) in events {
+            tr.record(at, kind);
+        }
+        tr
+    }
+
+    #[test]
+    fn single_pulse_has_four_states() {
+        let tr = single_pulse_trace();
+        let spans = StateClassifier::default().classify(&tr);
+        let states: Vec<DampingState> = spans.iter().map(|s| s.state).collect();
+        assert_eq!(
+            states,
+            vec![
+                DampingState::Charging,
+                DampingState::Suppression,
+                DampingState::Releasing,
+            ]
+        );
+        // Charging covers the flapping phase.
+        assert_eq!(spans[0].from, t(0));
+        assert_eq!(spans[0].to, t(120));
+        // Suppression spans the long silence.
+        assert!(spans[1].duration() > SimDuration::from_secs(1000));
+    }
+
+    #[test]
+    fn gap_without_suppression_is_converged() {
+        let mut tr = Trace::new();
+        tr.record(
+            t(0),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: true,
+            },
+        );
+        tr.record(
+            t(1),
+            TraceEventKind::UpdateSent {
+                from: 0,
+                to: 1,
+                withdrawal: false,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEventKind::UpdateReceived {
+                from: 0,
+                to: 1,
+                withdrawal: false,
+            },
+        );
+        // a second, unrelated burst long after, no suppression anywhere
+        tr.record(
+            t(2000),
+            TraceEventKind::UpdateSent {
+                from: 1,
+                to: 0,
+                withdrawal: false,
+            },
+        );
+        tr.record(
+            t(2001),
+            TraceEventKind::UpdateReceived {
+                from: 1,
+                to: 0,
+                withdrawal: false,
+            },
+        );
+        let spans = StateClassifier::default().classify(&tr);
+        assert_eq!(spans[1].state, DampingState::Converged);
+    }
+
+    #[test]
+    fn secondary_charging_creates_second_suppression() {
+        let mut tr = single_pulse_trace();
+        // After the releasing burst, another long damped silence and a
+        // further release — the paper's n = 3 shape.
+        tr.record(
+            t(1750),
+            TraceEventKind::Suppressed {
+                node: 7,
+                peer: 8,
+                prefix: 0,
+            },
+        );
+        tr.record(
+            t(3000),
+            TraceEventKind::Reused {
+                node: 7,
+                peer: 8,
+                prefix: 0,
+                noisy: true,
+            },
+        );
+        tr.record(
+            t(3001),
+            TraceEventKind::UpdateSent {
+                from: 7,
+                to: 1,
+                withdrawal: false,
+            },
+        );
+        tr.record(
+            t(3002),
+            TraceEventKind::UpdateReceived {
+                from: 7,
+                to: 1,
+                withdrawal: false,
+            },
+        );
+        let classifier = StateClassifier::default();
+        assert_eq!(classifier.suppression_periods(&tr), 2);
+        let spans = classifier.classify(&tr);
+        assert_eq!(spans.last().unwrap().state, DampingState::Releasing);
+    }
+
+    #[test]
+    fn merge_gap_coalesces_bursts() {
+        let mut tr = Trace::new();
+        tr.record(
+            t(0),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: false,
+            },
+        );
+        for s in [0u64, 100, 200] {
+            tr.record(
+                t(s + 1),
+                TraceEventKind::UpdateSent {
+                    from: 0,
+                    to: 1,
+                    withdrawal: false,
+                },
+            );
+            tr.record(
+                t(s + 2),
+                TraceEventKind::UpdateReceived {
+                    from: 0,
+                    to: 1,
+                    withdrawal: false,
+                },
+            );
+        }
+        // Default gap (240 s) merges everything into one charging span.
+        let spans = StateClassifier::default().classify(&tr);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].state, DampingState::Charging);
+        // A tiny gap splits them (and the silent gaps are converged).
+        let spans = StateClassifier::with_merge_gap(SimDuration::from_secs(10)).classify(&tr);
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans[1].state, DampingState::Converged);
+        assert_eq!(spans[2].state, DampingState::Releasing);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_spans() {
+        assert!(StateClassifier::default()
+            .classify(&Trace::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn time_in_sums_spans() {
+        let tr = single_pulse_trace();
+        let c = StateClassifier::default();
+        assert_eq!(
+            c.time_in(&tr, DampingState::Charging),
+            SimDuration::from_secs(120)
+        );
+        // The suppression span runs from the end of the charging burst
+        // (t=120) to the first releasing update (t=1575).
+        assert_eq!(
+            c.time_in(&tr, DampingState::Suppression),
+            SimDuration::from_secs(1575 - 120)
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Sample statistics for multi-seed experiment summaries.
+
+/// Summary statistics of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for one sample).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (midpoint average for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes statistics; `None` for an empty sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN (comparisons would be meaningless).
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "samples must not contain NaN"
+        );
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        })
+    }
+
+    /// The given percentile (0–100), linear interpolation between
+    /// ranks. Requires the same samples the summary was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or `samples` is empty.
+    pub fn percentile(samples: &[f64], p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        assert!(!samples.is_empty(), "need samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+
+    /// Renders as `mean ± std (n=count)`.
+    pub fn display_mean_std(&self, decimals: usize) -> String {
+        format!(
+            "{:.d$} ± {:.d$} (n={})",
+            self.mean,
+            self.std_dev,
+            self.count,
+            d = decimals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(Summary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[7.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.5);
+        assert_eq!((s.min, s.max), (7.5, 7.5));
+    }
+
+    #[test]
+    fn known_statistics() {
+        // 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample std √(32/7).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_samples(&xs).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 4.5);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(Summary::percentile(&xs, 0.0), 10.0);
+        assert_eq!(Summary::percentile(&xs, 100.0), 40.0);
+        assert_eq!(Summary::percentile(&xs, 50.0), 25.0);
+        assert!((Summary::percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::from_samples(&[1.0, 3.0]).unwrap();
+        assert_eq!(s.display_mean_std(1), "2.0 ± 1.4 (n=2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::from_samples(&[1.0, f64::NAN]);
+    }
+}

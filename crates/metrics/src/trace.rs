@@ -1,0 +1,464 @@
+//! The trace collector and the paper's two headline metrics.
+
+use rfd_sim::{SimDuration, SimTime};
+
+use crate::events::{TraceEvent, TraceEventKind};
+use crate::series::StepSeries;
+
+/// One penalty sample of a (node, peer) entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyPoint {
+    /// When the charge happened.
+    pub at: SimTime,
+    /// Penalty value right after the charge.
+    pub value: f64,
+    /// The increment added by this update (may be zero).
+    pub charge: f64,
+    /// Whether the entry is suppressed at this instant.
+    pub suppressed: bool,
+}
+
+/// An append-only, time-ordered record of everything that happened in a
+/// simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::{Trace, TraceEventKind};
+/// use rfd_sim::SimTime;
+///
+/// let mut trace = Trace::new();
+/// trace.record(SimTime::ZERO, TraceEventKind::OriginFlap { prefix: 0, up: false });
+/// trace.record(
+///     SimTime::from_secs(1),
+///     TraceEventKind::UpdateReceived { from: 0, to: 1, withdrawal: true },
+/// );
+/// assert_eq!(trace.message_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous event (the simulation is
+    /// single-threaded and time-ordered; out-of-order recording is a
+    /// harness bug).
+    pub fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        if let Some(last) = self.events.last() {
+            assert!(at >= last.at, "trace events must be time-ordered");
+        }
+        self.events.push(TraceEvent::new(at, kind));
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the first flap (origin or interior link), if any.
+    pub fn first_flap_at(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::OriginFlap { .. } | TraceEventKind::LinkFlap { .. }
+                )
+            })
+            .map(|e| e.at)
+    }
+
+    /// Time of the final recovery (the last `up = true` flap of the
+    /// origin or of an interior link), if any.
+    pub fn final_announcement_at(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::OriginFlap { up: true, .. }
+                        | TraceEventKind::LinkFlap { up: true, .. }
+                )
+            })
+            .map(|e| e.at)
+    }
+
+    /// Time the last update message was observed (received), if any.
+    pub fn last_update_at(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.is_update_received())
+            .map(|e| e.at)
+    }
+
+    /// The paper's **message count**: "the total number of updates
+    /// observed in the network starting from the first flap".
+    pub fn message_count(&self) -> usize {
+        let Some(start) = self.first_flap_at() else {
+            return self
+                .events
+                .iter()
+                .filter(|e| e.is_update_received())
+                .count();
+        };
+        self.events
+            .iter()
+            .filter(|e| e.at >= start && e.is_update_received())
+            .count()
+    }
+
+    /// The paper's **convergence time**: "the time from when the
+    /// originAS stops flapping (i.e., sends its final route
+    /// announcement) to when the last update message is observed in the
+    /// network". Zero when there were no flaps or no updates after the
+    /// final announcement.
+    pub fn convergence_time(&self) -> SimDuration {
+        match (self.final_announcement_at(), self.last_update_at()) {
+            (Some(end_of_flapping), Some(last)) => last.saturating_since(end_of_flapping),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Update-received timestamps (for binning into the Figure 10 update
+    /// series).
+    pub fn update_times(&self) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter(|e| e.is_update_received())
+            .map(|e| e.at)
+            .collect()
+    }
+
+    /// The number of suppressed (node, peer) entries over time — the
+    /// paper's **damped link count** (Figure 10, bottom row). "When a
+    /// node suppresses routes from a neighbor node, we count it as one
+    /// damped link", so with the single experiment prefix this equals
+    /// the number of suppressed RIB-IN entries.
+    pub fn damped_link_series(&self) -> StepSeries {
+        let mut series = StepSeries::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::Suppressed { .. } => series.shift(e.at, 1),
+                TraceEventKind::Reused { .. } => series.shift(e.at, -1),
+                _ => {}
+            }
+        }
+        series
+    }
+
+    /// Count of updates currently in flight (sent but not yet received)
+    /// over time; used by the state classifier.
+    pub fn in_flight_series(&self) -> StepSeries {
+        let mut series = StepSeries::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::UpdateSent { .. } => series.shift(e.at, 1),
+                TraceEventKind::UpdateReceived { .. } => series.shift(e.at, -1),
+                _ => {}
+            }
+        }
+        series
+    }
+
+    /// Penalty samples recorded for one (node, peer, prefix) entry —
+    /// the Figure 3/7 data.
+    pub fn penalty_samples(&self, node: u32, peer: u32, prefix: u32) -> Vec<PenaltyPoint> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::PenaltySample {
+                    node: n,
+                    peer: p,
+                    prefix: pfx,
+                    value,
+                    charge,
+                    suppressed,
+                } if n == node && p == peer && pfx == prefix => Some(PenaltyPoint {
+                    at: e.at,
+                    value,
+                    charge,
+                    suppressed,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Noisy and silent reuse counts.
+    pub fn reuse_counts(&self) -> (usize, usize) {
+        let mut noisy = 0;
+        let mut silent = 0;
+        for e in &self.events {
+            if let TraceEventKind::Reused { noisy: n, .. } = e.kind {
+                if n {
+                    noisy += 1;
+                } else {
+                    silent += 1;
+                }
+            }
+        }
+        (noisy, silent)
+    }
+
+    /// Number of distinct (node, peer) entries that were ever
+    /// suppressed.
+    pub fn ever_suppressed_entries(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for e in &self.events {
+            if let TraceEventKind::Suppressed { node, peer, prefix } = e.kind {
+                set.insert((node, peer, prefix));
+            }
+        }
+        set.len()
+    }
+
+    /// Maximum penalty value ever sampled anywhere in the network.
+    pub fn peak_penalty(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::PenaltySample { value, .. } => Some(value),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new();
+        tr.record(
+            t(0),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: false,
+            },
+        );
+        tr.record(
+            t(1),
+            TraceEventKind::UpdateSent {
+                from: 0,
+                to: 1,
+                withdrawal: true,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEventKind::UpdateReceived {
+                from: 0,
+                to: 1,
+                withdrawal: true,
+            },
+        );
+        tr.record(
+            t(60),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: true,
+            },
+        );
+        tr.record(
+            t(61),
+            TraceEventKind::UpdateSent {
+                from: 0,
+                to: 1,
+                withdrawal: false,
+            },
+        );
+        tr.record(
+            t(63),
+            TraceEventKind::UpdateReceived {
+                from: 0,
+                to: 1,
+                withdrawal: false,
+            },
+        );
+        tr.record(
+            t(64),
+            TraceEventKind::Suppressed {
+                node: 1,
+                peer: 0,
+                prefix: 0,
+            },
+        );
+        tr.record(
+            t(900),
+            TraceEventKind::Reused {
+                node: 1,
+                peer: 0,
+                prefix: 0,
+                noisy: true,
+            },
+        );
+        tr.record(
+            t(901),
+            TraceEventKind::UpdateSent {
+                from: 1,
+                to: 0,
+                withdrawal: false,
+            },
+        );
+        tr.record(
+            t(903),
+            TraceEventKind::UpdateReceived {
+                from: 1,
+                to: 0,
+                withdrawal: false,
+            },
+        );
+        tr
+    }
+
+    #[test]
+    fn metric_anchors() {
+        let tr = sample_trace();
+        assert_eq!(tr.first_flap_at(), Some(t(0)));
+        assert_eq!(tr.final_announcement_at(), Some(t(60)));
+        assert_eq!(tr.last_update_at(), Some(t(903)));
+    }
+
+    #[test]
+    fn message_count_counts_received_since_first_flap() {
+        let tr = sample_trace();
+        assert_eq!(tr.message_count(), 3);
+    }
+
+    #[test]
+    fn convergence_time_from_final_announcement() {
+        let tr = sample_trace();
+        assert_eq!(tr.convergence_time(), SimDuration::from_secs(843));
+    }
+
+    #[test]
+    fn convergence_time_zero_without_flaps() {
+        let tr = Trace::new();
+        assert_eq!(tr.convergence_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn damped_link_series_steps() {
+        let tr = sample_trace();
+        let s = tr.damped_link_series();
+        assert_eq!(s.value_at(t(63)), 0);
+        assert_eq!(s.value_at(t(64)), 1);
+        assert_eq!(s.value_at(t(500)), 1);
+        assert_eq!(s.value_at(t(900)), 0);
+        assert_eq!(s.max_value(), 1);
+    }
+
+    #[test]
+    fn in_flight_series_balances() {
+        let tr = sample_trace();
+        let s = tr.in_flight_series();
+        assert_eq!(s.value_at(t(1)), 1);
+        assert_eq!(s.value_at(t(2)), 0);
+        assert_eq!(s.value_at(t(902)), 1);
+        assert_eq!(s.value_at(t(903)), 0);
+    }
+
+    #[test]
+    fn reuse_counts_split() {
+        let tr = sample_trace();
+        assert_eq!(tr.reuse_counts(), (1, 0));
+    }
+
+    #[test]
+    fn ever_suppressed_entries_dedupes() {
+        let mut tr = sample_trace();
+        tr.record(
+            t(1000),
+            TraceEventKind::Suppressed {
+                node: 1,
+                peer: 0,
+                prefix: 0,
+            },
+        );
+        assert_eq!(tr.ever_suppressed_entries(), 1);
+    }
+
+    #[test]
+    fn penalty_samples_filtered_per_entry() {
+        let mut tr = Trace::new();
+        tr.record(
+            t(5),
+            TraceEventKind::PenaltySample {
+                node: 3,
+                peer: 4,
+                prefix: 0,
+                value: 1000.0,
+                charge: 1000.0,
+                suppressed: false,
+            },
+        );
+        tr.record(
+            t(6),
+            TraceEventKind::PenaltySample {
+                node: 9,
+                peer: 4,
+                prefix: 0,
+                value: 2500.0,
+                charge: 500.0,
+                suppressed: true,
+            },
+        );
+        assert_eq!(
+            tr.penalty_samples(3, 4, 0),
+            vec![PenaltyPoint {
+                at: t(5),
+                value: 1000.0,
+                charge: 1000.0,
+                suppressed: false,
+            }]
+        );
+        assert_eq!(tr.peak_penalty(), 2500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_recording_panics() {
+        let mut tr = Trace::new();
+        tr.record(
+            t(10),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: false,
+            },
+        );
+        tr.record(
+            t(5),
+            TraceEventKind::OriginFlap {
+                prefix: 0,
+                up: true,
+            },
+        );
+    }
+}

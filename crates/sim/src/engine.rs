@@ -1,0 +1,353 @@
+//! The simulation driver.
+//!
+//! An [`Engine`] owns the clock and the event agenda and repeatedly hands
+//! the earliest event to a [`World`] — the model being simulated — until
+//! the agenda drains, a time horizon passes, or the world asks to stop.
+
+use crate::scheduler::{EventId, Scheduler};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated model: consumes events, schedules new ones through
+/// [`Context`].
+pub trait World {
+    /// The event type this world exchanges with the engine.
+    type Event;
+
+    /// Handles one event occurring at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+}
+
+/// Scheduling interface handed to [`World::handle`].
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    agenda: &'a mut Scheduler<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {now}",
+            now = self.now
+        );
+        self.agenda.schedule(at, event)
+    }
+
+    /// Schedules an event `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.agenda.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event (lazily).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.agenda.cancel(id)
+    }
+
+    /// Asks the engine to stop after the current event is handled.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// Why a run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// The agenda drained: no events remain anywhere in the system.
+    Quiescent,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The world called [`Context::stop`].
+    Stopped,
+    /// The event budget was exhausted (runaway-model guard).
+    BudgetExhausted,
+}
+
+/// Aggregate statistics for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Events delivered to the world.
+    pub events_processed: u64,
+    /// Simulated time of the last delivered event.
+    pub last_event_time: SimTime,
+}
+
+/// The discrete-event simulation engine.
+///
+/// # Examples
+///
+/// Count down three ticks:
+///
+/// ```
+/// use rfd_sim::{Context, Engine, RunOutcome, SimDuration, SimTime, World};
+///
+/// struct Countdown(u32);
+///
+/// impl World for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+///         self.0 -= 1;
+///         if self.0 > 0 {
+///             ctx.schedule_in(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.prime(SimTime::ZERO, ());
+/// let mut world = Countdown(3);
+/// let (outcome, stats) = engine.run(&mut world);
+/// assert_eq!(outcome, RunOutcome::Quiescent);
+/// assert_eq!(stats.events_processed, 3);
+/// assert_eq!(stats.last_event_time, SimTime::from_secs(2));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    agenda: Scheduler<E>,
+    now: SimTime,
+    horizon: SimTime,
+    event_budget: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Default cap on events per run; a guard against runaway models.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 500_000_000;
+
+    /// Creates an engine with an unbounded horizon.
+    pub fn new() -> Self {
+        Engine {
+            agenda: Scheduler::new(),
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Sets the simulated-time horizon: events strictly after it are not
+    /// delivered.
+    pub fn set_horizon(&mut self, horizon: SimTime) -> &mut Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the maximum number of events a run may deliver.
+    pub fn set_event_budget(&mut self, budget: u64) -> &mut Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Current simulated time (last delivered event, or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.agenda.len()
+    }
+
+    /// Schedules an initial event before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current clock.
+    pub fn prime(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "cannot prime into the past");
+        self.agenda.schedule(at, event)
+    }
+
+    /// Runs until quiescence, the horizon, a stop request, or budget
+    /// exhaustion. The clock is left at the last delivered event so a run
+    /// can be resumed after priming more events.
+    pub fn run<W: World<Event = E>>(&mut self, world: &mut W) -> (RunOutcome, RunStats) {
+        let mut stats = RunStats {
+            events_processed: 0,
+            last_event_time: self.now,
+        };
+        loop {
+            let Some(next_time) = self.agenda.peek_time() else {
+                return (RunOutcome::Quiescent, stats);
+            };
+            if next_time > self.horizon {
+                return (RunOutcome::HorizonReached, stats);
+            }
+            if stats.events_processed >= self.event_budget {
+                return (RunOutcome::BudgetExhausted, stats);
+            }
+            let (at, event) = self.agenda.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            let mut stop = false;
+            let mut ctx = Context {
+                now: at,
+                agenda: &mut self.agenda,
+                stop_requested: &mut stop,
+            };
+            world.handle(&mut ctx, event);
+            stats.events_processed += 1;
+            stats.last_event_time = at;
+            if stop {
+                return (RunOutcome::Stopped, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the times at which it saw events; optionally re-schedules.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        stop_at: Option<u32>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, event: u32) {
+            self.seen.push((ctx.now(), event));
+            if Some(event) == self.stop_at {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            stop_at: None,
+        }
+    }
+
+    #[test]
+    fn delivers_in_order_and_quiesces() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::from_secs(2), 2);
+        engine.prime(SimTime::from_secs(1), 1);
+        engine.prime(SimTime::from_secs(3), 3);
+        let mut world = recorder();
+        let (outcome, stats) = engine.run(&mut world);
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert_eq!(stats.events_processed, 3);
+        assert_eq!(
+            world.seen.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::from_secs(2));
+        engine.prime(SimTime::from_secs(1), 1);
+        engine.prime(SimTime::from_secs(5), 5);
+        let mut world = recorder();
+        let (outcome, stats) = engine.run(&mut world);
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(stats.events_processed, 1);
+        assert_eq!(engine.pending(), 1, "post-horizon event still queued");
+    }
+
+    #[test]
+    fn stop_request_honoured() {
+        let mut engine = Engine::new();
+        for i in 1..=5 {
+            engine.prime(SimTime::from_secs(i), i as u32);
+        }
+        let mut world = recorder();
+        world.stop_at = Some(3);
+        let (outcome, stats) = engine.run(&mut world);
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(stats.events_processed, 3);
+        assert_eq!(engine.pending(), 2);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        struct Forever;
+        impl World for Forever {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                ctx.schedule_in(SimDuration::from_secs(1), ());
+            }
+        }
+        let mut engine = Engine::new();
+        engine.set_event_budget(100);
+        engine.prime(SimTime::ZERO, ());
+        let (outcome, stats) = engine.run(&mut Forever);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(stats.events_processed, 100);
+    }
+
+    #[test]
+    fn run_can_resume_after_priming() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::from_secs(1), 1);
+        let mut world = recorder();
+        engine.run(&mut world);
+        engine.prime(SimTime::from_secs(4), 4);
+        let (outcome, _) = engine.run(&mut world);
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert_eq!(world.seen.len(), 2);
+        assert_eq!(engine.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        struct BadWorld;
+        impl World for BadWorld {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut engine = Engine::new();
+        engine.prime(SimTime::from_secs(1), ());
+        engine.run(&mut BadWorld);
+    }
+
+    #[test]
+    fn context_cancel_prevents_delivery() {
+        struct Canceller {
+            cancelled: bool,
+        }
+        impl World for Canceller {
+            type Event = &'static str;
+            fn handle(&mut self, ctx: &mut Context<'_, &'static str>, ev: &'static str) {
+                if ev == "first" {
+                    let id = ctx.schedule_in(SimDuration::from_secs(1), "victim");
+                    assert!(ctx.cancel(id));
+                    self.cancelled = true;
+                } else {
+                    panic!("victim should never be delivered");
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.prime(SimTime::ZERO, "first");
+        let mut world = Canceller { cancelled: false };
+        let (outcome, _) = engine.run(&mut world);
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert!(world.cancelled);
+    }
+}

@@ -1,0 +1,62 @@
+//! # rfd-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate the route-flap-damping reproduction runs
+//! on: a small, deterministic discrete-event simulation (DES) kernel in
+//! the spirit of SSFNet's core, which the original paper used.
+//!
+//! It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond simulated time;
+//! * [`Scheduler`] — the event agenda, ordered by `(time, FIFO)` with
+//!   lazy cancellation;
+//! * [`Engine`] / [`World`] / [`Context`] — the run loop that hands
+//!   events to the model and lets it schedule more;
+//! * [`DetRng`] — seeded, splittable random streams so every run is
+//!   reproducible and structurally independent.
+//!
+//! # Examples
+//!
+//! A two-node "ping-pong" model:
+//!
+//! ```
+//! use rfd_sim::{Context, Engine, RunOutcome, SimDuration, SimTime, World};
+//!
+//! #[derive(Debug)]
+//! enum Ball { AtA, AtB }
+//!
+//! struct PingPong { volleys: u32 }
+//!
+//! impl World for PingPong {
+//!     type Event = Ball;
+//!     fn handle(&mut self, ctx: &mut Context<'_, Ball>, ball: Ball) {
+//!         self.volleys += 1;
+//!         if self.volleys < 10 {
+//!             let next = match ball { Ball::AtA => Ball::AtB, Ball::AtB => Ball::AtA };
+//!             ctx.schedule_in(SimDuration::from_millis(5), next);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.prime(SimTime::ZERO, Ball::AtA);
+//! let mut world = PingPong { volleys: 0 };
+//! let (outcome, stats) = engine.run(&mut world);
+//! assert_eq!(outcome, RunOutcome::Quiescent);
+//! assert_eq!(world.volleys, 10);
+//! assert_eq!(stats.last_event_time, SimTime::from_micros(45_000));
+//! ```
+//!
+//! (See each module for focused examples.)
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod rng;
+mod scheduler;
+mod time;
+
+pub use engine::{Context, Engine, RunOutcome, RunStats, World};
+pub use rng::DetRng;
+pub use scheduler::{EventId, Scheduler};
+pub use time::{SimDuration, SimTime, MICROS_PER_SEC};

@@ -1,0 +1,230 @@
+//! The event agenda: a priority queue of timestamped events.
+//!
+//! Events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO). The BGP model relies on this: a router that
+//! sends two updates to the same peer at the same instant must have them
+//! processed in order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+///
+/// Handles are unique across the lifetime of a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of events ordered by `(time, insertion order)`.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_sim::{Scheduler, SimTime};
+///
+/// let mut agenda = Scheduler::new();
+/// agenda.schedule(SimTime::from_secs(2), "late");
+/// agenda.schedule(SimTime::from_secs(1), "early");
+/// let (t, ev) = agenda.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1), "early"));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty agenda.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `event` at absolute time `at` and returns a handle that
+    /// can later be passed to [`Scheduler::cancel`].
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is discarded
+    /// when it reaches the front. Returns `true` the first time a live
+    /// handle is cancelled, `false` for repeat or unknown handles (events
+    /// already delivered cannot be distinguished from unknown ones).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest live event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the earliest live event without removing
+    /// it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the front so the peeked entry is live.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live events still scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns true if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards every scheduled event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(3), 'c');
+        s.schedule(SimTime::from_secs(1), 'a');
+        s.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            s.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double cancel reports false");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().1, "b");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(s.pop().unwrap().1, "b");
+        assert_eq!(s.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_empties_agenda() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(1), 1);
+        let id = s.schedule(SimTime::from_secs(2), 2);
+        s.cancel(id);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut s = Scheduler::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| s.schedule(SimTime::from_secs(i), i))
+            .collect();
+        assert_eq!(s.len(), 5);
+        s.cancel(ids[1]);
+        s.cancel(ids[3]);
+        assert_eq!(s.len(), 3);
+        let survivors: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(survivors, vec![0, 2, 4]);
+    }
+}

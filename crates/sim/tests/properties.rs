@@ -1,0 +1,123 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use rfd_sim::{Context, DetRng, Engine, RunOutcome, Scheduler, SimDuration, SimTime, World};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// insertion order.
+    #[test]
+    fn scheduler_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = s.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Among events with equal timestamps, delivery preserves insertion
+    /// order (FIFO).
+    #[test]
+    fn scheduler_equal_times_fifo(n in 1usize..100, t in 0u64..1_000) {
+        let mut s = Scheduler::new();
+        for i in 0..n {
+            s.schedule(SimTime::from_micros(t), i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn scheduler_cancellation_exact(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut s = Scheduler::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, s.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            let cancelled = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancelled {
+                s.cancel(*id);
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        popped.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// The engine delivers every primed event exactly once, in time order.
+    #[test]
+    fn engine_delivers_all_once(times in proptest::collection::vec(0u64..100_000, 1..100)) {
+        struct Collect(Vec<SimTime>);
+        impl World for Collect {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                self.0.push(ctx.now());
+            }
+        }
+        let mut engine = Engine::new();
+        for &t in &times {
+            engine.prime(SimTime::from_micros(t), ());
+        }
+        let mut world = Collect(Vec::new());
+        let (outcome, stats) = engine.run(&mut world);
+        prop_assert_eq!(outcome, RunOutcome::Quiescent);
+        prop_assert_eq!(stats.events_processed as usize, times.len());
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(
+            world.0,
+            sorted.into_iter().map(SimTime::from_micros).collect::<Vec<_>>()
+        );
+    }
+
+    /// Two engines with identical seeds and schedules produce identical
+    /// random draw sequences (determinism).
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), draws in 1usize..200) {
+        let mut a = DetRng::from_seed(seed);
+        let mut b = DetRng::from_seed(seed);
+        for _ in 0..draws {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Uniform duration draws stay within bounds.
+    #[test]
+    fn rng_duration_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = DetRng::from_seed(seed);
+        let lo_d = SimDuration::from_micros(lo);
+        let hi_d = SimDuration::from_micros(lo + span);
+        for _ in 0..50 {
+            let d = rng.duration_between(lo_d, hi_d);
+            prop_assert!(d >= lo_d && d <= hi_d);
+        }
+    }
+
+    /// SimTime arithmetic: (t + d) - d == t and ordering is preserved
+    /// under shifting.
+    #[test]
+    fn time_arithmetic_consistent(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_micros(t);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert!(time + dur >= time);
+    }
+}

@@ -1,0 +1,354 @@
+//! AS business relationships for policy routing (paper §7).
+//!
+//! The no-valley experiment needs every link labelled customer–provider
+//! or peer–peer. Real labels come from inference over BGP tables (Gao);
+//! here we build a *single-rooted* hierarchy: the highest-degree node
+//! acts as the tier-1 root, each node's distance from the root is its
+//! tier, and on each link the endpoint closer to the root (breaking
+//! ties by higher degree, then lower id) is the provider. Links between
+//! same-tier, comparably-high-degree nodes become peer–peer.
+//!
+//! Single-rootedness matters: every node's BFS parent is one of its
+//! providers, so every node has an uphill chain to the root and the
+//! root's customer cone covers the whole graph. Consequently a
+//! valley-free (up\*-peer?-down\*) path exists between any two nodes —
+//! the paper's premise that "every node learns a stable route to the
+//! originAS" holds under policy routing no matter where the origin
+//! attaches. The provider digraph is acyclic because the orientation
+//! follows a strict total order on (tier, −degree, id).
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, Link, NodeId};
+
+/// Relationship of a link, oriented relative to a queried node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// The neighbour is this node's customer.
+    Customer,
+    /// The neighbour is a peer.
+    Peer,
+    /// The neighbour is this node's provider.
+    Provider,
+}
+
+/// A relationship labelling of every link in a graph.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_topology::{internet_like, NodeId, Relationships};
+///
+/// let g = internet_like(50, 2, 1);
+/// let rel = Relationships::infer_by_degree(&g, 0.25);
+/// assert!(rel.provider_dag_is_acyclic(&g));
+/// // every node can be reached from anywhere under no-valley export
+/// let reach = rel.valley_free_reachable(&g, NodeId::new(7));
+/// assert!(reach.iter().all(|&r| r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Relationships {
+    /// For customer–provider links: maps the link to its provider
+    /// endpoint. Links absent from the map are peer–peer.
+    providers: HashMap<Link, NodeId>,
+}
+
+impl Relationships {
+    /// Labels every link as peer–peer (policy-free hierarchies; useful
+    /// as a degenerate case in tests).
+    pub fn all_peers() -> Self {
+        Relationships {
+            providers: HashMap::new(),
+        }
+    }
+
+    /// Infers a single-rooted hierarchy (see module docs). A link
+    /// becomes peer–peer when both endpoints sit at the same tier, both
+    /// are in the top degree decile, and their degrees are within a
+    /// factor `(1 + peer_tolerance)`; otherwise the endpoint with the
+    /// smaller `(tier, −degree, id)` is the provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer_tolerance` is negative/not finite, or if the
+    /// graph is disconnected (tiers are undefined then).
+    pub fn infer_by_degree(graph: &Graph, peer_tolerance: f64) -> Self {
+        assert!(
+            peer_tolerance.is_finite() && peer_tolerance >= 0.0,
+            "peer_tolerance must be finite and non-negative"
+        );
+        if graph.link_count() == 0 {
+            return Relationships::all_peers();
+        }
+        assert!(
+            graph.is_connected(),
+            "relationship inference requires a connected graph"
+        );
+        // Root: highest degree, lowest id.
+        let root = graph
+            .nodes()
+            .max_by_key(|&n| (graph.degree(n), std::cmp::Reverse(n)))
+            .expect("non-empty graph");
+        let tier: Vec<usize> = graph
+            .bfs_distances(root)
+            .into_iter()
+            .map(|d| d.expect("connected graph"))
+            .collect();
+
+        let mut degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n)).collect();
+        degrees.sort_unstable();
+        let decile_cut = degrees[(degrees.len() * 9) / 10..][0];
+
+        // Strict total order; the smaller ranks closer to the core.
+        let rank = |n: NodeId| (tier[n.index()], usize::MAX - graph.degree(n), n.index());
+
+        let mut providers = HashMap::new();
+        for &link in graph.links() {
+            let (a, b) = link.endpoints();
+            let (da, db) = (graph.degree(a), graph.degree(b));
+            let same_tier = tier[a.index()] == tier[b.index()];
+            let close = (da.max(db) as f64) <= (da.min(db) as f64) * (1.0 + peer_tolerance);
+            let both_core = da >= decile_cut && db >= decile_cut;
+            if same_tier && close && both_core {
+                continue; // peer–peer
+            }
+            let provider = if rank(a) < rank(b) { a } else { b };
+            providers.insert(link, provider);
+        }
+        Relationships { providers }
+    }
+
+    /// Explicitly labels a link customer–provider. Used by the
+    /// experiment harness to mark the origin AS as a customer of its
+    /// ISP after attaching it (the link did not exist when the base
+    /// graph was inferred).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provider` is not an endpoint of `link`.
+    pub fn set_provider(&mut self, link: Link, provider: NodeId) {
+        assert!(
+            link.touches(provider),
+            "provider {provider} is not an endpoint of {link}"
+        );
+        self.providers.insert(link, provider);
+    }
+
+    /// The relationship of `neighbor` as seen from `node`. Unlabelled
+    /// links (not part of the inference graph) default to peer–peer.
+    pub fn classify(&self, node: NodeId, neighbor: NodeId) -> Relationship {
+        let link = Link::new(node, neighbor);
+        match self.providers.get(&link) {
+            None => Relationship::Peer,
+            Some(&p) if p == node => Relationship::Customer, // node provides for neighbor
+            Some(_) => Relationship::Provider,               // neighbor provides for node
+        }
+    }
+
+    /// Number of customer–provider links.
+    pub fn customer_provider_count(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Verifies the provider→customer digraph has no cycle (every
+    /// customer chain terminates).
+    pub fn provider_dag_is_acyclic(&self, graph: &Graph) -> bool {
+        // Kahn's algorithm over provider→customer edges.
+        let n = graph.node_count();
+        let mut indegree = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (link, &provider) in &self.providers {
+            let customer = link.other(provider).expect("provider is an endpoint");
+            out[provider.index()].push(customer.index());
+            indegree[customer.index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &out[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Which nodes a route originated at `src` reaches under no-valley
+    /// export: it climbs provider chains from `src` (customer routes
+    /// export to everyone), crosses at most one peer link at each
+    /// uphill node, then descends customer cones.
+    pub fn valley_free_reachable(&self, graph: &Graph, src: NodeId) -> Vec<bool> {
+        let n = graph.node_count();
+        let mut up = vec![false; n];
+        // Uphill closure from src.
+        let mut stack = vec![src];
+        up[src.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &v in graph.neighbors(u) {
+                if self.classify(u, v) == Relationship::Provider && !up[v.index()] {
+                    up[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        // Peers of uphill nodes enter in down-mode; then descend
+        // customer cones from every reached node.
+        let mut reached = up.clone();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for u in graph.nodes() {
+            if up[u.index()] {
+                stack.push(u);
+                for &v in graph.neighbors(u) {
+                    if self.classify(u, v) == Relationship::Peer && !reached[v.index()] {
+                        reached[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &v in graph.neighbors(u) {
+                if self.classify(u, v) == Relationship::Customer && !reached[v.index()] {
+                    reached[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{internet_like, mesh_torus, ring, star};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn star_hub_is_provider() {
+        let g = star(5);
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        for leaf in 1..5u32 {
+            assert_eq!(rel.classify(n(0), n(leaf)), Relationship::Customer);
+            assert_eq!(rel.classify(n(leaf), n(0)), Relationship::Provider);
+        }
+        assert!(rel.provider_dag_is_acyclic(&g));
+    }
+
+    #[test]
+    fn symmetric_classification() {
+        let g = internet_like(60, 2, 5);
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        for &link in g.links() {
+            let (a, b) = link.endpoints();
+            match rel.classify(a, b) {
+                Relationship::Customer => {
+                    assert_eq!(rel.classify(b, a), Relationship::Provider)
+                }
+                Relationship::Provider => {
+                    assert_eq!(rel.classify(b, a), Relationship::Customer)
+                }
+                Relationship::Peer => assert_eq!(rel.classify(b, a), Relationship::Peer),
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_hierarchy_is_acyclic() {
+        for seed in 0..5 {
+            let g = internet_like(100, 2, seed);
+            let rel = Relationships::infer_by_degree(&g, 0.25);
+            assert!(rel.provider_dag_is_acyclic(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_origin_reaches_everyone() {
+        // The property §5.1 needs: wherever the origin attaches, every
+        // node learns a route under no-valley export.
+        for seed in [1, 7] {
+            let g = internet_like(80, 2, seed);
+            let rel = Relationships::infer_by_degree(&g, 0.25);
+            for src in [0u32, 17, 42, 79] {
+                let reach = rel.valley_free_reachable(&g, n(src));
+                assert!(
+                    reach.iter().all(|&r| r),
+                    "seed {seed}: src {src} does not reach everyone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_hierarchy_is_total_and_reachable() {
+        let g = mesh_torus(5, 5);
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        assert!(rel.provider_dag_is_acyclic(&g));
+        let reach = rel.valley_free_reachable(&g, n(13));
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn peer_links_connect_same_tier_core() {
+        // Triangle of comparable hubs below a root: 0 is the root
+        // (degree 3), 1 and 2 share tier 1, are adjacent, and both sit
+        // in the top degree decile → peers.
+        let mut g = Graph::with_nodes(6);
+        g.add_link(n(0), n(1));
+        g.add_link(n(0), n(2));
+        g.add_link(n(1), n(2));
+        g.add_link(n(0), n(3));
+        g.add_link(n(1), n(4));
+        g.add_link(n(2), n(5));
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        assert_eq!(rel.classify(n(1), n(2)), Relationship::Peer);
+        assert_eq!(rel.classify(n(1), n(0)), Relationship::Provider);
+        assert_eq!(rel.classify(n(1), n(4)), Relationship::Customer);
+        assert!(rel.provider_dag_is_acyclic(&g));
+        let reach = rel.valley_free_reachable(&g, n(4));
+        assert!(reach.iter().all(|&r| r), "{reach:?}");
+    }
+
+    #[test]
+    fn ring_is_pure_hierarchy() {
+        // Equal degrees everywhere: ties break by id; adjacent nodes
+        // are on different tiers except nowhere — no peers appear, and
+        // the orientation stays acyclic and fully reachable.
+        let g = ring(6);
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        assert!(rel.provider_dag_is_acyclic(&g));
+        for src in 0..6u32 {
+            let reach = rel.valley_free_reachable(&g, n(src));
+            assert!(reach.iter().all(|&r| r), "src {src}");
+        }
+    }
+
+    #[test]
+    fn all_peers_labelling() {
+        let rel = Relationships::all_peers();
+        assert_eq!(rel.classify(n(0), n(1)), Relationship::Peer);
+        assert_eq!(rel.customer_provider_count(), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::with_nodes(3);
+        let rel = Relationships::infer_by_degree(&g, 0.25);
+        assert_eq!(rel.customer_provider_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let mut g = Graph::with_nodes(4);
+        g.add_link(n(0), n(1));
+        g.add_link(n(2), n(3));
+        Relationships::infer_by_degree(&g, 0.25);
+    }
+}

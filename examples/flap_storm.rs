@@ -1,0 +1,57 @@
+//! Flap storm: a persistently unstable route, which is the scenario
+//! damping was *designed* for.
+//!
+//! With many pulses, the ISP suppresses the flapping route and isolates
+//! the instability: message count stops growing with the number of
+//! flaps (paper §3, §4.3 muffling), and convergence time matches the
+//! closed-form intended behaviour.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example flap_storm
+//! ```
+
+use route_flap_damping::bgp::{Network, NetworkConfig};
+use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
+use route_flap_damping::sim::SimDuration;
+use route_flap_damping::topology::{mesh_torus, NodeId};
+
+fn main() {
+    let mesh = mesh_torus(8, 8);
+    let isp = NodeId::new(20);
+    println!("topology: 8x8 torus, ISP = {isp}");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>14}",
+        "pulses", "updates", "no-damping", "converge(s)", "intended(s)"
+    );
+
+    let params = DampingParams::cisco();
+    for pulses in [1usize, 3, 5, 8, 12] {
+        let mut damped = Network::new(&mesh, isp, NetworkConfig::paper_full_damping(11));
+        let with = damped.run_paper_workload(pulses);
+
+        let mut plain = Network::new(&mesh, isp, NetworkConfig::paper_no_damping(11));
+        let without = plain.run_paper_workload(pulses);
+
+        let intended = intended_behavior(
+            &params,
+            FlapPattern::paper_default(pulses),
+            SimDuration::from_secs(60),
+        );
+        println!(
+            "{:<8} {:>14} {:>14} {:>12.0} {:>14.0}",
+            pulses,
+            format!("{} (damped)", with.message_count),
+            format!("{} updates", without.message_count),
+            with.convergence_time.as_secs_f64(),
+            intended.convergence_time.as_secs_f64(),
+        );
+    }
+
+    println!(
+        "\nwithout damping the update count grows linearly with the storm length;\n\
+         with damping it saturates once the ISP suppresses the route — at the cost\n\
+         of a reuse delay that the closed-form model predicts (rightmost column)."
+    );
+}

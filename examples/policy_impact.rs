@@ -1,0 +1,62 @@
+//! Routing policy and damping dynamics (paper §7).
+//!
+//! The no-valley (Gao–Rexford) policy prunes alternate paths, which
+//! reduces path exploration, which reduces false suppression and hence
+//! secondary charging — convergence moves toward the intended
+//! behaviour, without reaching it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example policy_impact
+//! ```
+
+use route_flap_damping::bgp::{Network, NetworkConfig, Policy};
+use route_flap_damping::experiments::pick_isp;
+use route_flap_damping::experiments::scenarios::infer_relationships;
+use route_flap_damping::topology::internet_like;
+
+fn main() {
+    let graph = internet_like(100, 2, 3);
+    let isp = pick_isp(&graph, 3);
+    let rel = infer_relationships(&graph);
+    println!(
+        "topology: Internet-like, {} nodes / {} links ({} customer-provider, {} peer-peer), ISP = {isp}",
+        graph.node_count(),
+        graph.link_count(),
+        rel.customer_provider_count(),
+        graph.link_count() - rel.customer_provider_count(),
+    );
+    println!(
+        "{:<8} {:>18} {:>18} {:>14} {:>14}",
+        "pulses", "shortest-path(s)", "no-valley(s)", "sp suppressed", "nv suppressed"
+    );
+
+    for pulses in [1usize, 2, 3, 5] {
+        let mut shortest = Network::new(&graph, isp, NetworkConfig::paper_full_damping(3));
+        let sp = shortest.run_paper_workload(pulses);
+        let sp_supp = shortest.trace().ever_suppressed_entries();
+
+        let config = NetworkConfig {
+            policy: Policy::NoValley(infer_relationships(&graph)),
+            ..NetworkConfig::paper_full_damping(3)
+        };
+        let mut valley_free = Network::new(&graph, isp, config);
+        let nv = valley_free.run_paper_workload(pulses);
+        let nv_supp = valley_free.trace().ever_suppressed_entries();
+
+        println!(
+            "{:<8} {:>18.0} {:>18.0} {:>14} {:>14}",
+            pulses,
+            sp.convergence_time.as_secs_f64(),
+            nv.convergence_time.as_secs_f64(),
+            sp_supp,
+            nv_supp,
+        );
+    }
+    println!(
+        "\npolicy reduces the number of falsely suppressed entries (fewer alternate\n\
+         paths to explore) and with them the secondary charging that stretches\n\
+         convergence — §7's observation."
+    );
+}

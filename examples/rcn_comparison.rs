@@ -1,0 +1,58 @@
+//! Root Cause Notification, side by side with plain damping.
+//!
+//! The paper's fix (§6): attach the causing link event to every update
+//! and charge the damping penalty once per *root cause* instead of once
+//! per update. False suppression (path exploration) and secondary
+//! charging (reuse announcements) disappear; damping behaves exactly as
+//! its single-router design intends.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example rcn_comparison
+//! ```
+
+use route_flap_damping::bgp::{Network, NetworkConfig};
+use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
+use route_flap_damping::sim::SimDuration;
+use route_flap_damping::topology::{mesh_torus, NodeId};
+
+fn run(config: NetworkConfig, pulses: usize) -> (f64, usize, usize) {
+    let mesh = mesh_torus(8, 8);
+    let mut net = Network::new(&mesh, NodeId::new(33), config);
+    let report = net.run_paper_workload(pulses);
+    (
+        report.convergence_time.as_secs_f64(),
+        report.message_count,
+        net.trace().ever_suppressed_entries(),
+    )
+}
+
+fn main() {
+    let params = DampingParams::cisco();
+    println!(
+        "{:<8} {:>16} {:>16} {:>12} | {:>22} | {:>12}",
+        "pulses", "plain conv(s)", "rcn conv(s)", "intended(s)", "suppressed entries", "rcn msgs"
+    );
+    for pulses in 1..=6 {
+        let (plain_conv, _plain_msgs, plain_supp) =
+            run(NetworkConfig::paper_full_damping(5), pulses);
+        let (rcn_conv, rcn_msgs, rcn_supp) = run(NetworkConfig::paper_rcn_damping(5), pulses);
+        let intended = intended_behavior(
+            &params,
+            FlapPattern::paper_default(pulses),
+            SimDuration::from_secs(60),
+        )
+        .convergence_time
+        .as_secs_f64();
+        println!(
+            "{:<8} {:>16.0} {:>16.0} {:>12.0} | {:>9} vs {:>9} | {:>12}",
+            pulses, plain_conv, rcn_conv, intended, plain_supp, rcn_supp, rcn_msgs
+        );
+    }
+    println!(
+        "\nwith RCN, nothing is suppressed until the flapping itself crosses the\n\
+         cut-off (pulse 3 with Cisco defaults), and convergence tracks the\n\
+         intended column — plain damping overshoots it by an hour at small n."
+    );
+}

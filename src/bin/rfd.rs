@@ -1,0 +1,232 @@
+//! `rfd` — command-line front end for the route-flap-damping
+//! reproduction: run workloads, evaluate the intended-behaviour model,
+//! generate topologies.
+
+use std::process::ExitCode;
+
+use route_flap_damping::bgp::Network;
+use route_flap_damping::cli::{network_config, parse_run_options, TopologySpec, USAGE};
+use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
+use route_flap_damping::experiments::pick_isp;
+use route_flap_damping::metrics::{export_trace, StateClassifier};
+use route_flap_damping::sim::SimDuration;
+use route_flap_damping::topology::{to_edge_list, NodeId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "intended" => cmd_intended(rest),
+        "topology" => cmd_topology(rest),
+        "trace-stats" => cmd_trace_stats(rest),
+        "table1" => {
+            print!(
+                "{}",
+                route_flap_damping::experiments::figures::table1::table1().render()
+            );
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_run(args: &[String]) -> CmdResult {
+    let opts = parse_run_options(args)?;
+    let graph = opts.topology.build(opts.seed);
+    let isp = match opts.isp {
+        Some(raw) => {
+            if raw as usize >= graph.node_count() {
+                return Err(
+                    format!("--isp {raw} outside the {}-node graph", graph.node_count()).into(),
+                );
+            }
+            NodeId::new(raw)
+        }
+        None => pick_isp(&graph, opts.seed),
+    };
+    let config = network_config(&opts, &graph);
+    println!(
+        "topology {} nodes / {} links, ISP {isp}, {} pulses at {:.0} s, damping {}",
+        graph.node_count(),
+        graph.link_count(),
+        opts.pulses,
+        opts.interval.as_secs_f64(),
+        match (&opts.damping, opts.filter) {
+            (None, _) => "off".to_owned(),
+            (Some(_), f) => format!("on ({f:?})"),
+        },
+    );
+    let mut net = Network::new(&graph, isp, config);
+    net.warm_up();
+    let report = net.run_pulses(
+        FlapPattern::new(opts.pulses, opts.interval),
+        SimDuration::from_secs(100),
+    );
+    println!(
+        "converged {:.1} s after the final announcement; {} updates observed",
+        report.convergence_time.as_secs_f64(),
+        report.message_count
+    );
+    let (noisy, silent) = net.trace().reuse_counts();
+    println!(
+        "{} entries suppressed; reuse timers: {noisy} noisy / {silent} silent; peak penalty {:.0}",
+        net.trace().ever_suppressed_entries(),
+        net.trace().peak_penalty()
+    );
+    if opts.states {
+        println!("\nstates:");
+        let start = net.trace().first_flap_at();
+        for span in StateClassifier::default().classify(net.trace()) {
+            let rel = |t: route_flap_damping::sim::SimTime| {
+                start.map_or(0.0, |s| t.saturating_since(s).as_secs_f64())
+            };
+            println!(
+                "  {:<12} {:>8.0} s → {:>8.0} s",
+                span.state.to_string(),
+                rel(span.from),
+                rel(span.to)
+            );
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, export_trace(net.trace()))?;
+        println!("trace written to {path} ({} events)", net.trace().len());
+    }
+    Ok(())
+}
+
+fn cmd_intended(args: &[String]) -> CmdResult {
+    let mut pulses = 3usize;
+    let mut interval = SimDuration::from_secs(60);
+    let mut params = DampingParams::cisco();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--pulses" => pulses = value("--pulses")?.parse()?,
+            "--interval" => interval = SimDuration::from_secs_f64(value("--interval")?.parse()?),
+            "--params" => {
+                params = match value("--params")?.as_str() {
+                    "cisco" => DampingParams::cisco(),
+                    "juniper" => DampingParams::juniper(),
+                    other => return Err(format!("unknown preset `{other}`").into()),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+    let b = intended_behavior(
+        &params,
+        FlapPattern::new(pulses, interval),
+        SimDuration::ZERO,
+    );
+    println!(
+        "{pulses} pulses at {:.0} s intervals (cut-off {}, reuse {}):",
+        interval.as_secs_f64(),
+        params.cutoff_threshold(),
+        params.reuse_threshold()
+    );
+    match b.suppression_pulse {
+        Some(p) => println!("  suppression triggered at pulse {p}"),
+        None => println!("  suppression never triggered"),
+    }
+    println!("  final penalty {:.1}", b.final_penalty);
+    println!(
+        "  reuse delay after the final announcement: {:.1} s",
+        b.reuse_delay.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_trace_stats(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("trace-stats needs a trace file")?;
+    let text = std::fs::read_to_string(path)?;
+    let trace = route_flap_damping::metrics::parse_trace(&text)?;
+    println!("{} events", trace.len());
+    println!(
+        "messages: {} (convergence {:.1} s after the final announcement)",
+        trace.message_count(),
+        trace.convergence_time().as_secs_f64()
+    );
+    let (noisy, silent) = trace.reuse_counts();
+    println!(
+        "suppression: {} entries ever suppressed; reuses {} noisy / {} silent; peak penalty {:.0}",
+        trace.ever_suppressed_entries(),
+        noisy,
+        silent,
+        trace.peak_penalty()
+    );
+    let spans = StateClassifier::default().classify(&trace);
+    if !spans.is_empty() {
+        println!("states:");
+        let start = trace.first_flap_at();
+        for span in spans {
+            let rel = |t: route_flap_damping::sim::SimTime| {
+                start.map_or(0.0, |s| t.saturating_since(s).as_secs_f64())
+            };
+            println!(
+                "  {:<12} {:>8.0} s → {:>8.0} s",
+                span.state.to_string(),
+                rel(span.from),
+                rel(span.to)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_topology(args: &[String]) -> CmdResult {
+    let mut kind: Option<TopologySpec> = None;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--kind" => kind = Some(TopologySpec::parse(&value("--kind")?)?),
+            "--seed" => seed = value("--seed")?.parse()?,
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+    let kind = kind.ok_or("topology needs --kind")?;
+    let graph = kind.build(seed);
+    let text = to_edge_list(&graph);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text)?;
+            println!(
+                "{} nodes / {} links written to {path}",
+                graph.node_count(),
+                graph.link_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,357 @@
+//! Command-line interface plumbing for the `rfd` binary.
+//!
+//! Argument parsing is hand-rolled (the workspace keeps its dependency
+//! set minimal) and lives in the library so it is unit-testable; the
+//! binary in `src/bin/rfd.rs` only dispatches.
+
+use std::fmt;
+
+use rfd_bgp::{DampingDeployment, NetworkConfig, PenaltyFilter, Policy, ProtocolOptions};
+use rfd_core::DampingParams;
+use rfd_experiments::scenarios::infer_relationships;
+use rfd_sim::SimDuration;
+use rfd_topology::Graph;
+
+/// A parsed topology specification, e.g. `mesh:10x10`, `internet:100`,
+/// `ring:8`, `line:5`, `clique:6`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// `mesh:WxH`
+    Mesh(usize, usize),
+    /// `internet:N`
+    Internet(usize),
+    /// `ring:N`
+    Ring(usize),
+    /// `line:N`
+    Line(usize),
+    /// `clique:N`
+    Clique(usize),
+}
+
+impl TopologySpec {
+    /// Parses a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed specs.
+    pub fn parse(spec: &str) -> Result<Self, CliError> {
+        let (kind, size) = spec
+            .split_once(':')
+            .ok_or_else(|| CliError(format!("topology must look like kind:size, got `{spec}`")))?;
+        let parse_n = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|_| CliError(format!("bad size `{s}` in `{spec}`")))
+        };
+        match kind {
+            "mesh" => {
+                let (w, h) = size
+                    .split_once('x')
+                    .ok_or_else(|| CliError(format!("mesh needs WxH, got `{size}`")))?;
+                Ok(TopologySpec::Mesh(parse_n(w)?, parse_n(h)?))
+            }
+            "internet" => Ok(TopologySpec::Internet(parse_n(size)?)),
+            "ring" => Ok(TopologySpec::Ring(parse_n(size)?)),
+            "line" => Ok(TopologySpec::Line(parse_n(size)?)),
+            "clique" => Ok(TopologySpec::Clique(parse_n(size)?)),
+            other => Err(CliError(format!(
+                "unknown topology kind `{other}` (mesh|internet|ring|line|clique)"
+            ))),
+        }
+    }
+
+    /// Builds the graph (Internet graphs use `seed`).
+    pub fn build(self, seed: u64) -> Graph {
+        match self {
+            TopologySpec::Mesh(w, h) => rfd_topology::mesh_torus(w, h),
+            TopologySpec::Internet(n) => rfd_topology::internet_like(n, 2, seed),
+            TopologySpec::Ring(n) => rfd_topology::ring(n),
+            TopologySpec::Line(n) => rfd_topology::line(n),
+            TopologySpec::Clique(n) => rfd_topology::clique(n),
+        }
+    }
+}
+
+/// A CLI usage error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Options for `rfd run`.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Topology to simulate on.
+    pub topology: TopologySpec,
+    /// ISP node (None = seeded random pick).
+    pub isp: Option<u32>,
+    /// Number of pulses.
+    pub pulses: usize,
+    /// Gap between flap events.
+    pub interval: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Damping preset (`None` = off).
+    pub damping: Option<DampingParams>,
+    /// Penalty filter.
+    pub filter: PenaltyFilter,
+    /// Use the no-valley policy.
+    pub no_valley: bool,
+    /// Write the full trace here.
+    pub trace_out: Option<String>,
+    /// Print the state classification.
+    pub states: bool,
+    /// Protocol knobs (WRATE, loop avoidance, reuse quantisation).
+    pub protocol: ProtocolOptions,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            topology: TopologySpec::Mesh(10, 10),
+            isp: None,
+            pulses: 1,
+            interval: SimDuration::from_secs(60),
+            seed: 1,
+            damping: Some(DampingParams::cisco()),
+            filter: PenaltyFilter::Plain,
+            no_valley: false,
+            trace_out: None,
+            states: false,
+            protocol: ProtocolOptions::default(),
+        }
+    }
+}
+
+/// Parses the arguments of `rfd run` (everything after the subcommand).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, or malformed
+/// values.
+pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--topology" => opts.topology = TopologySpec::parse(&value("--topology")?)?,
+            "--isp" => {
+                opts.isp = Some(
+                    value("--isp")?
+                        .parse()
+                        .map_err(|_| CliError("--isp needs a node index".into()))?,
+                )
+            }
+            "--pulses" => {
+                opts.pulses = value("--pulses")?
+                    .parse()
+                    .map_err(|_| CliError("--pulses needs an integer".into()))?
+            }
+            "--interval" => {
+                let secs: f64 = value("--interval")?
+                    .parse()
+                    .map_err(|_| CliError("--interval needs seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--interval must be positive".into()));
+                }
+                opts.interval = SimDuration::from_secs_f64(secs);
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError("--seed needs an integer".into()))?
+            }
+            "--damping" => {
+                opts.damping = match value("--damping")?.as_str() {
+                    "off" => None,
+                    "cisco" => Some(DampingParams::cisco()),
+                    "juniper" => Some(DampingParams::juniper()),
+                    "ripe229" => Some(DampingParams::ripe229_aggressive()),
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown damping preset `{other}` (off|cisco|juniper|ripe229)"
+                        )))
+                    }
+                }
+            }
+            "--filter" => {
+                opts.filter = match value("--filter")?.as_str() {
+                    "plain" => PenaltyFilter::Plain,
+                    "rcn" => PenaltyFilter::Rcn,
+                    "selective" => PenaltyFilter::Selective,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown filter `{other}` (plain|rcn|selective)"
+                        )))
+                    }
+                }
+            }
+            "--policy" => {
+                opts.no_valley = match value("--policy")?.as_str() {
+                    "shortest" => false,
+                    "novalley" => true,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown policy `{other}` (shortest|novalley)"
+                        )))
+                    }
+                }
+            }
+            "--trace" => opts.trace_out = Some(value("--trace")?),
+            "--states" => opts.states = true,
+            "--wrate" => opts.protocol.withdrawal_pacing = true,
+            "--no-loop-avoidance" => opts.protocol.sender_side_loop_avoidance = false,
+            "--reuse-granularity" => {
+                let secs: f64 = value("--reuse-granularity")?
+                    .parse()
+                    .map_err(|_| CliError("--reuse-granularity needs seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--reuse-granularity must be positive".into()));
+                }
+                opts.protocol.reuse_granularity = Some(SimDuration::from_secs_f64(secs));
+            }
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+    }
+    if opts.filter != PenaltyFilter::Plain && opts.damping.is_none() {
+        return Err(CliError(
+            "--filter rcn|selective requires damping to be enabled".into(),
+        ));
+    }
+    Ok(opts)
+}
+
+/// Builds the [`NetworkConfig`] for parsed run options against a built
+/// graph.
+pub fn network_config(opts: &RunOptions, graph: &Graph) -> NetworkConfig {
+    NetworkConfig {
+        seed: opts.seed,
+        protocol: opts.protocol,
+        damping: match opts.damping {
+            Some(p) => DampingDeployment::Full(p),
+            None => DampingDeployment::Off,
+        },
+        filter: opts.filter,
+        policy: if opts.no_valley {
+            Policy::NoValley(infer_relationships(graph))
+        } else {
+            Policy::ShortestPath
+        },
+        ..NetworkConfig::default()
+    }
+}
+
+/// The top-level usage string.
+pub const USAGE: &str = "\
+rfd — route flap damping simulator (reproduction of ICDCS 2005)
+
+USAGE:
+  rfd run [--topology KIND:SIZE] [--isp N] [--pulses N] [--interval SECS]
+          [--seed N] [--damping off|cisco|juniper|ripe229]
+          [--filter plain|rcn|selective] [--policy shortest|novalley]
+          [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
+          [--reuse-granularity SECS]
+  rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
+  rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
+  rfd trace-stats FILE
+  rfd table1
+  rfd help
+
+TOPOLOGIES: mesh:10x10, internet:100, ring:8, line:5, clique:6
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn topology_specs_parse() {
+        assert_eq!(
+            TopologySpec::parse("mesh:10x10"),
+            Ok(TopologySpec::Mesh(10, 10))
+        );
+        assert_eq!(
+            TopologySpec::parse("internet:208"),
+            Ok(TopologySpec::Internet(208))
+        );
+        assert_eq!(TopologySpec::parse("ring:8"), Ok(TopologySpec::Ring(8)));
+        assert!(TopologySpec::parse("mesh:10").is_err());
+        assert!(TopologySpec::parse("blob:3").is_err());
+        assert!(TopologySpec::parse("mesh").is_err());
+    }
+
+    #[test]
+    fn topology_specs_build() {
+        assert_eq!(TopologySpec::Mesh(3, 3).build(1).node_count(), 9);
+        assert_eq!(TopologySpec::Internet(20).build(1).node_count(), 20);
+        assert_eq!(TopologySpec::Line(4).build(1).link_count(), 3);
+        assert_eq!(TopologySpec::Clique(4).build(1).link_count(), 6);
+    }
+
+    #[test]
+    fn run_options_defaults_and_overrides() {
+        let opts = parse_run_options(&args(
+            "--topology ring:6 --pulses 3 --seed 9 --damping juniper --filter rcn --states",
+        ))
+        .unwrap();
+        assert_eq!(opts.topology, TopologySpec::Ring(6));
+        assert_eq!(opts.pulses, 3);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.damping, Some(DampingParams::juniper()));
+        assert_eq!(opts.filter, PenaltyFilter::Rcn);
+        assert!(opts.states);
+        assert!(!opts.no_valley);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_run_options(&args("--bogus")).is_err());
+        assert!(parse_run_options(&args("--pulses")).is_err());
+        assert!(parse_run_options(&args("--pulses x")).is_err());
+        assert!(parse_run_options(&args("--interval -5")).is_err());
+        assert!(parse_run_options(&args("--damping never")).is_err());
+    }
+
+    #[test]
+    fn protocol_knob_flags_parse() {
+        let opts =
+            parse_run_options(&args("--wrate --no-loop-avoidance --reuse-granularity 15")).unwrap();
+        assert!(opts.protocol.withdrawal_pacing);
+        assert!(!opts.protocol.sender_side_loop_avoidance);
+        assert_eq!(
+            opts.protocol.reuse_granularity,
+            Some(SimDuration::from_secs(15))
+        );
+        assert!(parse_run_options(&args("--reuse-granularity nope")).is_err());
+        assert!(parse_run_options(&args("--reuse-granularity -2")).is_err());
+    }
+
+    #[test]
+    fn filter_requires_damping() {
+        let e = parse_run_options(&args("--damping off --filter rcn")).unwrap_err();
+        assert!(e.to_string().contains("requires damping"));
+    }
+
+    #[test]
+    fn config_construction() {
+        let opts = parse_run_options(&args("--topology internet:30 --policy novalley")).unwrap();
+        let graph = opts.topology.build(opts.seed);
+        let config = network_config(&opts, &graph);
+        assert!(config.policy.is_no_valley());
+        config.validate().unwrap();
+    }
+}

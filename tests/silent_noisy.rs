@@ -1,0 +1,155 @@
+//! Network-level reproductions of the paper's Figure 5 (silent reuse)
+//! and Figure 6 (noisy reuse) micro-scenarios, plus the muffling effect
+//! of §4.3 — all on topologies small enough to reason about exactly.
+
+use route_flap_damping::bgp::{Network, NetworkConfig};
+use route_flap_damping::damping::FlapPattern;
+use route_flap_damping::metrics::TraceEventKind;
+use route_flap_damping::sim::SimDuration;
+use route_flap_damping::topology::{line, ring, NodeId};
+
+/// On a line there are no alternate paths: every reuse that fires while
+/// the origin is still down finds no route and must be silent
+/// (muffling, §4.3); the final reuse at the ISP is the only noisy one
+/// in the suppression regime.
+#[test]
+fn line_reuses_are_muffled_except_the_isp() {
+    let graph = line(4);
+    let isp = NodeId::new(3);
+    let mut net = Network::new(&graph, isp, NetworkConfig::paper_full_damping(1));
+    net.warm_up();
+    let report = net.run_pulses(FlapPattern::paper_default(5), SimDuration::from_secs(100));
+    assert_eq!(
+        report.outcome,
+        route_flap_damping::sim::RunOutcome::Quiescent
+    );
+
+    let origin = net.origin();
+    let mut isp_noisy = 0;
+    let mut remote_noisy = 0;
+    let mut remote_silent = 0;
+    for e in net.trace().events() {
+        if let TraceEventKind::Reused {
+            node, peer, noisy, ..
+        } = e.kind
+        {
+            if node == isp.raw() && peer == origin.raw() {
+                assert!(noisy, "the ISP's reuse re-announces the route");
+                isp_noisy += 1;
+            } else if noisy {
+                remote_noisy += 1;
+            } else {
+                remote_silent += 1;
+            }
+        }
+    }
+    assert_eq!(isp_noisy, 1, "exactly one reuse at the ISP");
+    assert!(remote_silent > 0, "remote timers expired silently");
+    // Downstream entries may be reused noisily only *after* the ISP's
+    // announcement restored reachability — never to announce stale
+    // routes. With 5 pulses the ISP's timer is last (muffling), so the
+    // only remote noisy reuses are those racing the restoration wave.
+    assert!(
+        remote_noisy <= 3,
+        "unexpected noisy remote reuses: {remote_noisy}"
+    );
+}
+
+/// Figure 6's essence: a router whose *only* (and therefore best) route
+/// was suppressed re-announces it when the reuse timer fires.
+#[test]
+fn noisy_reuse_reannounces() {
+    let graph = line(3);
+    let isp = NodeId::new(2);
+    let mut net = Network::new(&graph, isp, NetworkConfig::paper_full_damping(2));
+    net.warm_up();
+    net.run_pulses(FlapPattern::paper_default(4), SimDuration::from_secs(100));
+    // After quiescence the route is restored everywhere.
+    for id in 0..3u32 {
+        assert!(
+            net.router(NodeId::new(id)).best().is_some(),
+            "node {id} must recover the route after reuse"
+        );
+    }
+    // The ISP's noisy reuse triggered updates after its timer fired.
+    let trace = net.trace();
+    let last_reuse = trace
+        .events()
+        .iter()
+        .rev()
+        .find_map(|e| match e.kind {
+            TraceEventKind::Reused { noisy: true, .. } => Some(e.at),
+            _ => None,
+        })
+        .expect("a noisy reuse happened");
+    assert!(
+        trace.last_update_at().expect("updates flowed") >= last_reuse,
+        "the noisy reuse must trigger updates"
+    );
+}
+
+/// Figure 5's essence: on a ring the destination stays reachable via
+/// the other direction, so a suppressed entry for the *longer* way
+/// around is not the best route and its reuse changes nothing at
+/// remote routers.
+#[test]
+fn silent_reuse_when_better_route_exists() {
+    let graph = ring(6);
+    let isp = NodeId::new(0);
+    let mut net = Network::new(&graph, isp, NetworkConfig::paper_full_damping(3));
+    net.warm_up();
+    net.run_pulses(FlapPattern::paper_default(1), SimDuration::from_secs(100));
+    let (noisy, silent) = net.trace().reuse_counts();
+    // The single flap causes exploration around the ring; at least one
+    // entry whose route is dominated gets suppressed and later released
+    // silently.
+    assert!(
+        silent > 0 || noisy == 0,
+        "expected silent releases on the ring, got {noisy} noisy / {silent} silent"
+    );
+    // Whatever happened, the network converges with every node routed.
+    for id in 0..6u32 {
+        assert!(net.router(NodeId::new(id)).best().is_some());
+    }
+}
+
+/// §4.3 muffling: while the ISP keeps the origin suppressed, remote
+/// reuse expirations must not inject updates (the destination is
+/// unreachable).
+#[test]
+fn no_updates_from_reuses_before_the_isp_releases() {
+    let graph = line(5);
+    let isp = NodeId::new(4);
+    let mut net = Network::new(&graph, isp, NetworkConfig::paper_full_damping(4));
+    net.warm_up();
+    net.run_pulses(FlapPattern::paper_default(6), SimDuration::from_secs(100));
+    let origin = net.origin();
+    let trace = net.trace();
+    let isp_reuse_at = trace
+        .events()
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceEventKind::Reused { node, peer, .. }
+                if node == isp.raw() && peer == origin.raw() =>
+            {
+                Some(e.at)
+            }
+            _ => None,
+        })
+        .expect("the ISP eventually reuses the origin route");
+    // Between the end of flapping activity and the ISP's reuse, the
+    // network is quiet: find the last update before the reuse and
+    // check the gap is the suppression period, not scattered updates.
+    let updates_before: Vec<_> = trace
+        .events()
+        .iter()
+        .filter(|e| e.is_update_received() && e.at < isp_reuse_at)
+        .map(|e| e.at)
+        .collect();
+    let last_before = *updates_before.last().expect("charging updates exist");
+    assert!(
+        isp_reuse_at.saturating_since(last_before) > SimDuration::from_secs(600),
+        "expected a long quiet suppression period before the ISP reuse; gap was {}",
+        isp_reuse_at.saturating_since(last_before)
+    );
+}
