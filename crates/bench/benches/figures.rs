@@ -93,6 +93,7 @@ fn bench_quick_sweep(c: &mut Criterion) {
         let opts = SweepOptions {
             max_pulses: 3,
             seeds: vec![1],
+            ..SweepOptions::default()
         };
         b.iter(|| {
             black_box(rfd_experiments::figures::fig8_9::figure8_9_on(

@@ -1,0 +1,253 @@
+//! # rfd-benchkit — a dependency-free benchmark harness
+//!
+//! A minimal, std-only stand-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace's benches
+//! use. The workspace aliases it as `criterion` (Cargo `package =`
+//! rename), so the bench files keep their upstream-idiomatic form while
+//! building offline with zero external dependencies.
+//!
+//! The measurement model is deliberately simple: each benchmark is
+//! warmed up briefly, then timed over a fixed wall-clock budget, and the
+//! median per-iteration time is reported on stdout. There is no
+//! statistical regression analysis, HTML report, or plotting — this
+//! harness exists so `cargo build --all-targets` and `cargo bench`
+//! work offline, with useful (if coarse) numbers.
+//!
+//! Supported surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], `criterion_group!`, `criterion_main!`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Wall-clock budget per benchmark (warm-up plus sampling).
+const TIME_BUDGET: Duration = Duration::from_millis(400);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id.label()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report-flush hook in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured per-sample durations (one sample = `iters_per_sample` calls).
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit in ~1/sample_size of the budget?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = TIME_BUDGET / (self.sample_size as u32).max(1);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Runs one benchmark and prints its median per-iteration time.
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let (lo, hi) = (b.samples[0], *b.samples.last().unwrap());
+    println!(
+        "bench {label:<48} median {median:>12?}  (min {lo:?}, max {hi:?}, n={})",
+        b.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench binaries with `--test`;
+            // skip the timed runs there to keep the test suite fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default();
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    #[test]
+    fn groups_run_parameterised_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        for n in [4u64, 8] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        g.bench_function("plain", |b| b.iter(|| black_box(0u8)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label(), "x");
+    }
+}

@@ -5,7 +5,7 @@
 use rfd_experiments::figures::extensions::{
     deployment_table, heterogeneous_params_demo, partial_deployment_sweep, prefix_interference,
 };
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, quick_flag, runner_config, save_csv, saved};
 use rfd_experiments::TopologyKind;
 
 fn main() {
@@ -51,7 +51,13 @@ fn main() {
         TopologyKind::PAPER_MESH
     };
     let seeds: &[u64] = if quick_flag() { &[1] } else { &[1, 2, 3] };
-    let points = partial_deployment_sweep(kind, &[0.0, 0.25, 0.5, 0.75, 1.0], 1, seeds);
+    let points = partial_deployment_sweep(
+        kind,
+        &[0.0, 0.25, 0.5, 0.75, 1.0],
+        1,
+        seeds,
+        &runner_config(),
+    );
     let table = deployment_table(&points);
     println!("{table}");
     saved(&save_csv("extensions_partial_deployment", &table));

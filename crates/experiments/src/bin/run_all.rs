@@ -14,7 +14,7 @@ use rfd_experiments::figures::fig3::figure3;
 use rfd_experiments::figures::fig7::{figure7, figure7_with};
 use rfd_experiments::figures::fig8_9::figure8_9;
 use rfd_experiments::figures::table1::table1;
-use rfd_experiments::output::{banner, quick_flag, save_csv, sweep_options};
+use rfd_experiments::output::{banner, quick_flag, runner_config, save_csv, sweep_options};
 use rfd_experiments::TopologyKind;
 
 fn step(label: &str, f: impl FnOnce()) {
@@ -122,7 +122,7 @@ fn main() {
         } else {
             TopologyKind::PAPER_MESH
         };
-        let points = partial_deployment_sweep(kind, &[0.0, 0.5, 1.0], 1, &[1]);
+        let points = partial_deployment_sweep(kind, &[0.0, 0.5, 1.0], 1, &[1], &runner_config());
         save_csv("extensions_partial_deployment", &deployment_table(&points));
     });
     step("Sweeps [15]", || {
@@ -142,14 +142,14 @@ fn main() {
             SimDuration::from_secs(120),
             SimDuration::from_mins(25),
         ];
-        let points = interval_sweep(kind, 3, &intervals, &[1]);
+        let points = interval_sweep(kind, 3, &intervals, &[1], &runner_config());
         save_csv("sweep_interval", &interval_table(&points));
         let sizes: &[(usize, usize)] = if quick {
             &[(3, 3), (5, 5)]
         } else {
             &[(4, 4), (6, 6), (8, 8), (10, 10)]
         };
-        let points = size_sweep(sizes, 1, &[1]);
+        let points = size_sweep(sizes, 1, &[1], &runner_config());
         save_csv("sweep_size", &size_table(&points));
         let presets = [
             ("cisco", rfd_core::DampingParams::cisco()),
@@ -159,7 +159,7 @@ fn main() {
                 rfd_core::DampingParams::ripe229_aggressive(),
             ),
         ];
-        let points = parameter_sweep(kind, &presets, 3, &[1]);
+        let points = parameter_sweep(kind, &presets, 3, &[1], &runner_config());
         save_csv("sweep_params", &parameter_table(&points));
     });
     println!("\nall artefacts regenerated under results/");

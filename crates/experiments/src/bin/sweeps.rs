@@ -5,7 +5,7 @@ use rfd_core::DampingParams;
 use rfd_experiments::figures::report15::{
     interval_sweep, interval_table, parameter_sweep, parameter_table, size_sweep, size_table,
 };
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, quick_flag, runner_config, save_csv, saved};
 use rfd_experiments::TopologyKind;
 use rfd_sim::SimDuration;
 
@@ -34,7 +34,8 @@ fn main() {
         SimDuration::from_secs(300),
         SimDuration::from_mins(25),
     ];
-    let points = interval_sweep(kind, 3, &intervals, seeds);
+    let exec = runner_config();
+    let points = interval_sweep(kind, 3, &intervals, seeds, &exec);
     let table = interval_table(&points);
     println!("{table}");
     saved(&save_csv("sweep_interval", &table));
@@ -45,7 +46,7 @@ fn main() {
     } else {
         &[(4, 4), (6, 6), (8, 8), (10, 10), (12, 12)]
     };
-    let points = size_sweep(sizes, 1, seeds);
+    let points = size_sweep(sizes, 1, seeds, &exec);
     let table = size_table(&points);
     println!("{table}");
     saved(&save_csv("sweep_size", &table));
@@ -56,7 +57,7 @@ fn main() {
         ("juniper", DampingParams::juniper()),
         ("ripe229-aggressive", DampingParams::ripe229_aggressive()),
     ];
-    let points = parameter_sweep(kind, &presets, 3, seeds);
+    let points = parameter_sweep(kind, &presets, 3, seeds, &exec);
     let table = parameter_table(&points);
     println!("{table}");
     saved(&save_csv("sweep_params", &table));

@@ -6,10 +6,13 @@
 //! premature false suppression to swallow updates).
 
 use rfd_bgp::NetworkConfig;
+use rfd_core::DampingParams;
 
-use crate::figures::fig8_9::{figure8_9_on, CALCULATION};
+use crate::figures::fig8_9::measured_specs;
 use crate::scenarios::TopologyKind;
-use crate::sweep::{measure_series, PulseSweep, SweepOptions};
+use crate::sweep::{
+    calculation_series, estimate_t_up, measure_sweep, PulseSweep, SeriesSpec, SweepOptions,
+};
 
 /// Legend label for the RCN series.
 pub const DAMPING_AND_RCN: &str = "Damping and RCN";
@@ -19,40 +22,41 @@ pub fn figure13_14(opts: &SweepOptions) -> PulseSweep {
     figure13_14_on(opts, TopologyKind::PAPER_MESH, TopologyKind::PAPER_INTERNET)
 }
 
-/// Parameterised variant.
+/// Parameterised variant. The Figure 8/9 measured series plus the RCN
+/// series run as a single grid ("fig13-14"); the calculation is
+/// appended last (paper legend order: simulations, RCN, calculation).
 pub fn figure13_14_on(
     opts: &SweepOptions,
     mesh: TopologyKind,
     internet: TopologyKind,
 ) -> PulseSweep {
-    let mut sweep = figure8_9_on(opts, mesh, internet);
-    let rcn = measure_series(
+    let t_up = estimate_t_up(mesh, opts);
+    let mut specs = measured_specs(mesh, internet);
+    specs.push(SeriesSpec::by_seed(
         DAMPING_AND_RCN,
         mesh,
-        opts,
         NetworkConfig::paper_rcn_damping,
-    );
-    // Keep the calculation last (paper legend order: simulations, RCN,
-    // calculation).
-    let calc_idx = sweep
-        .series
-        .iter()
-        .position(|s| s.label == CALCULATION)
-        .expect("figure 8/9 sweep includes the calculation");
-    sweep.series.insert(calc_idx, rcn);
+    ));
+    let mut sweep = measure_sweep("fig13-14", specs, opts);
+    sweep.series.push(calculation_series(
+        &DampingParams::cisco(),
+        opts.max_pulses,
+        t_up,
+    ));
     sweep
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::fig8_9::FULL_DAMPING_MESH;
+    use crate::figures::fig8_9::{CALCULATION, FULL_DAMPING_MESH};
 
     #[test]
     fn rcn_restores_intended_behaviour() {
         let opts = SweepOptions {
             max_pulses: 4,
             seeds: vec![2],
+            ..SweepOptions::default()
         };
         let mesh = TopologyKind::Mesh {
             width: 5,
@@ -87,6 +91,7 @@ mod tests {
         let opts = SweepOptions {
             max_pulses: 5,
             seeds: vec![2],
+            ..SweepOptions::default()
         };
         let mesh = TopologyKind::Mesh {
             width: 4,

@@ -12,7 +12,7 @@ use rfd_core::DampingParams;
 
 use crate::scenarios::{infer_relationships, TopologyKind};
 use crate::sweep::{
-    calculation_series, estimate_t_up, measure_series_on, PulseSweep, SweepOptions,
+    calculation_series, estimate_t_up, measure_sweep, PulseSweep, SeriesSpec, SweepOptions,
 };
 
 /// Legend labels.
@@ -27,21 +27,22 @@ pub fn figure15(opts: &SweepOptions) -> PulseSweep {
     figure15_on(opts, TopologyKind::PAPER_INTERNET_208)
 }
 
-/// Parameterised variant.
+/// Parameterised variant. Both measured series run as one grid
+/// ("fig15") so policy and no-policy cells share the thread pool.
 pub fn figure15_on(opts: &SweepOptions, kind: TopologyKind) -> PulseSweep {
-    let with_policy = measure_series_on(WITH_POLICY, kind, opts, |graph, seed| NetworkConfig {
-        policy: Policy::NoValley(infer_relationships(graph)),
-        ..NetworkConfig::paper_full_damping(seed)
-    });
-    let no_policy = measure_series_on(NO_POLICY, kind, opts, |_, seed| {
-        NetworkConfig::paper_full_damping(seed)
-    });
+    let specs = vec![
+        SeriesSpec::on_graph(WITH_POLICY, kind, |graph, seed| NetworkConfig {
+            policy: Policy::NoValley(infer_relationships(graph)),
+            ..NetworkConfig::paper_full_damping(seed)
+        }),
+        SeriesSpec::by_seed(NO_POLICY, kind, NetworkConfig::paper_full_damping),
+    ];
+    let mut sweep = measure_sweep("fig15", specs, opts);
     let t_up = estimate_t_up(kind, opts);
     let mut intended = calculation_series(&DampingParams::cisco(), opts.max_pulses, t_up);
     intended.label = INTENDED.to_owned();
-    PulseSweep {
-        series: vec![with_policy, no_policy, intended],
-    }
+    sweep.series.push(intended);
+    sweep
 }
 
 /// Mean convergence over `n = 1..=max` for one series (comparison
@@ -70,6 +71,7 @@ mod tests {
         let opts = SweepOptions {
             max_pulses: 3,
             seeds: vec![4],
+            ..SweepOptions::default()
         };
         // A smaller Internet graph keeps the test quick; the effect is
         // structural, not size-bound.
@@ -92,6 +94,7 @@ mod tests {
         let opts = SweepOptions {
             max_pulses: 1,
             seeds: vec![1],
+            ..SweepOptions::default()
         };
         let sweep = figure15_on(&opts, TopologyKind::Internet { nodes: 20, m: 2 });
         for label in [WITH_POLICY, NO_POLICY, INTENDED] {

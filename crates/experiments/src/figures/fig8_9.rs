@@ -12,7 +12,9 @@ use rfd_bgp::NetworkConfig;
 use rfd_core::DampingParams;
 
 use crate::scenarios::TopologyKind;
-use crate::sweep::{calculation_series, estimate_t_up, measure_series, PulseSweep, SweepOptions};
+use crate::sweep::{
+    calculation_series, estimate_t_up, measure_sweep, PulseSweep, SeriesSpec, SweepOptions,
+};
 
 /// Series labels (matching the paper's legends).
 pub const NO_DAMPING_MESH: &str = "No Damping (simulation, mesh)";
@@ -29,26 +31,32 @@ pub fn figure8_9(opts: &SweepOptions) -> PulseSweep {
     figure8_9_on(opts, TopologyKind::PAPER_MESH, TopologyKind::PAPER_INTERNET)
 }
 
-/// Parameterised variant for reduced-size tests and benches.
-pub fn figure8_9_on(opts: &SweepOptions, mesh: TopologyKind, internet: TopologyKind) -> PulseSweep {
-    let t_up = estimate_t_up(mesh, opts);
-    let series = vec![
-        measure_series(NO_DAMPING_MESH, mesh, opts, NetworkConfig::paper_no_damping),
-        measure_series(
-            FULL_DAMPING_MESH,
-            mesh,
-            opts,
-            NetworkConfig::paper_full_damping,
-        ),
-        measure_series(
+/// The three measured series of Figures 8/9 as one runner grid (shared
+/// by Figures 13/14, which extend the grid with an RCN series).
+pub fn measured_specs(mesh: TopologyKind, internet: TopologyKind) -> Vec<SeriesSpec<'static>> {
+    vec![
+        SeriesSpec::by_seed(NO_DAMPING_MESH, mesh, NetworkConfig::paper_no_damping),
+        SeriesSpec::by_seed(FULL_DAMPING_MESH, mesh, NetworkConfig::paper_full_damping),
+        SeriesSpec::by_seed(
             FULL_DAMPING_INTERNET,
             internet,
-            opts,
             NetworkConfig::paper_full_damping,
         ),
-        calculation_series(&DampingParams::cisco(), opts.max_pulses, t_up),
-    ];
-    PulseSweep { series }
+    ]
+}
+
+/// Parameterised variant for reduced-size tests and benches. All
+/// measured series run as a single grid ("fig8-9") so the thread pool
+/// spans series, pulse counts and seeds at once.
+pub fn figure8_9_on(opts: &SweepOptions, mesh: TopologyKind, internet: TopologyKind) -> PulseSweep {
+    let t_up = estimate_t_up(mesh, opts);
+    let mut sweep = measure_sweep("fig8-9", measured_specs(mesh, internet), opts);
+    sweep.series.push(calculation_series(
+        &DampingParams::cisco(),
+        opts.max_pulses,
+        t_up,
+    ));
+    sweep
 }
 
 /// Finds the measured critical point `N_h`: the smallest `n ≥ 1` from
@@ -82,6 +90,7 @@ mod tests {
         let opts = SweepOptions {
             max_pulses: 6,
             seeds: vec![2],
+            ..SweepOptions::default()
         };
         let sweep = figure8_9_on(
             &opts,

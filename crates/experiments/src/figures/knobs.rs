@@ -4,12 +4,13 @@
 //! defaults are: withdrawals immediate, loop avoidance on, exact
 //! timers); they are the knobs a deployment would actually turn.
 
-use rfd_bgp::{Network, NetworkConfig, ProtocolOptions};
+use rfd_bgp::{NetworkConfig, ProtocolOptions};
 use rfd_core::FlapPattern;
 use rfd_metrics::{fmt_f64, Table};
+use rfd_runner::{run_grid, RunGrid, RunnerConfig};
 use rfd_sim::SimDuration;
 
-use crate::scenarios::{pick_isp, TopologyKind};
+use crate::scenarios::{run_pattern_metrics, TopologyKind};
 
 /// One knob configuration's outcome.
 #[derive(Debug, Clone)]
@@ -74,28 +75,47 @@ pub fn knob_comparison_with(
     seed: u64,
     damped: bool,
 ) -> Vec<KnobPoint> {
+    // One grid series per knob configuration. The grid name encodes the
+    // workload so different invocations never share a journal file.
+    let name = format!(
+        "knobs-n{pulses}-i{}-{}",
+        interval.as_secs_f64(),
+        if damped { "damped" } else { "undamped" }
+    );
+    let mut grid = RunGrid::new(name).pulses(vec![pulses]).seeds(vec![seed]);
+    for (label, protocol) in knob_configs() {
+        grid = grid.series(label, protocol);
+    }
+    let results = run_grid(
+        &grid,
+        &RunnerConfig::sequential(),
+        |&protocol: &ProtocolOptions, cell| {
+            run_pattern_metrics(
+                kind,
+                cell.seed,
+                FlapPattern::new(cell.pulses, interval),
+                |_| {
+                    let base = if damped {
+                        NetworkConfig::paper_full_damping(cell.seed)
+                    } else {
+                        NetworkConfig::paper_no_damping(cell.seed)
+                    };
+                    NetworkConfig { protocol, ..base }
+                },
+            )
+        },
+    )
+    .expect("run journal I/O failed");
     knob_configs()
         .into_iter()
-        .map(|(label, protocol)| {
-            let graph = kind.build(seed);
-            let isp = pick_isp(&graph, seed);
-            let base = if damped {
-                NetworkConfig::paper_full_damping(seed)
-            } else {
-                NetworkConfig::paper_no_damping(seed)
-            };
-            let config = NetworkConfig { protocol, ..base };
-            let mut net = Network::new(&graph, isp, config);
-            net.warm_up();
-            let report = net.run_pulses(
-                FlapPattern::new(pulses, interval),
-                SimDuration::from_secs(100),
-            );
+        .enumerate()
+        .map(|(si, (label, _))| {
+            let m = &results.point_metrics(si, 0)[0];
             KnobPoint {
                 label: label.to_owned(),
-                convergence_secs: report.convergence_time.as_secs_f64(),
-                messages: report.message_count,
-                suppressed: net.trace().ever_suppressed_entries(),
+                convergence_secs: m.convergence_secs,
+                messages: m.messages as usize,
+                suppressed: m.suppressed as usize,
             }
         })
         .collect()

@@ -18,9 +18,10 @@
 use rfd_bgp::{DampingDeployment, NetworkConfig};
 use rfd_core::{intended_behavior, DampingParams, FlapPattern};
 use rfd_metrics::{fmt_f64, Table};
+use rfd_runner::{run_grid, RunGrid, RunnerConfig};
 use rfd_sim::SimDuration;
 
-use crate::scenarios::{run_workload, TopologyKind};
+use crate::scenarios::{run_cell_metrics, run_pattern_metrics, TopologyKind};
 
 /// One row of the flapping-interval sweep.
 #[derive(Debug, Clone, Copy)]
@@ -37,33 +38,36 @@ pub struct IntervalPoint {
     pub intended_secs: f64,
 }
 
-/// Sweeps the flapping interval at a fixed pulse count.
+/// Sweeps the flapping interval at a fixed pulse count. One grid
+/// series per interval ("report15-interval" journal).
 pub fn interval_sweep(
     kind: TopologyKind,
     pulses: usize,
     intervals: &[SimDuration],
     seeds: &[u64],
+    exec: &RunnerConfig,
 ) -> Vec<IntervalPoint> {
     let params = DampingParams::cisco();
+    let mut grid = RunGrid::new("report15-interval")
+        .pulses(vec![pulses])
+        .seeds(seeds.to_vec());
+    for &interval in intervals {
+        grid = grid.series(format!("interval={}s", interval.as_secs_f64()), interval);
+    }
+    let results = run_grid(&grid, exec, |&interval, cell| {
+        run_pattern_metrics(
+            kind,
+            cell.seed,
+            FlapPattern::new(cell.pulses, interval),
+            |_| NetworkConfig::paper_full_damping(cell.seed),
+        )
+    })
+    .expect("run journal I/O failed");
     intervals
         .iter()
-        .map(|&interval| {
-            let mut conv = 0.0;
-            let mut msgs = 0.0;
-            let mut supp = 0.0;
-            for &seed in seeds {
-                let pattern = FlapPattern::new(pulses, interval);
-                let graph = kind.build(seed);
-                let isp = crate::scenarios::pick_isp(&graph, seed);
-                let mut net =
-                    rfd_bgp::Network::new(&graph, isp, NetworkConfig::paper_full_damping(seed));
-                net.warm_up();
-                let report = net.run_pulses(pattern, SimDuration::from_secs(100));
-                conv += report.convergence_time.as_secs_f64();
-                msgs += report.message_count as f64;
-                supp += net.trace().ever_suppressed_entries() as f64;
-            }
-            let k = seeds.len() as f64;
+        .enumerate()
+        .map(|(si, &interval)| {
+            let stats = results.point_stats(si, 0);
             let intended = intended_behavior(
                 &params,
                 FlapPattern::new(pulses, interval),
@@ -71,9 +75,9 @@ pub fn interval_sweep(
             );
             IntervalPoint {
                 interval_secs: interval.as_secs_f64(),
-                convergence_secs: conv / k,
-                messages: msgs / k,
-                suppressed: supp / k,
+                convergence_secs: stats.convergence.mean(),
+                messages: stats.messages.mean(),
+                suppressed: stats.suppressed.mean(),
                 intended_secs: intended.convergence_time.as_secs_f64(),
             }
         })
@@ -114,31 +118,42 @@ pub struct SizePoint {
     pub suppressed_per_node: f64,
 }
 
-/// Sweeps mesh sizes at a fixed workload.
-pub fn size_sweep(sizes: &[(usize, usize)], pulses: usize, seeds: &[u64]) -> Vec<SizePoint> {
-    sizes
-        .iter()
-        .map(|&(w, h)| {
-            let kind = TopologyKind::Mesh {
+/// Sweeps mesh sizes at a fixed workload. One grid series per size
+/// ("report15-size" journal).
+pub fn size_sweep(
+    sizes: &[(usize, usize)],
+    pulses: usize,
+    seeds: &[u64],
+    exec: &RunnerConfig,
+) -> Vec<SizePoint> {
+    let mut grid = RunGrid::new("report15-size")
+        .pulses(vec![pulses])
+        .seeds(seeds.to_vec());
+    for &(w, h) in sizes {
+        grid = grid.series(
+            format!("mesh-{w}x{h}"),
+            TopologyKind::Mesh {
                 width: w,
                 height: h,
-            };
-            let mut conv = 0.0;
-            let mut msgs = 0.0;
-            let mut supp = 0.0;
-            for &seed in seeds {
-                let (report, network) =
-                    run_workload(kind, NetworkConfig::paper_full_damping(seed), pulses);
-                conv += report.convergence_time.as_secs_f64();
-                msgs += report.message_count as f64;
-                supp += network.trace().ever_suppressed_entries() as f64;
-            }
-            let k = seeds.len() as f64;
+            },
+        );
+    }
+    let results = run_grid(&grid, exec, |&kind, cell| {
+        run_cell_metrics(kind, cell.seed, cell.pulses, |_| {
+            NetworkConfig::paper_full_damping(cell.seed)
+        })
+    })
+    .expect("run journal I/O failed");
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(si, &(w, h))| {
+            let stats = results.point_stats(si, 0);
             SizePoint {
                 nodes: w * h,
-                convergence_secs: conv / k,
-                messages: msgs / k,
-                suppressed_per_node: supp / (k * (w * h) as f64),
+                convergence_secs: stats.convergence.mean(),
+                messages: stats.messages.mean(),
+                suppressed_per_node: stats.suppressed.mean() / (w * h) as f64,
             }
         })
         .collect()
@@ -176,36 +191,39 @@ pub struct ParamPoint {
     pub suppressed: f64,
 }
 
-/// Compares damping parameter presets on the same workload.
+/// Compares damping parameter presets on the same workload. One grid
+/// series per preset ("report15-params" journal).
 pub fn parameter_sweep(
     kind: TopologyKind,
     presets: &[(&str, DampingParams)],
     pulses: usize,
     seeds: &[u64],
+    exec: &RunnerConfig,
 ) -> Vec<ParamPoint> {
+    let mut grid = RunGrid::new("report15-params")
+        .pulses(vec![pulses])
+        .seeds(seeds.to_vec());
+    for (label, params) in presets {
+        grid = grid.series(*label, *params);
+    }
+    let results = run_grid(&grid, exec, |params: &DampingParams, cell| {
+        run_cell_metrics(kind, cell.seed, cell.pulses, |_| NetworkConfig {
+            seed: cell.seed,
+            damping: DampingDeployment::Full(*params),
+            ..NetworkConfig::default()
+        })
+    })
+    .expect("run journal I/O failed");
     presets
         .iter()
-        .map(|(label, params)| {
-            let mut conv = 0.0;
-            let mut msgs = 0.0;
-            let mut supp = 0.0;
-            for &seed in seeds {
-                let config = NetworkConfig {
-                    seed,
-                    damping: DampingDeployment::Full(*params),
-                    ..NetworkConfig::default()
-                };
-                let (report, network) = run_workload(kind, config, pulses);
-                conv += report.convergence_time.as_secs_f64();
-                msgs += report.message_count as f64;
-                supp += network.trace().ever_suppressed_entries() as f64;
-            }
-            let k = seeds.len() as f64;
+        .enumerate()
+        .map(|(si, (label, _))| {
+            let stats = results.point_stats(si, 0);
             ParamPoint {
                 label: (*label).to_owned(),
-                convergence_secs: conv / k,
-                messages: msgs / k,
-                suppressed: supp / k,
+                convergence_secs: stats.convergence.mean(),
+                messages: stats.messages.mean(),
+                suppressed: stats.suppressed.mean(),
             }
         })
         .collect()
@@ -246,6 +264,7 @@ mod tests {
             3,
             &[SimDuration::from_secs(60), SimDuration::from_mins(25)],
             &[1],
+            &RunnerConfig::sequential(),
         );
         // Fast flapping suppresses; 25-minute gaps decay away.
         assert!(points[0].suppressed > 0.0);
@@ -260,7 +279,7 @@ mod tests {
 
     #[test]
     fn size_sweep_trend_is_stable() {
-        let points = size_sweep(&[(3, 3), (5, 5)], 1, &[2]);
+        let points = size_sweep(&[(3, 3), (5, 5)], 1, &[2], &RunnerConfig::sequential());
         assert_eq!(points[0].nodes, 9);
         assert_eq!(points[1].nodes, 25);
         // More nodes, more messages; per-node suppression of the same
@@ -275,7 +294,7 @@ mod tests {
             ("cisco", DampingParams::cisco()),
             ("juniper", DampingParams::juniper()),
         ];
-        let points = parameter_sweep(SMALL, &presets, 2, &[3]);
+        let points = parameter_sweep(SMALL, &presets, 2, &[3], &RunnerConfig::sequential());
         assert_eq!(points.len(), 2);
         // Both engage damping for 2 fast pulses (exploration helps),
         // with different magnitudes — the trend, not the values, is

@@ -33,13 +33,57 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
-/// Sweep options honouring `--quick`.
+/// True when `--resume` was passed (skip cells already journaled under
+/// `results/`).
+pub fn resume_flag() -> bool {
+    std::env::args().any(|a| a == "--resume")
+}
+
+/// Parses `--threads N` (or `--threads=N`); 0 / absent means "all
+/// available cores".
+///
+/// # Panics
+///
+/// Panics on a malformed thread count (experiment binaries want loud
+/// failures).
+pub fn threads_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            return value
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --threads value {value:?}: {e}"));
+        }
+    }
+    0
+}
+
+/// Sweep options honouring `--quick`, `--threads N` and `--resume`.
+/// Runs journal under [`results_dir`] so interrupted sweeps can resume.
 pub fn sweep_options() -> crate::sweep::SweepOptions {
-    if quick_flag() {
+    let base = if quick_flag() {
         crate::sweep::SweepOptions::quick()
     } else {
         crate::sweep::SweepOptions::default()
+    };
+    crate::sweep::SweepOptions {
+        threads: threads_flag(),
+        journal_dir: Some(results_dir()),
+        resume: resume_flag(),
+        ..base
     }
+}
+
+/// The runner configuration the current command line resolves to
+/// (`--threads N`, `--resume`; journal under [`results_dir`]). For
+/// binaries whose sweeps are not pulse-count grids.
+pub fn runner_config() -> rfd_runner::RunnerConfig {
+    sweep_options().runner_config()
 }
 
 /// Prints a standard experiment header.

@@ -90,17 +90,74 @@ pub fn run_workload_on(
     pulses: usize,
     make_config: impl FnOnce(&Graph) -> NetworkConfig,
 ) -> (RunReport, Network) {
+    run_workload_pattern(
+        kind,
+        seed,
+        rfd_core::FlapPattern::paper_default(pulses),
+        make_config,
+    )
+}
+
+/// The most general workload runner: any flap pattern, graph-dependent
+/// configuration. (The interval studies of technical report \[15\] vary
+/// the pattern itself.)
+pub fn run_workload_pattern(
+    kind: TopologyKind,
+    seed: u64,
+    pattern: rfd_core::FlapPattern,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> (RunReport, Network) {
     let graph = kind.build(seed);
     let isp = pick_isp(&graph, seed);
     let config = make_config(&graph);
     let mut network = Network::new(&graph, isp, config);
     network.warm_up();
-    let report = network.run_pulses(
-        rfd_core::FlapPattern::paper_default(pulses),
-        SimDuration::from_secs(100),
-    );
+    let report = network.run_pulses(pattern, SimDuration::from_secs(100));
     (report, network)
 }
+
+/// Runs one grid cell's workload and extracts the metrics the runner
+/// journals and aggregates.
+pub fn run_cell_metrics(
+    kind: TopologyKind,
+    seed: u64,
+    pulses: usize,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> rfd_runner::RunMetrics {
+    run_pattern_metrics(
+        kind,
+        seed,
+        rfd_core::FlapPattern::paper_default(pulses),
+        make_config,
+    )
+}
+
+/// Like [`run_cell_metrics`] with an explicit flap pattern.
+pub fn run_pattern_metrics(
+    kind: TopologyKind,
+    seed: u64,
+    pattern: rfd_core::FlapPattern,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> rfd_runner::RunMetrics {
+    let (report, network) = run_workload_pattern(kind, seed, pattern, make_config);
+    rfd_runner::RunMetrics {
+        convergence_secs: report.convergence_time.as_secs_f64(),
+        messages: report.message_count as f64,
+        suppressed: network.trace().ever_suppressed_entries() as f64,
+    }
+}
+
+// The runner moves whole simulations across threads: the engine, the
+// world it drives, and the graphs they are built from must be `Send`.
+// Compile-time proof — if a future change adds an `Rc` or a raw pointer
+// to any of these, this stops building.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<rfd_sim::Engine<rfd_bgp::NetEvent>>();
+    assert_send::<Network>();
+    assert_send::<Graph>();
+    assert_send::<RunReport>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,22 @@
 //! Pulse-count sweeps: the machinery behind Figures 8, 9, 13, 14
 //! and 15 (convergence time and message count versus number of pulses).
+//!
+//! Measurement goes through [`rfd_runner`]: every (series × pulse-count
+//! × seed) cell becomes a grid job, executed on a work-stealing thread
+//! pool and optionally journaled under `results/` for `--resume`.
+//! Output is byte-identical for any thread count (see the runner crate's
+//! determinism contract).
+
+use std::path::PathBuf;
 
 use rfd_bgp::NetworkConfig;
 use rfd_core::{intended_behavior, DampingParams, FlapPattern};
 use rfd_metrics::{fmt_f64, Table};
+use rfd_runner::{run_grid, RunGrid, RunnerConfig};
 use rfd_sim::SimDuration;
+use rfd_topology::Graph;
 
-use crate::scenarios::{run_workload, TopologyKind};
+use crate::scenarios::{run_cell_metrics, run_workload, TopologyKind};
 
 /// One measured point of a sweep (averaged over seeds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,13 +96,21 @@ impl PulseSweep {
     }
 }
 
-/// Sweep configuration.
+/// Sweep configuration: the grid axes plus how to execute it.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Largest pulse count (the paper plots `0..=10`).
     pub max_pulses: usize,
     /// Seeds averaged per point.
     pub seeds: Vec<u64>,
+    /// Worker threads for the run grid; 0 means "all available cores".
+    pub threads: usize,
+    /// Journal completed runs under this directory (typically
+    /// `results/`); `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// With a journal: skip cells already journaled instead of starting
+    /// over (`--resume`).
+    pub resume: bool,
 }
 
 impl Default for SweepOptions {
@@ -100,6 +118,9 @@ impl Default for SweepOptions {
         SweepOptions {
             max_pulses: 10,
             seeds: vec![1, 2, 3],
+            threads: 0,
+            journal_dir: None,
+            resume: false,
         }
     }
 }
@@ -110,8 +131,131 @@ impl SweepOptions {
         SweepOptions {
             max_pulses: 5,
             seeds: vec![1],
+            ..SweepOptions::default()
         }
     }
+
+    /// The runner configuration these options resolve to.
+    pub fn runner_config(&self) -> RunnerConfig {
+        RunnerConfig {
+            threads: self.threads,
+            journal_dir: self.journal_dir.clone(),
+            resume: self.resume,
+        }
+    }
+}
+
+/// A boxed per-cell configuration builder: given the built graph and the
+/// cell's seed, produce the network configuration.
+type ConfigFn<'a> = Box<dyn Fn(&Graph, u64) -> NetworkConfig + Send + Sync + 'a>;
+
+/// One series of a sweep grid: a label, a topology, and a configuration
+/// builder (which may inspect the built graph, for relationship-carrying
+/// policies, §7).
+pub struct SeriesSpec<'a> {
+    /// Legend label (matches the paper's).
+    pub label: String,
+    /// Topology family this series runs on.
+    pub kind: TopologyKind,
+    make: ConfigFn<'a>,
+}
+
+impl std::fmt::Debug for SeriesSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesSpec")
+            .field("label", &self.label)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SeriesSpec<'a> {
+    /// A series whose configuration depends only on the seed.
+    pub fn by_seed(
+        label: &str,
+        kind: TopologyKind,
+        make: impl Fn(u64) -> NetworkConfig + Send + Sync + 'a,
+    ) -> Self {
+        SeriesSpec {
+            label: label.to_owned(),
+            kind,
+            make: Box::new(move |_, seed| make(seed)),
+        }
+    }
+
+    /// A series whose configuration may also inspect the built graph.
+    pub fn on_graph(
+        label: &str,
+        kind: TopologyKind,
+        make: impl Fn(&Graph, u64) -> NetworkConfig + Send + Sync + 'a,
+    ) -> Self {
+        SeriesSpec {
+            label: label.to_owned(),
+            kind,
+            make: Box::new(make),
+        }
+    }
+}
+
+/// Runs a whole sweep grid — every series × pulse count × seed — through
+/// the [`rfd_runner`] pool and folds the results into a [`PulseSweep`].
+///
+/// `name` names the journal file (`results/<name>.runs.jsonl`) when
+/// journaling is enabled; figure binaries sharing runs (Figures 8 and 9
+/// read the same grid) share a name, so a journaled sweep is reused
+/// across binaries with `--resume`.
+pub fn measure_sweep(name: &str, specs: Vec<SeriesSpec<'_>>, opts: &SweepOptions) -> PulseSweep {
+    let mut grid = RunGrid::new(name)
+        .pulses((0..=opts.max_pulses).collect())
+        .seeds(opts.seeds.clone());
+    for spec in specs {
+        let label = spec.label.clone();
+        grid = grid.series(label, spec);
+    }
+    let results = run_grid(&grid, &opts.runner_config(), |spec: &SeriesSpec, cell| {
+        run_cell_metrics(spec.kind, cell.seed, cell.pulses, |g| {
+            (spec.make)(g, cell.seed)
+        })
+    })
+    .expect("run journal I/O failed");
+
+    let series = results
+        .series_labels()
+        .iter()
+        .enumerate()
+        .map(|(si, label)| SweepSeries {
+            label: label.clone(),
+            points: results
+                .pulse_list()
+                .iter()
+                .enumerate()
+                .map(|(pi, &n)| {
+                    let stats = results.point_stats(si, pi);
+                    SweepPoint {
+                        pulses: n,
+                        convergence_secs: stats.convergence.mean(),
+                        convergence_std: stats.convergence.std_dev(),
+                        messages: stats.messages.mean(),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    PulseSweep { series }
+}
+
+/// Journal-friendly grid name derived from a label: lowercase, with
+/// runs of non-alphanumerics collapsed to single dashes.
+pub fn grid_slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_owned()
 }
 
 /// Runs one series: the workload for every pulse count, averaged over
@@ -120,9 +264,9 @@ pub fn measure_series(
     label: &str,
     kind: TopologyKind,
     opts: &SweepOptions,
-    make_config: impl Fn(u64) -> NetworkConfig,
+    make_config: impl Fn(u64) -> NetworkConfig + Send + Sync,
 ) -> SweepSeries {
-    measure_series_on(label, kind, opts, |_, seed| make_config(seed))
+    measure_series_on(label, kind, opts, move |_, seed| make_config(seed))
 }
 
 /// Like [`measure_series`], but the configuration may depend on the
@@ -131,32 +275,14 @@ pub fn measure_series_on(
     label: &str,
     kind: TopologyKind,
     opts: &SweepOptions,
-    make_config: impl Fn(&rfd_topology::Graph, u64) -> NetworkConfig,
+    make_config: impl Fn(&Graph, u64) -> NetworkConfig + Send + Sync,
 ) -> SweepSeries {
-    let points = (0..=opts.max_pulses)
-        .map(|n| {
-            let mut convs = Vec::with_capacity(opts.seeds.len());
-            let mut msgs = 0.0;
-            for &seed in &opts.seeds {
-                let (report, _) =
-                    crate::scenarios::run_workload_on(kind, seed, n, |g| make_config(g, seed));
-                convs.push(report.convergence_time.as_secs_f64());
-                msgs += report.message_count as f64;
-            }
-            let summary =
-                rfd_metrics::Summary::from_samples(&convs).expect("sweeps use at least one seed");
-            SweepPoint {
-                pulses: n,
-                convergence_secs: summary.mean,
-                convergence_std: summary.std_dev,
-                messages: msgs / opts.seeds.len() as f64,
-            }
-        })
-        .collect();
-    SweepSeries {
-        label: label.to_owned(),
-        points,
-    }
+    let specs = vec![SeriesSpec::on_graph(label, kind, make_config)];
+    measure_sweep(&grid_slug(label), specs, opts)
+        .series
+        .into_iter()
+        .next()
+        .expect("one spec yields one series")
 }
 
 /// The §3 "Full Damping (calculation)" series: intended convergence
@@ -212,6 +338,7 @@ mod tests {
         let opts = SweepOptions {
             max_pulses: 2,
             seeds: vec![1],
+            ..SweepOptions::default()
         };
         let s = measure_series("No Damping", TINY, &opts, NetworkConfig::paper_no_damping);
         assert_eq!(s.points.len(), 3);
@@ -260,5 +387,66 @@ mod tests {
         let t_up = estimate_t_up(TINY, &SweepOptions::quick());
         assert!(t_up > SimDuration::ZERO);
         assert!(t_up < SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn grid_slug_normalises_labels() {
+        assert_eq!(
+            grid_slug("Full Damping (simulation, mesh)"),
+            "full-damping-simulation-mesh"
+        );
+        assert_eq!(grid_slug("No policy"), "no-policy");
+        assert_eq!(grid_slug("--x--"), "x");
+    }
+
+    /// The runner's headline guarantee, exercised end-to-end on real
+    /// simulations: a 2-series × 3-seed pulse sweep renders *byte-
+    /// identical* CSV tables whether it runs on one thread or four.
+    #[test]
+    fn sweep_is_byte_identical_across_thread_counts() {
+        let opts = |threads| SweepOptions {
+            max_pulses: 2,
+            seeds: vec![1, 2, 3],
+            threads,
+            ..SweepOptions::default()
+        };
+        let specs = || {
+            vec![
+                SeriesSpec::by_seed("undamped", TINY, NetworkConfig::paper_no_damping),
+                SeriesSpec::by_seed("damped", TINY, NetworkConfig::paper_full_damping),
+            ]
+        };
+        let sequential = measure_sweep("det-check", specs(), &opts(1));
+        let parallel = measure_sweep("det-check", specs(), &opts(4));
+        assert_eq!(
+            sequential.convergence_table().to_csv(),
+            parallel.convergence_table().to_csv()
+        );
+        assert_eq!(
+            sequential.message_table().to_csv(),
+            parallel.message_table().to_csv()
+        );
+    }
+
+    #[test]
+    fn measure_sweep_batches_multiple_series_in_one_grid() {
+        let opts = SweepOptions {
+            max_pulses: 1,
+            seeds: vec![1, 2],
+            ..SweepOptions::default()
+        };
+        let sweep = measure_sweep(
+            "multi",
+            vec![
+                SeriesSpec::by_seed("a", TINY, NetworkConfig::paper_no_damping),
+                SeriesSpec::by_seed("b", TINY, NetworkConfig::paper_full_damping),
+            ],
+            &opts,
+        );
+        assert_eq!(sweep.series.len(), 2);
+        assert_eq!(sweep.series[0].label, "a");
+        assert_eq!(sweep.series[1].points.len(), 2);
+        // Multi-seed points carry a spread.
+        assert!(sweep.series[0].at(1).unwrap().convergence_std >= 0.0);
     }
 }

@@ -22,6 +22,7 @@
 
 mod events;
 mod export;
+mod merge;
 mod plot;
 mod report;
 mod series;
@@ -31,6 +32,7 @@ mod trace;
 
 pub use events::{TraceEvent, TraceEventKind};
 pub use export::{export_trace, parse_trace, ParseTraceError};
+pub use merge::{Merge, RunningStats};
 pub use plot::AsciiChart;
 pub use report::{fmt_f64, Table};
 pub use series::{bin_events, StepSeries};

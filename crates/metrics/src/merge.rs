@@ -1,0 +1,336 @@
+//! Commutative, associative aggregation of per-run metrics.
+//!
+//! Parallel experiment execution (the `rfd-runner` crate) completes runs
+//! in a nondeterministic order. Aggregates that will be folded across
+//! runs therefore implement [`Merge`]: a combine operation that is
+//! commutative and associative, so the fold result is independent of
+//! completion order. [`RunningStats`] is the workhorse — a single-pass
+//! mean/variance/min/max accumulator using Chan et al.'s parallel
+//! update, mergeable from per-thread partials.
+
+use crate::Summary;
+
+/// A commutative, associative combine of two partial aggregates.
+///
+/// Laws (up to floating-point rounding):
+///
+/// * **commutative** — `a.merge(b)` ≡ `b.merge(a)`;
+/// * **associative** — `(a.merge(b)).merge(c)` ≡ `a.merge(b.merge(c))`;
+/// * **identity** — merging a `Default::default()` is a no-op.
+///
+/// Implementors must hold these laws so that parallel folds are
+/// order-insensitive. (For bit-exact determinism across thread counts,
+/// the runner additionally commits merges in grid order; the laws make
+/// the *statistics* robust, the fixed fold order makes the *bits*
+/// reproducible.)
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Single-pass streaming statistics: count, mean, variance (via the
+/// centred second moment `m2`), min and max.
+///
+/// Uses Welford's update for single observations and Chan et al.'s
+/// pairwise update for [`Merge`], so partial accumulators built on
+/// different threads combine exactly like one sequential pass.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_metrics::{Merge, RunningStats};
+///
+/// let mut a = RunningStats::new();
+/// a.push(1.0);
+/// a.push(2.0);
+/// let mut b = RunningStats::new();
+/// b.push(3.0);
+/// b.push(4.0);
+/// a.merge(&b);
+/// assert_eq!(a.count(), 4);
+/// assert_eq!(a.mean(), 2.5);
+/// assert_eq!((a.min(), a.max()), (1.0, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// An accumulator primed with one sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut s = RunningStats::new();
+        for &v in samples {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation (Welford's update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — NaN would silently poison every
+    /// downstream aggregate.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "RunningStats::push: NaN observation");
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1 denominator); 0 for fewer than two
+    /// observations, `NaN` when empty.
+    pub fn std_dev(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            1 => 0.0,
+            n => (self.m2 / (n - 1) as f64).sqrt(),
+        }
+    }
+
+    /// Smallest observation; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Converts to a [`Summary`] (median unavailable in streaming form;
+    /// reported as the mean). `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Summary {
+            count: self.count as usize,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min(),
+            max: self.max(),
+            median: self.mean(),
+        })
+    }
+}
+
+impl Merge for RunningStats {
+    fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        // Chan, Golub & LeVeque: parallel combination of partial moments.
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Plain counters combine by addition.
+impl Merge for u64 {
+    fn merge(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+impl Merge for usize {
+    fn merge(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+impl<T: Merge> Merge for Vec<T> {
+    /// Element-wise merge; the shorter side is padded conceptually with
+    /// identities (extra elements of `other` are cloned in by the
+    /// caller's construction — here we require equal lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ: element-wise merging of misaligned
+    /// grids indicates a bug upstream.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "Vec::merge: length mismatch ({} vs {})",
+            self.len(),
+            other.len()
+        );
+        for (a, b) in self.iter_mut().zip(other) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn matches_two_pass_summary() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = RunningStats::from_samples(&xs);
+        let t = Summary::from_samples(&xs).unwrap();
+        assert_eq!(s.count() as usize, t.count);
+        assert!(close(s.mean(), t.mean));
+        assert!(close(s.std_dev(), t.std_dev));
+        assert_eq!((s.min(), s.max()), (t.min, t.max));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.5, -2.0, 3.25, 8.0, 0.0, 4.5, -1.25];
+        let all = RunningStats::from_samples(&xs);
+        for split in 0..=xs.len() {
+            let mut left = RunningStats::from_samples(&xs[..split]);
+            let right = RunningStats::from_samples(&xs[split..]);
+            left.merge(&right);
+            assert_eq!(left.count(), all.count(), "split {split}");
+            assert!(close(left.mean(), all.mean()), "split {split}");
+            assert!(close(left.std_dev(), all.std_dev()), "split {split}");
+            assert_eq!((left.min(), left.max()), (all.min(), all.max()));
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = RunningStats::from_samples(&[1.0, 2.0]);
+        let b = RunningStats::from_samples(&[10.0]);
+        let c = RunningStats::from_samples(&[-3.0, 0.5, 4.0]);
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert!(close(ab.mean(), ba.mean()));
+        assert!(close(ab.std_dev(), ba.std_dev()));
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert!(close(ab_c.mean(), a_bc.mean()));
+        assert!(close(ab_c.std_dev(), a_bc.std_dev()));
+        assert_eq!(ab_c.count(), a_bc.count());
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut s = RunningStats::from_samples(&[5.0, 6.0]);
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_reports_nan() {
+        let s = RunningStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.std_dev().is_nan());
+        assert!(s.summary().is_none());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!((s.min(), s.max()), (3.5, 3.5));
+    }
+
+    #[test]
+    fn counter_and_vec_merges() {
+        let mut n: u64 = 3;
+        n.merge(&4);
+        assert_eq!(n, 7);
+
+        let mut v = vec![RunningStats::from_samples(&[1.0]), RunningStats::new()];
+        let w = vec![
+            RunningStats::from_samples(&[3.0]),
+            RunningStats::from_samples(&[5.0]),
+        ];
+        v.merge(&w);
+        assert_eq!(v[0].count(), 2);
+        assert_eq!(v[1].mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_observation_rejected() {
+        RunningStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn misaligned_vec_merge_panics() {
+        let mut v = vec![0u64];
+        v.merge(&vec![1u64, 2]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Declarative run grids.
+//!
+//! A [`RunGrid`] is the cartesian product *series × pulse-counts ×
+//! seeds*, enumerated in a fixed **grid order** (series-major, then
+//! pulse count, then seed position). Grid order is the backbone of the
+//! runner's determinism: every cell has a stable index, results are
+//! committed by that index, and aggregation folds in that order — so
+//! output is byte-identical no matter how many threads executed the
+//! cells or in what order they completed.
+
+use rfd_sim::DetRng;
+
+/// One row of a grid: a labelled scenario payload.
+#[derive(Debug, Clone)]
+pub struct GridSeries<S> {
+    /// Display label; also part of each cell's journal key.
+    pub label: String,
+    /// Caller-defined scenario description (topology kind, damping
+    /// parameters, …) handed back to the executor for each cell.
+    pub scenario: S,
+}
+
+/// A declarative experiment grid: scenarios × pulse counts × seeds.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_runner::RunGrid;
+///
+/// let grid = RunGrid::new("demo")
+///     .series("mesh", 0.25)
+///     .series("internet", 0.5)
+///     .pulses(vec![1, 2, 3])
+///     .seeds(vec![11, 12]);
+/// assert_eq!(grid.cell_count(), 2 * 3 * 2);
+/// let cells = grid.cells();
+/// assert_eq!(cells[0].label, "mesh");
+/// assert_eq!((cells[0].pulses, cells[0].seed), (1, 11));
+/// // Grid order: seeds vary fastest, then pulses, then series.
+/// assert_eq!((cells[1].pulses, cells[1].seed), (1, 12));
+/// assert_eq!(cells[2].pulses, 2);
+/// assert_eq!(cells[6].label, "internet");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunGrid<S> {
+    name: String,
+    series: Vec<GridSeries<S>>,
+    pulses: Vec<usize>,
+    seeds: Vec<u64>,
+}
+
+/// One grid position: everything an executor needs to run it and the
+/// journal needs to identify it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Position in grid order (0-based, dense).
+    pub index: usize,
+    /// Index into the grid's series list.
+    pub series: usize,
+    /// Label of the owning series.
+    pub label: String,
+    /// Number of up/down pulses to inject.
+    pub pulses: usize,
+    /// Simulation seed for this cell.
+    pub seed: u64,
+    /// Position of `seed` in the grid's seed list.
+    pub seed_index: usize,
+}
+
+impl Cell {
+    /// Stable journal key identifying this cell within its grid.
+    pub fn key(&self) -> String {
+        format!("{}|n={}|seed={}", self.label, self.pulses, self.seed)
+    }
+}
+
+impl<S> RunGrid<S> {
+    /// An empty grid with the given name (used for journal file names).
+    pub fn new(name: impl Into<String>) -> Self {
+        RunGrid {
+            name: name.into(),
+            series: Vec::new(),
+            pulses: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled scenario series.
+    pub fn series(mut self, label: impl Into<String>, scenario: S) -> Self {
+        self.series.push(GridSeries {
+            label: label.into(),
+            scenario,
+        });
+        self
+    }
+
+    /// Sets the pulse-count axis.
+    pub fn pulses(mut self, pulses: Vec<usize>) -> Self {
+        self.pulses = pulses;
+        self
+    }
+
+    /// Sets the seed axis explicitly. The *same* seed list is applied to
+    /// every series, so paired comparisons (with/without a policy, say)
+    /// see identical topologies and flap timings.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the seed axis to `n` seeds derived from `base` by grid
+    /// position: seed *i* is `DetRng::from_seed_and_label(base,
+    /// "seed[i]")`. Statistically independent replicas, reproducible
+    /// from a single number.
+    pub fn seed_range(self, base: u64, n: usize) -> Self {
+        let seeds = (0..n)
+            .map(|i| DetRng::from_seed_and_label(base, &format!("seed[{i}]")).next_u64())
+            .collect();
+        self.seeds(seeds)
+    }
+
+    /// The grid's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The series axis.
+    pub fn series_list(&self) -> &[GridSeries<S>] {
+        &self.series
+    }
+
+    /// The pulse-count axis.
+    pub fn pulse_list(&self) -> &[usize] {
+        &self.pulses
+    }
+
+    /// The seed axis.
+    pub fn seed_list(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.series.len() * self.pulses.len() * self.seeds.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cell_count() == 0
+    }
+
+    /// All cells in grid order (series-major, then pulses, then seeds).
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for (si, series) in self.series.iter().enumerate() {
+            for &pulses in &self.pulses {
+                for (ki, &seed) in self.seeds.iter().enumerate() {
+                    out.push(Cell {
+                        index: out.len(),
+                        series: si,
+                        label: series.label.clone(),
+                        pulses,
+                        seed,
+                        seed_index: ki,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RunGrid<u8> {
+        RunGrid::new("g")
+            .series("a", 1)
+            .series("b", 2)
+            .pulses(vec![1, 5])
+            .seeds(vec![100, 200, 300])
+    }
+
+    #[test]
+    fn cells_enumerate_in_grid_order() {
+        let cells = grid().cells();
+        assert_eq!(cells.len(), 12);
+        // Dense, stable indices.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Seeds fastest, then pulses, then series.
+        assert_eq!(
+            cells
+                .iter()
+                .map(|c| (c.series, c.pulses, c.seed))
+                .take(4)
+                .collect::<Vec<_>>(),
+            vec![(0, 1, 100), (0, 1, 200), (0, 1, 300), (0, 5, 100)]
+        );
+        assert_eq!(cells[6].series, 1);
+        assert_eq!(cells[6].label, "b");
+    }
+
+    #[test]
+    fn keys_identify_cells_uniquely() {
+        let cells = grid().cells();
+        let mut keys: Vec<_> = cells.iter().map(Cell::key).collect();
+        assert_eq!(keys[0], "a|n=1|seed=100");
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn seed_range_is_deterministic_and_distinct() {
+        let a = RunGrid::<u8>::new("x").seed_range(42, 5);
+        let b = RunGrid::<u8>::new("y").seed_range(42, 5);
+        assert_eq!(a.seed_list(), b.seed_list());
+        assert_eq!(a.seed_list().len(), 5);
+        let mut sorted = a.seed_list().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "derived seeds must be distinct");
+
+        let c = RunGrid::<u8>::new("z").seed_range(43, 5);
+        assert_ne!(a.seed_list(), c.seed_list());
+    }
+
+    #[test]
+    fn empty_axes_yield_empty_grid() {
+        let g = RunGrid::<u8>::new("e").series("only", 0);
+        assert!(g.is_empty());
+        assert!(g.cells().is_empty());
+    }
+}

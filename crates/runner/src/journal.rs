@@ -1,0 +1,369 @@
+//! JSON-lines run journal.
+//!
+//! Every completed cell is appended to `results/<grid>.runs.jsonl` as a
+//! single JSON object, flushed immediately:
+//!
+//! ```json
+//! {"key":"mesh|n=4|seed=2","convergence_secs":171.5,"messages":5240.0,"suppressed":12.0}
+//! ```
+//!
+//! A sweep killed mid-run leaves a journal with whatever cells finished
+//! (at worst one truncated final line, which the loader skips);
+//! re-invoking with `--resume` loads the journal, skips those cells and
+//! recomputes only the remainder. Floats are written in Rust's
+//! shortest-round-trip form, so a resumed sweep reproduces *bit-exact*
+//! aggregates — the journal never changes the numbers, only the work.
+//!
+//! Non-finite floats (JSON has no literal for them) are encoded as the
+//! strings `"NaN"`, `"inf"` and `"-inf"`.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The metrics the runner records per run: the paper's two headline
+/// measurements (§3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Time from first flap to network-wide convergence, in seconds.
+    pub convergence_secs: f64,
+    /// Total update messages exchanged.
+    pub messages: f64,
+    /// Routing-table entries ever suppressed during the run.
+    pub suppressed: f64,
+}
+
+/// Journal file path for a grid name.
+pub fn journal_path(dir: &Path, grid_name: &str) -> PathBuf {
+    dir.join(format!("{grid_name}.runs.jsonl"))
+}
+
+/// An append-only journal of completed runs.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Starts a fresh journal, truncating any previous one.
+    pub fn create(dir: &Path, grid_name: &str) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir, grid_name);
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens a journal for resumption: returns the journal (in append
+    /// mode) plus every intact record already on disk. A missing file
+    /// behaves like an empty one; a truncated final line is skipped.
+    pub fn resume(
+        dir: &Path,
+        grid_name: &str,
+    ) -> io::Result<(Journal, HashMap<String, RunMetrics>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir, grid_name);
+        let mut completed = HashMap::new();
+        if path.exists() {
+            let mut text = String::new();
+            File::open(&path)?.read_to_string(&mut text)?;
+            for line in text.lines() {
+                if let Some((key, metrics)) = parse_line(line) {
+                    completed.insert(key, metrics);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            Journal {
+                path,
+                file: Mutex::new(file),
+            },
+            completed,
+        ))
+    }
+
+    /// Appends one completed run and flushes so a kill loses at most the
+    /// line being written.
+    pub fn record(&self, key: &str, metrics: &RunMetrics) -> io::Result<()> {
+        let line = format!(
+            "{{\"key\":{},\"convergence_secs\":{},\"messages\":{},\"suppressed\":{}}}\n",
+            encode_str(key),
+            encode_f64(metrics.convergence_secs),
+            encode_f64(metrics.messages),
+            encode_f64(metrics.suppressed),
+        );
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// JSON string literal with minimal escaping.
+fn encode_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest-round-trip float; non-finite values as quoted strings.
+fn encode_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "\"NaN\"".to_owned()
+    } else if v > 0.0 {
+        "\"inf\"".to_owned()
+    } else {
+        "\"-inf\"".to_owned()
+    }
+}
+
+/// Parses one journal line; `None` for malformed (e.g. truncated) input.
+pub fn parse_line(line: &str) -> Option<(String, RunMetrics)> {
+    let mut fields = HashMap::new();
+    let mut rest = line.trim();
+    rest = rest.strip_prefix('{')?;
+    loop {
+        rest = rest.trim_start();
+        let (name, after) = take_string(rest)?;
+        rest = after.trim_start().strip_prefix(':')?;
+        let (value, after) = take_value(rest.trim_start())?;
+        fields.insert(name, value);
+        rest = after.trim_start();
+        match rest.chars().next()? {
+            ',' => rest = &rest[1..],
+            '}' => break,
+            _ => return None,
+        }
+    }
+    let key = match fields.remove("key")? {
+        Value::Str(s) => s,
+        Value::Num(_) => return None,
+    };
+    let convergence_secs = fields.remove("convergence_secs")?.as_f64()?;
+    let messages = fields.remove("messages")?.as_f64()?;
+    let suppressed = fields.remove("suppressed")?.as_f64()?;
+    Some((
+        key,
+        RunMetrics {
+            convergence_secs,
+            messages,
+            suppressed,
+        },
+    ))
+}
+
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+impl Value {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            Value::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Reads a leading JSON string literal; returns (content, remainder).
+fn take_string(input: &str) -> Option<(String, &str)> {
+    let mut chars = input.strip_prefix('"')?.char_indices();
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &input[1 + i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Reads a leading string or number value; returns (value, remainder).
+fn take_value(input: &str) -> Option<(Value, &str)> {
+    if input.starts_with('"') {
+        let (s, rest) = take_string(input)?;
+        return Some((Value::Str(s), rest));
+    }
+    let end = input
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(input.len());
+    if end == 0 {
+        return None;
+    }
+    let num: f64 = input[..end].parse().ok()?;
+    Some((Value::Num(num), &input[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rfd-runner-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_exact_floats() {
+        for v in [0.0, -1.5, 171.48300048213, 1e300, 3.0_f64.sqrt()] {
+            let line = format!(
+                "{{\"key\":\"k\",\"convergence_secs\":{},\"messages\":{},\"suppressed\":{}}}",
+                encode_f64(v),
+                encode_f64(-v),
+                encode_f64(v * 0.5),
+            );
+            let (key, m) = parse_line(&line).unwrap();
+            assert_eq!(key, "k");
+            assert_eq!(m.convergence_secs.to_bits(), v.to_bits());
+            assert_eq!(m.messages.to_bits(), (-v).to_bits());
+            assert_eq!(m.suppressed.to_bits(), (v * 0.5).to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trips_non_finite() {
+        let line =
+            "{\"key\":\"k\",\"convergence_secs\":\"NaN\",\"messages\":\"-inf\",\"suppressed\":0.0}";
+        let (_, m) = parse_line(line).unwrap();
+        assert!(m.convergence_secs.is_nan());
+        assert_eq!(m.messages, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn escaped_keys_round_trip() {
+        let key = "odd \"label\" with \\ backslash";
+        let line = format!(
+            "{{\"key\":{},\"convergence_secs\":1.0,\"messages\":2.0,\"suppressed\":0.0}}",
+            encode_str(key)
+        );
+        assert_eq!(parse_line(&line).unwrap().0, key);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        for bad in [
+            "",
+            "{",
+            "{\"key\":\"a\",\"convergence_secs\":1.0,\"mess", // truncated
+            "{\"key\":\"a\"}",
+            "{\"key\":\"a\",\"convergence_secs\":1.0,\"messages\":2.0}", // missing field
+            "not json at all",
+            "{\"key\":7,\"convergence_secs\":1.0,\"messages\":2.0,\"suppressed\":0.0}",
+        ] {
+            assert!(parse_line(bad).is_none(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn create_record_resume_cycle() {
+        let dir = tmp_dir("cycle");
+        let journal = Journal::create(&dir, "grid").unwrap();
+        let m1 = RunMetrics {
+            convergence_secs: 10.25,
+            messages: 42.0,
+            suppressed: 3.0,
+        };
+        let m2 = RunMetrics {
+            convergence_secs: 99.0,
+            messages: f64::NAN,
+            suppressed: 0.0,
+        };
+        journal.record("a|n=1|seed=1", &m1).unwrap();
+        journal.record("a|n=1|seed=2", &m2).unwrap();
+        drop(journal);
+
+        let (journal, completed) = Journal::resume(&dir, "grid").unwrap();
+        assert_eq!(completed.len(), 2);
+        assert_eq!(completed["a|n=1|seed=1"], m1);
+        assert!(completed["a|n=1|seed=2"].messages.is_nan());
+
+        // Appending after resume keeps earlier records.
+        journal.record("a|n=1|seed=3", &m1).unwrap();
+        drop(journal);
+        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
+        assert_eq!(completed.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_tolerates_truncated_tail() {
+        let dir = tmp_dir("trunc");
+        let journal = Journal::create(&dir, "grid").unwrap();
+        journal
+            .record(
+                "k1",
+                &RunMetrics {
+                    convergence_secs: 1.0,
+                    messages: 2.0,
+                    suppressed: 0.0,
+                },
+            )
+            .unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        // Simulate a kill mid-write: append half a record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"key\":\"k2\",\"converg").unwrap();
+        drop(f);
+
+        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
+        assert_eq!(completed.len(), 1);
+        assert!(completed.contains_key("k1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_truncates_previous_journal() {
+        let dir = tmp_dir("truncate");
+        let j = Journal::create(&dir, "grid").unwrap();
+        j.record(
+            "old",
+            &RunMetrics {
+                convergence_secs: 1.0,
+                messages: 1.0,
+                suppressed: 0.0,
+            },
+        )
+        .unwrap();
+        drop(j);
+        let _ = Journal::create(&dir, "grid").unwrap();
+        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
+        assert!(completed.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,385 @@
+//! # rfd-runner — parallel, deterministic, resumable experiment execution
+//!
+//! Every figure in the paper is a mean over many independent simulation
+//! runs (scenario × pulse count × seed). Those runs are embarrassingly
+//! parallel; this crate fans them out without giving up the repo's
+//! reproducibility guarantees.
+//!
+//! ## Architecture
+//!
+//! * [`RunGrid`] (grid.rs) — a declarative grid of *series × pulse
+//!   counts × seeds*, enumerated in a fixed **grid order** that gives
+//!   every cell a stable index and journal key;
+//! * [`pool`] — a std-only scoped thread pool with work stealing;
+//!   results come back indexed by job, hiding completion order;
+//! * [`Journal`] (journal.rs) — a JSON-lines record of completed runs
+//!   under `results/`, flushed per line, so an interrupted sweep
+//!   resumes instead of recomputing;
+//! * [`run_grid`] — the orchestrator: skips journaled cells, executes
+//!   the rest on the pool, commits results by grid index, and returns
+//!   [`GridResults`] whose aggregation folds seeds in grid order
+//!   through [`rfd_metrics::Merge`].
+//!
+//! ## Determinism contract
+//!
+//! Output must be **byte-identical across thread counts**. Three
+//! mechanisms combine to guarantee it:
+//!
+//! 1. each cell's seed comes from its grid position (either an explicit
+//!    per-position seed list or [`RunGrid::seed_range`] deriving seeds
+//!    via `DetRng::from_seed_and_label`), never from execution order;
+//! 2. the pool returns results indexed by cell, and [`GridResults`]
+//!    stores them in grid order;
+//! 3. aggregation ([`GridResults::point_stats`]) folds per-seed metrics
+//!    in grid order, so even floating-point rounding is identical run
+//!    to run.
+//!
+//! ```
+//! use rfd_runner::{run_grid, RunGrid, RunMetrics, RunnerConfig};
+//!
+//! let grid = RunGrid::new("doc")
+//!     .series("mesh", 4u64)
+//!     .pulses(vec![1, 2])
+//!     .seed_range(7, 3);
+//! let exec = |scale: &u64, cell: &rfd_runner::Cell| RunMetrics {
+//!     convergence_secs: (cell.pulses as f64) * (*scale as f64),
+//!     messages: cell.seed as f64,
+//!     suppressed: 0.0,
+//! };
+//! let seq = run_grid(&grid, &RunnerConfig::sequential(), exec).unwrap();
+//! let par = run_grid(&grid, &RunnerConfig::with_threads(4), exec).unwrap();
+//! assert_eq!(seq.metrics(), par.metrics());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod grid;
+mod journal;
+pub mod pool;
+
+pub use grid::{Cell, GridSeries, RunGrid};
+pub use journal::{journal_path, parse_line, Journal, RunMetrics};
+
+use rfd_metrics::RunningStats;
+use std::io;
+use std::path::PathBuf;
+
+/// How a grid should be executed.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Worker threads; 0 means "all available cores".
+    pub threads: usize,
+    /// Where to journal completed runs; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// When journaling: load the existing journal and skip completed
+    /// cells instead of truncating and starting over.
+    pub resume: bool,
+}
+
+impl RunnerConfig {
+    /// Single-threaded, no journal — bit-reference configuration.
+    pub fn sequential() -> Self {
+        RunnerConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// `n` worker threads (0 = all cores), no journal.
+    pub fn with_threads(n: usize) -> Self {
+        RunnerConfig {
+            threads: n,
+            ..Default::default()
+        }
+    }
+
+    /// Enables journaling under `dir`.
+    pub fn journal_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets resume mode (only meaningful with a journal directory).
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The concrete thread count this config resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Per-(series, pulse-count) aggregates over the seed axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointStats {
+    /// Convergence-time statistics across seeds.
+    pub convergence: RunningStats,
+    /// Message-count statistics across seeds.
+    pub messages: RunningStats,
+    /// Suppressed-entry statistics across seeds.
+    pub suppressed: RunningStats,
+}
+
+/// Completed grid: every cell's metrics, in grid order.
+#[derive(Debug, Clone)]
+pub struct GridResults {
+    cells: Vec<Cell>,
+    metrics: Vec<RunMetrics>,
+    series_labels: Vec<String>,
+    pulse_list: Vec<usize>,
+    seeds_len: usize,
+}
+
+impl GridResults {
+    /// All cells, in grid order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Per-cell metrics, parallel to [`GridResults::cells`].
+    pub fn metrics(&self) -> &[RunMetrics] {
+        &self.metrics
+    }
+
+    /// Series labels, in grid order.
+    pub fn series_labels(&self) -> &[String] {
+        &self.series_labels
+    }
+
+    /// The pulse-count axis.
+    pub fn pulse_list(&self) -> &[usize] {
+        &self.pulse_list
+    }
+
+    /// Metrics for one (series, pulse-count) point, in seed order.
+    pub fn point_metrics(&self, series: usize, pulse_index: usize) -> &[RunMetrics] {
+        let start = (series * self.pulse_list.len() + pulse_index) * self.seeds_len;
+        &self.metrics[start..start + self.seeds_len]
+    }
+
+    /// Aggregates one (series, pulse-count) point over its seeds,
+    /// folding in grid order for bit-reproducible statistics.
+    pub fn point_stats(&self, series: usize, pulse_index: usize) -> PointStats {
+        let mut convergence = RunningStats::new();
+        let mut messages = RunningStats::new();
+        let mut suppressed = RunningStats::new();
+        for m in self.point_metrics(series, pulse_index) {
+            convergence.push(m.convergence_secs);
+            if !m.messages.is_nan() {
+                messages.push(m.messages);
+            }
+            if !m.suppressed.is_nan() {
+                suppressed.push(m.suppressed);
+            }
+        }
+        PointStats {
+            convergence,
+            messages,
+            suppressed,
+        }
+    }
+}
+
+/// Executes every cell of `grid` and returns the results in grid order.
+///
+/// Cells already present in the journal (when `config.resume`) are not
+/// re-executed; their journaled metrics are spliced into place, which
+/// reproduces the exact output of an uninterrupted run because floats
+/// are journaled in shortest-round-trip form.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating, reading or appending the
+/// journal. Executor panics propagate.
+pub fn run_grid<S, F>(grid: &RunGrid<S>, config: &RunnerConfig, exec: F) -> io::Result<GridResults>
+where
+    S: Sync,
+    F: Fn(&S, &Cell) -> RunMetrics + Sync,
+{
+    let cells = grid.cells();
+
+    let (journal, completed) = match &config.journal_dir {
+        Some(dir) if config.resume => {
+            let (journal, completed) = Journal::resume(dir, grid.name())?;
+            (Some(journal), completed)
+        }
+        Some(dir) => (Some(Journal::create(dir, grid.name())?), Default::default()),
+        None => (None, Default::default()),
+    };
+
+    // Splice journaled results in by grid position; queue the rest.
+    let mut metrics: Vec<Option<RunMetrics>> = vec![None; cells.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    for cell in &cells {
+        match completed.get(&cell.key()) {
+            Some(m) => metrics[cell.index] = Some(*m),
+            None => pending.push(cell.index),
+        }
+    }
+
+    let journal = journal.as_ref();
+    let io_error: std::sync::Mutex<Option<io::Error>> = std::sync::Mutex::new(None);
+    let fresh = pool::execute(config.effective_threads(), pending.len(), |i| {
+        let cell = &cells[pending[i]];
+        let scenario = &grid.series_list()[cell.series].scenario;
+        let m = exec(scenario, cell);
+        if let Some(journal) = journal {
+            if let Err(e) = journal.record(&cell.key(), &m) {
+                io_error.lock().unwrap().get_or_insert(e);
+            }
+        }
+        m
+    });
+    if let Some(e) = io_error.into_inner().unwrap() {
+        return Err(e);
+    }
+    for (slot, m) in pending.into_iter().zip(fresh) {
+        metrics[slot] = Some(m);
+    }
+
+    Ok(GridResults {
+        metrics: metrics
+            .into_iter()
+            .map(|m| m.expect("cell executed"))
+            .collect(),
+        cells,
+        series_labels: grid.series_list().iter().map(|s| s.label.clone()).collect(),
+        pulse_list: grid.pulse_list().to_vec(),
+        seeds_len: grid.seed_list().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn demo_grid() -> RunGrid<f64> {
+        RunGrid::new("lib-test")
+            .series("alpha", 2.0)
+            .series("beta", 3.0)
+            .pulses(vec![1, 4, 9])
+            .seeds(vec![10, 20, 30])
+    }
+
+    fn demo_exec(scale: &f64, cell: &Cell) -> RunMetrics {
+        // Deterministic function of (scenario, cell) only.
+        RunMetrics {
+            convergence_secs: scale * cell.pulses as f64 + (cell.seed as f64).sqrt(),
+            messages: (cell.seed * cell.pulses as u64) as f64,
+            suppressed: (cell.seed % 7) as f64,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rfd-runner-lib-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let grid = demo_grid();
+        let reference = run_grid(&grid, &RunnerConfig::sequential(), demo_exec).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                run_grid(&grid, &RunnerConfig::with_threads(threads), demo_exec).unwrap();
+            assert_eq!(reference.metrics(), parallel.metrics(), "threads={threads}");
+            // Aggregates must match bit-for-bit, not just approximately.
+            for s in 0..2 {
+                for p in 0..3 {
+                    assert_eq!(
+                        format!("{:?}", reference.point_stats(s, p)),
+                        format!("{:?}", parallel.point_stats(s, p)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_metrics_slice_by_grid_position() {
+        let grid = demo_grid();
+        let r = run_grid(&grid, &RunnerConfig::sequential(), demo_exec).unwrap();
+        // Series 1 ("beta"), pulses index 2 (9 pulses), all three seeds.
+        let pts = r.point_metrics(1, 2);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].messages, (10 * 9) as f64);
+        assert_eq!(pts[2].messages, (30 * 9) as f64);
+        let stats = r.point_stats(1, 2);
+        assert_eq!(stats.convergence.count(), 3);
+    }
+
+    #[test]
+    fn resume_skips_journaled_cells_and_reproduces_output() {
+        let dir = tmp_dir("resume");
+        let grid = demo_grid();
+        let full = run_grid(
+            &grid,
+            &RunnerConfig::sequential().journal_to(&dir),
+            demo_exec,
+        )
+        .unwrap();
+
+        // Truncate the journal to simulate a sweep killed partway.
+        let path = journal_path(&dir, grid.name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(7).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+        // Resume: journaled cells must not re-execute.
+        let executed = AtomicUsize::new(0);
+        let resumed = run_grid(
+            &grid,
+            &RunnerConfig::with_threads(4).journal_to(&dir).resume(true),
+            |scale: &f64, cell: &Cell| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                demo_exec(scale, cell)
+            },
+        )
+        .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), grid.cell_count() - 7);
+        assert_eq!(resumed.metrics(), full.metrics());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_resume_journal_is_truncated_and_all_cells_run() {
+        let dir = tmp_dir("fresh");
+        let grid = demo_grid();
+        run_grid(
+            &grid,
+            &RunnerConfig::sequential().journal_to(&dir),
+            demo_exec,
+        )
+        .unwrap();
+        let executed = AtomicUsize::new(0);
+        run_grid(
+            &grid,
+            &RunnerConfig::sequential().journal_to(&dir),
+            |scale: &f64, cell: &Cell| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                demo_exec(scale, cell)
+            },
+        )
+        .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), grid.cell_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_cores() {
+        assert!(RunnerConfig::default().effective_threads() >= 1);
+        assert_eq!(RunnerConfig::with_threads(3).effective_threads(), 3);
+    }
+}

@@ -15,8 +15,7 @@
 //! unit tests and micro-scenarios such as the silent/noisy reuse-timer
 //! examples of Figures 5 and 6.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rfd_sim::DetRng;
 
 use crate::graph::{Graph, NodeId};
 
@@ -77,7 +76,7 @@ pub fn mesh_torus(width: usize, height: usize) -> Graph {
 pub fn internet_like(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m > 0, "attachment degree must be positive");
     assert!(n > m, "need more nodes ({n}) than attachment degree ({m})");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed_and_label(seed, "topology/internet-like");
     let mut g = Graph::with_nodes(n);
     // Seed clique of m+1 nodes.
     for i in 0..=(m as u32) {
@@ -92,7 +91,7 @@ pub fn internet_like(n: usize, m: usize, seed: u64) -> Graph {
         let v = NodeId::new(v as u32);
         let mut targets = Vec::with_capacity(m);
         while targets.len() < m {
-            let candidate = pool[rng.gen_range(0..pool.len())];
+            let candidate = pool[rng.below(pool.len())];
             if candidate != v && !targets.contains(&candidate) {
                 targets.push(candidate);
             }
@@ -172,12 +171,12 @@ pub fn star(n: usize) -> Graph {
 /// in 64 attempts (p too small for n).
 pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be within [0,1], got {p}");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed_and_label(seed, "topology/erdos-renyi");
     for _ in 0..64 {
         let mut g = Graph::with_nodes(n);
         for i in 0..n as u32 {
             for j in (i + 1)..n as u32 {
-                if rng.gen::<f64>() < p {
+                if rng.next_f64() < p {
                     g.add_link(NodeId::new(i), NodeId::new(j));
                 }
             }

@@ -5,7 +5,9 @@
 use std::process::ExitCode;
 
 use route_flap_damping::bgp::Network;
-use route_flap_damping::cli::{network_config, parse_run_options, TopologySpec, USAGE};
+use route_flap_damping::cli::{
+    network_config, parse_run_options, parse_sweep_command, SweepFigure, TopologySpec, USAGE,
+};
 use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
 use route_flap_damping::experiments::pick_isp;
 use route_flap_damping::metrics::{export_trace, StateClassifier};
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
         "intended" => cmd_intended(rest),
         "topology" => cmd_topology(rest),
         "trace-stats" => cmd_trace_stats(rest),
@@ -109,6 +112,55 @@ fn cmd_run(args: &[String]) -> CmdResult {
         std::fs::write(path, export_trace(net.trace()))?;
         println!("trace written to {path} ({} events)", net.trace().len());
     }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> CmdResult {
+    use route_flap_damping::experiments::figures::{fig13_14, fig15, fig8_9};
+    use route_flap_damping::experiments::TopologyKind;
+
+    let cmd = parse_sweep_command(args)?;
+    let (mesh, internet) = if cmd.quick {
+        (
+            TopologyKind::Mesh {
+                width: 5,
+                height: 5,
+            },
+            TopologyKind::Internet { nodes: 25, m: 2 },
+        )
+    } else {
+        (TopologyKind::PAPER_MESH, TopologyKind::PAPER_INTERNET)
+    };
+    let (label, sweep) = match cmd.figure {
+        SweepFigure::Fig8_9 => (
+            "Figures 8/9",
+            fig8_9::figure8_9_on(&cmd.opts, mesh, internet),
+        ),
+        SweepFigure::Fig13_14 => (
+            "Figures 13/14",
+            fig13_14::figure13_14_on(&cmd.opts, mesh, internet),
+        ),
+        SweepFigure::Fig15 => {
+            let kind = if cmd.quick {
+                TopologyKind::Internet { nodes: 60, m: 2 }
+            } else {
+                TopologyKind::PAPER_INTERNET_208
+            };
+            ("Figure 15", fig15::figure15_on(&cmd.opts, kind))
+        }
+    };
+    println!(
+        "{label} — {} thread(s), {} seed(s), pulses 0..={}{}",
+        match cmd.opts.threads {
+            0 => "all".to_owned(),
+            n => n.to_string(),
+        },
+        cmd.opts.seeds.len(),
+        cmd.opts.max_pulses,
+        if cmd.opts.resume { ", resuming" } else { "" },
+    );
+    println!("\nconvergence time (s):\n{}", sweep.convergence_table());
+    println!("updates:\n{}", sweep.message_table());
     Ok(())
 }
 

@@ -5,10 +5,12 @@
 //! binary in `src/bin/rfd.rs` only dispatches.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use rfd_bgp::{DampingDeployment, NetworkConfig, PenaltyFilter, Policy, ProtocolOptions};
 use rfd_core::DampingParams;
 use rfd_experiments::scenarios::infer_relationships;
+use rfd_experiments::SweepOptions;
 use rfd_sim::SimDuration;
 use rfd_topology::Graph;
 
@@ -231,6 +233,101 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
     Ok(opts)
 }
 
+/// Which figure `rfd sweep` regenerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFigure {
+    /// Figures 8 and 9 (convergence / messages vs pulses).
+    Fig8_9,
+    /// Figures 13 and 14 (the above plus RCN).
+    Fig13_14,
+    /// Figure 15 (routing policy).
+    Fig15,
+}
+
+/// A parsed `rfd sweep` invocation.
+#[derive(Debug, Clone)]
+pub struct SweepCommand {
+    /// Which figure to regenerate.
+    pub figure: SweepFigure,
+    /// Grid axes and execution options (threads, journal, resume).
+    pub opts: SweepOptions,
+    /// Reduced topology sizes for smoke runs.
+    pub quick: bool,
+}
+
+/// Parses the arguments of `rfd sweep`: `--figure`, `--threads N`,
+/// `--resume`, `--max-pulses N`, `--seeds A,B,C`, `--quick`,
+/// `--no-journal`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, or malformed
+/// values.
+pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
+    let mut cmd = SweepCommand {
+        figure: SweepFigure::Fig8_9,
+        opts: SweepOptions {
+            journal_dir: Some(PathBuf::from("results")),
+            ..SweepOptions::default()
+        },
+        quick: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--figure" => {
+                cmd.figure = match value("--figure")?.as_str() {
+                    "fig8-9" => SweepFigure::Fig8_9,
+                    "fig13-14" => SweepFigure::Fig13_14,
+                    "fig15" => SweepFigure::Fig15,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown figure `{other}` (fig8-9|fig13-14|fig15)"
+                        )))
+                    }
+                }
+            }
+            "--threads" => {
+                cmd.opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError("--threads needs an integer".into()))?
+            }
+            "--resume" => cmd.opts.resume = true,
+            "--max-pulses" => {
+                cmd.opts.max_pulses = value("--max-pulses")?
+                    .parse()
+                    .map_err(|_| CliError("--max-pulses needs an integer".into()))?
+            }
+            "--seeds" => {
+                cmd.opts.seeds = value("--seeds")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| CliError(format!("bad seed `{s}` in --seeds")))
+                    })
+                    .collect::<Result<Vec<u64>, _>>()?;
+                if cmd.opts.seeds.is_empty() {
+                    return Err(CliError("--seeds needs at least one seed".into()));
+                }
+            }
+            "--quick" => {
+                cmd.quick = true;
+                cmd.opts.max_pulses = cmd.opts.max_pulses.min(5);
+                cmd.opts.seeds.truncate(1);
+            }
+            "--no-journal" => cmd.opts.journal_dir = None,
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(cmd)
+}
+
 /// Builds the [`NetworkConfig`] for parsed run options against a built
 /// graph.
 pub fn network_config(opts: &RunOptions, graph: &Graph) -> NetworkConfig {
@@ -261,6 +358,8 @@ USAGE:
           [--filter plain|rcn|selective] [--policy shortest|novalley]
           [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
           [--reuse-granularity SECS]
+  rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
+            [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
   rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
   rfd trace-stats FILE
@@ -344,6 +443,44 @@ mod tests {
     fn filter_requires_damping() {
         let e = parse_run_options(&args("--damping off --filter rcn")).unwrap_err();
         assert!(e.to_string().contains("requires damping"));
+    }
+
+    #[test]
+    fn sweep_command_parses_runner_flags() {
+        let cmd = parse_sweep_command(&args(
+            "--figure fig13-14 --threads 4 --resume --max-pulses 6 --seeds 1,2,3",
+        ))
+        .unwrap();
+        assert_eq!(cmd.figure, SweepFigure::Fig13_14);
+        assert_eq!(cmd.opts.threads, 4);
+        assert!(cmd.opts.resume);
+        assert_eq!(cmd.opts.max_pulses, 6);
+        assert_eq!(cmd.opts.seeds, vec![1, 2, 3]);
+        assert_eq!(cmd.opts.journal_dir, Some(PathBuf::from("results")));
+        assert!(!cmd.quick);
+    }
+
+    #[test]
+    fn sweep_command_defaults_and_quick() {
+        let cmd = parse_sweep_command(&[]).unwrap();
+        assert_eq!(cmd.figure, SweepFigure::Fig8_9);
+        assert_eq!(cmd.opts.threads, 0);
+        assert!(!cmd.opts.resume);
+
+        let quick = parse_sweep_command(&args("--quick --no-journal")).unwrap();
+        assert!(quick.quick);
+        assert!(quick.opts.max_pulses <= 5);
+        assert_eq!(quick.opts.seeds.len(), 1);
+        assert_eq!(quick.opts.journal_dir, None);
+    }
+
+    #[test]
+    fn sweep_command_rejects_bad_input() {
+        assert!(parse_sweep_command(&args("--figure fig99")).is_err());
+        assert!(parse_sweep_command(&args("--threads many")).is_err());
+        assert!(parse_sweep_command(&args("--seeds 1,x")).is_err());
+        assert!(parse_sweep_command(&args("--seeds")).is_err());
+        assert!(parse_sweep_command(&args("--bogus")).is_err());
     }
 
     #[test]

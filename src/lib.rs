@@ -20,6 +20,8 @@
 //!   network harness;
 //! * [`metrics`] — traces, update series, damped-link counts, the
 //!   four-state classifier;
+//! * [`runner`] — deterministic parallel job-grid execution with
+//!   journaling and resume;
 //! * [`experiments`] — one entry point per table/figure of the paper.
 //!
 //! # Quickstart
@@ -51,5 +53,6 @@ pub use rfd_bgp as bgp;
 pub use rfd_core as damping;
 pub use rfd_experiments as experiments;
 pub use rfd_metrics as metrics;
+pub use rfd_runner as runner;
 pub use rfd_sim as sim;
 pub use rfd_topology as topology;

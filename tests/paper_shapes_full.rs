@@ -23,6 +23,7 @@ fn figure8_full_scale_shape() {
     let opts = SweepOptions {
         max_pulses: 10,
         seeds: vec![1, 2, 3],
+        ..SweepOptions::default()
     };
     let sweep = figure8_9(&opts);
     let no_damp = sweep.series(NO_DAMPING_MESH).unwrap();
