@@ -162,6 +162,8 @@ impl NetWorld {
 
     fn apply_output(&mut self, ctx: &mut Context<'_, NetEvent>, node: NodeId, out: RouterOutput) {
         let now = ctx.now();
+        rfd_obs::add("bgp.updates_sent", out.sends.len() as u64);
+        rfd_obs::add("bgp.mrai_scheduled", out.mrai_timers.len() as u64);
         for kind in out.traces {
             self.trace.record(now, kind);
         }
@@ -205,6 +207,7 @@ impl World for NetWorld {
                     self.dropped += 1;
                     return;
                 }
+                rfd_obs::inc("bgp.updates_received");
                 self.trace.record(
                     ctx.now(),
                     TraceEventKind::UpdateReceived {
@@ -225,6 +228,7 @@ impl World for NetWorld {
                 self.apply_output(ctx, to, out);
             }
             NetEvent::MraiExpiry { node, peer, prefix } => {
+                rfd_obs::inc("bgp.mrai_expiries");
                 let mut out = RouterOutput::default();
                 self.routers[node.index()].on_mrai_expiry(
                     ctx.now(),
@@ -512,6 +516,7 @@ impl Network {
     /// Panics if the network fails to reach quiescence (horizon or
     /// budget hit — a configuration pathology).
     pub fn warm_up(&mut self) -> &mut Self {
+        let _obs_span = rfd_obs::span("bgp.warmup");
         assert!(!self.warmed_up, "warm_up may only run once");
         for i in 0..self.world.origins.len() {
             let origin = self.world.origins[i].node;

@@ -520,6 +520,7 @@ impl Router {
     /// The decision process: best usable route by (policy class, path
     /// length, lowest peer id). A self-originated route always wins.
     fn decide(id: NodeId, state: &PrefixState, policy: &Policy) -> Option<BestRoute> {
+        rfd_obs::inc("bgp.decisions");
         if state.originated {
             return Some(BestRoute {
                 learned_from: None,

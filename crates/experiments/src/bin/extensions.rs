@@ -5,7 +5,9 @@
 use rfd_experiments::figures::extensions::{
     deployment_table, heterogeneous_params_demo, partial_deployment_sweep, prefix_interference,
 };
-use rfd_experiments::output::{banner, quick_flag, runner_config, save_csv, saved};
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, quick_flag, runner_config,
+};
 use rfd_experiments::TopologyKind;
 
 fn main() {
@@ -13,17 +15,18 @@ fn main() {
         "Extensions",
         "heterogeneous parameters & partial deployment",
     );
+    let obs = obs_init("extensions");
 
-    println!("-- §6 heterogeneous parameters (4-node line, zero path exploration) --");
+    eprintln!("-- §6 heterogeneous parameters (4-node line, zero path exploration) --");
     for (label, rcn) in [("plain damping", false), ("RCN-enhanced", true)] {
         let demo = heterogeneous_params_demo(4, rcn);
-        println!(
+        eprintln!(
             "{label}: Y recharged {} time(s) after flapping stopped; X reused at {:.0}s, Y at {:.0}s; convergence {:.0}s",
             demo.recharges_at_y, demo.x_reused_at, demo.y_reused_at, demo.convergence_secs
         );
     }
 
-    println!("\n-- multi-prefix interference (storm on one of two prefixes) --");
+    eprintln!("\n-- multi-prefix interference (storm on one of two prefixes) --");
     let kind_small = if quick_flag() {
         TopologyKind::Mesh {
             width: 4,
@@ -36,12 +39,12 @@ fn main() {
         }
     };
     let r = prefix_interference(kind_small, 5, 2);
-    println!(
+    eprintln!(
         "flapping prefix: {} entries suppressed; stable prefix: {} suppressed, routable throughout: {}; {} updates",
         r.flapping_suppressed, r.stable_suppressed, r.stable_always_routable, r.messages
     );
 
-    println!("\n-- partial deployment (1 pulse) --");
+    eprintln!("\n-- partial deployment (1 pulse) --");
     let kind = if quick_flag() {
         TopologyKind::Mesh {
             width: 5,
@@ -59,6 +62,8 @@ fn main() {
         &runner_config(),
     );
     let table = deployment_table(&points);
-    println!("{table}");
-    saved(&save_csv("extensions_partial_deployment", &table));
+    publish_csv("extensions_partial_deployment", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

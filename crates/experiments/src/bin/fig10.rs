@@ -3,7 +3,7 @@
 //! annotated with the Figure 4 state classification.
 
 use rfd_experiments::figures::fig10::{figure10, figure10_with};
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, quick_flag};
 use rfd_experiments::TopologyKind;
 use rfd_metrics::AsciiChart;
 
@@ -12,6 +12,7 @@ fn main() {
         "Figure 10",
         "update series & damped link count for n = 1, 3, 5",
     );
+    let obs = obs_init("fig10");
     let fig = if quick_flag() {
         figure10_with(
             TopologyKind::Mesh {
@@ -25,18 +26,18 @@ fn main() {
         figure10()
     };
     for panel in &fig.panels {
-        println!(
+        eprintln!(
             "n = {}: {} updates, convergence {:.0}s, peak damped links {}",
             panel.pulses, panel.messages, panel.convergence_secs, panel.peak_damped
         );
-        println!("  states: {}", panel.states_summary());
+        eprintln!("  states: {}", panel.states_summary());
         let updates: Vec<(f64, f64)> = panel
             .update_series
             .iter()
             .map(|&(t, c)| (t, c as f64))
             .collect();
-        println!("  update series (5 s bins):");
-        println!(
+        eprintln!("  update series (5 s bins):");
+        eprintln!(
             "{}",
             AsciiChart::new(66, 10).render_one("updates", &updates)
         );
@@ -45,9 +46,12 @@ fn main() {
             .iter()
             .map(|&(t, v)| (t, v as f64))
             .collect();
-        println!("  damped links:");
-        println!("{}", AsciiChart::new(66, 10).render_one("damped", &damped));
+        eprintln!("  damped links:");
+        eprintln!("{}", AsciiChart::new(66, 10).render_one("damped", &damped));
         let table = panel.render();
-        saved(&save_csv(&format!("fig10_n{}", panel.pulses), &table));
+        publish_csv(&format!("fig10_n{}", panel.pulses), &table);
+    }
+    if let Some(path) = &obs {
+        obs_finish(path);
     }
 }

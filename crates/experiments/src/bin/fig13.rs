@@ -2,14 +2,14 @@
 //! with RCN-enhanced damping added to the Figure 8 series.
 
 use rfd_experiments::figures::fig13_14::figure13_14;
-use rfd_experiments::output::{banner, save_csv, saved, sweep_options};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
 use rfd_metrics::AsciiChart;
 
 fn main() {
     banner("Figure 13", "convergence time vs pulses, with RCN");
+    let obs = obs_init("fig13");
     let sweep = figure13_14(&sweep_options());
     let table = sweep.convergence_table();
-    println!("{table}");
     let curves: Vec<(&str, Vec<(f64, f64)>)> = sweep
         .series
         .iter()
@@ -23,6 +23,9 @@ fn main() {
         })
         .collect();
     let refs: Vec<(&str, &[(f64, f64)])> = curves.iter().map(|(l, v)| (*l, v.as_slice())).collect();
-    println!("{}", AsciiChart::new(66, 16).render(&refs));
-    saved(&save_csv("fig13", &table));
+    eprintln!("{}", AsciiChart::new(66, 16).render(&refs));
+    publish_csv("fig13", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -3,12 +3,15 @@
 //! no premature false suppression).
 
 use rfd_experiments::figures::fig13_14::figure13_14;
-use rfd_experiments::output::{banner, save_csv, saved, sweep_options};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
 
 fn main() {
     banner("Figure 14", "message count vs pulses, with RCN");
+    let obs = obs_init("fig14");
     let sweep = figure13_14(&sweep_options());
     let table = sweep.message_table();
-    println!("{table}");
-    saved(&save_csv("fig14", &table));
+    publish_csv("fig14", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

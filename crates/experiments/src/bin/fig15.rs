@@ -4,12 +4,15 @@
 use rfd_experiments::figures::fig15::{
     figure15, figure15_on, mean_convergence, INTENDED, NO_POLICY, WITH_POLICY,
 };
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved, sweep_options};
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, quick_flag, sweep_options,
+};
 use rfd_experiments::TopologyKind;
 use rfd_metrics::AsciiChart;
 
 fn main() {
     banner("Figure 15", "impact of routing policy (208-node Internet)");
+    let obs = obs_init("fig15");
     let opts = sweep_options();
     let sweep = if quick_flag() {
         figure15_on(&opts, TopologyKind::Internet { nodes: 60, m: 2 })
@@ -17,7 +20,6 @@ fn main() {
         figure15(&opts)
     };
     let table = sweep.convergence_table();
-    println!("{table}");
     let curves: Vec<(&str, Vec<(f64, f64)>)> = sweep
         .series
         .iter()
@@ -31,11 +33,14 @@ fn main() {
         })
         .collect();
     let refs: Vec<(&str, &[(f64, f64)])> = curves.iter().map(|(l, v)| (*l, v.as_slice())).collect();
-    println!("{}", AsciiChart::new(66, 16).render(&refs));
+    eprintln!("{}", AsciiChart::new(66, 16).render(&refs));
     for label in [WITH_POLICY, NO_POLICY, INTENDED] {
         if let Some(mean) = mean_convergence(&sweep, label) {
-            println!("mean convergence, {label}: {mean:.0}s");
+            eprintln!("mean convergence, {label}: {mean:.0}s");
         }
     }
-    saved(&save_csv("fig15", &table));
+    publish_csv("fig15", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -2,20 +2,21 @@
 //! flaps (Cisco defaults), including the suppression span.
 
 use rfd_experiments::figures::fig3::figure3;
-use rfd_experiments::output::{banner, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv};
 use rfd_metrics::AsciiChart;
 
 fn main() {
     banner("Figure 3", "damping penalty under a few flaps");
+    let obs = obs_init("fig3");
     let fig = figure3();
-    println!(
+    eprintln!(
         "cut-off {} / reuse {} — peak {:.0}",
         fig.params.cutoff_threshold(),
         fig.params.reuse_threshold(),
         fig.peak
     );
     for (from, to) in &fig.suppressed_spans {
-        println!("suppressed from {from:.0}s to {to:.0}s");
+        eprintln!("suppressed from {from:.0}s to {to:.0}s");
     }
     let cutoff: Vec<(f64, f64)> = fig
         .curve
@@ -27,7 +28,7 @@ fn main() {
         .iter()
         .map(|&(t, _)| (t, fig.params.reuse_threshold()))
         .collect();
-    println!(
+    eprintln!(
         "{}",
         AsciiChart::new(72, 18).render(&[
             ("penalty", &fig.curve),
@@ -36,6 +37,9 @@ fn main() {
         ])
     );
     let table = fig.render();
-    println!("{} curve points (penalty vs time)", table.row_count());
-    saved(&save_csv("fig3", &table));
+    eprintln!("{} curve points (penalty vs time)", table.row_count());
+    publish_csv("fig3", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -5,7 +5,7 @@
 //! timeline.
 
 use rfd_bgp::NetworkConfig;
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, quick_flag};
 use rfd_experiments::{run_workload, TopologyKind};
 use rfd_metrics::{DampingState, StateClassifier, Table};
 
@@ -14,6 +14,7 @@ fn main() {
         "Figure 4",
         "four-state damping process (reconstructed from an n = 1 trace)",
     );
+    let obs = obs_init("fig4");
     let kind = if quick_flag() {
         TopologyKind::Mesh {
             width: 5,
@@ -30,13 +31,13 @@ fn main() {
 
     let mut table = Table::new(vec!["state", "from (s)", "to (s)", "duration (s)"]);
     let total = report.convergence_time.as_secs_f64().max(1.0);
-    println!("episode timeline (seconds since first flap):");
+    eprintln!("episode timeline (seconds since first flap):");
     for span in &spans {
         let from = span.from.saturating_since(start).as_secs_f64();
         let to = span.to.saturating_since(start).as_secs_f64();
         // A proportional bar makes the timeline legible at a glance.
         let bar_len = (((to - from) / total) * 48.0).round() as usize;
-        println!(
+        eprintln!(
             "  {:<12} {:>7.0} → {:>7.0}  {}",
             span.state.to_string(),
             from,
@@ -51,7 +52,7 @@ fn main() {
         ]);
     }
     let suppressions = classifier.suppression_periods(trace);
-    println!(
+    eprintln!(
         "\n{} suppression period(s){}",
         suppressions,
         if suppressions > 1 {
@@ -62,11 +63,14 @@ fn main() {
     );
     let releasing = classifier.time_in(trace, DampingState::Releasing);
     let charging = classifier.time_in(trace, DampingState::Charging);
-    println!(
+    eprintln!(
         "charging {:.0} s, releasing {:.0} s of a {:.0} s episode",
         charging.as_secs_f64(),
         releasing.as_secs_f64(),
         report.convergence_time.as_secs_f64()
     );
-    saved(&save_csv("fig4", &table));
+    publish_csv("fig4", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

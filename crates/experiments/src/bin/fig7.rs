@@ -3,7 +3,7 @@
 //! cut-off, secondary charging re-crosses it during release.
 
 use rfd_experiments::figures::fig7::{figure7, figure7_with};
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, quick_flag};
 use rfd_experiments::TopologyKind;
 use rfd_metrics::AsciiChart;
 
@@ -12,6 +12,7 @@ fn main() {
         "Figure 7",
         "penalty at a remote router after one flap (100-node mesh)",
     );
+    let obs = obs_init("fig7");
     let fig = if quick_flag() {
         figure7_with(
             TopologyKind::Mesh {
@@ -24,8 +25,8 @@ fn main() {
     } else {
         figure7()
     };
-    println!("{}", fig.summary());
-    println!(
+    eprintln!("{}", fig.summary());
+    eprintln!(
         "thresholds: cut-off {}, reuse {}; ceiling {} (§5.2: peak stays far below)",
         fig.params.cutoff_threshold(),
         fig.params.reuse_threshold(),
@@ -41,7 +42,7 @@ fn main() {
         .iter()
         .map(|&(t, _)| (t, fig.params.reuse_threshold()))
         .collect();
-    println!(
+    eprintln!(
         "{}",
         AsciiChart::new(72, 18).render(&[
             ("penalty", &fig.curve),
@@ -50,6 +51,9 @@ fn main() {
         ])
     );
     let table = fig.render();
-    println!("{} curve points (penalty vs time)", table.row_count());
-    saved(&save_csv("fig7", &table));
+    eprintln!("{} curve points (penalty vs time)", table.row_count());
+    publish_csv("fig7", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

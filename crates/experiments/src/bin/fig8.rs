@@ -3,14 +3,14 @@
 //! intended-behaviour calculation.
 
 use rfd_experiments::figures::fig8_9::{critical_point, figure8_9, FULL_DAMPING_MESH};
-use rfd_experiments::output::{banner, save_csv, saved, sweep_options};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
 use rfd_metrics::AsciiChart;
 
 fn main() {
     banner("Figure 8", "convergence time vs number of pulses");
+    let obs = obs_init("fig8");
     let sweep = figure8_9(&sweep_options());
     let table = sweep.convergence_table();
-    println!("{table}");
     let curves: Vec<(&str, Vec<(f64, f64)>)> = sweep
         .series
         .iter()
@@ -24,9 +24,12 @@ fn main() {
         })
         .collect();
     let refs: Vec<(&str, &[(f64, f64)])> = curves.iter().map(|(l, v)| (*l, v.as_slice())).collect();
-    println!("{}", AsciiChart::new(66, 16).render(&refs));
+    eprintln!("{}", AsciiChart::new(66, 16).render(&refs));
     if let Some(nh) = critical_point(&sweep, FULL_DAMPING_MESH, 0.30) {
-        println!("critical point N_h (mesh, 30% band): {nh}");
+        eprintln!("critical point N_h (mesh, 30% band): {nh}");
     }
-    saved(&save_csv("fig8", &table));
+    publish_csv("fig8", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -1,12 +1,15 @@
 //! Regenerates Figure 9: message count versus number of pulses.
 
 use rfd_experiments::figures::fig8_9::figure8_9;
-use rfd_experiments::output::{banner, save_csv, saved, sweep_options};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
 
 fn main() {
     banner("Figure 9", "message count vs number of pulses");
+    let obs = obs_init("fig9");
     let sweep = figure8_9(&sweep_options());
     let table = sweep.message_table();
-    println!("{table}");
-    saved(&save_csv("fig9", &table));
+    publish_csv("fig9", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -2,12 +2,13 @@
 //! reuse-timer quantisation versus the paper defaults.
 
 use rfd_experiments::figures::knobs::{knob_comparison, knob_table};
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, quick_flag};
 use rfd_experiments::TopologyKind;
 use rfd_sim::SimDuration;
 
 fn main() {
     banner("Knobs", "protocol-option ablations under full damping");
+    let obs = obs_init("knobs");
     let kind = if quick_flag() {
         TopologyKind::Mesh {
             width: 5,
@@ -17,11 +18,13 @@ fn main() {
         TopologyKind::PAPER_MESH
     };
     for (pulses, interval) in [(1usize, 60u64), (4, 10)] {
-        println!("-- {pulses} pulse(s), {interval} s interval --");
+        eprintln!("-- {pulses} pulse(s), {interval} s interval --");
         let points = knob_comparison(kind, pulses, SimDuration::from_secs(interval), 1);
         let table = knob_table(&points);
-        println!("{table}");
-        saved(&save_csv(&format!("knobs_p{pulses}_i{interval}"), &table));
-        println!();
+        publish_csv(&format!("knobs_p{pulses}_i{interval}"), &table);
+        eprintln!();
+    }
+    if let Some(path) = &obs {
+        obs_finish(path);
     }
 }

@@ -5,7 +5,7 @@
 
 use rfd_bgp::{Network, NetworkConfig};
 use rfd_core::{FlapPattern, FlapSchedule};
-use rfd_experiments::output::{banner, quick_flag, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, quick_flag};
 use rfd_experiments::{pick_isp, TopologyKind};
 use rfd_metrics::{fmt_f64, Table};
 use rfd_sim::SimDuration;
@@ -15,6 +15,7 @@ fn main() {
         "Link failure",
         "interior-link flapping under full damping (extension)",
     );
+    let obs = obs_init("link_failure");
     let kind = if quick_flag() {
         TopologyKind::Mesh {
             width: 5,
@@ -42,7 +43,7 @@ fn main() {
         let neighbor = *graph.neighbors(isp).first().expect("isp has neighbours");
         let schedule = FlapSchedule::from(FlapPattern::paper_default(pulses));
         let report = net.run_link_schedule(isp, neighbor, &schedule, SimDuration::from_secs(100));
-        println!(
+        eprintln!(
             "pulses {pulses}: convergence {:.0}s, {} updates, {} dropped in flight, {} entries suppressed",
             report.convergence_time.as_secs_f64(),
             report.message_count,
@@ -57,6 +58,9 @@ fn main() {
             net.trace().ever_suppressed_entries().to_string(),
         ]);
     }
-    println!();
-    saved(&save_csv("link_failure", &table));
+    eprintln!();
+    publish_csv("link_failure", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -14,18 +14,21 @@ use rfd_experiments::figures::fig3::figure3;
 use rfd_experiments::figures::fig7::{figure7, figure7_with};
 use rfd_experiments::figures::fig8_9::figure8_9;
 use rfd_experiments::figures::table1::table1;
-use rfd_experiments::output::{banner, quick_flag, runner_config, save_csv, sweep_options};
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, quick_flag, runner_config, save_csv, sweep_options,
+};
 use rfd_experiments::TopologyKind;
 
 fn step(label: &str, f: impl FnOnce()) {
     let start = Instant::now();
-    print!("{label:<12}… ");
+    eprint!("{label:<12}… ");
     f();
-    println!("done in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
 }
 
 fn main() {
     banner("run_all", "regenerate every table and figure");
+    let obs = obs_init("run_all");
     let quick = quick_flag();
     let opts = sweep_options();
 
@@ -162,5 +165,8 @@ fn main() {
         let points = parameter_sweep(kind, &presets, 3, &[1], &runner_config());
         save_csv("sweep_params", &parameter_table(&points));
     });
-    println!("\nall artefacts regenerated under results/");
+    eprintln!("\nall artefacts regenerated under results/");
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -5,7 +5,9 @@ use rfd_core::DampingParams;
 use rfd_experiments::figures::report15::{
     interval_sweep, interval_table, parameter_sweep, parameter_table, size_sweep, size_table,
 };
-use rfd_experiments::output::{banner, quick_flag, runner_config, save_csv, saved};
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, quick_flag, runner_config,
+};
 use rfd_experiments::TopologyKind;
 use rfd_sim::SimDuration;
 
@@ -14,6 +16,7 @@ fn main() {
         "Sweeps [15]",
         "flapping interval, topology size, damping parameters",
     );
+    let obs = obs_init("sweeps");
     let quick = quick_flag();
     let kind = if quick {
         TopologyKind::Mesh {
@@ -25,7 +28,7 @@ fn main() {
     };
     let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
 
-    println!("-- flapping interval (3 pulses, full Cisco damping) --");
+    eprintln!("-- flapping interval (3 pulses, full Cisco damping) --");
     let intervals = [
         SimDuration::from_secs(15),
         SimDuration::from_secs(30),
@@ -37,10 +40,9 @@ fn main() {
     let exec = runner_config();
     let points = interval_sweep(kind, 3, &intervals, seeds, &exec);
     let table = interval_table(&points);
-    println!("{table}");
-    saved(&save_csv("sweep_interval", &table));
+    publish_csv("sweep_interval", &table);
 
-    println!("\n-- topology size (1 pulse) --");
+    eprintln!("\n-- topology size (1 pulse) --");
     let sizes: &[(usize, usize)] = if quick {
         &[(3, 3), (5, 5)]
     } else {
@@ -48,10 +50,9 @@ fn main() {
     };
     let points = size_sweep(sizes, 1, seeds, &exec);
     let table = size_table(&points);
-    println!("{table}");
-    saved(&save_csv("sweep_size", &table));
+    publish_csv("sweep_size", &table);
 
-    println!("\n-- damping parameter presets (3 pulses) --");
+    eprintln!("\n-- damping parameter presets (3 pulses) --");
     let presets = [
         ("cisco", DampingParams::cisco()),
         ("juniper", DampingParams::juniper()),
@@ -59,6 +60,8 @@ fn main() {
     ];
     let points = parameter_sweep(kind, &presets, 3, seeds, &exec);
     let table = parameter_table(&points);
-    println!("{table}");
-    saved(&save_csv("sweep_params", &table));
+    publish_csv("sweep_params", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

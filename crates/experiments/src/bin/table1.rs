@@ -1,11 +1,14 @@
 //! Regenerates Table 1: default damping parameters (Cisco / Juniper).
 
 use rfd_experiments::figures::table1::table1;
-use rfd_experiments::output::{banner, save_csv, saved};
+use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv};
 
 fn main() {
     banner("Table 1", "default damping parameters");
+    let obs = obs_init("table1");
     let table = table1().render();
-    println!("{table}");
-    saved(&save_csv("table1", &table));
+    publish_csv("table1", &table);
+    if let Some(path) = &obs {
+        obs_finish(path);
+    }
 }

@@ -1,7 +1,27 @@
 //! Shared output plumbing for the experiment binaries.
+//!
+//! ## stdout / stderr discipline
+//!
+//! Everything a script might parse — CSV tables — goes to **stdout**;
+//! every human-facing line (banners, pretty tables, ASCII charts,
+//! progress, "saved …" notes) goes to **stderr**. Piping any figure
+//! binary therefore yields clean machine-readable output:
+//!
+//! ```text
+//! fig8 --quick > fig8.csv        # CSV only; narrative on the terminal
+//! ```
+//!
+//! ## Observability
+//!
+//! `--obs[=PATH]` (or the `RFD_OBS` environment variable) turns the
+//! [`rfd_obs`] recording layer on. [`obs_init`] resolves the
+//! destination, enables recording, installs the panic hook and points
+//! the flight recorder next to the trace; [`obs_finish`] writes the
+//! Chrome-trace/summary file once the run completes.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use rfd_metrics::Table;
 
@@ -25,6 +45,20 @@ pub fn save_csv(name: &str, table: &Table) -> PathBuf {
     let path = dir.join(format!("{name}.csv"));
     fs::write(&path, table.to_csv())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+/// Publishes a result table: pretty form on stderr, CSV on stdout,
+/// saved under `results/<name>.csv` (path reported on stderr).
+///
+/// # Panics
+///
+/// Panics if the CSV cannot be written (see [`save_csv`]).
+pub fn publish_csv(name: &str, table: &Table) -> PathBuf {
+    eprintln!("{table}");
+    print!("{}", table.to_csv());
+    let path = save_csv(name, table);
+    saved(&path);
     path
 }
 
@@ -63,8 +97,114 @@ pub fn threads_flag() -> usize {
     0
 }
 
-/// Sweep options honouring `--quick`, `--threads N` and `--resume`.
-/// Runs journal under [`results_dir`] so interrupted sweeps can resume.
+/// Parses `--cell-budget SECS` (or `--cell-budget=SECS`): the per-cell
+/// wall-clock budget beyond which the runner flags the cell and dumps
+/// the flight recorder.
+///
+/// # Panics
+///
+/// Panics on a malformed budget (experiment binaries want loud
+/// failures).
+pub fn cell_budget_flag() -> Option<Duration> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--cell-budget" {
+            args.next()
+        } else {
+            arg.strip_prefix("--cell-budget=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            let secs: f64 = value
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --cell-budget value {value:?}: {e}"));
+            return Some(Duration::from_secs_f64(secs));
+        }
+    }
+    None
+}
+
+/// The observability destination the command line resolves to:
+/// `--obs` / `RFD_OBS=1` use `results/<default_name>.trace.json`,
+/// `--obs=PATH` / `RFD_OBS=PATH` use the explicit path, absent means
+/// observability stays off.
+pub fn obs_flag(default_name: &str) -> Option<PathBuf> {
+    let mut found: Option<Option<PathBuf>> = None;
+    for arg in std::env::args() {
+        if arg == "--obs" {
+            found = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--obs=") {
+            found = Some(Some(PathBuf::from(path)));
+        }
+    }
+    found
+        .or_else(obs_env)
+        .map(|explicit| explicit.unwrap_or_else(|| default_trace_path(default_name)))
+}
+
+/// The `RFD_OBS` environment variable as an observability request:
+/// unset / empty / `0` → off, `1` → on at the default destination,
+/// anything else → on at that path.
+pub fn obs_env() -> Option<Option<PathBuf>> {
+    match std::env::var("RFD_OBS") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" => Some(None),
+        Ok(v) => Some(Some(PathBuf::from(v))),
+        Err(_) => None,
+    }
+}
+
+/// Where an observability trace lands when no explicit path was given.
+pub fn default_trace_path(default_name: &str) -> PathBuf {
+    results_dir().join(format!("{default_name}.trace.json"))
+}
+
+/// The flight-recorder dump path that goes with a trace destination:
+/// `fig8.trace.json` → `fig8.flightrec.json`.
+pub fn flight_path_for(trace: &Path) -> PathBuf {
+    let name = trace
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("obs.trace.json");
+    let base = name
+        .strip_suffix(".trace.json")
+        .or_else(|| name.strip_suffix(".json"))
+        .unwrap_or(name);
+    trace.with_file_name(format!("{base}.flightrec.json"))
+}
+
+/// If the command line asks for observability ([`obs_flag`]): enables
+/// recording, installs the panic hook, points the flight recorder next
+/// to the trace, and returns the trace destination for [`obs_finish`].
+pub fn obs_init(default_name: &str) -> Option<PathBuf> {
+    obs_flag(default_name).map(obs_init_at)
+}
+
+/// Enables recording towards an already-resolved trace destination:
+/// turns the registry on, installs the panic hook and points the
+/// flight recorder next to the trace. Returns the destination for
+/// [`obs_finish`].
+pub fn obs_init_at(path: PathBuf) -> PathBuf {
+    rfd_obs::enable();
+    rfd_obs::install_panic_hook();
+    rfd_obs::set_flight_path(flight_path_for(&path));
+    eprintln!("obs: recording to {}", path.display());
+    path
+}
+
+/// Writes the Chrome-trace/summary file at the end of an observed run.
+pub fn obs_finish(trace_path: &Path) {
+    match rfd_obs::write_trace(trace_path) {
+        Ok(()) => eprintln!("obs: trace written to {}", trace_path.display()),
+        Err(e) => eprintln!("obs: failed to write {}: {e}", trace_path.display()),
+    }
+}
+
+/// How often sweeps report progress on stderr.
+const HEARTBEAT_PERIOD: Duration = Duration::from_secs(10);
+
+/// Sweep options honouring `--quick`, `--threads N`, `--resume` and
+/// `--cell-budget SECS`. Runs journal under [`results_dir`] so
+/// interrupted sweeps can resume; progress heartbeats go to stderr.
 pub fn sweep_options() -> crate::sweep::SweepOptions {
     let base = if quick_flag() {
         crate::sweep::SweepOptions::quick()
@@ -75,6 +215,8 @@ pub fn sweep_options() -> crate::sweep::SweepOptions {
         threads: threads_flag(),
         journal_dir: Some(results_dir()),
         resume: resume_flag(),
+        heartbeat: Some(HEARTBEAT_PERIOD),
+        cell_budget: cell_budget_flag(),
         ..base
     }
 }
@@ -86,18 +228,18 @@ pub fn runner_config() -> rfd_runner::RunnerConfig {
     sweep_options().runner_config()
 }
 
-/// Prints a standard experiment header.
+/// Prints a standard experiment header (stderr — narrative, not data).
 pub fn banner(figure: &str, description: &str) {
-    println!("== {figure} — {description} ==");
+    eprintln!("== {figure} — {description} ==");
     if quick_flag() {
-        println!("(quick mode: reduced sizes)");
+        eprintln!("(quick mode: reduced sizes)");
     }
-    println!();
+    eprintln!();
 }
 
-/// Prints where a CSV landed.
+/// Reports where a CSV landed (stderr — narrative, not data).
 pub fn saved(path: &Path) {
-    println!("\nsaved {}", path.display());
+    eprintln!("\nsaved {}", path.display());
 }
 
 #[cfg(test)]
@@ -119,5 +261,21 @@ mod tests {
         std::env::remove_var("RFD_RESULTS_DIR");
         assert_eq!(results_dir(), PathBuf::from("results"));
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn flight_path_derives_from_trace_path() {
+        assert_eq!(
+            flight_path_for(Path::new("results/fig8.trace.json")),
+            PathBuf::from("results/fig8.flightrec.json")
+        );
+        assert_eq!(
+            flight_path_for(Path::new("custom.json")),
+            PathBuf::from("custom.flightrec.json")
+        );
+        assert_eq!(
+            flight_path_for(Path::new("bare")),
+            PathBuf::from("bare.flightrec.json")
+        );
     }
 }

@@ -111,6 +111,12 @@ pub struct SweepOptions {
     /// With a journal: skip cells already journaled instead of starting
     /// over (`--resume`).
     pub resume: bool,
+    /// Period between progress heartbeat lines on stderr; `None` (the
+    /// default, and what tests use) keeps the sweep silent.
+    pub heartbeat: Option<std::time::Duration>,
+    /// Per-cell wall-clock budget; exceeding it flags the cell and
+    /// dumps the observability flight recorder.
+    pub cell_budget: Option<std::time::Duration>,
 }
 
 impl Default for SweepOptions {
@@ -121,6 +127,8 @@ impl Default for SweepOptions {
             threads: 0,
             journal_dir: None,
             resume: false,
+            heartbeat: None,
+            cell_budget: None,
         }
     }
 }
@@ -141,6 +149,8 @@ impl SweepOptions {
             threads: self.threads,
             journal_dir: self.journal_dir.clone(),
             resume: self.resume,
+            heartbeat: self.heartbeat,
+            cell_budget: self.cell_budget,
         }
     }
 }

@@ -1,0 +1,153 @@
+//! Aggregation contract of [`Trace`] on hand-built event sequences:
+//! the paper's message count (updates observed *from the first flap*),
+//! convergence time, 5-second update bins (Figure 10 top row), and the
+//! four-state classification of a full damping episode.
+
+use rfd_metrics::{bin_events, DampingState, StateClassifier, Trace, TraceEventKind};
+use rfd_sim::{SimDuration, SimTime};
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+fn sent(tr: &mut Trace, at: u64, withdrawal: bool) {
+    tr.record(
+        t(at),
+        TraceEventKind::UpdateSent {
+            from: 0,
+            to: 1,
+            withdrawal,
+        },
+    );
+}
+
+fn received(tr: &mut Trace, at: u64, withdrawal: bool) {
+    tr.record(
+        t(at),
+        TraceEventKind::UpdateReceived {
+            from: 0,
+            to: 1,
+            withdrawal,
+        },
+    );
+}
+
+fn flap(tr: &mut Trace, at: u64, up: bool) {
+    tr.record(t(at), TraceEventKind::OriginFlap { prefix: 0, up });
+}
+
+#[test]
+fn message_count_starts_at_the_first_flap() {
+    let mut tr = Trace::new();
+    // Pre-flap chatter: observed, but outside the paper's count.
+    sent(&mut tr, 3, false);
+    received(&mut tr, 5, false);
+    flap(&mut tr, 10, false);
+    sent(&mut tr, 10, true);
+    received(&mut tr, 12, true);
+    sent(&mut tr, 12, true);
+    received(&mut tr, 14, true);
+    flap(&mut tr, 70, true); // final announcement
+    sent(&mut tr, 70, false);
+    received(&mut tr, 72, false);
+
+    assert_eq!(tr.message_count(), 3, "pre-flap update must not count");
+    assert_eq!(tr.first_flap_at(), Some(t(10)));
+    assert_eq!(tr.final_announcement_at(), Some(t(70)));
+    assert_eq!(tr.convergence_time(), SimDuration::from_secs(2));
+    assert_eq!(
+        tr.update_times(),
+        vec![t(5), t(12), t(14), t(72)],
+        "update_times reports every received update, in order"
+    );
+}
+
+#[test]
+fn five_second_bins_count_received_updates() {
+    let mut tr = Trace::new();
+    sent(&mut tr, 3, false);
+    received(&mut tr, 5, false);
+    flap(&mut tr, 10, false);
+    sent(&mut tr, 10, true);
+    received(&mut tr, 12, true);
+    sent(&mut tr, 12, true);
+    received(&mut tr, 14, true);
+
+    let bins = bin_events(
+        &tr.update_times(),
+        SimDuration::from_secs(5),
+        SimTime::ZERO,
+        t(15),
+    );
+    assert_eq!(
+        bins,
+        vec![(t(0), 0), (t(5), 1), (t(10), 2)],
+        "half-open 5 s bins: t=5 lands in [5,10), t=12 and t=14 in [10,15)"
+    );
+}
+
+/// A full episode: charging burst → suppressed quiet stretch → release
+/// burst → second suppressed stretch → noisy reuse burst → converged
+/// quiet stretch → final straggler burst.
+#[test]
+fn classifier_labels_the_four_damping_states() {
+    let mut tr = Trace::new();
+    flap(&mut tr, 10, false);
+    sent(&mut tr, 10, true);
+    received(&mut tr, 12, true);
+    sent(&mut tr, 12, true);
+    received(&mut tr, 14, true);
+    tr.record(
+        t(14),
+        TraceEventKind::Suppressed {
+            node: 2,
+            peer: 1,
+            prefix: 0,
+        },
+    );
+    flap(&mut tr, 70, true);
+    sent(&mut tr, 70, false);
+    received(&mut tr, 72, false);
+    tr.record(
+        t(130),
+        TraceEventKind::Reused {
+            node: 2,
+            peer: 1,
+            prefix: 0,
+            noisy: true,
+        },
+    );
+    sent(&mut tr, 130, false);
+    received(&mut tr, 132, false);
+    sent(&mut tr, 200, false);
+    received(&mut tr, 202, false);
+
+    assert_eq!(tr.damped_link_series().max_value(), 1);
+    assert_eq!(tr.damped_link_series().final_value(), 0);
+    assert_eq!(tr.reuse_counts(), (1, 0), "one noisy reuse, none silent");
+    assert_eq!(tr.ever_suppressed_entries(), 1);
+
+    let classifier = StateClassifier::with_merge_gap(SimDuration::from_secs(10));
+    let spans: Vec<(DampingState, SimTime, SimTime)> = classifier
+        .classify(&tr)
+        .into_iter()
+        .map(|s| (s.state, s.from, s.to))
+        .collect();
+    assert_eq!(
+        spans,
+        vec![
+            (DampingState::Charging, t(10), t(14)),
+            (DampingState::Suppression, t(14), t(70)),
+            (DampingState::Releasing, t(70), t(72)),
+            (DampingState::Suppression, t(72), t(130)),
+            (DampingState::Releasing, t(130), t(132)),
+            (DampingState::Converged, t(132), t(200)),
+            (DampingState::Releasing, t(200), t(202)),
+        ]
+    );
+    assert_eq!(classifier.suppression_periods(&tr), 2);
+    assert_eq!(
+        classifier.time_in(&tr, DampingState::Suppression),
+        SimDuration::from_secs(114)
+    );
+}

@@ -1,0 +1,160 @@
+//! Counters and log₂-bucketed histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing named counter. Handles are cheap clones
+/// of one shared atomic; [`Counter::add`] is a single relaxed
+/// fetch-add.
+#[derive(Debug, Clone)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: values 0, 1, 2–3, 4–7, … up to `u64::MAX`.
+pub(crate) const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    pub(crate) buckets: [AtomicU64; BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram of `u64` samples (bucket *i* holds values
+/// whose bit length is *i*, i.e. `[2^(i-1), 2^i)`, with bucket 0 for
+/// zero). Good enough to read off medians and tails of durations and
+/// queue depths without per-sample storage.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramInner>);
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// The bucket index a value falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The lower bound of bucket `i` (inclusive).
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Non-empty `(bucket_floor, count)` pairs, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (Self::bucket_floor(i), c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 11, "clones share the cell");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz[0], (0, 1));
+        assert_eq!(nz[1], (1, 1));
+        assert_eq!(nz[2], (2, 2));
+        assert_eq!(nz[3], (512, 1));
+    }
+}

@@ -1,0 +1,102 @@
+//! The process-wide recording registry.
+//!
+//! One [`Registry`] instance lives for the process (`global()`); all
+//! public API routes through it. Counters and histograms are registered
+//! by static name; span and flight events land in per-thread buffers
+//! ([`ThreadBuf`]) registered here so the exporter can walk them.
+//!
+//! A `generation` counter lets [`Registry::reset`] invalidate the
+//! thread-local handle caches without touching other threads: caches
+//! compare their stored generation on every access and rebuild when
+//! stale.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram};
+use crate::span::ThreadBuf;
+
+/// Hard cap on completed span records kept per thread (beyond it spans
+/// are counted as dropped, not stored). 1 M records ≈ 40 MB/thread at
+/// worst; quick sweeps stay far below.
+pub(crate) const SPAN_CAP: usize = 1 << 20;
+
+/// Flight-recorder ring length per thread.
+pub(crate) const RING_CAP: usize = 4096;
+
+#[derive(Debug)]
+pub(crate) struct Registry {
+    pub(crate) enabled: AtomicBool,
+    pub(crate) generation: AtomicU64,
+    pub(crate) epoch: Instant,
+    pub(crate) counters: Mutex<BTreeMap<&'static str, Counter>>,
+    pub(crate) histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    pub(crate) threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    pub(crate) flight_path: Mutex<Option<PathBuf>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            threads: Mutex::new(Vec::new()),
+            flight_path: Mutex::new(None),
+        }
+    }
+
+    /// Microseconds since the registry was created; the time base of
+    /// every exported event.
+    pub(crate) fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(Counter::new)
+            .clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Histogram {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(Histogram::new)
+            .clone()
+    }
+
+    /// Registers a fresh per-thread buffer.
+    pub(crate) fn register_thread(&self) -> Arc<ThreadBuf> {
+        let mut threads = self.threads.lock().unwrap();
+        let buf = Arc::new(ThreadBuf::new(threads.len()));
+        threads.push(buf.clone());
+        buf
+    }
+
+    /// Snapshot of all registered per-thread buffers.
+    pub(crate) fn thread_bufs(&self) -> Vec<Arc<ThreadBuf>> {
+        self.threads.lock().unwrap().clone()
+    }
+
+    pub(crate) fn reset(&self) {
+        self.counters.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+        self.threads.lock().unwrap().clear();
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+pub(crate) fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,226 @@
+//! Pretty-printing a saved observability file (`rfd obs-report`).
+
+use std::fmt;
+
+use crate::json::{parse, ParseError, Value};
+
+/// Why a report could not be rendered.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The file was not valid JSON.
+    Parse(ParseError),
+    /// The JSON had none of the expected summary sections.
+    NotAnObsFile,
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Parse(err) => write!(f, "{err}"),
+            ReportError::NotAnObsFile => write!(
+                f,
+                "no counters/histograms/spans sections found — is this an rfd-obs file?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<ParseError> for ReportError {
+    fn from(err: ParseError) -> Self {
+        ReportError::Parse(err)
+    }
+}
+
+/// How many spans the "top spans" table shows.
+const TOP_SPANS: usize = 15;
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{us:.0}µs")
+    }
+}
+
+fn span_section(out: &mut String, spans: &Value) {
+    let Some(map) = spans.as_object() else { return };
+    let mut rows: Vec<(&str, u64, u64, u64)> = map
+        .iter()
+        .filter_map(|(name, v)| {
+            Some((
+                name.as_str(),
+                v.get("count")?.as_u64()?,
+                v.get("total_us")?.as_u64()?,
+                v.get("max_us")?.as_u64()?,
+            ))
+        })
+        .collect();
+    rows.sort_by_key(|&(_, _, total_us, _)| std::cmp::Reverse(total_us));
+    out.push_str(&format!("top spans by total time (of {}):\n", rows.len()));
+    out.push_str(&format!(
+        "  {:<32} {:>10} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total", "mean", "max"
+    ));
+    for (name, count, total_us, max_us) in rows.into_iter().take(TOP_SPANS) {
+        let mean = total_us as f64 / count.max(1) as f64;
+        out.push_str(&format!(
+            "  {:<32} {:>10} {:>12} {:>12} {:>12}\n",
+            name,
+            count,
+            fmt_us(total_us as f64),
+            fmt_us(mean),
+            fmt_us(max_us as f64)
+        ));
+    }
+}
+
+fn counter_section(out: &mut String, counters: &Value) {
+    let Some(map) = counters.as_object() else {
+        return;
+    };
+    out.push_str("counters:\n");
+    for (name, v) in map {
+        if let Some(n) = v.as_u64() {
+            out.push_str(&format!("  {name:<40} {n:>14}\n"));
+        }
+    }
+}
+
+fn histogram_section(out: &mut String, histograms: &Value) {
+    let Some(map) = histograms.as_object() else {
+        return;
+    };
+    out.push_str("histograms:\n");
+    for (name, v) in map {
+        let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let sum = v.get("sum").and_then(Value::as_u64).unwrap_or(0);
+        let mean = sum as f64 / count.max(1) as f64;
+        out.push_str(&format!("  {name} (count {count}, mean {mean:.1}):\n"));
+        let buckets: Vec<(u64, u64)> = v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|p| {
+                        let pair = p.as_array()?;
+                        Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let peak = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        for (floor, c) in buckets {
+            let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
+            out.push_str(&format!("    >= {floor:>12}  {c:>10} {bar}\n"));
+        }
+    }
+}
+
+/// Renders a human-readable report from the text of a saved obs file
+/// (either a full trace file or a bare summary): a counter table, the
+/// top spans by total time, and histogram sketches.
+///
+/// # Errors
+///
+/// [`ReportError::Parse`] when the text is not JSON,
+/// [`ReportError::NotAnObsFile`] when no known section is present.
+pub fn render_report(text: &str) -> Result<String, ReportError> {
+    let doc = parse(text)?;
+    let counters = doc.get("counters");
+    let histograms = doc.get("histograms");
+    let spans = doc.get("spans");
+    if counters.is_none() && histograms.is_none() && spans.is_none() {
+        return Err(ReportError::NotAnObsFile);
+    }
+    let mut out = String::new();
+    if let Some(meta) = doc.get("meta") {
+        let threads = meta.get("threads").and_then(Value::as_u64).unwrap_or(0);
+        let dropped = meta
+            .get("dropped_spans")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "threads: {threads}   dropped spans: {dropped}\n\n"
+        ));
+    }
+    if let Some(spans) = spans {
+        span_section(&mut out, spans);
+        out.push('\n');
+    }
+    if let Some(counters) = counters {
+        counter_section(&mut out, counters);
+        out.push('\n');
+    }
+    if let Some(histograms) = histograms {
+        histogram_section(&mut out, histograms);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "traceEvents": [],
+        "counters": {"sim.events": 1200, "bgp.updates_sent": 450},
+        "histograms": {"sim.scheduler_depth": {"count": 4, "sum": 22, "buckets": [[4, 3], [8, 1]]}},
+        "spans": {
+            "sim.run": {"count": 2, "total_us": 5000000, "max_us": 3000000},
+            "runner.cell": {"count": 8, "total_us": 900, "max_us": 200}
+        },
+        "meta": {"threads": 2, "dropped_spans": 0}
+    }"#;
+
+    #[test]
+    fn renders_all_sections() {
+        let report = render_report(SAMPLE).expect("report renders");
+        assert!(report.contains("threads: 2"), "{report}");
+        assert!(report.contains("sim.events"), "{report}");
+        assert!(report.contains("1200"), "{report}");
+        assert!(report.contains("sim.scheduler_depth"), "{report}");
+        assert!(report.contains("sim.run"), "{report}");
+        assert!(report.contains("5.00s"), "{report}");
+        // Spans are sorted by total time: sim.run before runner.cell.
+        assert!(
+            report.find("sim.run").unwrap() < report.find("runner.cell").unwrap(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_obs_json() {
+        assert!(matches!(
+            render_report("{\"other\": 1}"),
+            Err(ReportError::NotAnObsFile)
+        ));
+        assert!(matches!(
+            render_report("not json"),
+            Err(ReportError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn round_trips_live_summary() {
+        let _guard = crate::tests::GLOBAL_TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        crate::inc("report.counter");
+        crate::observe("report.hist", 9);
+        {
+            let _s = crate::span("report.span");
+        }
+        let summary = crate::summary_json();
+        crate::disable();
+        crate::reset();
+        let report = render_report(&summary).expect("summary renders");
+        assert!(report.contains("report.counter"), "{report}");
+        assert!(report.contains("report.hist"), "{report}");
+        assert!(report.contains("report.span"), "{report}");
+    }
+}

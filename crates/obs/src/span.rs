@@ -1,0 +1,242 @@
+//! Spans, marks and the per-thread recording buffers.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram};
+use crate::registry::{self, RING_CAP, SPAN_CAP};
+
+/// One completed span (or instantaneous mark, with `dur_us == None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpanRecord {
+    pub(crate) name: &'static str,
+    /// Microseconds since the registry epoch.
+    pub(crate) start_us: u64,
+    /// `None` marks an instantaneous event.
+    pub(crate) dur_us: Option<u64>,
+    /// Optional simulated-time annotation (microseconds of sim time).
+    pub(crate) sim_us: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ThreadEvents {
+    /// Completed spans/marks in completion order, capped at [`SPAN_CAP`].
+    pub(crate) spans: Vec<SpanRecord>,
+    /// Spans not stored because the cap was hit.
+    pub(crate) dropped: u64,
+    /// Flight-recorder ring: the most recent [`RING_CAP`] records.
+    pub(crate) ring: Vec<SpanRecord>,
+    /// Next ring slot to overwrite.
+    pub(crate) ring_head: usize,
+}
+
+impl ThreadEvents {
+    fn push(&mut self, record: SpanRecord) {
+        if self.spans.len() < SPAN_CAP {
+            self.spans.push(record.clone());
+        } else {
+            self.dropped += 1;
+        }
+        if self.ring.len() < RING_CAP {
+            self.ring.push(record);
+        } else {
+            self.ring[self.ring_head] = record;
+            self.ring_head = (self.ring_head + 1) % RING_CAP;
+        }
+    }
+
+    /// Ring contents oldest-first.
+    pub(crate) fn ring_in_order(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.ring_head..]);
+        out.extend_from_slice(&self.ring[..self.ring_head]);
+        out
+    }
+}
+
+/// Per-thread recording buffer, registered with the global registry so
+/// exporters can walk every thread's events.
+#[derive(Debug)]
+pub(crate) struct ThreadBuf {
+    /// Dense exporter-facing thread id (registration order).
+    pub(crate) tid: usize,
+    pub(crate) events: Mutex<ThreadEvents>,
+}
+
+impl ThreadBuf {
+    pub(crate) fn new(tid: usize) -> Self {
+        ThreadBuf {
+            tid,
+            events: Mutex::new(ThreadEvents::default()),
+        }
+    }
+}
+
+/// Thread-local caches: the thread's buffer plus name→handle maps so
+/// hot-path `inc`/`observe` calls skip the registry mutex.
+pub(crate) struct TlsState {
+    generation: u64,
+    buf: Arc<ThreadBuf>,
+    counters: HashMap<&'static str, Counter>,
+    histograms: HashMap<&'static str, Histogram>,
+}
+
+impl TlsState {
+    fn fresh() -> Self {
+        let reg = registry::global();
+        TlsState {
+            generation: reg.generation.load(Ordering::SeqCst),
+            buf: reg.register_thread(),
+            counters: HashMap::new(),
+            histograms: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn counter(&mut self, name: &'static str) -> &Counter {
+        self.counters
+            .entry(name)
+            .or_insert_with(|| registry::global().counter(name))
+    }
+
+    pub(crate) fn histogram(&mut self, name: &'static str) -> &Histogram {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| registry::global().histogram(name))
+    }
+
+    fn record(&self, record: SpanRecord) {
+        self.buf.events.lock().unwrap().push(record);
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<Option<TlsState>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's (generation-fresh) TLS state.
+pub(crate) fn with_tls<R>(f: impl FnOnce(&mut TlsState) -> R) -> R {
+    TLS.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let current_gen = registry::global().generation.load(Ordering::SeqCst);
+        match slot.as_mut() {
+            Some(state) if state.generation == current_gen => f(state),
+            _ => {
+                *slot = Some(TlsState::fresh());
+                f(slot.as_mut().expect("just filled"))
+            }
+        }
+    })
+}
+
+/// Records an instantaneous mark.
+pub(crate) fn record_mark(name: &'static str) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let at = registry::global().now_us();
+    with_tls(|tls| {
+        tls.record(SpanRecord {
+            name,
+            start_us: at,
+            dur_us: None,
+            sim_us: None,
+        })
+    });
+}
+
+/// An active span; records itself when dropped. Obtained from
+/// [`crate::span`]; inert (and free) while recording is disabled.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when recording was disabled at start.
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    start_us: u64,
+    started: Instant,
+    sim_us: Option<u64>,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(name: &'static str) -> SpanGuard {
+        if !crate::is_enabled() {
+            return SpanGuard { active: None };
+        }
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                start_us: registry::global().now_us(),
+                started: Instant::now(),
+                sim_us: None,
+            }),
+        }
+    }
+
+    /// Annotates the span with a simulated-time stamp (microseconds of
+    /// sim time); shows up as an argument on the exported trace event.
+    pub fn sim_time_us(&mut self, sim_us: u64) {
+        if let Some(active) = &mut self.active {
+            active.sim_us = Some(sim_us);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_us = active.started.elapsed().as_micros() as u64;
+        with_tls(|tls| {
+            tls.record(SpanRecord {
+                name: active.name,
+                start_us: active.start_us,
+                dur_us: Some(dur_us),
+                sim_us: active.sim_us,
+            })
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut ev = ThreadEvents::default();
+        for i in 0..(RING_CAP as u64 + 10) {
+            ev.push(SpanRecord {
+                name: "x",
+                start_us: i,
+                dur_us: Some(0),
+                sim_us: None,
+            });
+        }
+        let ring = ev.ring_in_order();
+        assert_eq!(ring.len(), RING_CAP);
+        assert_eq!(ring.first().unwrap().start_us, 10);
+        assert_eq!(ring.last().unwrap().start_us, RING_CAP as u64 + 9);
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let mut ev = ThreadEvents::default();
+        for i in 0..(SPAN_CAP as u64 + 3) {
+            ev.push(SpanRecord {
+                name: "x",
+                start_us: i,
+                dur_us: Some(1),
+                sim_us: None,
+            });
+        }
+        assert_eq!(ev.spans.len(), SPAN_CAP);
+        assert_eq!(ev.dropped, 3);
+    }
+}

@@ -35,6 +35,18 @@ pub struct RunMetrics {
     pub suppressed: f64,
 }
 
+/// Execution metadata journaled alongside a cell's metrics: how long the
+/// cell took and which pool worker ran it. Purely diagnostic — resume
+/// and aggregation ignore it, and journals written before these fields
+/// existed load unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeta {
+    /// Wall-clock execution time of the cell, in seconds.
+    pub duration_secs: f64,
+    /// Pool worker index that executed the cell.
+    pub thread: u64,
+}
+
 /// Journal file path for a grid name.
 pub fn journal_path(dir: &Path, grid_name: &str) -> PathBuf {
     dir.join(format!("{grid_name}.runs.jsonl"))
@@ -91,13 +103,32 @@ impl Journal {
     /// Appends one completed run and flushes so a kill loses at most the
     /// line being written.
     pub fn record(&self, key: &str, metrics: &RunMetrics) -> io::Result<()> {
-        let line = format!(
-            "{{\"key\":{},\"convergence_secs\":{},\"messages\":{},\"suppressed\":{}}}\n",
+        self.record_with(key, metrics, None)
+    }
+
+    /// Like [`Journal::record`], optionally appending execution metadata
+    /// ([`RunMeta`]) to the line.
+    pub fn record_with(
+        &self,
+        key: &str,
+        metrics: &RunMetrics,
+        meta: Option<&RunMeta>,
+    ) -> io::Result<()> {
+        let mut line = format!(
+            "{{\"key\":{},\"convergence_secs\":{},\"messages\":{},\"suppressed\":{}",
             encode_str(key),
             encode_f64(metrics.convergence_secs),
             encode_f64(metrics.messages),
             encode_f64(metrics.suppressed),
         );
+        if let Some(meta) = meta {
+            line.push_str(&format!(
+                ",\"duration_secs\":{},\"thread\":{}",
+                encode_f64(meta.duration_secs),
+                meta.thread
+            ));
+        }
+        line.push_str("}\n");
         let mut file = self.file.lock().unwrap();
         file.write_all(line.as_bytes())?;
         file.flush()
@@ -139,7 +170,15 @@ fn encode_f64(v: f64) -> String {
 }
 
 /// Parses one journal line; `None` for malformed (e.g. truncated) input.
+/// Unknown extra fields are tolerated, which is what makes the journal
+/// format forward- and backward-compatible across versions.
 pub fn parse_line(line: &str) -> Option<(String, RunMetrics)> {
+    parse_line_meta(line).map(|(key, metrics, _)| (key, metrics))
+}
+
+/// Parses one journal line including the optional [`RunMeta`] fields.
+/// Lines written before metadata existed parse with `None` meta.
+pub fn parse_line_meta(line: &str) -> Option<(String, RunMetrics, Option<RunMeta>)> {
     let mut fields = HashMap::new();
     let mut rest = line.trim();
     rest = rest.strip_prefix('{')?;
@@ -163,6 +202,13 @@ pub fn parse_line(line: &str) -> Option<(String, RunMetrics)> {
     let convergence_secs = fields.remove("convergence_secs")?.as_f64()?;
     let messages = fields.remove("messages")?.as_f64()?;
     let suppressed = fields.remove("suppressed")?.as_f64()?;
+    let meta = match (fields.remove("duration_secs"), fields.remove("thread")) {
+        (Some(duration), Some(thread)) => Some(RunMeta {
+            duration_secs: duration.as_f64()?,
+            thread: thread.as_f64()? as u64,
+        }),
+        _ => None,
+    };
     Some((
         key,
         RunMetrics {
@@ -170,6 +216,7 @@ pub fn parse_line(line: &str) -> Option<(String, RunMetrics)> {
             messages,
             suppressed,
         },
+        meta,
     ))
 }
 
@@ -287,6 +334,55 @@ mod tests {
         ] {
             assert!(parse_line(bad).is_none(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn meta_round_trips_and_is_optional() {
+        let dir = tmp_dir("meta");
+        let journal = Journal::create(&dir, "grid").unwrap();
+        let m = RunMetrics {
+            convergence_secs: 4.5,
+            messages: 100.0,
+            suppressed: 2.0,
+        };
+        let meta = RunMeta {
+            duration_secs: 0.125,
+            thread: 3,
+        };
+        journal.record_with("with-meta", &m, Some(&meta)).unwrap();
+        journal.record("without-meta", &m).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let (k1, m1, meta1) = parse_line_meta(lines.next().unwrap()).unwrap();
+        assert_eq!((k1.as_str(), m1), ("with-meta", m));
+        assert_eq!(meta1, Some(meta));
+        let (k2, m2, meta2) = parse_line_meta(lines.next().unwrap()).unwrap();
+        assert_eq!((k2.as_str(), m2), ("without-meta", m));
+        assert_eq!(meta2, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_accepts_pre_meta_journal_lines() {
+        // A journal written by an older version (no duration/thread
+        // fields) must resume exactly as before.
+        let dir = tmp_dir("compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir, "grid");
+        std::fs::write(
+            &path,
+            "{\"key\":\"old-style\",\"convergence_secs\":7.5,\"messages\":12.0,\"suppressed\":1.0}\n\
+             {\"key\":\"new-style\",\"convergence_secs\":8.5,\"messages\":13.0,\"suppressed\":0.0,\"duration_secs\":0.25,\"thread\":1}\n",
+        )
+        .unwrap();
+        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
+        assert_eq!(completed.len(), 2);
+        assert_eq!(completed["old-style"].convergence_secs, 7.5);
+        assert_eq!(completed["new-style"].messages, 13.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

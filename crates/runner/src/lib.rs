@@ -59,11 +59,13 @@ mod journal;
 pub mod pool;
 
 pub use grid::{Cell, GridSeries, RunGrid};
-pub use journal::{journal_path, parse_line, Journal, RunMetrics};
+pub use journal::{journal_path, parse_line, parse_line_meta, Journal, RunMeta, RunMetrics};
 
 use rfd_metrics::RunningStats;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// How a grid should be executed.
 #[derive(Debug, Clone, Default)]
@@ -75,6 +77,13 @@ pub struct RunnerConfig {
     /// When journaling: load the existing journal and skip completed
     /// cells instead of truncating and starting over.
     pub resume: bool,
+    /// Period between progress heartbeat lines on stderr; `None` (the
+    /// default) keeps the runner silent.
+    pub heartbeat: Option<Duration>,
+    /// Per-cell wall-clock budget. A cell exceeding it is reported on
+    /// stderr and triggers a flight-recorder dump (the observability
+    /// layer's anomaly hook); the run itself continues.
+    pub cell_budget: Option<Duration>,
 }
 
 impl RunnerConfig {
@@ -103,6 +112,18 @@ impl RunnerConfig {
     /// Sets resume mode (only meaningful with a journal directory).
     pub fn resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Emits a progress line on stderr every `period` while a grid runs.
+    pub fn heartbeat(mut self, period: Duration) -> Self {
+        self.heartbeat = Some(period);
+        self
+    }
+
+    /// Flags (and flight-dumps) any cell that runs longer than `budget`.
+    pub fn cell_budget(mut self, budget: Duration) -> Self {
+        self.cell_budget = Some(budget);
         self
     }
 
@@ -228,16 +249,62 @@ where
 
     let journal = journal.as_ref();
     let io_error: std::sync::Mutex<Option<io::Error>> = std::sync::Mutex::new(None);
-    let fresh = pool::execute(config.effective_threads(), pending.len(), |i| {
-        let cell = &cells[pending[i]];
-        let scenario = &grid.series_list()[cell.series].scenario;
-        let m = exec(scenario, cell);
-        if let Some(journal) = journal {
-            if let Err(e) = journal.record(&cell.key(), &m) {
-                io_error.lock().unwrap().get_or_insert(e);
+    let threads = config.effective_threads();
+    let total = pending.len();
+    let progress = pool::PoolProgress::new(pool::workers_for(threads, total));
+    let started = Instant::now();
+    let stop = AtomicBool::new(false);
+    let fresh = std::thread::scope(|scope| {
+        let monitor = config.heartbeat.map(|period| {
+            let progress = &progress;
+            let stop = &stop;
+            scope.spawn(move || heartbeat_loop(period, total, started, progress, stop))
+        });
+        // Stops the monitor even when a cell panics and unwinds through
+        // the scope (which joins all spawned threads before returning).
+        let _stopper = MonitorStopper {
+            stop: &stop,
+            monitor: monitor.as_ref().map(|h| h.thread().clone()),
+        };
+        pool::execute_with_progress(threads, total, Some(&progress), |ctx, i| {
+            let cell = &cells[pending[i]];
+            let scenario = &grid.series_list()[cell.series].scenario;
+            let obs_span = rfd_obs::span("runner.cell");
+            let cell_started = Instant::now();
+            let m = exec(scenario, cell);
+            let duration = cell_started.elapsed();
+            drop(obs_span);
+            rfd_obs::inc("runner.cells_completed");
+            rfd_obs::observe("runner.cell_us", duration.as_micros() as u64);
+            if let Some(budget) = config.cell_budget {
+                if duration > budget {
+                    rfd_obs::inc("runner.budget_overruns");
+                    eprintln!(
+                        "rfd-runner: cell {} took {:.3}s, over its {:.3}s budget",
+                        cell.key(),
+                        duration.as_secs_f64(),
+                        budget.as_secs_f64()
+                    );
+                    match rfd_obs::dump_flight() {
+                        Ok(Some(path)) => {
+                            eprintln!("rfd-runner: flight recorder dumped to {}", path.display());
+                        }
+                        Ok(None) => {}
+                        Err(e) => eprintln!("rfd-runner: flight recorder dump failed: {e}"),
+                    }
+                }
             }
-        }
-        m
+            if let Some(journal) = journal {
+                let meta = RunMeta {
+                    duration_secs: duration.as_secs_f64(),
+                    thread: ctx.worker as u64,
+                };
+                if let Err(e) = journal.record_with(&cell.key(), &m, Some(&meta)) {
+                    io_error.lock().unwrap().get_or_insert(e);
+                }
+            }
+            m
+        })
     });
     if let Some(e) = io_error.into_inner().unwrap() {
         return Err(e);
@@ -256,6 +323,70 @@ where
         pulse_list: grid.pulse_list().to_vec(),
         seeds_len: grid.seed_list().len(),
     })
+}
+
+/// Sets the heartbeat stop flag (and wakes the monitor) when dropped,
+/// including during an unwind from a panicking cell.
+struct MonitorStopper<'a> {
+    stop: &'a AtomicBool,
+    monitor: Option<std::thread::Thread>,
+}
+
+impl Drop for MonitorStopper<'_> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = &self.monitor {
+            thread.unpark();
+        }
+    }
+}
+
+fn heartbeat_loop(
+    period: Duration,
+    total: usize,
+    started: Instant,
+    progress: &pool::PoolProgress,
+    stop: &AtomicBool,
+) {
+    let mut next = started + period;
+    while !stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now >= next {
+            let done = progress.completed.load(Ordering::SeqCst);
+            eprintln!(
+                "{}",
+                format_heartbeat(
+                    done,
+                    total,
+                    started.elapsed().as_secs_f64(),
+                    &progress.steal_counts()
+                )
+            );
+            next = now + period;
+        }
+        let wait = next
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(200));
+        std::thread::park_timeout(wait);
+    }
+}
+
+/// One heartbeat progress line: cells done/total, elapsed wall-clock,
+/// an ETA extrapolated from the per-cell running mean, and per-worker
+/// steal counts.
+pub fn format_heartbeat(done: usize, total: usize, elapsed_secs: f64, steals: &[u64]) -> String {
+    let eta = if done > 0 && done < total {
+        let per_cell = elapsed_secs / done as f64;
+        format!("{:.1}s", per_cell * (total - done) as f64)
+    } else if done >= total {
+        "0.0s".to_owned()
+    } else {
+        "?".to_owned()
+    };
+    let pct = (done * 100).checked_div(total).unwrap_or(100);
+    format!(
+        "rfd-runner: {done}/{total} cells ({pct}%), elapsed {elapsed_secs:.1}s, eta {eta}, steals {steals:?}"
+    )
 }
 
 #[cfg(test)]
@@ -381,5 +512,64 @@ mod tests {
     fn effective_threads_resolves_zero_to_cores() {
         assert!(RunnerConfig::default().effective_threads() >= 1);
         assert_eq!(RunnerConfig::with_threads(3).effective_threads(), 3);
+    }
+
+    #[test]
+    fn journal_lines_carry_duration_and_thread_meta() {
+        let dir = tmp_dir("meta-wiring");
+        let grid = demo_grid();
+        run_grid(
+            &grid,
+            &RunnerConfig::with_threads(2).journal_to(&dir),
+            demo_exec,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(journal_path(&dir, grid.name())).unwrap();
+        for line in text.lines() {
+            let (_, _, meta) = parse_line_meta(line).expect("line parses");
+            let meta = meta.expect("meta recorded");
+            assert!(meta.duration_secs >= 0.0);
+            assert!((meta.thread as usize) < 2);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_run_completes_and_reproduces_reference() {
+        // Heartbeat and cell budget are observational: output unchanged.
+        let grid = demo_grid();
+        let reference = run_grid(&grid, &RunnerConfig::sequential(), demo_exec).unwrap();
+        let config = RunnerConfig::with_threads(2)
+            .heartbeat(Duration::from_millis(5))
+            .cell_budget(Duration::from_secs(3600));
+        let observed = run_grid(&grid, &config, |scale: &f64, cell: &Cell| {
+            std::thread::sleep(Duration::from_millis(1));
+            demo_exec(scale, cell)
+        })
+        .unwrap();
+        assert_eq!(reference.metrics(), observed.metrics());
+    }
+
+    #[test]
+    fn format_heartbeat_reports_progress_and_eta() {
+        let line = format_heartbeat(10, 40, 5.0, &[2, 7]);
+        assert_eq!(
+            line,
+            "rfd-runner: 10/40 cells (25%), elapsed 5.0s, eta 15.0s, steals [2, 7]"
+        );
+        assert!(format_heartbeat(0, 40, 1.0, &[]).contains("eta ?"));
+        assert!(format_heartbeat(40, 40, 9.0, &[]).contains("eta 0.0s"));
+        assert!(format_heartbeat(0, 0, 0.0, &[]).contains("(100%)"));
+    }
+
+    #[test]
+    fn cell_budget_overrun_does_not_fail_the_run() {
+        let grid = RunGrid::new("budget-test")
+            .series("only", 1.0)
+            .pulses(vec![1])
+            .seeds(vec![1, 2]);
+        let config = RunnerConfig::sequential().cell_budget(Duration::from_nanos(1));
+        let out = run_grid(&grid, &config, demo_exec).unwrap();
+        assert_eq!(out.metrics().len(), 2);
     }
 }

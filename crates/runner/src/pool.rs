@@ -10,9 +10,62 @@
 //! Results return as a `Vec` indexed by job — callers never observe
 //! completion order, which is the first half of the runner's
 //! determinism story (the second half is grid-order aggregation).
+//!
+//! [`execute_with_progress`] additionally exposes which worker ran each
+//! job ([`WorkerCtx`]) and keeps a caller-owned [`PoolProgress`] updated
+//! live (completed-job and per-worker steal counts), which is what the
+//! runner's heartbeat reads while a sweep is in flight.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The identity of the worker executing a job.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerCtx {
+    /// Worker index, `0..workers`. Worker 0 is the caller's thread when
+    /// the pool runs inline (one thread or at most one job).
+    pub worker: usize,
+}
+
+/// Live progress shared between the pool and an observer (heartbeat)
+/// thread. Purely observational: nothing in here influences job order
+/// or results.
+#[derive(Debug)]
+pub struct PoolProgress {
+    /// Jobs completed so far.
+    pub completed: AtomicUsize,
+    /// Per-worker count of jobs obtained by stealing from a sibling.
+    pub steals: Vec<AtomicU64>,
+}
+
+impl PoolProgress {
+    /// Progress tracker for `workers` workers (see [`workers_for`]).
+    pub fn new(workers: usize) -> Self {
+        PoolProgress {
+            completed: AtomicUsize::new(0),
+            steals: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Total steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-worker steal counts as a plain vector.
+    pub fn steal_counts(&self) -> Vec<u64> {
+        self.steals
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// How many workers `execute` actually spawns for a given request.
+pub fn workers_for(threads: usize, jobs: usize) -> usize {
+    threads.min(jobs).max(1)
+}
 
 /// Runs `jobs` closures on `threads` workers and returns their results
 /// indexed by job number.
@@ -33,11 +86,51 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    execute_with_progress(threads, jobs, None, |_ctx, job| run(job))
+}
+
+/// Like [`execute`], but hands each job its [`WorkerCtx`] and, when
+/// `progress` is given, updates it live as jobs finish.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, if `progress` was sized for fewer
+/// workers than [`workers_for`] resolves to, or if a job panics.
+pub fn execute_with_progress<T, F>(
+    threads: usize,
+    jobs: usize,
+    progress: Option<&PoolProgress>,
+    run: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(WorkerCtx, usize) -> T + Sync,
+{
     assert!(threads > 0, "pool needs at least one thread");
-    if threads == 1 || jobs <= 1 {
-        return (0..jobs).map(&run).collect();
+    if let Some(progress) = progress {
+        assert!(
+            progress.steals.len() >= workers_for(threads, jobs),
+            "PoolProgress sized for {} workers, pool resolves to {}",
+            progress.steals.len(),
+            workers_for(threads, jobs)
+        );
     }
-    let workers = threads.min(jobs);
+    let complete_one = || {
+        if let Some(progress) = progress {
+            progress.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    if threads == 1 || jobs <= 1 {
+        let ctx = WorkerCtx { worker: 0 };
+        return (0..jobs)
+            .map(|j| {
+                let out = run(ctx, j);
+                complete_one();
+                out
+            })
+            .collect();
+    }
+    let workers = workers_for(threads, jobs);
 
     // Round-robin initial distribution: worker w gets jobs w, w+n, w+2n…
     // With grid-ordered jobs this spreads each series across workers.
@@ -51,17 +144,30 @@ where
         for me in 0..workers {
             let queues = &queues;
             let run = &run;
+            let complete_one = &complete_one;
             handles.push(scope.spawn(move || {
+                let ctx = WorkerCtx { worker: me };
                 let mut done: Vec<(usize, T)> = Vec::new();
                 loop {
                     // Own work first (front), then steal (back).
+                    let mut stolen = false;
                     let job = queues[me].lock().unwrap().pop_front().or_else(|| {
                         (1..workers)
                             .map(|k| (me + k) % workers)
                             .find_map(|v| queues[v].lock().unwrap().pop_back())
+                            .inspect(|_| stolen = true)
                     });
                     match job {
-                        Some(j) => done.push((j, run(j))),
+                        Some(j) => {
+                            if stolen {
+                                rfd_obs::inc("runner.steals");
+                                if let Some(progress) = progress {
+                                    progress.steals[me].fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            done.push((j, run(ctx, j)));
+                            complete_one();
+                        }
                         None => return done,
                     }
                 }
@@ -132,5 +238,38 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn progress_counts_every_completion() {
+        for threads in [1, 3] {
+            let progress = PoolProgress::new(workers_for(threads, 17));
+            let out = execute_with_progress(threads, 17, Some(&progress), |ctx, job| {
+                assert!(ctx.worker < workers_for(threads, 17));
+                job
+            });
+            assert_eq!(out.len(), 17);
+            assert_eq!(progress.completed.load(Ordering::SeqCst), 17);
+        }
+    }
+
+    #[test]
+    fn inline_pool_reports_worker_zero() {
+        let out = execute_with_progress(1, 5, None, |ctx, job| (ctx.worker, job));
+        assert_eq!(out, (0..5).map(|j| (0, j)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steals_recorded_when_work_is_skewed() {
+        // Worker 0 sleeps on its first job; with 2 workers and heavily
+        // front-loaded cost the sibling must steal at least once.
+        let progress = PoolProgress::new(2);
+        execute_with_progress(2, 8, Some(&progress), |_ctx, job| {
+            if job == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            job
+        });
+        assert!(progress.total_steals() > 0, "{:?}", progress.steal_counts());
     }
 }

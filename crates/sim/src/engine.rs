@@ -177,19 +177,29 @@ impl<E> Engine<E> {
     /// exhaustion. The clock is left at the last delivered event so a run
     /// can be resumed after priming more events.
     pub fn run<W: World<Event = E>>(&mut self, world: &mut W) -> (RunOutcome, RunStats) {
+        // Observability handles are resolved once per run so the
+        // per-event cost is one branch when disabled and three relaxed
+        // atomics when enabled; nothing here feeds back into the model.
+        let mut obs = rfd_obs::is_enabled().then(|| {
+            (
+                rfd_obs::span("sim.run"),
+                rfd_obs::counter("sim.events"),
+                rfd_obs::histogram("sim.scheduler_depth"),
+            )
+        });
         let mut stats = RunStats {
             events_processed: 0,
             last_event_time: self.now,
         };
-        loop {
+        let outcome = loop {
             let Some(next_time) = self.agenda.peek_time() else {
-                return (RunOutcome::Quiescent, stats);
+                break RunOutcome::Quiescent;
             };
             if next_time > self.horizon {
-                return (RunOutcome::HorizonReached, stats);
+                break RunOutcome::HorizonReached;
             }
             if stats.events_processed >= self.event_budget {
-                return (RunOutcome::BudgetExhausted, stats);
+                break RunOutcome::BudgetExhausted;
             }
             let (at, event) = self.agenda.pop().expect("peeked event vanished");
             debug_assert!(at >= self.now, "time went backwards");
@@ -203,10 +213,18 @@ impl<E> Engine<E> {
             world.handle(&mut ctx, event);
             stats.events_processed += 1;
             stats.last_event_time = at;
-            if stop {
-                return (RunOutcome::Stopped, stats);
+            if let Some((_, events, depth)) = &obs {
+                events.inc();
+                depth.observe(self.agenda.len() as u64);
             }
+            if stop {
+                break RunOutcome::Stopped;
+            }
+        };
+        if let Some((span, _, _)) = &mut obs {
+            span.sim_time_us(stats.last_event_time.as_micros());
         }
+        (outcome, stats)
     }
 }
 

@@ -9,6 +9,7 @@ use route_flap_damping::cli::{
     network_config, parse_run_options, parse_sweep_command, SweepFigure, TopologySpec, USAGE,
 };
 use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
+use route_flap_damping::experiments::output;
 use route_flap_damping::experiments::pick_isp;
 use route_flap_damping::metrics::{export_trace, StateClassifier};
 use route_flap_damping::sim::SimDuration;
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
         "intended" => cmd_intended(rest),
         "topology" => cmd_topology(rest),
         "trace-stats" => cmd_trace_stats(rest),
+        "obs-report" => cmd_obs_report(rest),
         "table1" => {
             print!(
                 "{}",
@@ -50,6 +52,18 @@ fn main() -> ExitCode {
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
+/// Resolves a parsed `--obs` request (with `RFD_OBS` as fallback) and,
+/// when observability is on, enables recording towards the returned
+/// trace destination.
+fn obs_begin(
+    parsed: &Option<Option<std::path::PathBuf>>,
+    default_name: &str,
+) -> Option<std::path::PathBuf> {
+    let request = parsed.clone().or_else(output::obs_env)?;
+    let path = request.unwrap_or_else(|| output::default_trace_path(default_name));
+    Some(output::obs_init_at(path))
+}
+
 fn cmd_run(args: &[String]) -> CmdResult {
     let opts = parse_run_options(args)?;
     let graph = opts.topology.build(opts.seed);
@@ -65,6 +79,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
         None => pick_isp(&graph, opts.seed),
     };
     let config = network_config(&opts, &graph);
+    let obs = obs_begin(&opts.obs, "run");
     println!(
         "topology {} nodes / {} links, ISP {isp}, {} pulses at {:.0} s, damping {}",
         graph.node_count(),
@@ -112,6 +127,9 @@ fn cmd_run(args: &[String]) -> CmdResult {
         std::fs::write(path, export_trace(net.trace()))?;
         println!("trace written to {path} ({} events)", net.trace().len());
     }
+    if let Some(path) = &obs {
+        output::obs_finish(path);
+    }
     Ok(())
 }
 
@@ -120,6 +138,7 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
     use route_flap_damping::experiments::TopologyKind;
 
     let cmd = parse_sweep_command(args)?;
+    let obs = obs_begin(&cmd.obs, "sweep");
     let (mesh, internet) = if cmd.quick {
         (
             TopologyKind::Mesh {
@@ -149,7 +168,9 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
             ("Figure 15", fig15::figure15_on(&cmd.opts, kind))
         }
     };
-    println!(
+    // Narrative and pretty tables go to stderr; stdout carries the two
+    // CSV tables so `rfd sweep … > out.csv` stays machine-parseable.
+    eprintln!(
         "{label} — {} thread(s), {} seed(s), pulses 0..={}{}",
         match cmd.opts.threads {
             0 => "all".to_owned(),
@@ -159,8 +180,15 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
         cmd.opts.max_pulses,
         if cmd.opts.resume { ", resuming" } else { "" },
     );
-    println!("\nconvergence time (s):\n{}", sweep.convergence_table());
-    println!("updates:\n{}", sweep.message_table());
+    let convergence = sweep.convergence_table();
+    let messages = sweep.message_table();
+    eprintln!("\nconvergence time (s):\n{convergence}");
+    eprintln!("updates:\n{messages}");
+    print!("{}", convergence.to_csv());
+    print!("{}", messages.to_csv());
+    if let Some(path) = &obs {
+        output::obs_finish(path);
+    }
     Ok(())
 }
 
@@ -245,6 +273,15 @@ fn cmd_trace_stats(args: &[String]) -> CmdResult {
             );
         }
     }
+    Ok(())
+}
+
+fn cmd_obs_report(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("obs-report needs an obs trace file")?;
+    let text = std::fs::read_to_string(path)?;
+    let report =
+        route_flap_damping::obs::render_report(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{report}");
     Ok(())
 }
 

@@ -110,6 +110,9 @@ pub struct RunOptions {
     pub states: bool,
     /// Protocol knobs (WRATE, loop avoidance, reuse quantisation).
     pub protocol: ProtocolOptions,
+    /// Observability request: `None` off, `Some(None)` on at the
+    /// default destination, `Some(Some(path))` on at `path`.
+    pub obs: Option<Option<PathBuf>>,
 }
 
 impl Default for RunOptions {
@@ -126,6 +129,7 @@ impl Default for RunOptions {
             trace_out: None,
             states: false,
             protocol: ProtocolOptions::default(),
+            obs: None,
         }
     }
 }
@@ -210,6 +214,7 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
                 }
             }
             "--trace" => opts.trace_out = Some(value("--trace")?),
+            "--obs" => opts.obs = Some(None),
             "--states" => opts.states = true,
             "--wrate" => opts.protocol.withdrawal_pacing = true,
             "--no-loop-avoidance" => opts.protocol.sender_side_loop_avoidance = false,
@@ -222,7 +227,10 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
                 }
                 opts.protocol.reuse_granularity = Some(SimDuration::from_secs_f64(secs));
             }
-            other => return Err(CliError(format!("unknown flag `{other}`"))),
+            other => match other.strip_prefix("--obs=") {
+                Some(path) => opts.obs = Some(Some(PathBuf::from(path))),
+                None => return Err(CliError(format!("unknown flag `{other}`"))),
+            },
         }
     }
     if opts.filter != PenaltyFilter::Plain && opts.damping.is_none() {
@@ -253,11 +261,14 @@ pub struct SweepCommand {
     pub opts: SweepOptions,
     /// Reduced topology sizes for smoke runs.
     pub quick: bool,
+    /// Observability request: `None` off, `Some(None)` on at the
+    /// default destination, `Some(Some(path))` on at `path`.
+    pub obs: Option<Option<PathBuf>>,
 }
 
 /// Parses the arguments of `rfd sweep`: `--figure`, `--threads N`,
 /// `--resume`, `--max-pulses N`, `--seeds A,B,C`, `--quick`,
-/// `--no-journal`.
+/// `--no-journal`, `--obs[=PATH]`.
 ///
 /// # Errors
 ///
@@ -271,6 +282,7 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
             ..SweepOptions::default()
         },
         quick: false,
+        obs: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -322,7 +334,11 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
                 cmd.opts.seeds.truncate(1);
             }
             "--no-journal" => cmd.opts.journal_dir = None,
-            other => return Err(CliError(format!("unknown flag `{other}`"))),
+            "--obs" => cmd.obs = Some(None),
+            other => match other.strip_prefix("--obs=") {
+                Some(path) => cmd.obs = Some(Some(PathBuf::from(path))),
+                None => return Err(CliError(format!("unknown flag `{other}`"))),
+            },
         }
     }
     Ok(cmd)
@@ -357,16 +373,21 @@ USAGE:
           [--seed N] [--damping off|cisco|juniper|ripe229]
           [--filter plain|rcn|selective] [--policy shortest|novalley]
           [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
-          [--reuse-granularity SECS]
+          [--reuse-granularity SECS] [--obs[=PATH]]
   rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
+            [--obs[=PATH]]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
   rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
   rfd trace-stats FILE
+  rfd obs-report FILE
   rfd table1
   rfd help
 
 TOPOLOGIES: mesh:10x10, internet:100, ring:8, line:5, clique:6
+OBSERVABILITY: --obs (or RFD_OBS=1) records spans/counters to a
+  Chrome-trace JSON under results/; inspect with `rfd obs-report` or
+  load into Perfetto (ui.perfetto.dev).
 ";
 
 #[cfg(test)]
@@ -472,6 +493,21 @@ mod tests {
         assert!(quick.opts.max_pulses <= 5);
         assert_eq!(quick.opts.seeds.len(), 1);
         assert_eq!(quick.opts.journal_dir, None);
+    }
+
+    #[test]
+    fn obs_flag_parses_in_run_and_sweep() {
+        assert_eq!(parse_run_options(&[]).unwrap().obs, None);
+        assert_eq!(parse_run_options(&args("--obs")).unwrap().obs, Some(None));
+        assert_eq!(
+            parse_run_options(&args("--obs=/tmp/t.trace.json"))
+                .unwrap()
+                .obs,
+            Some(Some(PathBuf::from("/tmp/t.trace.json")))
+        );
+        let cmd = parse_sweep_command(&args("--quick --obs=x.json")).unwrap();
+        assert_eq!(cmd.obs, Some(Some(PathBuf::from("x.json"))));
+        assert_eq!(parse_sweep_command(&args("--obs")).unwrap().obs, Some(None));
     }
 
     #[test]

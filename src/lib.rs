@@ -22,6 +22,8 @@
 //!   four-state classifier;
 //! * [`runner`] — deterministic parallel job-grid execution with
 //!   journaling and resume;
+//! * [`obs`] — std-only observability: spans, counters, histograms,
+//!   flight recorder and Chrome-trace export (off unless enabled);
 //! * [`experiments`] — one entry point per table/figure of the paper.
 //!
 //! # Quickstart
@@ -53,6 +55,7 @@ pub use rfd_bgp as bgp;
 pub use rfd_core as damping;
 pub use rfd_experiments as experiments;
 pub use rfd_metrics as metrics;
+pub use rfd_obs as obs;
 pub use rfd_runner as runner;
 pub use rfd_sim as sim;
 pub use rfd_topology as topology;
