@@ -1,13 +1,16 @@
 //! Microbenchmarks of the protocol path: the router's receive → damp →
-//! select → advertise pipeline.
+//! select → advertise pipeline, and the interned route operations it
+//! leans on.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rfd_bgp::{PenaltyFilter, Policy, Route, Router, RouterConfig, RouterOutput, UpdateMessage};
+use rfd_bgp::{
+    PathTable, PenaltyFilter, Policy, Router, RouterConfig, RouterOutput, UpdateMessage,
+};
 use rfd_core::DampingParams;
 use rfd_sim::{DetRng, SimDuration, SimTime};
 use rfd_topology::NodeId;
 
-fn router_with_peers(peers: usize, damping: bool) -> Router {
+fn router_with_peers(table: &mut PathTable, peers: usize, damping: bool) -> Router {
     let config = RouterConfig {
         damping: damping.then(DampingParams::cisco),
         filter: PenaltyFilter::Plain,
@@ -16,7 +19,7 @@ fn router_with_peers(peers: usize, damping: bool) -> Router {
         protocol: rfd_bgp::ProtocolOptions::default(),
     };
     let peer_ids: Vec<NodeId> = (1..=peers as u32).map(NodeId::new).collect();
-    Router::new(NodeId::new(0), peer_ids, false, config)
+    Router::new(NodeId::new(0), peer_ids, false, config, table)
 }
 
 fn bench_handle_update(c: &mut Criterion) {
@@ -26,23 +29,31 @@ fn bench_handle_update(c: &mut Criterion) {
         for damping in [false, true] {
             let label = format!("{peers}peers_damping={damping}");
             group.bench_with_input(BenchmarkId::from_parameter(label), &peers, |b, &peers| {
-                let mut router = router_with_peers(peers, damping);
+                let mut table = PathTable::new();
+                let mut router = router_with_peers(&mut table, peers, damping);
                 let mut rng = DetRng::from_seed(1);
                 // Pre-populate every peer with a route.
                 for p in 1..=peers as u32 {
-                    let msg = UpdateMessage::announce(
-                        Route::originate(NodeId::new(1000)).prepend(NodeId::new(p)),
-                    );
+                    let base = table.originate(NodeId::new(1000));
+                    let msg = UpdateMessage::announce(table.prepend(base, NodeId::new(p)));
                     let mut out = RouterOutput::default();
                     router.handle_update(
                         SimTime::ZERO,
                         NodeId::new(p),
                         &msg,
+                        &mut table,
                         &mut rng,
                         &policy,
                         &mut out,
                     );
                 }
+                // The two alternating routes intern once up front —
+                // exactly like a stable network, where the working set
+                // of paths is fixed and the hot path only moves handles.
+                let base = table.originate(NodeId::new(1000));
+                let via999 = table.prepend(base, NodeId::new(999));
+                let long = table.prepend(via999, NodeId::new(1));
+                let short = table.prepend(base, NodeId::new(1));
                 let mut t = SimTime::from_secs(1);
                 let mut flip = false;
                 b.iter(|| {
@@ -50,16 +61,17 @@ fn bench_handle_update(c: &mut Criterion) {
                     flip = !flip;
                     // Alternate the announced route so the decision
                     // process and damping always have work to do.
-                    let route = if flip {
-                        Route::originate(NodeId::new(1000))
-                            .prepend(NodeId::new(999))
-                            .prepend(NodeId::new(1))
-                    } else {
-                        Route::originate(NodeId::new(1000)).prepend(NodeId::new(1))
-                    };
-                    let msg = UpdateMessage::announce(route);
+                    let msg = UpdateMessage::announce(if flip { long } else { short });
                     let mut out = RouterOutput::default();
-                    router.handle_update(t, NodeId::new(1), &msg, &mut rng, &policy, &mut out);
+                    router.handle_update(
+                        t,
+                        NodeId::new(1),
+                        &msg,
+                        &mut table,
+                        &mut rng,
+                        &policy,
+                        &mut out,
+                    );
                     black_box(out.sends.len())
                 });
             });
@@ -70,18 +82,20 @@ fn bench_handle_update(c: &mut Criterion) {
 
 fn bench_route_ops(c: &mut Criterion) {
     c.bench_function("route/prepend_clone_10hops", |b| {
-        let mut route = Route::originate(NodeId::new(0));
+        let mut table = PathTable::new();
+        let mut route = table.originate(NodeId::new(0));
         for i in 1..10u32 {
-            route = route.prepend(NodeId::new(i));
+            route = table.prepend(route, NodeId::new(i));
         }
-        b.iter(|| black_box(route.prepend(NodeId::new(99))));
+        b.iter(|| black_box(table.prepend(route, NodeId::new(99))));
     });
     c.bench_function("route/contains_10hops", |b| {
-        let mut route = Route::originate(NodeId::new(0));
+        let mut table = PathTable::new();
+        let mut route = table.originate(NodeId::new(0));
         for i in 1..10u32 {
-            route = route.prepend(NodeId::new(i));
+            route = table.prepend(route, NodeId::new(i));
         }
-        b.iter(|| black_box(route.contains(NodeId::new(5))));
+        b.iter(|| black_box(table.contains(route, NodeId::new(5))));
     });
 }
 

@@ -1,0 +1,39 @@
+//! The ISSUE-3 micro-benchmark: the receive → damp → select → advertise
+//! hot path exercised through a full pulse run on the paper's 10×10
+//! torus (101 routers, path exploration, MRAI pacing — the workload
+//! every sweep figure multiplies by thousands).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfd_bgp::{Network, NetworkConfig};
+use rfd_topology::{mesh_torus, NodeId};
+
+fn bench_torus_pulse(c: &mut Criterion) {
+    let g = mesh_torus(10, 10);
+    let mut group = c.benchmark_group("torus10x10");
+    group.sample_size(10);
+    group.bench_function("warmup", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&g, NodeId::new(42), NetworkConfig::paper_no_damping(7));
+            net.warm_up();
+            black_box(net.now())
+        });
+    });
+    group.bench_function("pulse_run_no_damping", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&g, NodeId::new(42), NetworkConfig::paper_no_damping(7));
+            let report = net.run_paper_workload(1);
+            black_box(report.message_count)
+        });
+    });
+    group.bench_function("pulse_run_full_damping_3", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&g, NodeId::new(42), NetworkConfig::paper_full_damping(7));
+            let report = net.run_paper_workload(3);
+            black_box(report.message_count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_torus_pulse);
+criterion_main!(benches);

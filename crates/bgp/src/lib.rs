@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod intern;
 mod message;
 mod network;
 mod policy;
@@ -39,7 +40,8 @@ mod rib;
 mod router;
 
 pub use config::{ConfigError, DampingDeployment, NetworkConfig, PenaltyFilter, ProtocolOptions};
-pub use message::{Prefix, Route, UpdateMessage, UpdatePayload};
+pub use intern::{InternStats, PathId, PathTable, Route};
+pub use message::{Prefix, UpdateMessage, UpdatePayload};
 pub use network::{NetEvent, Network, OriginAttachment, RunReport};
 pub use policy::Policy;
 pub use rib::{BestRoute, RibInEntry};

@@ -1,9 +1,14 @@
-//! BGP update messages and routes.
+//! BGP update messages and prefixes.
+//!
+//! Routes live in [`crate::intern`]: an update carries a `Copy`-able
+//! [`Route`] handle, so queueing, delivering and re-sending messages
+//! never clones a path vector.
 
 use std::fmt;
 
 use rfd_core::RootCause;
-use rfd_topology::NodeId;
+
+use crate::intern::Route;
 
 /// A destination prefix. The paper's experiments use a single prefix
 /// originated by the origin AS; the type exists so multi-prefix
@@ -32,94 +37,8 @@ impl fmt::Display for Prefix {
     }
 }
 
-/// A route: the AS-level path from the advertising router to the
-/// origin. `path[0]` is the advertising router, `path.last()` the
-/// origin AS.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Route {
-    path: Vec<NodeId>,
-}
-
-impl Route {
-    /// A route originated by `origin` itself.
-    pub fn originate(origin: NodeId) -> Self {
-        Route { path: vec![origin] }
-    }
-
-    /// A route with an explicit path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `path` is empty or contains a repeated AS (a looped
-    /// path must never be constructed).
-    pub fn from_path(path: Vec<NodeId>) -> Self {
-        assert!(!path.is_empty(), "a route needs a non-empty AS path");
-        let mut seen = std::collections::HashSet::new();
-        assert!(
-            path.iter().all(|n| seen.insert(*n)),
-            "AS path contains a loop: {path:?}"
-        );
-        Route { path }
-    }
-
-    /// The AS path.
-    pub fn path(&self) -> &[NodeId] {
-        &self.path
-    }
-
-    /// Number of AS hops (path length; 1 for an originated route).
-    pub fn len(&self) -> usize {
-        self.path.len()
-    }
-
-    /// True when the path has exactly the origin (never otherwise —
-    /// paths are non-empty).
-    pub fn is_empty(&self) -> bool {
-        false
-    }
-
-    /// The advertising (first) AS.
-    pub fn head(&self) -> NodeId {
-        self.path[0]
-    }
-
-    /// The origin (last) AS.
-    pub fn origin(&self) -> NodeId {
-        *self.path.last().expect("paths are non-empty")
-    }
-
-    /// Whether `node` appears in the path (loop detection).
-    pub fn contains(&self, node: NodeId) -> bool {
-        self.path.contains(&node)
-    }
-
-    /// The route as re-advertised by `node`: `node` prepended to the
-    /// path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is already in the path (would create a loop).
-    pub fn prepend(&self, node: NodeId) -> Route {
-        assert!(
-            !self.contains(node),
-            "prepending {node} onto {self} would loop"
-        );
-        let mut path = Vec::with_capacity(self.path.len() + 1);
-        path.push(node);
-        path.extend_from_slice(&self.path);
-        Route { path }
-    }
-}
-
-impl fmt::Display for Route {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> = self.path.iter().map(ToString::to_string).collect();
-        write!(f, "{}", parts.join(" "))
-    }
-}
-
 /// The body of an update message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdatePayload {
     /// Advertises a (new) route.
     Announce(Route),
@@ -135,7 +54,7 @@ impl UpdatePayload {
 }
 
 /// A BGP update message as exchanged between peers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UpdateMessage {
     /// The destination prefix.
     pub prefix: Prefix,
@@ -191,66 +110,36 @@ impl UpdateMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::PathTable;
     use rfd_core::LinkStatus;
+    use rfd_topology::NodeId;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
     }
 
     #[test]
-    fn originated_route() {
-        let r = Route::originate(n(7));
-        assert_eq!(r.len(), 1);
-        assert_eq!(r.head(), n(7));
-        assert_eq!(r.origin(), n(7));
-    }
-
-    #[test]
-    fn prepend_builds_path() {
-        let r = Route::originate(n(0)).prepend(n(1)).prepend(n(2));
-        assert_eq!(r.path(), &[n(2), n(1), n(0)]);
-        assert_eq!(r.len(), 3);
-        assert_eq!(r.head(), n(2));
-        assert_eq!(r.origin(), n(0));
-        assert!(r.contains(n(1)));
-        assert!(!r.contains(n(9)));
-    }
-
-    #[test]
-    #[should_panic(expected = "loop")]
-    fn prepend_loop_panics() {
-        let r = Route::originate(n(0)).prepend(n(1));
-        let _ = r.prepend(n(0));
-    }
-
-    #[test]
-    #[should_panic(expected = "loop")]
-    fn from_path_rejects_loops() {
-        Route::from_path(vec![n(1), n(2), n(1)]);
-    }
-
-    #[test]
-    #[should_panic(expected = "non-empty")]
-    fn from_path_rejects_empty() {
-        Route::from_path(vec![]);
-    }
-
-    #[test]
     fn message_builders() {
+        let mut table = PathTable::new();
         let rc = RootCause::new((1, 2), LinkStatus::Down, 3);
         let m = UpdateMessage::withdraw().with_root_cause(Some(rc));
         assert!(m.is_withdrawal());
         assert_eq!(m.root_cause, Some(rc));
-        let a = UpdateMessage::announce(Route::originate(n(1))).with_degraded(Some(true));
+        let a = UpdateMessage::announce(table.originate(n(1))).with_degraded(Some(true));
         assert!(!a.is_withdrawal());
         assert_eq!(a.degraded, Some(true));
         assert_eq!(a.prefix, Prefix::ORIGIN);
     }
 
     #[test]
-    fn display_formats() {
-        let r = Route::originate(n(0)).prepend(n(1));
-        assert_eq!(r.to_string(), "AS1 AS0");
+    fn messages_are_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<UpdateMessage>();
+        assert_copy::<UpdatePayload>();
+    }
+
+    #[test]
+    fn prefix_display() {
         assert_eq!(Prefix::new(4).to_string(), "pfx4");
     }
 }

@@ -22,12 +22,13 @@ use rfd_sim::{Context, DetRng, Engine, RunOutcome, SimDuration, SimTime, World};
 use rfd_topology::{Graph, NodeId};
 
 use crate::config::NetworkConfig;
-use crate::message::{Prefix, Route, UpdateMessage};
+use crate::intern::PathTable;
+use crate::message::{Prefix, UpdateMessage};
 use crate::policy::Policy;
 use crate::router::{Router, RouterConfig, RouterOutput};
 
 /// Events exchanged through the simulation engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum NetEvent {
     /// Delivery of an update message to `to`.
     Deliver {
@@ -91,6 +92,9 @@ pub struct RunReport {
 
 struct NetWorld {
     routers: Vec<Router>,
+    /// The shared AS-path interner; every router works on handles into
+    /// this table.
+    path_table: PathTable,
     policy: Policy,
     trace: Trace,
     delay_rng: DetRng,
@@ -221,6 +225,7 @@ impl World for NetWorld {
                     ctx.now(),
                     from,
                     &msg,
+                    &mut self.path_table,
                     &mut self.mrai_rng,
                     &self.policy,
                     &mut out,
@@ -234,6 +239,7 @@ impl World for NetWorld {
                     ctx.now(),
                     peer,
                     prefix,
+                    &mut self.path_table,
                     &mut self.mrai_rng,
                     &self.policy,
                     &mut out,
@@ -246,6 +252,7 @@ impl World for NetWorld {
                     ctx.now(),
                     peer,
                     prefix,
+                    &mut self.path_table,
                     &mut self.mrai_rng,
                     &self.policy,
                     &mut out,
@@ -274,7 +281,8 @@ impl World for NetWorld {
                     None
                 };
                 let mut msg = if up {
-                    UpdateMessage::announce(Route::originate(attachment.node)).with_root_cause(rc)
+                    UpdateMessage::announce(self.path_table.originate(attachment.node))
+                        .with_root_cause(rc)
                 } else {
                     UpdateMessage::withdraw().with_root_cause(rc)
                 };
@@ -329,6 +337,7 @@ impl World for NetWorld {
                             ctx.now(),
                             peer,
                             rc,
+                            &mut self.path_table,
                             &mut self.mrai_rng,
                             &self.policy,
                             &mut out,
@@ -338,6 +347,7 @@ impl World for NetWorld {
                             ctx.now(),
                             peer,
                             rc,
+                            &mut self.path_table,
                             &mut self.mrai_rng,
                             &self.policy,
                             &mut out,
@@ -390,13 +400,16 @@ impl Network {
     /// Panics if the configuration is invalid (see
     /// [`NetworkConfig::validate`]), `isps` is empty, or an ISP is out
     /// of range.
-    pub fn new_multi(base: &Graph, isps: &[NodeId], config: NetworkConfig) -> Self {
+    pub fn new_multi(base: &Graph, isps: &[NodeId], mut config: NetworkConfig) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         assert!(!isps.is_empty(), "need at least one origin attachment");
+        // The clone is necessary: origin nodes are appended below, and
+        // the caller keeps `base` (the same graph is reused across sweep
+        // cells). The policy, in contrast, is ours to keep — take it.
         let mut graph = base.clone();
-        let mut policy = config.policy.clone();
+        let mut policy = std::mem::take(&mut config.policy);
         let mut origins = Vec::with_capacity(isps.len());
         for (i, &isp) in isps.iter().enumerate() {
             assert!(
@@ -423,6 +436,7 @@ impl Network {
         let mut deploy_rng = DetRng::from_seed_and_label(config.seed, "damping-deployment");
         let damping = config.damping.resolve(graph.node_count(), &mut deploy_rng);
 
+        let mut path_table = PathTable::new();
         let routers: Vec<Router> = graph
             .nodes()
             .map(|id| {
@@ -434,7 +448,7 @@ impl Network {
                     mrai_jitter: config.mrai_jitter,
                     protocol: config.protocol,
                 };
-                let mut router = Router::new(id, peers, false, rc);
+                let mut router = Router::new(id, peers, false, rc, &mut path_table);
                 if let Some(att) = origins.iter().find(|a| a.node == id) {
                     router.originate(att.prefix);
                 }
@@ -448,6 +462,7 @@ impl Network {
 
         let world = NetWorld {
             routers,
+            path_table,
             policy,
             trace: Trace::new(),
             delay_rng: DetRng::from_seed_and_label(config.seed, "delays"),
@@ -498,6 +513,14 @@ impl Network {
         &self.world.routers[id.index()]
     }
 
+    /// Read access to the shared AS-path interner (resolve [`Route`]
+    /// handles to paths, inspect [`PathTable::stats`]).
+    ///
+    /// [`Route`]: crate::intern::Route
+    pub fn path_table(&self) -> &PathTable {
+        &self.world.path_table
+    }
+
     /// Total suppressed RIB-IN entries across the network.
     pub fn suppressed_entries(&self) -> usize {
         self.world
@@ -525,6 +548,7 @@ impl Network {
                 let world = &mut self.world;
                 world.routers[origin.index()].kickoff(
                     SimTime::ZERO,
+                    &mut world.path_table,
                     &mut world.mrai_rng,
                     &world.policy,
                     &mut out,
@@ -729,9 +753,10 @@ mod tests {
             let hops_via_path = best.route.len();
             let expect = dist[id.index()].unwrap() + 1; // to isp, then origin
             assert_eq!(
-                hops_via_path, expect,
+                hops_via_path,
+                expect,
                 "node {id}: path {} vs bfs {expect}",
-                best.route
+                net.path_table().display(best.route)
             );
         }
     }

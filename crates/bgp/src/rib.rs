@@ -3,13 +3,14 @@
 //! Each router keeps, per peer, a RIB-IN entry holding the latest route
 //! received from that peer together with its damping state; a Local-RIB
 //! holding the selected best route; and a RIB-OUT per peer recording
-//! what was last advertised.
+//! what was last advertised. Routes are interned [`Route`] handles
+//! (`Copy`), so RIB reads and writes move 12 bytes, not path vectors.
 
 use rfd_core::{Damper, DampingParams, RcnFilter, RootCause, SelectiveFilter};
 use rfd_topology::NodeId;
 
 use crate::config::PenaltyFilter;
-use crate::message::Route;
+use crate::intern::Route;
 
 /// One (peer, prefix) entry of the RIB-IN.
 #[derive(Debug, Clone)]
@@ -53,17 +54,17 @@ impl RibInEntry {
 
     /// The route if it may be used in best-path selection (present and
     /// not suppressed).
-    pub fn usable_route(&self) -> Option<&Route> {
+    pub fn usable_route(&self) -> Option<Route> {
         if self.is_suppressed() {
             None
         } else {
-            self.route.as_ref()
+            self.route
         }
     }
 }
 
 /// The selected best route.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BestRoute {
     /// The peer the route was learned from; `None` for a self-originated
     /// route.
@@ -75,6 +76,7 @@ pub struct BestRoute {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::PathTable;
     use rfd_core::UpdateKind;
     use rfd_sim::SimTime;
 
@@ -104,8 +106,9 @@ mod tests {
 
     #[test]
     fn usable_route_hides_suppressed() {
+        let mut table = PathTable::new();
         let mut e = RibInEntry::new(Some(cisco()), PenaltyFilter::Plain);
-        e.route = Some(Route::originate(NodeId::new(1)));
+        e.route = Some(table.originate(NodeId::new(1)));
         assert!(e.usable_route().is_some());
         let damper = e.damper.as_mut().unwrap();
         damper.charge_raw(SimTime::ZERO, 5000.0);

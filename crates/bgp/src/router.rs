@@ -13,13 +13,24 @@
 //!    peer: withdrawals go out immediately, announcements are paced by
 //!    the per-(peer, prefix) MRAI timer and coalesced while it runs.
 //!
-//! Reuse timers are delivered back to the router by the network
-//! harness; a released route re-enters the decision process, which
-//! makes the reuse *noisy* (best route changes, updates sent) or
-//! *silent* (no change) — the distinction at the centre of the paper's
-//! timer-interaction analysis (Figures 5 and 6).
+//! Reuse timers are delivered back to the network harness; a released
+//! route re-enters the decision process, which makes the reuse *noisy*
+//! (best route changes, updates sent) or *silent* (no change) — the
+//! distinction at the centre of the paper's timer-interaction analysis
+//! (Figures 5 and 6).
+//!
+//! ## Storage layout
+//!
+//! The peer set is fixed at construction, so all per-peer state
+//! (RIB-IN, RIB-OUT, MRAI pacing, session status) lives in dense slot
+//! arrays indexed by a once-built sorted peer index. Slot order is
+//! ascending `NodeId` — the same order the previous `BTreeMap`s
+//! iterated in, so the decision process visits candidates identically.
+//! Routes are interned [`Route`] handles (see [`crate::intern`]); the
+//! [`PathTable`] is threaded through every handler so the hot path
+//! never clones a path vector.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use rfd_core::{DampingParams, RelativePreference, ReuseCheck, RootCause, UpdateKind};
 use rfd_metrics::TraceEventKind;
@@ -27,7 +38,8 @@ use rfd_sim::{DetRng, SimDuration, SimTime};
 use rfd_topology::NodeId;
 
 use crate::config::{PenaltyFilter, ProtocolOptions};
-use crate::message::{Prefix, Route, UpdateMessage, UpdatePayload};
+use crate::intern::{PathTable, Route};
+use crate::message::{Prefix, UpdateMessage, UpdatePayload};
 use crate::policy::Policy;
 use crate::rib::{BestRoute, RibInEntry};
 
@@ -99,49 +111,89 @@ impl MraiPeer {
     }
 }
 
-/// All per-prefix routing state.
-#[derive(Debug, Clone, Default)]
+/// All per-prefix routing state, one slot per peer (slot order =
+/// ascending peer id).
+#[derive(Debug, Clone)]
 struct PrefixState {
     /// This router originates the prefix.
     originated: bool,
-    /// Latest route per peer, with damping state.
-    rib_in: BTreeMap<NodeId, RibInEntry>,
+    /// Latest route per peer slot, with damping state (`None` until the
+    /// peer first sends an update for this prefix).
+    rib_in: Vec<Option<RibInEntry>>,
     /// The selected best route.
     best: Option<BestRoute>,
-    /// Last route advertised per peer.
-    rib_out: BTreeMap<NodeId, Option<Route>>,
+    /// Last route advertised per peer slot (`None`: nothing advertised
+    /// or withdrawn).
+    rib_out: Vec<Option<Route>>,
+    /// MRAI pacing per peer slot.
+    mrai: Vec<MraiPeer>,
     /// Root cause to stamp on outgoing updates for this prefix.
     current_rc: Option<RootCause>,
+}
+
+impl PrefixState {
+    fn new(n_peers: usize) -> Self {
+        PrefixState {
+            originated: false,
+            rib_in: vec![None; n_peers],
+            best: None,
+            rib_out: vec![None; n_peers],
+            mrai: vec![MraiPeer::new(); n_peers],
+            current_rc: None,
+        }
+    }
 }
 
 /// A single BGP router.
 #[derive(Debug, Clone)]
 pub struct Router {
     id: NodeId,
+    /// Neighbour set in construction order (fan-out order).
     peers: Vec<NodeId>,
+    /// The same peers sorted ascending: `slots[i]` is the peer of slot
+    /// `i`, looked up by binary search.
+    slots: Vec<NodeId>,
     prefixes: BTreeMap<Prefix, PrefixState>,
-    mrai: BTreeMap<(NodeId, Prefix), MraiPeer>,
     config: RouterConfig,
     charging_enabled: bool,
-    /// Peers whose session is currently down (failure injection); no
-    /// messages are sent to them.
-    down_peers: BTreeSet<NodeId>,
+    /// Per slot: session currently down (failure injection); no
+    /// messages are sent to a down peer.
+    down: Vec<bool>,
+    /// This router's own single-hop route, interned once.
+    self_route: Route,
 }
 
+// Every handler takes (now, event args…, table, rng, policy, out): the
+// path table and RNG are threaded explicitly instead of hiding them in
+// shared cells, which puts some signatures past clippy's argument
+// count.
+#[allow(clippy::too_many_arguments)]
 impl Router {
     /// Creates a router with the given neighbour set. When `originates`
     /// is true the router originates [`Prefix::ORIGIN`] (nothing is
     /// advertised until [`Router::kickoff`]); further prefixes can be
     /// added with [`Router::originate`].
-    pub fn new(id: NodeId, peers: Vec<NodeId>, originates: bool, config: RouterConfig) -> Self {
+    pub fn new(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        originates: bool,
+        config: RouterConfig,
+        table: &mut PathTable,
+    ) -> Self {
+        let mut slots = peers.clone();
+        slots.sort_unstable();
+        slots.dedup();
+        let n = slots.len();
+        let self_route = table.originate(id);
         let mut router = Router {
             id,
             peers,
+            slots,
             prefixes: BTreeMap::new(),
-            mrai: BTreeMap::new(),
             config,
             charging_enabled: true,
-            down_peers: BTreeSet::new(),
+            down: vec![false; n],
+            self_route,
         };
         if originates {
             router.originate(Prefix::ORIGIN);
@@ -149,13 +201,22 @@ impl Router {
         router
     }
 
+    /// The slot index of `peer`, if it is a neighbour.
+    fn slot_of(&self, peer: NodeId) -> Option<usize> {
+        self.slots.binary_search(&peer).ok()
+    }
+
     /// Registers this router as the originator of `prefix`.
     pub fn originate(&mut self, prefix: Prefix) {
-        let state = self.prefixes.entry(prefix).or_default();
+        let n = self.slots.len();
+        let state = self
+            .prefixes
+            .entry(prefix)
+            .or_insert_with(|| PrefixState::new(n));
         state.originated = true;
         state.best = Some(BestRoute {
             learned_from: None,
-            route: Route::originate(self.id),
+            route: self.self_route,
         });
     }
 
@@ -204,7 +265,11 @@ impl Router {
 
     /// Read access to the RIB-IN entry for one (peer, prefix).
     pub fn rib_in_for(&self, prefix: Prefix, peer: NodeId) -> Option<&RibInEntry> {
-        self.prefixes.get(&prefix)?.rib_in.get(&peer)
+        self.prefixes
+            .get(&prefix)?
+            .rib_in
+            .get(self.slot_of(peer)?)?
+            .as_ref()
     }
 
     /// Number of currently suppressed RIB-IN entries across all
@@ -212,14 +277,14 @@ impl Router {
     pub fn suppressed_entries(&self) -> usize {
         self.prefixes
             .values()
-            .flat_map(|s| s.rib_in.values())
+            .flat_map(|s| s.rib_in.iter().flatten())
             .filter(|e| e.is_suppressed())
             .count()
     }
 
     /// Whether the session to `peer` is currently down.
     pub fn session_is_down(&self, peer: NodeId) -> bool {
-        self.down_peers.contains(&peer)
+        self.slot_of(peer).is_some_and(|slot| self.down[slot])
     }
 
     /// Advertises every originated/known prefix to all peers (used once
@@ -227,12 +292,13 @@ impl Router {
     pub fn kickoff(
         &mut self,
         now: SimTime,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
         for prefix in self.prefixes.keys().copied().collect::<Vec<_>>() {
-            self.sync_all_peers(now, prefix, rng, policy, out);
+            self.sync_all_peers(now, prefix, table, rng, policy, out);
         }
     }
 
@@ -242,34 +308,35 @@ impl Router {
         now: SimTime,
         from: NodeId,
         msg: &UpdateMessage,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
-        assert!(
-            self.peers.contains(&from),
-            "router {} received update from non-peer {from}",
-            self.id
-        );
+        let slot = self
+            .slot_of(from)
+            .unwrap_or_else(|| panic!("router {} received update from non-peer {from}", self.id));
         let prefix = msg.prefix;
         let (config_damping, config_filter) = (self.config.damping, self.config.filter);
-        let state = self.prefixes.entry(prefix).or_default();
-        let entry = state
-            .rib_in
-            .entry(from)
-            .or_insert_with(|| RibInEntry::new(config_damping, config_filter));
+        let n = self.slots.len();
+        let state = self
+            .prefixes
+            .entry(prefix)
+            .or_insert_with(|| PrefixState::new(n));
+        let entry = state.rib_in[slot]
+            .get_or_insert_with(|| RibInEntry::new(config_damping, config_filter));
 
         // Classify relative to the currently held route. A route whose
         // path contains this AS is unusable (RFC 4271 treats it as a
         // withdrawal); sender-side loop avoidance means these are rare.
-        let (new_route, kind) = match &msg.payload {
+        let (new_route, kind) = match msg.payload {
             UpdatePayload::Withdraw => {
                 if entry.route.is_none() {
                     return; // spurious withdrawal: ignored, no penalty
                 }
                 (None, UpdateKind::Withdrawal)
             }
-            UpdatePayload::Announce(route) if route.contains(self.id) => {
+            UpdatePayload::Announce(route) if table.contains(route, self.id) => {
                 if entry.route.is_none() {
                     return;
                 }
@@ -277,11 +344,8 @@ impl Router {
             }
             UpdatePayload::Announce(route) => {
                 let had = entry.route.is_some();
-                let same = entry.route.as_ref() == Some(route);
-                (
-                    Some(route.clone()),
-                    UpdateKind::classify_announcement(had, same),
-                )
+                let same = entry.route == Some(route);
+                (Some(route), UpdateKind::classify_announcement(had, same))
             }
         };
 
@@ -335,7 +399,7 @@ impl Router {
             entry.last_rc = msg.root_cause;
         }
 
-        self.reselect(now, prefix, msg.root_cause, rng, policy, out);
+        self.reselect(now, prefix, msg.root_cause, table, rng, policy, out);
     }
 
     /// Handles loss of the session to `peer` (the shared link went
@@ -351,29 +415,27 @@ impl Router {
         now: SimTime,
         peer: NodeId,
         rc: Option<RootCause>,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
-        assert!(
-            self.peers.contains(&peer),
-            "session event for non-peer {peer}"
-        );
-        self.down_peers.insert(peer);
+        let slot = self
+            .slot_of(peer)
+            .unwrap_or_else(|| panic!("session event for non-peer {peer}"));
+        self.down[slot] = true;
         let prefixes: Vec<Prefix> = self.prefixes.keys().copied().collect();
         for prefix in prefixes {
             // Nothing stays advertised over a dead session.
             let state = self.prefixes.get_mut(&prefix).expect("listed prefix");
-            state.rib_out.insert(peer, None);
-            if let Some(m) = self.mrai.get_mut(&(peer, prefix)) {
-                m.dirty = false;
-            }
+            state.rib_out[slot] = None;
+            state.mrai[slot].dirty = false;
             // The peer's routes vanish: synthesize the implicit
             // withdrawal through the normal pipeline (damping charge +
             // reselection).
             let mut msg = UpdateMessage::withdraw().with_root_cause(rc);
             msg.prefix = prefix;
-            self.handle_update(now, peer, &msg, rng, policy, out);
+            self.handle_update(now, peer, &msg, table, rng, policy, out);
         }
     }
 
@@ -385,15 +447,15 @@ impl Router {
         now: SimTime,
         peer: NodeId,
         rc: Option<RootCause>,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
-        assert!(
-            self.peers.contains(&peer),
-            "session event for non-peer {peer}"
-        );
-        self.down_peers.remove(&peer);
+        let slot = self
+            .slot_of(peer)
+            .unwrap_or_else(|| panic!("session event for non-peer {peer}"));
+        self.down[slot] = false;
         let prefixes: Vec<Prefix> = self.prefixes.keys().copied().collect();
         for prefix in prefixes {
             // Updates triggered by the restored session carry its root
@@ -404,7 +466,7 @@ impl Router {
                     .expect("listed prefix")
                     .current_rc = rc;
             }
-            self.sync_peer(now, prefix, peer, rng, policy, out);
+            self.sync_peer(now, prefix, peer, table, rng, policy, out);
         }
     }
 
@@ -414,17 +476,22 @@ impl Router {
         now: SimTime,
         peer: NodeId,
         prefix: Prefix,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
-        let m = self
-            .mrai
-            .get_mut(&(peer, prefix))
+        let slot = self
+            .slot_of(peer)
             .expect("MRAI timer for unknown peer/prefix");
+        let state = self
+            .prefixes
+            .get_mut(&prefix)
+            .expect("MRAI timer for unknown peer/prefix");
+        let m = &mut state.mrai[slot];
         m.timer_pending = false;
         if m.dirty {
-            self.sync_peer(now, prefix, peer, rng, policy, out);
+            self.sync_peer(now, prefix, peer, table, rng, policy, out);
         }
     }
 
@@ -435,17 +502,18 @@ impl Router {
         now: SimTime,
         peer: NodeId,
         prefix: Prefix,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
+        let slot = self.slot_of(peer).expect("reuse timer for unknown peer");
         let state = self
             .prefixes
             .get_mut(&prefix)
             .expect("reuse timer for unknown prefix");
-        let entry = state
-            .rib_in
-            .get_mut(&peer)
+        let entry = state.rib_in[slot]
+            .as_mut()
             .expect("reuse timer for unknown peer");
         let Some(damper) = entry.damper.as_mut() else {
             return;
@@ -466,8 +534,9 @@ impl Router {
             }
             ReuseCheck::Released => {
                 let reuse_rc = entry.last_rc;
-                let old_best = state.best.clone();
-                let new_best = Self::decide(self.id, state, policy);
+                let old_best = state.best;
+                let new_best =
+                    Self::decide(self.id, self.self_route, &self.slots, state, table, policy);
                 let noisy = new_best != old_best;
                 out.traces.push(TraceEventKind::Reused {
                     node: self.id.raw(),
@@ -483,8 +552,9 @@ impl Router {
                     out.traces.push(TraceEventKind::BestRouteChanged {
                         node: self.id.raw(),
                         unreachable: state.best.is_none(),
+                        path_len: state.best.as_ref().map_or(0, |b| b.route.len() as u32),
                     });
-                    self.sync_all_peers(now, prefix, rng, policy, out);
+                    self.sync_all_peers(now, prefix, table, rng, policy, out);
                 }
                 // Silent expiry (Figure 5): nothing to do.
             }
@@ -499,12 +569,13 @@ impl Router {
         now: SimTime,
         prefix: Prefix,
         trigger_rc: Option<RootCause>,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
         let state = self.prefixes.get_mut(&prefix).expect("prefix exists");
-        let new_best = Self::decide(self.id, state, policy);
+        let new_best = Self::decide(self.id, self.self_route, &self.slots, state, table, policy);
         if new_best == state.best {
             return;
         }
@@ -513,28 +584,42 @@ impl Router {
         out.traces.push(TraceEventKind::BestRouteChanged {
             node: self.id.raw(),
             unreachable: state.best.is_none(),
+            path_len: state.best.as_ref().map_or(0, |b| b.route.len() as u32),
         });
-        self.sync_all_peers(now, prefix, rng, policy, out);
+        self.sync_all_peers(now, prefix, table, rng, policy, out);
     }
 
     /// The decision process: best usable route by (policy class, path
     /// length, lowest peer id). A self-originated route always wins.
-    fn decide(id: NodeId, state: &PrefixState, policy: &Policy) -> Option<BestRoute> {
+    /// Slots are visited in ascending peer order — exactly the order
+    /// the old `BTreeMap` RIB iterated in.
+    fn decide(
+        id: NodeId,
+        self_route: Route,
+        slots: &[NodeId],
+        state: &PrefixState,
+        table: &PathTable,
+        policy: &Policy,
+    ) -> Option<BestRoute> {
         rfd_obs::inc("bgp.decisions");
         if state.originated {
             return Some(BestRoute {
                 learned_from: None,
-                route: Route::originate(id),
+                route: self_route,
             });
         }
         let mut best: Option<((u8, usize, usize), BestRoute)> = None;
-        for (&peer, entry) in &state.rib_in {
+        for (slot, entry) in state.rib_in.iter().enumerate() {
+            let Some(entry) = entry else {
+                continue;
+            };
             let Some(route) = entry.usable_route() else {
                 continue;
             };
-            if route.contains(id) {
+            if table.contains(route, id) {
                 continue; // loop
             }
+            let peer = slots[slot];
             let rank = (policy.preference_class(id, peer), route.len(), peer.index());
             let better = match &best {
                 None => true,
@@ -545,7 +630,7 @@ impl Router {
                     rank,
                     BestRoute {
                         learned_from: Some(peer),
-                        route: route.clone(),
+                        route,
                     },
                 ));
             }
@@ -561,19 +646,20 @@ impl Router {
         id: NodeId,
         state: &PrefixState,
         to: NodeId,
+        table: &mut PathTable,
         policy: &Policy,
         protocol: &ProtocolOptions,
     ) -> Option<Route> {
         let best = state.best.as_ref()?;
-        if protocol.sender_side_loop_avoidance && best.route.contains(to) {
+        if protocol.sender_side_loop_avoidance && table.contains(best.route, to) {
             return None; // receiver is on the path; it would reject
         }
         if !policy.may_export(id, best.learned_from, to) {
             return None;
         }
         Some(match best.learned_from {
-            None => best.route.clone(),
-            Some(_) => best.route.prepend(id),
+            None => best.route,
+            Some(_) => table.prepend(best.route, id),
         })
     }
 
@@ -581,12 +667,16 @@ impl Router {
         &mut self,
         now: SimTime,
         prefix: Prefix,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
-        for peer in self.peers.clone() {
-            self.sync_peer(now, prefix, peer, rng, policy, out);
+        // Index loop instead of iterating (and cloning) `self.peers`:
+        // sync_peer needs `&mut self`.
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            self.sync_peer(now, prefix, peer, table, rng, policy, out);
         }
     }
 
@@ -598,20 +688,20 @@ impl Router {
         now: SimTime,
         prefix: Prefix,
         peer: NodeId,
+        table: &mut PathTable,
         rng: &mut DetRng,
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
-        if self.down_peers.contains(&peer) {
+        let slot = self.slot_of(peer).expect("sync with non-peer");
+        if self.down[slot] {
             return; // dead session: nothing can be sent
         }
         let state = self.prefixes.get_mut(&prefix).expect("prefix exists");
-        let desired = Self::export_route(self.id, state, peer, policy, &self.config.protocol);
-        let current = state.rib_out.get(&peer).cloned().flatten();
-        let m = self
-            .mrai
-            .entry((peer, prefix))
-            .or_insert_with(MraiPeer::new);
+        let desired =
+            Self::export_route(self.id, state, peer, table, policy, &self.config.protocol);
+        let current = state.rib_out[slot];
+        let m = &mut state.mrai[slot];
         if desired == current {
             m.dirty = false;
             return;
@@ -630,11 +720,11 @@ impl Router {
                     return;
                 }
                 m.dirty = false;
-                state.rib_out.insert(peer, None);
                 if self.config.protocol.withdrawal_pacing {
                     let (jlo, jhi) = self.config.mrai_jitter;
                     m.ready_at = now + self.config.mrai.mul_f64(rng.uniform(jlo, jhi));
                 }
+                state.rib_out[slot] = None;
                 let mut msg = UpdateMessage::withdraw().with_root_cause(state.current_rc);
                 msg.prefix = prefix;
                 out.sends.push((peer, msg));
@@ -646,7 +736,7 @@ impl Router {
                     let (jlo, jhi) = self.config.mrai_jitter;
                     m.ready_at = now + self.config.mrai.mul_f64(rng.uniform(jlo, jhi));
                     m.dirty = false;
-                    state.rib_out.insert(peer, Some(route.clone()));
+                    state.rib_out[slot] = Some(route);
                     let mut msg = UpdateMessage::announce(route)
                         .with_root_cause(state.current_rc)
                         .with_degraded(degraded);
@@ -692,31 +782,35 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
-    fn announce_from(origin: u32) -> UpdateMessage {
-        UpdateMessage::announce(Route::originate(n(origin)))
+    fn announce_from(tb: &mut PathTable, origin: u32) -> UpdateMessage {
+        UpdateMessage::announce(tb.originate(n(origin)))
     }
 
     #[test]
     fn originator_kickoff_announces_to_all() {
-        let mut r = Router::new(n(0), vec![n(1), n(2)], true, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(0), vec![n(1), n(2)], true, plain_config(false), &mut tb);
         let mut out = RouterOutput::default();
-        r.kickoff(t(0), &mut rng(), &Policy::ShortestPath, &mut out);
+        r.kickoff(t(0), &mut tb, &mut rng(), &Policy::ShortestPath, &mut out);
         assert_eq!(out.sends.len(), 2);
         assert!(out.sends.iter().all(|(_, m)| !m.is_withdrawal()));
         // Second kickoff is a no-op (RIB-OUT already in sync).
         let mut out2 = RouterOutput::default();
-        r.kickoff(t(1), &mut rng(), &Policy::ShortestPath, &mut out2);
+        r.kickoff(t(1), &mut tb, &mut rng(), &Policy::ShortestPath, &mut out2);
         assert!(out2.sends.is_empty());
     }
 
     #[test]
     fn update_installs_and_propagates() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let mut out = RouterOutput::default();
+        let msg = announce_from(&mut tb, 0);
         r.handle_update(
             t(0),
             n(0),
-            &announce_from(0),
+            &msg,
+            &mut tb,
             &mut rng(),
             &Policy::ShortestPath,
             &mut out,
@@ -726,9 +820,9 @@ mod tests {
         assert_eq!(out.sends.len(), 1);
         let (to, msg) = &out.sends[0];
         assert_eq!(*to, n(2));
-        match &msg.payload {
+        match msg.payload {
             UpdatePayload::Announce(route) => {
-                assert_eq!(route.path(), &[n(1), n(0)]);
+                assert_eq!(tb.path(route), &[n(1), n(0)]);
             }
             UpdatePayload::Withdraw => panic!("expected announcement"),
         }
@@ -736,16 +830,19 @@ mod tests {
 
     #[test]
     fn withdrawal_propagates_immediately() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let mut out = RouterOutput::default();
         let policy = Policy::ShortestPath;
         let mut rng = rng();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         let mut out = RouterOutput::default();
         r.handle_update(
             t(10),
             n(0),
             &UpdateMessage::withdraw(),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -760,19 +857,21 @@ mod tests {
 
     #[test]
     fn spurious_withdrawal_ignored() {
-        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true), &mut tb);
         let mut out = RouterOutput::default();
         r.handle_update(
             t(0),
             n(0),
             &UpdateMessage::withdraw(),
+            &mut tb,
             &mut rng(),
             &Policy::ShortestPath,
             &mut out,
         );
         assert!(out.sends.is_empty() && out.traces.is_empty());
         assert_eq!(
-            r.rib_in(n(0)).map(|e| e.route.clone()),
+            r.rib_in(n(0)).map(|e| e.route),
             Some(None),
             "entry exists but holds no route"
         );
@@ -782,28 +881,44 @@ mod tests {
     fn mrai_paces_consecutive_announcements() {
         // Peer 0 announces, then improves the route — the second
         // announcement to peer 2 must wait for the MRAI.
-        let mut r = Router::new(n(1), vec![n(0), n(2), n(3)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(
+            n(1),
+            vec![n(0), n(2), n(3)],
+            false,
+            plain_config(false),
+            &mut tb,
+        );
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
         // Route via 0 with length 3.
-        let long = Route::originate(n(9)).prepend(n(5)).prepend(n(0));
+        let long = {
+            let base = tb.originate(n(9));
+            let via5 = tb.prepend(base, n(5));
+            tb.prepend(via5, n(0))
+        };
         r.handle_update(
             t(0),
             n(0),
             &UpdateMessage::announce(long),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
         );
         assert_eq!(out.sends.len(), 2, "announce to 2 and 3");
         // Better route from 3 arrives within the MRAI window.
-        let short = Route::originate(n(9)).prepend(n(3));
+        let short = {
+            let base = tb.originate(n(9));
+            tb.prepend(base, n(3))
+        };
         let mut out = RouterOutput::default();
         r.handle_update(
             t(5),
             n(3),
             &UpdateMessage::announce(short),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -828,7 +943,7 @@ mod tests {
         assert_eq!(at, t(30));
         // Fire the timer: the deferred announcement goes out.
         let mut out = RouterOutput::default();
-        r.on_mrai_expiry(t(30), peer, prefix, &mut rng, &policy, &mut out);
+        r.on_mrai_expiry(t(30), peer, prefix, &mut tb, &mut rng, &policy, &mut out);
         assert_eq!(out.sends.len(), 1);
         assert!(!out.sends[0].1.is_withdrawal());
     }
@@ -837,46 +952,61 @@ mod tests {
     fn mrai_coalesces_flaps() {
         // Two best-route changes inside one MRAI window produce a
         // single deferred announcement with the latest route.
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         // Withdraw and re-announce rapidly.
         let mut out = RouterOutput::default();
         r.handle_update(
             t(1),
             n(0),
             &UpdateMessage::withdraw(),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
         );
         assert_eq!(out.sends.len(), 1, "withdrawal to 2 immediate");
         let mut out = RouterOutput::default();
-        r.handle_update(t(2), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(2), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         // Announcement to 2 deferred (MRAI from the t=0 send).
         assert!(out.sends.is_empty());
         assert_eq!(out.mrai_timers.len(), 1);
         let mut out = RouterOutput::default();
-        r.on_mrai_expiry(t(30), n(2), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        r.on_mrai_expiry(
+            t(30),
+            n(2),
+            Prefix::ORIGIN,
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
         assert_eq!(out.sends.len(), 1);
         assert!(!out.sends[0].1.is_withdrawal());
     }
 
     #[test]
     fn damping_suppresses_and_reuses() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         // Three withdrawals (with re-announcements) at 120 s spacing.
         let mut reuse_at = None;
         for pulse in 0..3u64 {
             let mut out = RouterOutput::default();
+            let msg = announce_from(&mut tb, 0);
             r.handle_update(
                 t(pulse * 120),
                 n(0),
-                &announce_from(0),
+                &msg,
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -886,6 +1016,7 @@ mod tests {
                 t(pulse * 120 + 60),
                 n(0),
                 &UpdateMessage::withdraw(),
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -902,7 +1033,8 @@ mod tests {
 
         // Announcement arriving while suppressed is *not* used.
         let mut out = RouterOutput::default();
-        r.handle_update(t(400), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(400), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert!(r.best().is_none(), "suppressed route must not be selected");
         assert!(out.sends.is_empty());
 
@@ -910,10 +1042,26 @@ mod tests {
         // penalty was recharged meanwhile) reschedules once and then
         // releases.
         let mut out = RouterOutput::default();
-        r.on_reuse_timer(reuse_at, n(0), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        r.on_reuse_timer(
+            reuse_at,
+            n(0),
+            Prefix::ORIGIN,
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
         if let Some(&(_, _, retry)) = out.reuse_timers.first() {
             out = RouterOutput::default();
-            r.on_reuse_timer(retry, n(0), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+            r.on_reuse_timer(
+                retry,
+                n(0),
+                Prefix::ORIGIN,
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
         }
         assert!(!r.rib_in(n(0)).unwrap().is_suppressed());
         let noisy = out
@@ -928,28 +1076,39 @@ mod tests {
     fn silent_reuse_when_not_best() {
         // Figure 5: the suppressed route from C is worse than the one
         // from B; its reuse changes nothing.
-        let mut r = Router::new(n(1), vec![n(2), n(3)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(2), n(3)], false, plain_config(true), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         // Good short route from peer 2.
         let mut out = RouterOutput::default();
+        let good = {
+            let base = tb.originate(n(9));
+            tb.prepend(base, n(2))
+        };
         r.handle_update(
             t(0),
             n(2),
-            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(2))),
+            &UpdateMessage::announce(good),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
         );
         // Suppress peer 3's entry with rapid flaps of a longer route.
-        let long = Route::originate(n(9)).prepend(n(5)).prepend(n(3));
+        let long = {
+            let base = tb.originate(n(9));
+            let via5 = tb.prepend(base, n(5));
+            tb.prepend(via5, n(3))
+        };
         let mut reuse_at = None;
         for i in 0..4u64 {
             let mut out = RouterOutput::default();
             r.handle_update(
                 t(10 + i * 20),
                 n(3),
-                &UpdateMessage::announce(long.clone()),
+                &UpdateMessage::announce(long),
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -959,6 +1118,7 @@ mod tests {
                 t(20 + i * 20),
                 n(3),
                 &UpdateMessage::withdraw(),
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -973,6 +1133,7 @@ mod tests {
             t(200),
             n(3),
             &UpdateMessage::announce(long),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -982,7 +1143,15 @@ mod tests {
         let mut due = reuse_at.expect("suppressed");
         for _ in 0..5 {
             let mut out = RouterOutput::default();
-            r.on_reuse_timer(due, n(3), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+            r.on_reuse_timer(
+                due,
+                n(3),
+                Prefix::ORIGIN,
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
             if let Some(&(_, _, at)) = out.reuse_timers.first() {
                 due = at;
                 continue;
@@ -1004,25 +1173,21 @@ mod tests {
 
     #[test]
     fn charging_disabled_never_suppresses() {
-        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true), &mut tb);
         r.set_charging(false);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         for i in 0..20u64 {
             let mut out = RouterOutput::default();
-            r.handle_update(
-                t(i * 2),
-                n(0),
-                &announce_from(0),
-                &mut rng,
-                &policy,
-                &mut out,
-            );
+            let msg = announce_from(&mut tb, 0);
+            r.handle_update(t(i * 2), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
             let mut out = RouterOutput::default();
             r.handle_update(
                 t(i * 2 + 1),
                 n(0),
                 &UpdateMessage::withdraw(),
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -1042,14 +1207,20 @@ mod tests {
         g.add_link(n(1), n(3));
         let policy = Policy::NoValley(rfd_topology::Relationships::infer_by_degree(&g, 0.25));
         // Router 1 peers with 0, provides for 3.
-        let mut r = Router::new(n(1), vec![n(0), n(3)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(3)], false, plain_config(false), &mut tb);
         let mut rng = rng();
         let mut out = RouterOutput::default();
         // Learn a route from peer 0 (provider/peer relationship).
+        let via0 = {
+            let base = tb.originate(n(9));
+            tb.prepend(base, n(0))
+        };
         r.handle_update(
             t(0),
             n(0),
-            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(0))),
+            &UpdateMessage::announce(via0),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -1061,15 +1232,17 @@ mod tests {
 
     #[test]
     fn session_down_withdraws_and_charges() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert!(r.best().is_some());
 
         let mut out = RouterOutput::default();
-        r.on_session_down(t(10), n(0), None, &mut rng, &policy, &mut out);
+        r.on_session_down(t(10), n(0), None, &mut tb, &mut rng, &policy, &mut out);
         assert!(r.session_is_down(n(0)));
         assert!(r.best().is_none(), "session loss withdraws the route");
         // The loss charged the damping penalty like a withdrawal.
@@ -1090,14 +1263,20 @@ mod tests {
     fn session_up_readvertises() {
         // Router 1 originates nothing but hears a route from peer 2;
         // the 0–1 session bounces and must be resynchronised.
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
+        let via2 = {
+            let base = tb.originate(n(9));
+            tb.prepend(base, n(2))
+        };
         r.handle_update(
             t(0),
             n(2),
-            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(2))),
+            &UpdateMessage::announce(via2),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -1108,13 +1287,19 @@ mod tests {
         );
 
         let mut out = RouterOutput::default();
-        r.on_session_down(t(5), n(0), None, &mut rng, &policy, &mut out);
+        r.on_session_down(t(5), n(0), None, &mut tb, &mut rng, &policy, &mut out);
         // While down, best changes don't reach peer 0.
         let mut out = RouterOutput::default();
+        let via2_long = {
+            let base = tb.originate(n(9));
+            let via8 = tb.prepend(base, n(8));
+            tb.prepend(via8, n(2))
+        };
         r.handle_update(
             t(6),
             n(2),
-            &UpdateMessage::announce(Route::originate(n(9)).prepend(n(8)).prepend(n(2))),
+            &UpdateMessage::announce(via2_long),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -1123,7 +1308,7 @@ mod tests {
 
         // On recovery the fresh session gets the current best.
         let mut out = RouterOutput::default();
-        r.on_session_up(t(60), n(0), None, &mut rng, &policy, &mut out);
+        r.on_session_up(t(60), n(0), None, &mut tb, &mut rng, &policy, &mut out);
         assert!(!r.session_is_down(n(0)));
         assert_eq!(out.sends.len(), 1);
         assert_eq!(out.sends[0].0, n(0));
@@ -1132,13 +1317,15 @@ mod tests {
 
     #[test]
     fn session_down_when_no_route_is_quiet() {
-        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0)], false, plain_config(true), &mut tb);
         // Give the router prefix state without a route from peer 0.
         let mut out = RouterOutput::default();
         r.handle_update(
             t(0),
             n(0),
             &UpdateMessage::withdraw(),
+            &mut tb,
             &mut rng(),
             &Policy::ShortestPath,
             &mut out,
@@ -1148,6 +1335,7 @@ mod tests {
             t(1),
             n(0),
             None,
+            &mut tb,
             &mut rng(),
             &Policy::ShortestPath,
             &mut out,
@@ -1160,25 +1348,36 @@ mod tests {
     fn repeated_session_flaps_suppress_like_route_flaps() {
         // RFC 2439's original motivation: a bouncing session is a
         // flapping route.
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut suppressed = false;
         for k in 0..4u64 {
             let mut out = RouterOutput::default();
-            r.handle_update(
-                t(k * 120),
+            let msg = announce_from(&mut tb, 0);
+            r.handle_update(t(k * 120), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
+            let mut out = RouterOutput::default();
+            r.on_session_down(
+                t(k * 120 + 60),
                 n(0),
-                &announce_from(0),
+                None,
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
             );
-            let mut out = RouterOutput::default();
-            r.on_session_down(t(k * 120 + 60), n(0), None, &mut rng, &policy, &mut out);
             suppressed |= !out.reuse_timers.is_empty();
             let mut out = RouterOutput::default();
-            r.on_session_up(t(k * 120 + 61), n(0), None, &mut rng, &policy, &mut out);
+            r.on_session_up(
+                t(k * 120 + 61),
+                n(0),
+                None,
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
         }
         assert!(suppressed, "repeated session loss must trip the cut-off");
         assert!(r.rib_in(n(0)).unwrap().is_suppressed());
@@ -1186,19 +1385,22 @@ mod tests {
 
     #[test]
     fn loop_containing_announcement_acts_as_withdrawal() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert!(r.best().is_some());
         // Announcement whose path contains router 1 itself.
-        let looped = Route::from_path(vec![n(0), n(5), n(1), n(9)]);
+        let looped = tb.from_path(&[n(0), n(5), n(1), n(9)]);
         let mut out = RouterOutput::default();
         r.handle_update(
             t(1),
             n(0),
             &UpdateMessage::announce(looped),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -1225,11 +1427,19 @@ mod tests {
             withdrawal_pacing: true,
             ..ProtocolOptions::default()
         };
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(
+            n(1),
+            vec![n(0), n(2)],
+            false,
+            config_with(protocol, false),
+            &mut tb,
+        );
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert_eq!(out.sends.len(), 1, "announce to 2");
         // Withdraw within the MRAI window: deferred under WRATE.
         let mut out = RouterOutput::default();
@@ -1237,6 +1447,7 @@ mod tests {
             t(5),
             n(0),
             &UpdateMessage::withdraw(),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
@@ -1246,7 +1457,7 @@ mod tests {
         let (peer, prefix, at) = out.mrai_timers[0];
         assert_eq!(at, t(30));
         let mut out = RouterOutput::default();
-        r.on_mrai_expiry(t(30), peer, prefix, &mut rng, &policy, &mut out);
+        r.on_mrai_expiry(t(30), peer, prefix, &mut tb, &mut rng, &policy, &mut out);
         assert_eq!(out.sends.len(), 1);
         assert!(out.sends[0].1.is_withdrawal());
     }
@@ -1259,28 +1470,46 @@ mod tests {
             withdrawal_pacing: true,
             ..ProtocolOptions::default()
         };
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(
+            n(1),
+            vec![n(0), n(2)],
+            false,
+            config_with(protocol, false),
+            &mut tb,
+        );
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         let mut out = RouterOutput::default();
         r.handle_update(
             t(3),
             n(0),
             &UpdateMessage::withdraw(),
+            &mut tb,
             &mut rng,
             &policy,
             &mut out,
         );
         assert!(out.sends.is_empty());
         let mut out = RouterOutput::default();
-        r.handle_update(t(6), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(6), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert!(out.sends.is_empty());
         // MRAI expiry: desired == current (the same route is back) → no
         // message at all.
         let mut out = RouterOutput::default();
-        r.on_mrai_expiry(t(30), n(2), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        r.on_mrai_expiry(
+            t(30),
+            n(2),
+            Prefix::ORIGIN,
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
         assert!(out.sends.is_empty(), "flap absorbed by WRATE coalescing");
     }
 
@@ -1290,17 +1519,25 @@ mod tests {
             sender_side_loop_avoidance: false,
             ..ProtocolOptions::default()
         };
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(
+            n(1),
+            vec![n(0), n(2)],
+            false,
+            config_with(protocol, false),
+            &mut tb,
+        );
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut out = RouterOutput::default();
-        r.handle_update(t(0), n(0), &announce_from(0), &mut rng, &policy, &mut out);
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         // Plain BGP-4: the route is advertised back toward peer 0's
         // side too (path [1, 0]) — receivers do the loop detection.
         let to_zero: Vec<_> = out.sends.iter().filter(|(to, _)| *to == n(0)).collect();
         assert_eq!(to_zero.len(), 1, "looped advertisement is sent");
-        match &to_zero[0].1.payload {
-            UpdatePayload::Announce(route) => assert!(route.contains(n(0))),
+        match to_zero[0].1.payload {
+            UpdatePayload::Announce(route) => assert!(tb.contains(route, n(0))),
             UpdatePayload::Withdraw => panic!("expected announcement"),
         }
     }
@@ -1312,16 +1549,25 @@ mod tests {
             reuse_granularity: Some(g),
             ..ProtocolOptions::default()
         };
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, config_with(protocol, true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(
+            n(1),
+            vec![n(0), n(2)],
+            false,
+            config_with(protocol, true),
+            &mut tb,
+        );
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let mut due = None;
         for pulse in 0..3u64 {
             let mut out = RouterOutput::default();
+            let msg = announce_from(&mut tb, 0);
             r.handle_update(
                 t(pulse * 120),
                 n(0),
-                &announce_from(0),
+                &msg,
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -1331,6 +1577,7 @@ mod tests {
                 t(pulse * 120 + 60),
                 n(0),
                 &UpdateMessage::withdraw(),
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -1348,7 +1595,15 @@ mod tests {
         // Firing at the quantised instant still releases (it is never
         // earlier than the exact deadline).
         let mut out = RouterOutput::default();
-        r.on_reuse_timer(due, n(0), Prefix::ORIGIN, &mut rng, &policy, &mut out);
+        r.on_reuse_timer(
+            due,
+            n(0),
+            Prefix::ORIGIN,
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
         assert!(!r.rib_in(n(0)).unwrap().is_suppressed());
     }
 
@@ -1364,37 +1619,26 @@ mod tests {
 
     // ---- multi-prefix behaviour ----
 
-    fn announce_prefix(origin: u32, prefix: Prefix) -> UpdateMessage {
-        let mut m = UpdateMessage::announce(Route::originate(n(origin)));
+    fn announce_prefix(tb: &mut PathTable, origin: u32, prefix: Prefix) -> UpdateMessage {
+        let mut m = UpdateMessage::announce(tb.originate(n(origin)));
         m.prefix = prefix;
         m
     }
 
     #[test]
     fn prefixes_route_independently() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let pfx_a = Prefix::new(10);
         let pfx_b = Prefix::new(11);
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(0),
-            n(0),
-            &announce_prefix(0, pfx_a),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 0, pfx_a);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(1),
-            n(2),
-            &announce_prefix(2, pfx_b),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 2, pfx_b);
+        r.handle_update(t(1), n(2), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert_eq!(r.best_for(pfx_a).unwrap().learned_from, Some(n(0)));
         assert_eq!(r.best_for(pfx_b).unwrap().learned_from, Some(n(2)));
         assert!(r.best_for(Prefix::new(99)).is_none());
@@ -1404,7 +1648,7 @@ mod tests {
         let mut w = UpdateMessage::withdraw();
         w.prefix = pfx_a;
         let mut out = RouterOutput::default();
-        r.handle_update(t(2), n(0), &w, &mut rng, &policy, &mut out);
+        r.handle_update(t(2), n(0), &w, &mut tb, &mut rng, &policy, &mut out);
         assert!(r.best_for(pfx_a).is_none());
         assert!(r.best_for(pfx_b).is_some());
     }
@@ -1413,26 +1657,23 @@ mod tests {
     fn damping_state_is_per_prefix() {
         // Flapping prefix A from peer 0 must not suppress prefix B from
         // the same peer.
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let pfx_a = Prefix::new(10);
         let pfx_b = Prefix::new(11);
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(0),
-            n(0),
-            &announce_prefix(0, pfx_b),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 0, pfx_b);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         for k in 0..3u64 {
             let mut out = RouterOutput::default();
+            let msg = announce_prefix(&mut tb, 0, pfx_a);
             r.handle_update(
                 t(k * 120 + 1),
                 n(0),
-                &announce_prefix(0, pfx_a),
+                &msg,
+                &mut tb,
                 &mut rng,
                 &policy,
                 &mut out,
@@ -1440,7 +1681,15 @@ mod tests {
             let mut w = UpdateMessage::withdraw();
             w.prefix = pfx_a;
             let mut out = RouterOutput::default();
-            r.handle_update(t(k * 120 + 61), n(0), &w, &mut rng, &policy, &mut out);
+            r.handle_update(
+                t(k * 120 + 61),
+                n(0),
+                &w,
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
         }
         assert!(r.rib_in_for(pfx_a, n(0)).unwrap().is_suppressed());
         assert!(!r.rib_in_for(pfx_b, n(0)).unwrap().is_suppressed());
@@ -1454,30 +1703,19 @@ mod tests {
     fn mrai_is_per_prefix() {
         // Announcing prefix A must not delay prefix B's announcements
         // to the same peer.
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(false), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let pfx_a = Prefix::new(10);
         let pfx_b = Prefix::new(11);
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(0),
-            n(0),
-            &announce_prefix(0, pfx_a),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 0, pfx_a);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert_eq!(out.sends.len(), 1, "prefix A announced to peer 2");
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(1),
-            n(0),
-            &announce_prefix(0, pfx_b),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 0, pfx_b);
+        r.handle_update(t(1), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         assert_eq!(
             out.sends.len(),
             1,
@@ -1488,31 +1726,20 @@ mod tests {
 
     #[test]
     fn session_down_withdraws_every_prefix() {
-        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
         let policy = Policy::ShortestPath;
         let mut rng = rng();
         let pfx_a = Prefix::new(10);
         let pfx_b = Prefix::new(11);
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(0),
-            n(0),
-            &announce_prefix(0, pfx_a),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 0, pfx_a);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         let mut out = RouterOutput::default();
-        r.handle_update(
-            t(1),
-            n(0),
-            &announce_prefix(0, pfx_b),
-            &mut rng,
-            &policy,
-            &mut out,
-        );
+        let msg = announce_prefix(&mut tb, 0, pfx_b);
+        r.handle_update(t(1), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
         let mut out = RouterOutput::default();
-        r.on_session_down(t(10), n(0), None, &mut rng, &policy, &mut out);
+        r.on_session_down(t(10), n(0), None, &mut tb, &mut rng, &policy, &mut out);
         assert!(r.best_for(pfx_a).is_none());
         assert!(r.best_for(pfx_b).is_none());
         // Two withdrawals went to peer 2 (one per prefix).
@@ -1526,10 +1753,11 @@ mod tests {
 
     #[test]
     fn multi_origination() {
-        let mut r = Router::new(n(0), vec![n(1)], true, plain_config(false));
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(0), vec![n(1)], true, plain_config(false), &mut tb);
         r.originate(Prefix::new(5));
         let mut out = RouterOutput::default();
-        r.kickoff(t(0), &mut rng(), &Policy::ShortestPath, &mut out);
+        r.kickoff(t(0), &mut tb, &mut rng(), &Policy::ShortestPath, &mut out);
         assert_eq!(out.sends.len(), 2, "one announcement per originated prefix");
         let prefixes: std::collections::BTreeSet<_> =
             out.sends.iter().map(|(_, m)| m.prefix).collect();

@@ -1,0 +1,151 @@
+//! Model-based tests for the AS-path interner: a [`PathTable`] driven
+//! by random operation sequences must agree, observation for
+//! observation, with a naive reference model that stores every path as
+//! a plain `Vec<NodeId>`.
+//!
+//! The model checks the semantics the router relies on:
+//!
+//! * equality of [`Route`] handles ⇔ equality of the underlying paths
+//!   (hash-consing must neither merge distinct paths nor split equal
+//!   ones);
+//! * `contains` ⇔ naive membership scan (loop detection);
+//! * `prepend` ⇔ pushing onto the front of the vector;
+//! * `from_path` of any suffix (truncation re-interning) resolves back
+//!   to exactly that suffix;
+//! * `len`, `head`, `origin`, and `path` agree with the vector.
+
+use proptest::prelude::*;
+use rfd_bgp::{PathTable, Route};
+use rfd_topology::NodeId;
+
+/// One operation against both the table and the reference model.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a fresh route at the given origin.
+    Originate(u32),
+    /// Prepend a node to route `slot % live_routes` (skipped when it
+    /// would create a loop — the table panics on loops by contract,
+    /// which `loops_panic` covers separately).
+    Prepend { slot: usize, node: u32 },
+    /// Re-intern the trailing `keep` hops of route `slot` via
+    /// `from_path` (route truncation as a damping filter might do).
+    Truncate { slot: usize, keep: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..24).prop_map(Op::Originate),
+        (any::<usize>(), 0u32..24).prop_map(|(slot, node)| Op::Prepend { slot, node }),
+        (any::<usize>(), 1usize..8).prop_map(|(slot, keep)| Op::Truncate { slot, keep }),
+    ]
+}
+
+/// Applies the script, returning parallel vectors of interned routes
+/// and their reference paths (index i of one corresponds to index i of
+/// the other).
+fn run_script(table: &mut PathTable, script: &[Op]) -> (Vec<Route>, Vec<Vec<NodeId>>) {
+    let mut routes: Vec<Route> = Vec::new();
+    let mut model: Vec<Vec<NodeId>> = Vec::new();
+    for op in script {
+        match *op {
+            Op::Originate(origin) => {
+                routes.push(table.originate(NodeId::new(origin)));
+                model.push(vec![NodeId::new(origin)]);
+            }
+            Op::Prepend { slot, node } => {
+                if routes.is_empty() {
+                    continue;
+                }
+                let i = slot % routes.len();
+                let node = NodeId::new(node);
+                if model[i].contains(&node) {
+                    continue; // would loop: the table panics by contract
+                }
+                routes.push(table.prepend(routes[i], node));
+                let mut path = vec![node];
+                path.extend_from_slice(&model[i]);
+                model.push(path);
+            }
+            Op::Truncate { slot, keep } => {
+                if routes.is_empty() {
+                    continue;
+                }
+                let i = slot % routes.len();
+                let start = model[i].len().saturating_sub(keep);
+                let suffix = &model[i][start..];
+                routes.push(table.from_path(suffix));
+                model.push(suffix.to_vec());
+            }
+        }
+    }
+    (routes, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every observation on an interned route matches the vector model.
+    #[test]
+    fn table_agrees_with_naive_model(script in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut table = PathTable::new();
+        let (routes, model) = run_script(&mut table, &script);
+        for (route, path) in routes.iter().zip(&model) {
+            prop_assert_eq!(table.path(*route), path.as_slice());
+            prop_assert_eq!(route.len(), path.len());
+            prop_assert_eq!(route.head(), path[0]);
+            prop_assert_eq!(route.origin(), *path.last().unwrap());
+            // Membership agrees for every node id the script can draw
+            // (covers both bloom hits and bloom rejects).
+            for probe in 0..24u32 {
+                let node = NodeId::new(probe);
+                prop_assert_eq!(
+                    table.contains(*route, node),
+                    path.contains(&node),
+                    "contains({}, {node})",
+                    table.display(*route)
+                );
+            }
+        }
+    }
+
+    /// Handle equality is path equality: hash-consing maps equal paths
+    /// to the same `PathId` and distinct paths to distinct ids.
+    #[test]
+    fn handle_equality_is_path_equality(script in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut table = PathTable::new();
+        let (routes, model) = run_script(&mut table, &script);
+        for i in 0..routes.len() {
+            for j in (i + 1)..routes.len() {
+                prop_assert_eq!(
+                    routes[i].id() == routes[j].id(),
+                    model[i] == model[j],
+                    "routes {} and {} disagree with the model",
+                    table.display(routes[i]),
+                    table.display(routes[j])
+                );
+            }
+        }
+    }
+
+    /// Interning is idempotent and the table never double-counts:
+    /// re-interning every produced path changes nothing.
+    #[test]
+    fn reintern_is_stable(script in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut table = PathTable::new();
+        let (routes, model) = run_script(&mut table, &script);
+        let distinct_before = table.stats().distinct;
+        for (route, path) in routes.iter().zip(&model) {
+            let again = table.from_path(path);
+            prop_assert_eq!(again, *route);
+        }
+        prop_assert_eq!(table.stats().distinct, distinct_before,
+            "re-interning known paths must not grow the table");
+    }
+}
+
+#[test]
+#[should_panic(expected = "loop")]
+fn loops_panic() {
+    let mut table = PathTable::new();
+    table.from_path(&[NodeId::new(1), NodeId::new(2), NodeId::new(1)]);
+}

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rfd_bgp::{
-    PenaltyFilter, Policy, Prefix, Route, Router, RouterConfig, RouterOutput, UpdateMessage,
-    UpdatePayload,
+    PathTable, PenaltyFilter, Policy, Prefix, Route, Router, RouterConfig, RouterOutput,
+    UpdateMessage, UpdatePayload,
 };
 use rfd_core::DampingParams;
 use rfd_sim::{DetRng, SimDuration, SimTime};
@@ -35,17 +35,17 @@ fn stimulus_strategy(peers: u32) -> impl Strategy<Value = Stimulus> {
     ]
 }
 
-fn route_via(peer: u32, via: u32) -> Route {
+fn route_via(table: &mut PathTable, peer: u32, via: u32) -> Route {
     // Distinct intermediate hops per `via` make attribute changes; all
     // end at ORIGIN and start at the announcing peer.
-    let mut r = Route::originate(NodeId::new(ORIGIN));
+    let mut r = table.originate(NodeId::new(ORIGIN));
     if via > 0 {
-        r = r.prepend(NodeId::new(ORIGIN + via));
+        r = table.prepend(r, NodeId::new(ORIGIN + via));
     }
-    r.prepend(NodeId::new(peer))
+    table.prepend(r, NodeId::new(peer))
 }
 
-fn build_router(damping: bool, peers: u32) -> Router {
+fn build_router(table: &mut PathTable, damping: bool, peers: u32) -> Router {
     let config = RouterConfig {
         damping: damping.then(DampingParams::cisco),
         filter: PenaltyFilter::Plain,
@@ -58,6 +58,7 @@ fn build_router(damping: bool, peers: u32) -> Router {
         (0..peers).map(NodeId::new).collect(),
         false,
         config,
+        table,
     )
 }
 
@@ -71,7 +72,12 @@ enum Effect {
     SessionReset(NodeId),
 }
 
-fn drive(router: &mut Router, script: &[(u64, Stimulus)], policy: &Policy) -> (Vec<Effect>, usize) {
+fn drive(
+    router: &mut Router,
+    table: &mut PathTable,
+    script: &[(u64, Stimulus)],
+    policy: &Policy,
+) -> (Vec<Effect>, usize) {
     let mut rng = DetRng::from_seed(11);
     let mut sends = Vec::new();
     let mut timers: Vec<(SimTime, bool, NodeId, Prefix)> = Vec::new(); // (at, is_reuse, peer, prefix)
@@ -103,9 +109,9 @@ fn drive(router: &mut Router, script: &[(u64, Stimulus)], policy: &Policy) -> (V
             let mut out = RouterOutput::default();
             if is_reuse {
                 reuses += 1;
-                router.on_reuse_timer(t, peer, prefix, &mut rng, policy, &mut out);
+                router.on_reuse_timer(t, peer, prefix, table, &mut rng, policy, &mut out);
             } else {
-                router.on_mrai_expiry(t, peer, prefix, &mut rng, policy, &mut out);
+                router.on_mrai_expiry(t, peer, prefix, table, &mut rng, policy, &mut out);
             }
             handle_out(out, &mut timers, &mut sends, t);
             timers.sort_by_key(|&(t, ..)| t);
@@ -114,8 +120,16 @@ fn drive(router: &mut Router, script: &[(u64, Stimulus)], policy: &Policy) -> (V
         match *stim {
             Stimulus::Announce { peer, via } => {
                 if !router.session_is_down(NodeId::new(peer)) {
-                    let msg = UpdateMessage::announce(route_via(peer, via));
-                    router.handle_update(now, NodeId::new(peer), &msg, &mut rng, policy, &mut out);
+                    let msg = UpdateMessage::announce(route_via(table, peer, via));
+                    router.handle_update(
+                        now,
+                        NodeId::new(peer),
+                        &msg,
+                        table,
+                        &mut rng,
+                        policy,
+                        &mut out,
+                    );
                 }
             }
             Stimulus::Withdraw { peer } => {
@@ -124,6 +138,7 @@ fn drive(router: &mut Router, script: &[(u64, Stimulus)], policy: &Policy) -> (V
                         now,
                         NodeId::new(peer),
                         &UpdateMessage::withdraw(),
+                        table,
                         &mut rng,
                         policy,
                         &mut out,
@@ -137,6 +152,7 @@ fn drive(router: &mut Router, script: &[(u64, Stimulus)], policy: &Policy) -> (V
                         now,
                         NodeId::new(peer),
                         None,
+                        table,
                         &mut rng,
                         policy,
                         &mut out,
@@ -146,7 +162,15 @@ fn drive(router: &mut Router, script: &[(u64, Stimulus)], policy: &Policy) -> (V
             Stimulus::SessionUp { peer } => {
                 if router.session_is_down(NodeId::new(peer)) {
                     sends.push(Effect::SessionReset(NodeId::new(peer)));
-                    router.on_session_up(now, NodeId::new(peer), None, &mut rng, policy, &mut out);
+                    router.on_session_up(
+                        now,
+                        NodeId::new(peer),
+                        None,
+                        table,
+                        &mut rng,
+                        policy,
+                        &mut out,
+                    );
                 }
             }
         }
@@ -167,13 +191,18 @@ proptest! {
     /// route containing itself twice.
     #[test]
     fn sends_are_well_formed(script in script_strategy()) {
-        let mut router = build_router(true, 3);
+        let mut table = PathTable::new();
+        let mut router = build_router(&mut table, true, 3);
         let policy = Policy::ShortestPath;
-        let (effects, _) = drive(&mut router, &script, &policy);
+        let (effects, _) = drive(&mut router, &mut table, &script, &policy);
         for e in &effects {
             let Effect::Send(_, to, msg) = e else { continue };
-            if let UpdatePayload::Announce(route) = &msg.payload {
-                prop_assert!(!route.contains(*to), "announced {route} to {to}");
+            if let UpdatePayload::Announce(route) = msg.payload {
+                prop_assert!(
+                    !table.contains(route, *to),
+                    "announced {} to {to}",
+                    table.display(route)
+                );
                 prop_assert_eq!(route.head(), NodeId::new(50), "paths start with self");
             }
         }
@@ -184,9 +213,10 @@ proptest! {
     /// exempt.
     #[test]
     fn announcements_respect_mrai(script in script_strategy()) {
-        let mut router = build_router(false, 3);
+        let mut table = PathTable::new();
+        let mut router = build_router(&mut table, false, 3);
         let policy = Policy::ShortestPath;
-        let (effects, _) = drive(&mut router, &script, &policy);
+        let (effects, _) = drive(&mut router, &mut table, &script, &policy);
         let min_gap = SimDuration::from_secs_f64(30.0 * 0.75);
         let mut last: std::collections::HashMap<(u32, u32), SimTime> =
             std::collections::HashMap::new();
@@ -211,9 +241,10 @@ proptest! {
     /// diffing prevents duplicates).
     #[test]
     fn no_duplicate_adjacent_sends(script in script_strategy()) {
-        let mut router = build_router(true, 3);
+        let mut table = PathTable::new();
+        let mut router = build_router(&mut table, true, 3);
         let policy = Policy::ShortestPath;
-        let (effects, _) = drive(&mut router, &script, &policy);
+        let (effects, _) = drive(&mut router, &mut table, &script, &policy);
         let mut last: std::collections::HashMap<u32, UpdateMessage> =
             std::collections::HashMap::new();
         for e in &effects {
@@ -232,7 +263,7 @@ proptest! {
                             msg.payload
                         );
                     }
-                    last.insert(to.raw(), msg.clone());
+                    last.insert(to.raw(), *msg);
                 }
             }
         }
@@ -243,14 +274,15 @@ proptest! {
     /// exactly that route and is not suppressed.
     #[test]
     fn best_is_consistent_with_rib(script in script_strategy()) {
-        let mut router = build_router(true, 3);
+        let mut table = PathTable::new();
+        let mut router = build_router(&mut table, true, 3);
         let policy = Policy::ShortestPath;
-        let _ = drive(&mut router, &script, &policy);
+        let _ = drive(&mut router, &mut table, &script, &policy);
         if let Some(best) = router.best() {
             let peer = best.learned_from.expect("router 50 originates nothing");
             let entry = router.rib_in(peer).expect("entry exists");
             prop_assert!(!entry.is_suppressed());
-            prop_assert_eq!(entry.route.as_ref(), Some(&best.route));
+            prop_assert_eq!(entry.route, Some(best.route));
         }
     }
 
@@ -258,9 +290,10 @@ proptest! {
     /// pending reuse timer far in the future, nothing stays suppressed.
     #[test]
     fn suppression_always_ends(script in script_strategy()) {
-        let mut router = build_router(true, 3);
+        let mut table = PathTable::new();
+        let mut router = build_router(&mut table, true, 3);
         let policy = Policy::ShortestPath;
-        let _ = drive(&mut router, &script, &policy);
+        let _ = drive(&mut router, &mut table, &script, &policy);
         // Fast-forward: fire reuse timers until no entry is suppressed.
         // The RFC ceiling bounds suppression to the max hold-down, so
         // two hours from "now" everything must be releasable.
@@ -273,7 +306,15 @@ proptest! {
                 .is_some_and(|e| e.is_suppressed())
             {
                 let mut out = RouterOutput::default();
-                router.on_reuse_timer(far, peer, Prefix::ORIGIN, &mut rng, &policy, &mut out);
+                router.on_reuse_timer(
+                    far,
+                    peer,
+                    Prefix::ORIGIN,
+                    &mut table,
+                    &mut rng,
+                    &policy,
+                    &mut out,
+                );
                 prop_assert!(
                     !router.rib_in(peer).unwrap().is_suppressed(),
                     "entry for {peer} still suppressed at t=1e6"

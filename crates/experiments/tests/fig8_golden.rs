@@ -1,0 +1,30 @@
+//! End-to-end regression pin for the Figure 8 quick sweep.
+//!
+//! The committed golden CSV was captured before the AS-path interning /
+//! RIB-flattening refactor of the bgp crate; this test asserts the
+//! refactor's contract — the sweep output is **byte-identical** to the
+//! pre-refactor run, at one worker thread and at two (the runner's
+//! determinism contract says thread count must not matter).
+
+use rfd_experiments::figures::fig8_9::figure8_9;
+use rfd_experiments::sweep::SweepOptions;
+
+const GOLDEN: &str = include_str!("golden/fig8_quick.csv");
+
+fn quick_csv(threads: usize) -> String {
+    let opts = SweepOptions {
+        threads,
+        ..SweepOptions::quick()
+    };
+    figure8_9(&opts).convergence_table().to_csv()
+}
+
+#[test]
+fn fig8_quick_matches_golden_single_thread() {
+    assert_eq!(quick_csv(1), GOLDEN, "single-thread sweep diverged");
+}
+
+#[test]
+fn fig8_quick_matches_golden_two_threads() {
+    assert_eq!(quick_csv(2), GOLDEN, "two-thread sweep diverged");
+}

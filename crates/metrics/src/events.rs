@@ -51,6 +51,8 @@ pub enum TraceEventKind {
         node: u32,
         /// True if the node now has no route.
         unreachable: bool,
+        /// AS-path length of the new best route (0 when unreachable).
+        path_len: u32,
     },
     /// A RIB-IN entry crossed the cut-off threshold and was suppressed.
     Suppressed {

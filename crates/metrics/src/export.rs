@@ -9,7 +9,8 @@
 //!
 //! Kinds: `flap <prefix> up|down`, `linkflap <a> <b> up|down`,
 //! `sent <from> <to> A|W`, `recv <from> <to> A|W`,
-//! `best <node> reachable|unreachable`, `suppress <node> <peer> <prefix>`,
+//! `best <node> reachable|unreachable <path_len>`,
+//! `suppress <node> <peer> <prefix>`,
 //! `reuse <node> <peer> <prefix> noisy|silent`,
 //! `penalty <node> <peer> <prefix> <value> <charge> 0|1`.
 
@@ -63,10 +64,14 @@ pub fn export_trace(trace: &Trace) -> String {
             } => {
                 let _ = writeln!(out, "{t} recv {from} {to} {}", aw(withdrawal));
             }
-            TraceEventKind::BestRouteChanged { node, unreachable } => {
+            TraceEventKind::BestRouteChanged {
+                node,
+                unreachable,
+                path_len,
+            } => {
                 let _ = writeln!(
                     out,
-                    "{t} best {node} {}",
+                    "{t} best {node} {} {path_len}",
                     if unreachable {
                         "unreachable"
                     } else {
@@ -203,7 +208,12 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
                     Some("reachable") => false,
                     _ => return Err(err("expected reachable|unreachable")),
                 };
-                TraceEventKind::BestRouteChanged { node, unreachable }
+                let path_len = next_u32(&mut parts)?;
+                TraceEventKind::BestRouteChanged {
+                    node,
+                    unreachable,
+                    path_len,
+                }
             }
             "suppress" => TraceEventKind::Suppressed {
                 node: next_u32(&mut parts)?,
@@ -327,6 +337,7 @@ mod tests {
             TraceEventKind::BestRouteChanged {
                 node: 1,
                 unreachable: true,
+                path_len: 0,
             },
         );
         tr.record(

@@ -27,8 +27,12 @@ fn event_kind_strategy() -> impl Strategy<Value = TraceEventKind> {
                 withdrawal,
             }
         }),
-        (0u32..20, any::<bool>()).prop_map(|(node, unreachable)| {
-            TraceEventKind::BestRouteChanged { node, unreachable }
+        (0u32..20, any::<bool>(), 0u32..30).prop_map(|(node, unreachable, path_len)| {
+            TraceEventKind::BestRouteChanged {
+                node,
+                unreachable,
+                path_len: if unreachable { 0 } else { path_len },
+            }
         }),
         (0u32..20, 0u32..20, 0u32..4)
             .prop_map(|(node, peer, prefix)| { TraceEventKind::Suppressed { node, peer, prefix } }),
