@@ -3,7 +3,9 @@
 //! [`Network`] builds one [`Router`] per topology node, appends the
 //! origin AS (Figure 1: `originAS` attached to a chosen `ispAS`), wires
 //! everything into the [`rfd_sim::Engine`], injects the paper's pulse
-//! workload on the origin link, and records an [`rfd_metrics::Trace`].
+//! workload on the origin link, and streams every trace event into a
+//! pluggable [`TraceSink`] (default: a [`VecSink`] buffering the full
+//! [`rfd_metrics::Trace`]; sweeps plug in O(1)-memory aggregators).
 //!
 //! A run has three phases:
 //!
@@ -17,7 +19,9 @@
 //!    metrics, matching the paper's footnote 3).
 
 use rfd_core::{FlapPattern, LinkStatus, RootCause};
-use rfd_metrics::{Trace, TraceEventKind};
+use rfd_metrics::{
+    ConvergenceTracker, MessageCounter, NullSink, Trace, TraceEventKind, TraceSink, VecSink,
+};
 use rfd_sim::{Context, DetRng, Engine, RunOutcome, SimDuration, SimTime, World};
 use rfd_topology::{Graph, NodeId};
 
@@ -90,13 +94,22 @@ pub struct RunReport {
     pub outcome: RunOutcome,
 }
 
-struct NetWorld {
+struct NetWorld<S: TraceSink> {
     routers: Vec<Router>,
     /// The shared AS-path interner; every router works on handles into
     /// this table.
     path_table: PathTable,
     policy: Policy,
-    trace: Trace,
+    /// The pluggable trace observer for the measured phase.
+    sink: S,
+    /// Always-on headline aggregators: [`RunReport`] fields come from
+    /// these, whatever sink is plugged in.
+    conv: ConvergenceTracker,
+    msgs: MessageCounter,
+    /// True during warm-up: events route to `null` instead of the sink
+    /// and the headline aggregators, so nothing is retained.
+    muted: bool,
+    null: NullSink,
     delay_rng: DetRng,
     mrai_rng: DetRng,
     delay_range: (SimDuration, SimDuration),
@@ -140,7 +153,20 @@ fn norm_link(a: NodeId, b: NodeId) -> (u32, u32) {
     }
 }
 
-impl NetWorld {
+impl<S: TraceSink> NetWorld<S> {
+    /// Routes one trace event: the headline aggregators and the
+    /// pluggable sink during the measured phase, a [`NullSink`] during
+    /// warm-up (nothing retained, nothing measured).
+    fn emit(&mut self, at: SimTime, kind: TraceEventKind) {
+        if self.muted {
+            self.null.record(at, kind);
+            return;
+        }
+        self.conv.record(at, kind);
+        self.msgs.record(at, kind);
+        self.sink.record(at, kind);
+    }
+
     fn delay(&mut self) -> SimDuration {
         let (lo, hi) = self.delay_range;
         self.delay_rng.duration_between(lo, hi)
@@ -169,10 +195,10 @@ impl NetWorld {
         rfd_obs::add("bgp.updates_sent", out.sends.len() as u64);
         rfd_obs::add("bgp.mrai_scheduled", out.mrai_timers.len() as u64);
         for kind in out.traces {
-            self.trace.record(now, kind);
+            self.emit(now, kind);
         }
         for (to, msg) in out.sends {
-            self.trace.record(
+            self.emit(
                 now,
                 TraceEventKind::UpdateSent {
                     from: node.raw(),
@@ -199,7 +225,7 @@ impl NetWorld {
     }
 }
 
-impl World for NetWorld {
+impl<S: TraceSink> World for NetWorld<S> {
     type Event = NetEvent;
 
     fn handle(&mut self, ctx: &mut Context<'_, NetEvent>, event: NetEvent) {
@@ -212,7 +238,7 @@ impl World for NetWorld {
                     return;
                 }
                 rfd_obs::inc("bgp.updates_received");
-                self.trace.record(
+                self.emit(
                     ctx.now(),
                     TraceEventKind::UpdateReceived {
                         from: from.raw(),
@@ -261,7 +287,7 @@ impl World for NetWorld {
             }
             NetEvent::OriginLink { origin, up } => {
                 let attachment = self.origins[origin];
-                self.trace.record(
+                self.emit(
                     ctx.now(),
                     TraceEventKind::OriginFlap {
                         prefix: attachment.prefix.id(),
@@ -287,7 +313,7 @@ impl World for NetWorld {
                     UpdateMessage::withdraw().with_root_cause(rc)
                 };
                 msg.prefix = attachment.prefix;
-                self.trace.record(
+                self.emit(
                     ctx.now(),
                     TraceEventKind::UpdateSent {
                         from: attachment.node.raw(),
@@ -306,7 +332,7 @@ impl World for NetWorld {
                 );
             }
             NetEvent::LinkStatus { a, b, up } => {
-                self.trace.record(
+                self.emit(
                     ctx.now(),
                     TraceEventKind::LinkFlap {
                         a: a.raw(),
@@ -361,26 +387,34 @@ impl World for NetWorld {
 }
 
 /// A simulated BGP network running the paper's workload.
+///
+/// The sink type parameter selects how trace events are observed during
+/// the measured phase: the default [`VecSink`] buffers the full
+/// [`Trace`] (figures replaying history need it), while aggregate-only
+/// sinks ([`rfd_metrics::SuppressionStats`], tuples of trackers, …)
+/// keep per-run memory O(1) in the event count. [`RunReport`] fields
+/// come from built-in aggregators either way.
 #[derive(Debug)]
-pub struct Network {
+pub struct Network<S: TraceSink = VecSink> {
     engine: Engine<NetEvent>,
-    world: NetWorld,
+    world: NetWorld<S>,
     warmed_up: bool,
 }
 
-impl std::fmt::Debug for NetWorld {
+impl<S: TraceSink> std::fmt::Debug for NetWorld<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetWorld")
             .field("routers", &self.routers.len())
             .field("origins", &self.origins)
-            .field("trace_events", &self.trace.len())
+            .field("retained_events", &self.sink.retained_events())
             .finish()
     }
 }
 
-impl Network {
+impl Network<VecSink> {
     /// Builds a network over `base` with the origin AS attached to
-    /// `isp` (Figure 1), under the given configuration.
+    /// `isp` (Figure 1), under the given configuration, buffering the
+    /// full trace.
     ///
     /// # Panics
     ///
@@ -393,14 +427,51 @@ impl Network {
     /// Builds a network with one origin AS per entry of `isps`: origin
     /// `i` is appended as a new node attached to `isps[i]` and
     /// originates [`Prefix::new`]`(i)`. (So the single-origin
-    /// [`Network::new`] yields [`Prefix::ORIGIN`].)
+    /// [`Network::new`] yields [`Prefix::ORIGIN`].) The full trace is
+    /// buffered.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
     /// [`NetworkConfig::validate`]), `isps` is empty, or an ISP is out
     /// of range.
-    pub fn new_multi(base: &Graph, isps: &[NodeId], mut config: NetworkConfig) -> Self {
+    pub fn new_multi(base: &Graph, isps: &[NodeId], config: NetworkConfig) -> Self {
+        Network::new_multi_with_sink(base, isps, config, VecSink::new())
+    }
+
+    /// The trace recorded so far (measured phase only; warm-up records
+    /// nothing).
+    pub fn trace(&self) -> &Trace {
+        self.world.sink.trace()
+    }
+}
+
+impl<S: TraceSink> Network<S> {
+    /// Like [`Network::new`], but observing the measured phase through
+    /// `sink` instead of buffering a [`Trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NetworkConfig::validate`]) or `isp` is out of range.
+    pub fn new_with_sink(base: &Graph, isp: NodeId, config: NetworkConfig, sink: S) -> Self {
+        Network::new_multi_with_sink(base, &[isp], config, sink)
+    }
+
+    /// Like [`Network::new_multi`], but observing the measured phase
+    /// through `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NetworkConfig::validate`]), `isps` is empty, or an ISP is out
+    /// of range.
+    pub fn new_multi_with_sink(
+        base: &Graph,
+        isps: &[NodeId],
+        mut config: NetworkConfig,
+        sink: S,
+    ) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
@@ -464,7 +535,13 @@ impl Network {
             routers,
             path_table,
             policy,
-            trace: Trace::new(),
+            sink,
+            conv: ConvergenceTracker::new(),
+            msgs: MessageCounter::new(),
+            // Warm-up runs muted; `warm_up` lifts the mute once the
+            // network has converged.
+            muted: true,
+            null: NullSink::new(),
             delay_rng: DetRng::from_seed_and_label(config.seed, "delays"),
             mrai_rng: DetRng::from_seed_and_label(config.seed, "mrai"),
             delay_range: config.delay_range,
@@ -503,9 +580,21 @@ impl Network {
         self.engine.now()
     }
 
-    /// The trace recorded so far.
-    pub fn trace(&self) -> &Trace {
-        &self.world.trace
+    /// Read access to the measured-phase sink.
+    pub fn sink(&self) -> &S {
+        &self.world.sink
+    }
+
+    /// Mutable access to the measured-phase sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.world.sink
+    }
+
+    /// Consumes the network, finishing and yielding the sink (pending
+    /// aggregator state flushes; `metrics.sink.*` obs counters fire).
+    pub fn into_sink(mut self) -> S {
+        self.world.sink.finish();
+        self.world.sink
     }
 
     /// Read access to a router (for tests and inspection).
@@ -531,8 +620,9 @@ impl Network {
     }
 
     /// Phase 1: the origin announces its prefix and the network
-    /// converges with penalty charging disabled. The warm-up trace is
-    /// discarded.
+    /// converges with penalty charging disabled. Warm-up events route
+    /// through a [`NullSink`]: nothing reaches the measured-phase sink
+    /// or the headline aggregators.
     ///
     /// # Panics
     ///
@@ -584,7 +674,13 @@ impl Network {
         for r in &mut self.world.routers {
             r.set_charging(true);
         }
-        self.world.trace = Trace::new();
+        assert_eq!(
+            self.world.sink.retained_events(),
+            0,
+            "warm-up must not retain trace events"
+        );
+        rfd_obs::add("bgp.warmup_events_discarded", self.world.null.seen());
+        self.world.muted = false;
         self.warmed_up = true;
         self
     }
@@ -647,8 +743,8 @@ impl Network {
         }
         let (outcome, stats) = self.engine.run(&mut self.world);
         RunReport {
-            convergence_time: self.world.trace.convergence_time(),
-            message_count: self.world.trace.message_count(),
+            convergence_time: self.world.conv.convergence_time(),
+            message_count: self.world.msgs.message_count(),
             events_processed: stats.events_processed,
             outcome,
         }
@@ -691,8 +787,8 @@ impl Network {
         }
         let (outcome, stats) = self.engine.run(&mut self.world);
         RunReport {
-            convergence_time: self.world.trace.convergence_time(),
-            message_count: self.world.trace.message_count(),
+            convergence_time: self.world.conv.convergence_time(),
+            message_count: self.world.msgs.message_count(),
             events_processed: stats.events_processed,
             outcome,
         }
@@ -849,6 +945,61 @@ mod tests {
             three.convergence_time > SimDuration::from_mins(20),
             "took {}",
             three.convergence_time
+        );
+    }
+
+    #[test]
+    fn aggregate_sink_runs_retain_nothing_and_match_vec_sink() {
+        let g = mesh_torus(3, 3);
+        let cfg = || NetworkConfig::paper_full_damping(11);
+        let mut vec_net = Network::new(&g, NodeId::new(2), cfg());
+        let vec_report = vec_net.run_paper_workload(2);
+
+        let mut agg_net = Network::new_with_sink(
+            &g,
+            NodeId::new(2),
+            cfg(),
+            rfd_metrics::SuppressionStats::new(),
+        );
+        let agg_report = agg_net.run_paper_workload(2);
+        assert_eq!(
+            agg_net.sink().retained_events(),
+            0,
+            "aggregates buffer nothing"
+        );
+
+        // Identical seeds, identical reports — the sink never touches
+        // the RNG streams; report fields come from the built-in
+        // aggregators and match the post-hoc trace scans.
+        assert_eq!(agg_report.message_count, vec_report.message_count);
+        assert_eq!(agg_report.convergence_time, vec_report.convergence_time);
+        let trace = vec_net.trace();
+        assert_eq!(vec_report.message_count, trace.message_count());
+        assert_eq!(vec_report.convergence_time, trace.convergence_time());
+        let stats = agg_net.into_sink();
+        assert_eq!(
+            stats.ever_suppressed_entries(),
+            trace.ever_suppressed_entries()
+        );
+        assert_eq!(stats.reuse_counts(), trace.reuse_counts());
+        assert_eq!(stats.peak_penalty(), trace.peak_penalty());
+    }
+
+    #[test]
+    fn warm_up_with_aggregate_sink_retains_nothing() {
+        let g = ring(6);
+        let mut net = Network::new_with_sink(
+            &g,
+            NodeId::new(1),
+            small_cfg(4),
+            rfd_metrics::NullSink::new(),
+        );
+        net.warm_up();
+        assert_eq!(net.sink().retained_events(), 0);
+        assert_eq!(
+            net.sink().seen(),
+            0,
+            "warm-up events bypass the sink entirely"
         );
     }
 

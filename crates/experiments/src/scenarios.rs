@@ -5,6 +5,7 @@
 //! select a node to be the ispAS and attach an originAS to it."
 
 use rfd_bgp::{Network, NetworkConfig, RunReport};
+use rfd_metrics::TraceSink;
 use rfd_sim::{DetRng, SimDuration};
 use rfd_topology::{internet_like, mesh_torus, Graph, NodeId, Relationships};
 
@@ -133,17 +134,71 @@ pub fn run_cell_metrics(
 }
 
 /// Like [`run_cell_metrics`] with an explicit flap pattern.
+///
+/// Grid cells stream into an aggregate-only sink
+/// ([`rfd_metrics::SuppressionStats`]): per-cell memory stays O(1) in
+/// the event count and no `Vec<TraceEvent>` is ever retained
+/// (asserted). Sweeps that want the old buffer-then-scan pipeline use
+/// [`run_pattern_metrics_full`].
 pub fn run_pattern_metrics(
     kind: TopologyKind,
     seed: u64,
     pattern: rfd_core::FlapPattern,
     make_config: impl FnOnce(&Graph) -> NetworkConfig,
 ) -> rfd_runner::RunMetrics {
-    let (report, network) = run_workload_pattern(kind, seed, pattern, make_config);
+    let graph = kind.build(seed);
+    let isp = pick_isp(&graph, seed);
+    let config = make_config(&graph);
+    let mut network =
+        Network::new_with_sink(&graph, isp, config, rfd_metrics::SuppressionStats::new());
+    network.warm_up();
+    let report = network.run_pulses(pattern, SimDuration::from_secs(100));
+    let stats = network.into_sink();
+    assert_eq!(
+        stats.retained_events(),
+        0,
+        "aggregate-only grid cells must not retain trace events"
+    );
     rfd_runner::RunMetrics {
         convergence_secs: report.convergence_time.as_secs_f64(),
         messages: report.message_count as f64,
-        suppressed: network.trace().ever_suppressed_entries() as f64,
+        suppressed: stats.ever_suppressed_entries() as f64,
+    }
+}
+
+/// Full-trace variant of [`run_cell_metrics`] (see
+/// [`run_pattern_metrics_full`]).
+pub fn run_cell_metrics_full(
+    kind: TopologyKind,
+    seed: u64,
+    pulses: usize,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> rfd_runner::RunMetrics {
+    run_pattern_metrics_full(
+        kind,
+        seed,
+        rfd_core::FlapPattern::paper_default(pulses),
+        make_config,
+    )
+}
+
+/// Full-trace variant of [`run_pattern_metrics`]: buffers the whole
+/// event history in a [`rfd_metrics::VecSink`] and derives every metric
+/// by post-hoc trace scans, exactly like the pre-streaming pipeline.
+/// The CI smoke job diffs its sweep CSV byte-for-byte against the
+/// streaming one.
+pub fn run_pattern_metrics_full(
+    kind: TopologyKind,
+    seed: u64,
+    pattern: rfd_core::FlapPattern,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> rfd_runner::RunMetrics {
+    let (_report, network) = run_workload_pattern(kind, seed, pattern, make_config);
+    let trace = network.trace();
+    rfd_runner::RunMetrics {
+        convergence_secs: trace.convergence_time().as_secs_f64(),
+        messages: trace.message_count() as f64,
+        suppressed: trace.ever_suppressed_entries() as f64,
     }
 }
 
@@ -155,6 +210,7 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<rfd_sim::Engine<rfd_bgp::NetEvent>>();
     assert_send::<Network>();
+    assert_send::<Network<rfd_metrics::SuppressionStats>>();
     assert_send::<Graph>();
     assert_send::<RunReport>();
 };
@@ -200,5 +256,25 @@ mod tests {
         );
         assert!(report.message_count > 0);
         assert_eq!(report.message_count, network.trace().message_count());
+    }
+
+    #[test]
+    fn streaming_and_full_trace_cell_metrics_agree() {
+        let kind = TopologyKind::Mesh {
+            width: 4,
+            height: 4,
+        };
+        for pulses in [1, 3] {
+            let pattern = rfd_core::FlapPattern::paper_default(pulses);
+            let streaming = run_pattern_metrics(kind, 5, pattern, |_| {
+                NetworkConfig::paper_full_damping(5)
+            });
+            let full = run_pattern_metrics_full(kind, 5, pattern, |_| {
+                NetworkConfig::paper_full_damping(5)
+            });
+            assert_eq!(streaming.convergence_secs, full.convergence_secs);
+            assert_eq!(streaming.messages, full.messages);
+            assert_eq!(streaming.suppressed, full.suppressed);
+        }
     }
 }

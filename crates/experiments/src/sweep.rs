@@ -16,7 +16,7 @@ use rfd_runner::{run_grid, RunGrid, RunnerConfig};
 use rfd_sim::SimDuration;
 use rfd_topology::Graph;
 
-use crate::scenarios::{run_cell_metrics, run_workload, TopologyKind};
+use crate::scenarios::{run_cell_metrics, run_cell_metrics_full, run_workload, TopologyKind};
 
 /// One measured point of a sweep (averaged over seeds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,6 +117,11 @@ pub struct SweepOptions {
     /// Per-cell wall-clock budget; exceeding it flags the cell and
     /// dumps the observability flight recorder.
     pub cell_budget: Option<std::time::Duration>,
+    /// Buffer full event traces per cell ([`rfd_metrics::VecSink`]) and
+    /// derive metrics by post-hoc scans instead of the streaming
+    /// aggregators. Off by default — the CI smoke job turns it on once
+    /// and diffs the CSVs byte-for-byte against a streaming sweep.
+    pub full_traces: bool,
 }
 
 impl Default for SweepOptions {
@@ -129,6 +134,7 @@ impl Default for SweepOptions {
             resume: false,
             heartbeat: None,
             cell_budget: None,
+            full_traces: false,
         }
     }
 }
@@ -222,10 +228,14 @@ pub fn measure_sweep(name: &str, specs: Vec<SeriesSpec<'_>>, opts: &SweepOptions
         let label = spec.label.clone();
         grid = grid.series(label, spec);
     }
+    let full = opts.full_traces;
     let results = run_grid(&grid, &opts.runner_config(), |spec: &SeriesSpec, cell| {
-        run_cell_metrics(spec.kind, cell.seed, cell.pulses, |g| {
-            (spec.make)(g, cell.seed)
-        })
+        let make = |g: &Graph| (spec.make)(g, cell.seed);
+        if full {
+            run_cell_metrics_full(spec.kind, cell.seed, cell.pulses, make)
+        } else {
+            run_cell_metrics(spec.kind, cell.seed, cell.pulses, make)
+        }
     })
     .expect("run journal I/O failed");
 
@@ -435,6 +445,36 @@ mod tests {
         assert_eq!(
             sequential.message_table().to_csv(),
             parallel.message_table().to_csv()
+        );
+    }
+
+    /// The other CSV-diff contract (also exercised by the CI smoke
+    /// job): a sweep over aggregate-only sinks renders byte-identical
+    /// tables to one buffering full traces and scanning post hoc.
+    #[test]
+    fn sweep_is_byte_identical_with_and_without_full_traces() {
+        let opts = |full_traces| SweepOptions {
+            max_pulses: 2,
+            seeds: vec![1, 2],
+            threads: 1,
+            full_traces,
+            ..SweepOptions::default()
+        };
+        let specs = || {
+            vec![
+                SeriesSpec::by_seed("undamped", TINY, NetworkConfig::paper_no_damping),
+                SeriesSpec::by_seed("damped", TINY, NetworkConfig::paper_full_damping),
+            ]
+        };
+        let streaming = measure_sweep("sink-check", specs(), &opts(false));
+        let buffered = measure_sweep("sink-check", specs(), &opts(true));
+        assert_eq!(
+            streaming.convergence_table().to_csv(),
+            buffered.convergence_table().to_csv()
+        );
+        assert_eq!(
+            streaming.message_table().to_csv(),
+            buffered.message_table().to_csv()
         );
     }
 

@@ -11,6 +11,10 @@
 //!   (Figure 10, bottom row);
 //! * [`StateClassifier`] — the charging / suppression / releasing /
 //!   converged reconstruction of §4.1 (Figure 4);
+//! * [`TraceSink`] and the streaming aggregators ([`ConvergenceTracker`],
+//!   [`MessageCounter`], [`UpdateBins`], [`SuppressionStats`],
+//!   [`OnlineClassifier`]) — the same metrics computed online in O(1)
+//!   space, for sweeps that must not buffer whole event histories;
 //! * [`Table`] — plain-text and CSV reporting for the experiment
 //!   binaries.
 //!
@@ -26,6 +30,7 @@ mod merge;
 mod plot;
 mod report;
 mod series;
+mod sink;
 mod states;
 mod stats;
 mod trace;
@@ -36,6 +41,10 @@ pub use merge::{Merge, RunningStats};
 pub use plot::AsciiChart;
 pub use report::{fmt_f64, Table};
 pub use series::{bin_events, StepSeries};
+pub use sink::{
+    ConvergenceTracker, Fanout, MessageCounter, NullSink, OnlineClassifier, SuppressionStats,
+    TraceSink, UpdateBins, VecSink,
+};
 pub use states::{DampingState, StateClassifier, StateSpan};
 pub use stats::Summary;
 pub use trace::{PenaltyPoint, Trace};

@@ -1,0 +1,1124 @@
+//! Streaming trace observers.
+//!
+//! The original pipeline buffered every [`TraceEvent`] in a [`Trace`]
+//! and derived all paper metrics by scanning the vector afterwards, so
+//! per-run memory grew O(events). A [`TraceSink`] receives the same
+//! time-ordered event stream *during* the run instead, and the online
+//! aggregators in this module compute the headline metrics in O(1)
+//! (or O(changes)) space:
+//!
+//! * [`VecSink`] — the full-fidelity buffer, a thin wrapper around
+//!   [`Trace`]; figures that genuinely need the raw event history
+//!   (penalty sawtooths, Figure 10 panels) opt into it;
+//! * [`NullSink`] — counts and drops everything (warm-up);
+//! * [`ConvergenceTracker`] — the paper's convergence-time metric;
+//! * [`MessageCounter`] — the paper's message-count metric;
+//! * [`UpdateBins`] — the Figure 10 update series (5-second bins);
+//! * [`SuppressionStats`] — reuse/suppression tallies and peak penalty;
+//! * [`OnlineClassifier`] — the four-state classification, equivalent
+//!   to the post-hoc [`StateClassifier::classify`] on every trace;
+//! * [`Fanout`] — broadcasts one stream to several boxed sinks; tuples
+//!   of sinks compose statically.
+//!
+//! Every leaf sink reports `metrics.sink.events` / `metrics.sink.retained`
+//! counters through `rfd-obs` when [`TraceSink::finish`] runs (inert
+//! unless observability is enabled).
+//!
+//! [`StateClassifier::classify`]: crate::StateClassifier::classify
+
+use std::collections::HashSet;
+
+use rfd_sim::{SimDuration, SimTime};
+
+use crate::events::TraceEventKind;
+use crate::series::StepSeries;
+use crate::states::{DampingState, StateSpan};
+use crate::trace::Trace;
+
+/// An observer of the simulation's time-ordered trace-event stream.
+///
+/// Implementations must tolerate the same-instant bursts the simulation
+/// produces (several events may share a timestamp); events never go
+/// backwards in time.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Observes one event.
+    fn record(&mut self, at: SimTime, kind: TraceEventKind);
+
+    /// Flushes pending state once the stream ends. Aggregators that
+    /// coalesce same-instant bursts finalise here; leaf sinks also
+    /// report their `metrics.sink.*` counters. Call exactly once.
+    fn finish(&mut self) {}
+
+    /// Number of buffered [`TraceEvent`]s this sink holds. Zero for
+    /// every aggregator; [`VecSink`] returns its trace length.
+    ///
+    /// [`TraceEvent`]: crate::TraceEvent
+    fn retained_events(&self) -> usize {
+        0
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        (**self).record(at, kind);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+
+    fn retained_events(&self) -> usize {
+        (**self).retained_events()
+    }
+}
+
+/// [`Trace`] itself is a sink: recording simply appends.
+impl TraceSink for Trace {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        Trace::record(self, at, kind);
+    }
+
+    fn finish(&mut self) {
+        report_sink_obs(self.len() as u64, self.len());
+    }
+
+    fn retained_events(&self) -> usize {
+        self.len()
+    }
+}
+
+macro_rules! tuple_sink {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: TraceSink),+> TraceSink for ($($name,)+) {
+            fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+                $(self.$idx.record(at, kind);)+
+            }
+
+            fn finish(&mut self) {
+                $(self.$idx.finish();)+
+            }
+
+            fn retained_events(&self) -> usize {
+                0 $(+ self.$idx.retained_events())+
+            }
+        }
+    };
+}
+
+tuple_sink!(A: 0, B: 1);
+tuple_sink!(A: 0, B: 1, C: 2);
+tuple_sink!(A: 0, B: 1, C: 2, D: 3);
+
+/// Reports the per-sink observability counters (no-ops unless
+/// `rfd_obs::enable` was called).
+fn report_sink_obs(seen: u64, retained: usize) {
+    rfd_obs::add("metrics.sink.events", seen);
+    rfd_obs::add("metrics.sink.retained", retained as u64);
+}
+
+/// The full-fidelity sink: buffers every event in a [`Trace`], exactly
+/// like the pre-streaming pipeline. Memory grows O(events); only
+/// consumers that replay history (penalty sawtooths, state-span plots,
+/// trace export) should pay for it.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    trace: Trace,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The buffered trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the sink, yielding the buffered trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.trace.record(at, kind);
+    }
+
+    fn finish(&mut self) {
+        report_sink_obs(self.trace.len() as u64, self.trace.len());
+    }
+
+    fn retained_events(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// Counts events and drops them — the warm-up sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink {
+    seen: u64,
+}
+
+impl NullSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        NullSink::default()
+    }
+
+    /// Events observed (and discarded).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _at: SimTime, _kind: TraceEventKind) {
+        self.seen += 1;
+    }
+
+    fn finish(&mut self) {
+        report_sink_obs(self.seen, 0);
+    }
+}
+
+/// Broadcasts the stream to several boxed sinks (dynamic composition;
+/// tuples of sinks compose statically with zero indirection).
+#[derive(Debug, Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl Fanout {
+    /// Creates an empty fanout.
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Builder-style push.
+    pub fn with(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.push(sink);
+        self
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: impl TraceSink + 'static) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Consumes the fanout, yielding the attached sinks.
+    pub fn into_inner(self) -> Vec<Box<dyn TraceSink>> {
+        self.sinks
+    }
+}
+
+impl TraceSink for Fanout {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        for sink in &mut self.sinks {
+            sink.record(at, kind);
+        }
+    }
+
+    fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+
+    fn retained_events(&self) -> usize {
+        self.sinks.iter().map(|s| s.retained_events()).sum()
+    }
+}
+
+/// Online equivalent of [`Trace::convergence_time`]: tracks the first
+/// flap, the last `up = true` flap (the final announcement) and the
+/// last received update in O(1) space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvergenceTracker {
+    first_flap: Option<SimTime>,
+    final_announcement: Option<SimTime>,
+    last_update: Option<SimTime>,
+    seen: u64,
+}
+
+impl ConvergenceTracker {
+    /// Creates the tracker.
+    pub fn new() -> Self {
+        ConvergenceTracker::default()
+    }
+
+    /// Time of the first flap, if any (matches [`Trace::first_flap_at`]).
+    pub fn first_flap_at(&self) -> Option<SimTime> {
+        self.first_flap
+    }
+
+    /// Time of the final recovery, if any (matches
+    /// [`Trace::final_announcement_at`]).
+    pub fn final_announcement_at(&self) -> Option<SimTime> {
+        self.final_announcement
+    }
+
+    /// Time of the last received update, if any (matches
+    /// [`Trace::last_update_at`]).
+    pub fn last_update_at(&self) -> Option<SimTime> {
+        self.last_update
+    }
+
+    /// The paper's convergence-time metric (matches
+    /// [`Trace::convergence_time`]).
+    pub fn convergence_time(&self) -> SimDuration {
+        match (self.final_announcement, self.last_update) {
+            (Some(end_of_flapping), Some(last)) => last.saturating_since(end_of_flapping),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+impl TraceSink for ConvergenceTracker {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.seen += 1;
+        match kind {
+            TraceEventKind::OriginFlap { up, .. } | TraceEventKind::LinkFlap { up, .. } => {
+                self.first_flap.get_or_insert(at);
+                if up {
+                    self.final_announcement = Some(at);
+                }
+            }
+            TraceEventKind::UpdateReceived { .. } => self.last_update = Some(at),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        report_sink_obs(self.seen, 0);
+    }
+}
+
+/// Online equivalent of [`Trace::message_count`]: updates received from
+/// the first flap onwards (all updates when nothing flapped).
+///
+/// The post-hoc scan counts updates with `at >= first_flap_at`, which
+/// includes updates sharing the first flap's timestamp even when they
+/// were recorded *before* the flap event — so the counter remembers how
+/// many updates landed at the current instant until a flap arrives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MessageCounter {
+    total: usize,
+    before_flap: usize,
+    flap_seen: bool,
+    cur_instant: Option<SimTime>,
+    cur_count: usize,
+    seen: u64,
+}
+
+impl MessageCounter {
+    /// Creates the counter.
+    pub fn new() -> Self {
+        MessageCounter::default()
+    }
+
+    /// The paper's message-count metric (matches
+    /// [`Trace::message_count`]).
+    pub fn message_count(&self) -> usize {
+        if self.flap_seen {
+            self.total - self.before_flap
+        } else {
+            self.total
+        }
+    }
+}
+
+impl TraceSink for MessageCounter {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.seen += 1;
+        match kind {
+            TraceEventKind::UpdateReceived { .. } => {
+                self.total += 1;
+                if !self.flap_seen {
+                    if self.cur_instant == Some(at) {
+                        self.cur_count += 1;
+                    } else {
+                        self.cur_instant = Some(at);
+                        self.cur_count = 1;
+                    }
+                }
+            }
+            TraceEventKind::OriginFlap { .. } | TraceEventKind::LinkFlap { .. }
+                if !self.flap_seen =>
+            {
+                self.flap_seen = true;
+                let at_instant = if self.cur_instant == Some(at) {
+                    self.cur_count
+                } else {
+                    0
+                };
+                self.before_flap = self.total - at_instant;
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        report_sink_obs(self.seen, 0);
+    }
+}
+
+/// Online equivalent of binning [`Trace::update_times`] with
+/// [`bin_events`] anchored at the first flap — the Figure 10 update
+/// series. Memory is O(bins), not O(updates).
+///
+/// [`bin_events`]: crate::bin_events
+#[derive(Debug, Clone)]
+pub struct UpdateBins {
+    width: SimDuration,
+    anchor: Option<SimTime>,
+    /// Updates observed before the anchor is known (empty in practice:
+    /// the measured phase starts with the first flap).
+    pending: Vec<SimTime>,
+    counts: Vec<usize>,
+    last_update: Option<SimTime>,
+    seen: u64,
+}
+
+impl Default for UpdateBins {
+    /// The paper's 5-second bins.
+    fn default() -> Self {
+        UpdateBins::new(SimDuration::from_secs(5))
+    }
+}
+
+impl UpdateBins {
+    /// Creates the binner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "bin width must be positive");
+        UpdateBins {
+            width,
+            anchor: None,
+            pending: Vec::new(),
+            counts: Vec::new(),
+            last_update: None,
+            seen: 0,
+        }
+    }
+
+    /// The bin origin: the first flap, or [`SimTime::ZERO`] when nothing
+    /// flapped (fixed at [`TraceSink::finish`]).
+    pub fn anchor(&self) -> Option<SimTime> {
+        self.anchor
+    }
+
+    /// Time of the last binned update, if any.
+    pub fn last_update_at(&self) -> Option<SimTime> {
+        self.last_update
+    }
+
+    fn add(&mut self, t: SimTime) {
+        let anchor = self.anchor.expect("anchor fixed before adding");
+        if t < anchor {
+            return; // pre-flap updates fall outside [start, end)
+        }
+        let idx = (t.saturating_since(anchor).as_micros() / self.width.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Materialises `(bin_start, count)` pairs covering `[anchor, end)`,
+    /// byte-for-byte what `bin_events(&trace.update_times(), width,
+    /// anchor, end)` returns on the equivalent trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the anchor.
+    pub fn bins(&self, end: SimTime) -> Vec<(SimTime, usize)> {
+        let start = self.anchor.unwrap_or(SimTime::ZERO);
+        assert!(end >= start, "end must not precede start");
+        let width = self.width.as_micros();
+        let span = end.saturating_since(start).as_micros();
+        let nbins = span.div_ceil(width).max(1) as usize;
+        (0..nbins)
+            .map(|i| {
+                (
+                    start + self.width * i as u64,
+                    self.counts.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for UpdateBins {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.seen += 1;
+        match kind {
+            TraceEventKind::UpdateReceived { .. } => {
+                self.last_update = Some(at);
+                if self.anchor.is_some() {
+                    self.add(at);
+                } else {
+                    self.pending.push(at);
+                }
+            }
+            TraceEventKind::OriginFlap { .. } | TraceEventKind::LinkFlap { .. }
+                if self.anchor.is_none() =>
+            {
+                self.anchor = Some(at);
+                for t in std::mem::take(&mut self.pending) {
+                    self.add(t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.anchor.is_none() {
+            // No flap anywhere: the post-hoc pipeline bins from t = 0.
+            self.anchor = Some(SimTime::ZERO);
+            for t in std::mem::take(&mut self.pending) {
+                self.add(t);
+            }
+        }
+        report_sink_obs(self.seen, 0);
+    }
+}
+
+/// Online equivalents of [`Trace::reuse_counts`],
+/// [`Trace::ever_suppressed_entries`], [`Trace::peak_penalty`] and the
+/// peak of [`Trace::damped_link_series`]. Memory is O(distinct
+/// suppressed entries).
+#[derive(Debug, Clone, Default)]
+pub struct SuppressionStats {
+    ever: HashSet<(u32, u32, u32)>,
+    noisy: usize,
+    silent: usize,
+    peak_penalty: f64,
+    damped_now: i64,
+    peak_damped: i64,
+    // Same-instant suppress/reuse deltas coalesce before the peak is
+    // sampled, mirroring `StepSeries::shift` — a suppression and a
+    // reuse at one instant must not register a transient peak.
+    pending_damped: Option<(SimTime, i64)>,
+    seen: u64,
+}
+
+impl SuppressionStats {
+    /// Creates the aggregator.
+    pub fn new() -> Self {
+        SuppressionStats::default()
+    }
+
+    /// Distinct (node, peer, prefix) entries ever suppressed (matches
+    /// [`Trace::ever_suppressed_entries`]).
+    pub fn ever_suppressed_entries(&self) -> usize {
+        self.ever.len()
+    }
+
+    /// `(noisy, silent)` reuse counts (matches [`Trace::reuse_counts`]).
+    pub fn reuse_counts(&self) -> (usize, usize) {
+        (self.noisy, self.silent)
+    }
+
+    /// Maximum penalty value ever sampled (matches
+    /// [`Trace::peak_penalty`]).
+    pub fn peak_penalty(&self) -> f64 {
+        self.peak_penalty
+    }
+
+    /// Maximum simultaneous damped-link count (matches
+    /// `damped_link_series().max_value()`).
+    pub fn peak_damped_links(&self) -> i64 {
+        self.peak_damped
+    }
+}
+
+impl SuppressionStats {
+    fn shift_damped(&mut self, at: SimTime, delta: i64) {
+        match &mut self.pending_damped {
+            Some((t, d)) if *t == at => *d += delta,
+            pending => {
+                if let Some((_, d)) = pending.take() {
+                    self.damped_now += d;
+                    self.peak_damped = self.peak_damped.max(self.damped_now);
+                }
+                *pending = Some((at, delta));
+            }
+        }
+    }
+}
+
+impl TraceSink for SuppressionStats {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.seen += 1;
+        match kind {
+            TraceEventKind::Suppressed { node, peer, prefix } => {
+                self.ever.insert((node, peer, prefix));
+                self.shift_damped(at, 1);
+            }
+            TraceEventKind::Reused { noisy, .. } => {
+                if noisy {
+                    self.noisy += 1;
+                } else {
+                    self.silent += 1;
+                }
+                self.shift_damped(at, -1);
+            }
+            TraceEventKind::PenaltySample { value, .. } => {
+                self.peak_penalty = self.peak_penalty.max(value);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some((_, d)) = self.pending_damped.take() {
+            self.damped_now += d;
+            self.peak_damped = self.peak_damped.max(self.damped_now);
+        }
+        report_sink_obs(self.seen, 0);
+    }
+}
+
+/// Incremental four-state classifier, span-for-span equivalent to
+/// running [`StateClassifier::classify`] over the buffered trace.
+///
+/// The post-hoc classifier derives *activity periods* from the in-flight
+/// step series (whose same-instant deltas coalesce before transitions
+/// are read off) and labels quiet gaps by probing the damped-link series
+/// at the gap midpoint. The streaming version reproduces that exactly:
+///
+/// * in-flight deltas buffer per instant and apply only once the clock
+///   advances, so a send+receive at one timestamp never fabricates an
+///   activity interval;
+/// * a gap's midpoint probe is evaluated when the *next* activity
+///   interval opens — by then every damped-link change at or before the
+///   midpoint has already streamed in (events arrive in time order);
+/// * the damped-link series keeps one change point per
+///   suppress/reuse instant — O(suppression churn), not O(events).
+///
+/// [`StateClassifier::classify`]: crate::StateClassifier::classify
+#[derive(Debug, Clone)]
+pub struct OnlineClassifier {
+    merge_gap: SimDuration,
+    first_flap: Option<SimTime>,
+    in_flight: i64,
+    /// Unapplied in-flight delta at one instant.
+    pending: Option<(SimTime, i64)>,
+    /// Last instant any in-flight shift happened (closes a final
+    /// still-open interval, like the post-hoc series' last change
+    /// point).
+    last_shift: Option<SimTime>,
+    /// Start of the currently-open *raw* positive interval.
+    raw_open: Option<SimTime>,
+    /// The merged activity interval under construction.
+    current: Option<(SimTime, SimTime)>,
+    committed_intervals: usize,
+    spans: Vec<StateSpan>,
+    damped: StepSeries,
+    finished: bool,
+    seen: u64,
+}
+
+impl Default for OnlineClassifier {
+    /// Uses the same 240-second merge gap as
+    /// [`StateClassifier::default`](crate::StateClassifier).
+    fn default() -> Self {
+        OnlineClassifier::with_merge_gap(SimDuration::from_secs(240))
+    }
+}
+
+impl OnlineClassifier {
+    /// Creates a classifier with an explicit merge gap.
+    pub fn with_merge_gap(merge_gap: SimDuration) -> Self {
+        OnlineClassifier {
+            merge_gap,
+            first_flap: None,
+            in_flight: 0,
+            pending: None,
+            last_shift: None,
+            raw_open: None,
+            current: None,
+            committed_intervals: 0,
+            spans: Vec::new(),
+            damped: StepSeries::new(),
+            finished: false,
+            seen: 0,
+        }
+    }
+
+    fn shift_in_flight(&mut self, at: SimTime, delta: i64) {
+        match self.pending {
+            Some((t, _)) if t != at => {
+                self.flush_pending();
+                self.pending = Some((at, delta));
+            }
+            Some((_, ref mut d)) => *d += delta,
+            None => self.pending = Some((at, delta)),
+        }
+        self.last_shift = Some(at);
+    }
+
+    /// Applies the buffered instant to the in-flight value and runs the
+    /// positive-interval transition logic on the coalesced change point.
+    fn flush_pending(&mut self) {
+        let Some((t, delta)) = self.pending.take() else {
+            return;
+        };
+        let new = self.in_flight + delta;
+        if self.in_flight <= 0 && new > 0 {
+            self.open_interval(t);
+        } else if self.in_flight > 0 && new <= 0 && self.raw_open.take().is_some() {
+            if let Some((_, to)) = self.current.as_mut() {
+                *to = t;
+            }
+        }
+        self.in_flight = new;
+    }
+
+    fn open_interval(&mut self, t: SimTime) {
+        self.raw_open = Some(t);
+        match self.current {
+            None => self.current = Some((t, t)),
+            Some((_, to)) if t.saturating_since(to) <= self.merge_gap => {}
+            Some((from, to)) => {
+                self.commit_activity(from, to);
+                // Label the quiet gap by whether suppression is active
+                // in its interior (the post-hoc midpoint probe; every
+                // damped change at or before it has already arrived).
+                let probe = to + t.saturating_since(to) / 2;
+                let state = if self.damped.value_at(probe) > 0 {
+                    DampingState::Suppression
+                } else {
+                    DampingState::Converged
+                };
+                self.spans.push(StateSpan {
+                    state,
+                    from: to,
+                    to: t,
+                });
+                self.current = Some((t, t));
+            }
+        }
+    }
+
+    fn commit_activity(&mut self, from: SimTime, to: SimTime) {
+        let first = self.committed_intervals == 0;
+        let state = if first {
+            DampingState::Charging
+        } else {
+            DampingState::Releasing
+        };
+        // The first activity period contains the flapping; any flap
+        // still unseen at commit time necessarily lies in the future,
+        // so the min is a no-op then — same result as post-hoc.
+        let from = if first {
+            from.min(self.first_flap.unwrap_or(from))
+        } else {
+            from
+        };
+        self.spans.push(StateSpan { state, from, to });
+        self.committed_intervals += 1;
+    }
+
+    /// The classified spans. Empty when nothing flapped or no activity
+    /// occurred, exactly like the post-hoc classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`TraceSink::finish`] ran (pending activity would
+    /// otherwise be missing).
+    pub fn spans(&self) -> &[StateSpan] {
+        assert!(self.finished, "call finish() before reading spans");
+        if self.first_flap.is_none() || self.committed_intervals == 0 {
+            &[]
+        } else {
+            &self.spans
+        }
+    }
+
+    /// Total time spent in `state` (matches
+    /// [`StateClassifier::time_in`](crate::StateClassifier::time_in)).
+    pub fn time_in(&self, state: DampingState) -> SimDuration {
+        self.spans()
+            .iter()
+            .filter(|s| s.state == state)
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Number of distinct suppression spans (matches
+    /// [`StateClassifier::suppression_periods`](crate::StateClassifier::suppression_periods)).
+    pub fn suppression_periods(&self) -> usize {
+        self.spans()
+            .iter()
+            .filter(|s| s.state == DampingState::Suppression)
+            .count()
+    }
+}
+
+impl TraceSink for OnlineClassifier {
+    fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.seen += 1;
+        match kind {
+            TraceEventKind::UpdateSent { .. } => self.shift_in_flight(at, 1),
+            TraceEventKind::UpdateReceived { .. } => self.shift_in_flight(at, -1),
+            TraceEventKind::OriginFlap { .. } | TraceEventKind::LinkFlap { .. } => {
+                self.first_flap.get_or_insert(at);
+            }
+            TraceEventKind::Suppressed { .. } => self.damped.shift(at, 1),
+            TraceEventKind::Reused { .. } => self.damped.shift(at, -1),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.flush_pending();
+        if let Some(open_from) = self.raw_open.take() {
+            // A still-open interval closes at the series' last change
+            // point (`last.max(from)` post-hoc).
+            let end = self.last_shift.map_or(open_from, |t| t.max(open_from));
+            if let Some((_, to)) = self.current.as_mut() {
+                *to = end;
+            }
+        }
+        if let Some((from, to)) = self.current.take() {
+            self.commit_activity(from, to);
+        }
+        self.finished = true;
+        report_sink_obs(self.seen, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::states::StateClassifier;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn sent() -> TraceEventKind {
+        TraceEventKind::UpdateSent {
+            from: 0,
+            to: 1,
+            withdrawal: false,
+        }
+    }
+
+    fn received() -> TraceEventKind {
+        TraceEventKind::UpdateReceived {
+            from: 0,
+            to: 1,
+            withdrawal: false,
+        }
+    }
+
+    fn flap(up: bool) -> TraceEventKind {
+        TraceEventKind::OriginFlap { prefix: 0, up }
+    }
+
+    /// Feeds one event stream to a trace and any sink.
+    fn feed(events: &[(SimTime, TraceEventKind)], sink: &mut dyn TraceSink) -> Trace {
+        let mut trace = Trace::new();
+        for &(at, kind) in events {
+            trace.record(at, kind);
+            sink.record(at, kind);
+        }
+        sink.finish();
+        trace
+    }
+
+    fn pulse_stream() -> Vec<(SimTime, TraceEventKind)> {
+        let mut ev = vec![
+            (t(0), flap(false)),
+            (t(1), sent()),
+            (t(2), received()),
+            (t(60), flap(true)),
+            (t(61), sent()),
+            (t(63), received()),
+            (
+                t(64),
+                TraceEventKind::Suppressed {
+                    node: 1,
+                    peer: 0,
+                    prefix: 0,
+                },
+            ),
+            (
+                t(900),
+                TraceEventKind::Reused {
+                    node: 1,
+                    peer: 0,
+                    prefix: 0,
+                    noisy: true,
+                },
+            ),
+            (t(901), sent()),
+            (t(903), received()),
+        ];
+        ev.sort_by_key(|&(at, _)| at);
+        ev
+    }
+
+    #[test]
+    fn convergence_tracker_matches_trace() {
+        let mut sink = ConvergenceTracker::new();
+        let trace = feed(&pulse_stream(), &mut sink);
+        assert_eq!(sink.first_flap_at(), trace.first_flap_at());
+        assert_eq!(sink.final_announcement_at(), trace.final_announcement_at());
+        assert_eq!(sink.last_update_at(), trace.last_update_at());
+        assert_eq!(sink.convergence_time(), trace.convergence_time());
+    }
+
+    #[test]
+    fn message_counter_matches_trace() {
+        let mut sink = MessageCounter::new();
+        let trace = feed(&pulse_stream(), &mut sink);
+        assert_eq!(sink.message_count(), trace.message_count());
+    }
+
+    #[test]
+    fn message_counter_counts_updates_sharing_the_first_flap_instant() {
+        // The post-hoc filter is `at >= first_flap`, so an update
+        // recorded before the flap but at the same instant counts.
+        let events = [
+            (t(5), received()),
+            (t(10), received()),
+            (t(10), received()),
+            (t(10), flap(false)),
+            (t(11), received()),
+        ];
+        let mut sink = MessageCounter::new();
+        let trace = feed(&events, &mut sink);
+        assert_eq!(trace.message_count(), 3);
+        assert_eq!(sink.message_count(), 3);
+    }
+
+    #[test]
+    fn message_counter_without_flaps_counts_everything() {
+        let events = [(t(1), received()), (t(2), received())];
+        let mut sink = MessageCounter::new();
+        let trace = feed(&events, &mut sink);
+        assert_eq!(trace.message_count(), 2);
+        assert_eq!(sink.message_count(), 2);
+    }
+
+    #[test]
+    fn update_bins_match_bin_events() {
+        let mut sink = UpdateBins::default();
+        let trace = feed(&pulse_stream(), &mut sink);
+        let start = trace.first_flap_at().unwrap();
+        let end = trace.last_update_at().unwrap() + SimDuration::from_secs(600);
+        let expect =
+            crate::series::bin_events(&trace.update_times(), SimDuration::from_secs(5), start, end);
+        assert_eq!(sink.bins(end), expect);
+    }
+
+    #[test]
+    fn update_bins_without_flaps_anchor_at_zero() {
+        let events = [(t(3), received()), (t(11), received())];
+        let mut sink = UpdateBins::default();
+        let trace = feed(&events, &mut sink);
+        let end = t(20);
+        let expect = crate::series::bin_events(
+            &trace.update_times(),
+            SimDuration::from_secs(5),
+            SimTime::ZERO,
+            end,
+        );
+        assert_eq!(sink.bins(end), expect);
+    }
+
+    #[test]
+    fn suppression_stats_match_trace() {
+        let mut events = pulse_stream();
+        events.push((
+            t(1000),
+            TraceEventKind::PenaltySample {
+                node: 1,
+                peer: 0,
+                prefix: 0,
+                value: 2750.0,
+                charge: 1000.0,
+                suppressed: false,
+            },
+        ));
+        events.push((
+            t(1001),
+            TraceEventKind::Suppressed {
+                node: 2,
+                peer: 3,
+                prefix: 0,
+            },
+        ));
+        events.push((
+            t(1500),
+            TraceEventKind::Reused {
+                node: 2,
+                peer: 3,
+                prefix: 0,
+                noisy: false,
+            },
+        ));
+        let mut sink = SuppressionStats::new();
+        let trace = feed(&events, &mut sink);
+        assert_eq!(
+            sink.ever_suppressed_entries(),
+            trace.ever_suppressed_entries()
+        );
+        assert_eq!(sink.reuse_counts(), trace.reuse_counts());
+        assert_eq!(sink.peak_penalty(), trace.peak_penalty());
+        assert_eq!(
+            sink.peak_damped_links(),
+            trace.damped_link_series().max_value()
+        );
+    }
+
+    #[test]
+    fn vec_sink_retains_and_null_sink_does_not() {
+        let events = pulse_stream();
+        let mut vec_sink = VecSink::new();
+        let mut null = NullSink::new();
+        let trace = feed(&events, &mut vec_sink);
+        feed(&events, &mut null);
+        assert_eq!(vec_sink.retained_events(), events.len());
+        assert_eq!(vec_sink.trace().events(), trace.events());
+        assert_eq!(null.retained_events(), 0);
+        assert_eq!(null.seen(), events.len() as u64);
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_all_sinks() {
+        let mut fan = Fanout::new()
+            .with(MessageCounter::new())
+            .with(VecSink::new());
+        let trace = feed(&pulse_stream(), &mut fan);
+        assert_eq!(fan.len(), 2);
+        assert_eq!(fan.retained_events(), trace.len());
+    }
+
+    #[test]
+    fn tuple_sinks_compose_statically() {
+        let mut pair = (ConvergenceTracker::new(), MessageCounter::new());
+        let trace = feed(&pulse_stream(), &mut pair);
+        assert_eq!(pair.0.convergence_time(), trace.convergence_time());
+        assert_eq!(pair.1.message_count(), trace.message_count());
+        assert_eq!(pair.retained_events(), 0);
+    }
+
+    fn assert_classifier_equivalence(events: &[(SimTime, TraceEventKind)], gap: SimDuration) {
+        let mut online = OnlineClassifier::with_merge_gap(gap);
+        let trace = feed(events, &mut online);
+        let post_hoc = StateClassifier::with_merge_gap(gap);
+        assert_eq!(
+            online.spans(),
+            post_hoc.classify(&trace).as_slice(),
+            "spans diverged (gap {gap})"
+        );
+        for state in [
+            DampingState::Charging,
+            DampingState::Suppression,
+            DampingState::Releasing,
+            DampingState::Converged,
+        ] {
+            assert_eq!(online.time_in(state), post_hoc.time_in(&trace, state));
+        }
+        assert_eq!(
+            online.suppression_periods(),
+            post_hoc.suppression_periods(&trace)
+        );
+    }
+
+    #[test]
+    fn classifier_matches_on_single_pulse() {
+        assert_classifier_equivalence(&pulse_stream(), SimDuration::from_secs(240));
+        assert_classifier_equivalence(&pulse_stream(), SimDuration::from_secs(10));
+        assert_classifier_equivalence(&pulse_stream(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn classifier_matches_on_same_instant_send_receive() {
+        // A send+receive at one instant coalesces to a net-zero change
+        // point: no activity interval may open.
+        let events = [
+            (t(0), flap(false)),
+            (t(5), sent()),
+            (t(5), received()),
+            (t(600), sent()),
+            (t(601), received()),
+        ];
+        assert_classifier_equivalence(&events, SimDuration::from_secs(240));
+    }
+
+    #[test]
+    fn classifier_matches_with_open_final_interval() {
+        let events = [(t(0), flap(false)), (t(5), sent()), (t(9), sent())];
+        assert_classifier_equivalence(&events, SimDuration::from_secs(240));
+    }
+
+    #[test]
+    fn classifier_empty_without_flaps() {
+        let events = [(t(5), sent()), (t(6), received())];
+        let mut online = OnlineClassifier::default();
+        let trace = feed(&events, &mut online);
+        assert!(online.spans().is_empty());
+        assert!(StateClassifier::default().classify(&trace).is_empty());
+    }
+
+    #[test]
+    fn classifier_empty_without_activity() {
+        let events = [(t(0), flap(false)), (t(60), flap(true))];
+        let mut online = OnlineClassifier::default();
+        let trace = feed(&events, &mut online);
+        assert!(online.spans().is_empty());
+        assert!(StateClassifier::default().classify(&trace).is_empty());
+    }
+
+    #[test]
+    fn classifier_matches_with_late_first_flap() {
+        // Activity opens before the first flap: the post-hoc Charging
+        // span still starts at min(from, first_flap).
+        let events = [
+            (t(5), sent()),
+            (t(6), received()),
+            (t(30), flap(false)),
+            (t(31), sent()),
+            (t(33), received()),
+        ];
+        assert_classifier_equivalence(&events, SimDuration::from_secs(240));
+    }
+
+    #[test]
+    #[should_panic(expected = "finish")]
+    fn classifier_spans_require_finish() {
+        let c = OnlineClassifier::default();
+        let _ = c.spans();
+    }
+
+    #[test]
+    fn trace_is_a_sink_too() {
+        let mut trace = Trace::new();
+        TraceSink::record(&mut trace, t(1), received());
+        assert_eq!(trace.retained_events(), 1);
+    }
+}

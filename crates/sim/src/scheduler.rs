@@ -98,11 +98,34 @@ impl<E> Scheduler<E> {
     /// when it reaches the front. Returns `true` the first time a live
     /// handle is cancelled, `false` for repeat or unknown handles (events
     /// already delivered cannot be distinguished from unknown ones).
+    ///
+    /// Under cancel-heavy schedules (MRAI reprogramming, reuse-timer
+    /// churn) the tombstone set would otherwise grow without bound, so
+    /// once it outnumbers half the heap the agenda compacts: cancelled
+    /// entries are filtered out and the heap rebuilt in O(n).
     pub fn cancel(&mut self, id: EventId) -> bool {
         if id.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(id.0)
+        let fresh = self.cancelled.insert(id.0);
+        if fresh && self.cancelled.len() * 2 > self.heap.len() {
+            self.compact();
+        }
+        fresh
+    }
+
+    /// Drops every tombstoned entry and rebuilds the heap. Entries keep
+    /// their sequence numbers, so `(time, FIFO)` pop order is
+    /// unaffected. Also clears stale tombstones for events that were
+    /// already delivered (cancelling a delivered event's handle would
+    /// otherwise skew [`Scheduler::len`] forever).
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .collect();
+        self.cancelled.clear();
     }
 
     /// Removes and returns the earliest live event, or `None` if empty.
@@ -212,6 +235,64 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn cancel_heavy_schedules_compact_tombstones() {
+        // Schedule 1000 events, cancel 999 of them: without compaction
+        // the tombstone set would hold ~999 entries; with it, both the
+        // set and the heap shrink as cancellations exceed half the heap.
+        let mut s = Scheduler::new();
+        let ids: Vec<_> = (0..1000)
+            .map(|i| s.schedule(SimTime::from_secs(i), i))
+            .collect();
+        for id in ids.iter().skip(1) {
+            s.cancel(*id);
+        }
+        assert_eq!(s.len(), 1);
+        assert!(
+            s.cancelled.len() <= s.heap.len(),
+            "tombstones ({}) exceed half the heap ({})",
+            s.cancelled.len(),
+            s.heap.len()
+        );
+        assert!(
+            s.heap.len() < 10,
+            "compaction left {} dead entries in the heap",
+            s.heap.len()
+        );
+        assert_eq!(s.pop(), Some((SimTime::from_secs(0), 0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_time_and_fifo_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(7);
+        let mut keep = Vec::new();
+        for i in 0..400 {
+            let id = s.schedule(t, i);
+            if i % 5 == 0 {
+                keep.push(i);
+            } else {
+                s.cancel(id);
+            }
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, keep, "FIFO order must survive heap rebuilds");
+    }
+
+    #[test]
+    fn cancelling_a_delivered_event_does_not_skew_len() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(s.pop().unwrap().1, "a");
+        // `a` was already delivered: the stale tombstone is purged by
+        // the next compaction instead of undercounting forever.
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().1, "b");
     }
 
     #[test]

@@ -91,22 +91,53 @@ fn cmd_run(args: &[String]) -> CmdResult {
             (Some(_), f) => format!("on ({f:?})"),
         },
     );
+    let pattern = FlapPattern::new(opts.pulses, opts.interval);
+    let quiet = SimDuration::from_secs(100);
+    let summary = |report: &route_flap_damping::bgp::RunReport,
+                   suppressed: usize,
+                   (noisy, silent): (usize, usize),
+                   peak: f64| {
+        println!(
+            "converged {:.1} s after the final announcement; {} updates observed",
+            report.convergence_time.as_secs_f64(),
+            report.message_count
+        );
+        println!(
+            "{suppressed} entries suppressed; reuse timers: {noisy} noisy / {silent} silent; peak penalty {peak:.0}",
+        );
+    };
+    // Only buffer the full event history when something downstream
+    // (state spans, `--trace`) actually scans it; a plain run streams
+    // into an O(1)-space aggregate sink.
+    if opts.trace_out.is_none() && !opts.states {
+        let mut net = Network::new_with_sink(
+            &graph,
+            isp,
+            config,
+            route_flap_damping::metrics::SuppressionStats::new(),
+        );
+        net.warm_up();
+        let report = net.run_pulses(pattern, quiet);
+        let stats = net.into_sink();
+        summary(
+            &report,
+            stats.ever_suppressed_entries(),
+            stats.reuse_counts(),
+            stats.peak_penalty(),
+        );
+        if let Some(path) = &obs {
+            output::obs_finish(path);
+        }
+        return Ok(());
+    }
     let mut net = Network::new(&graph, isp, config);
     net.warm_up();
-    let report = net.run_pulses(
-        FlapPattern::new(opts.pulses, opts.interval),
-        SimDuration::from_secs(100),
-    );
-    println!(
-        "converged {:.1} s after the final announcement; {} updates observed",
-        report.convergence_time.as_secs_f64(),
-        report.message_count
-    );
-    let (noisy, silent) = net.trace().reuse_counts();
-    println!(
-        "{} entries suppressed; reuse timers: {noisy} noisy / {silent} silent; peak penalty {:.0}",
+    let report = net.run_pulses(pattern, quiet);
+    summary(
+        &report,
         net.trace().ever_suppressed_entries(),
-        net.trace().peak_penalty()
+        net.trace().reuse_counts(),
+        net.trace().peak_penalty(),
     );
     if opts.states {
         println!("\nstates:");

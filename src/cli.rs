@@ -268,7 +268,7 @@ pub struct SweepCommand {
 
 /// Parses the arguments of `rfd sweep`: `--figure`, `--threads N`,
 /// `--resume`, `--max-pulses N`, `--seeds A,B,C`, `--quick`,
-/// `--no-journal`, `--obs[=PATH]`.
+/// `--no-journal`, `--full-traces`, `--obs[=PATH]`.
 ///
 /// # Errors
 ///
@@ -334,6 +334,7 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
                 cmd.opts.seeds.truncate(1);
             }
             "--no-journal" => cmd.opts.journal_dir = None,
+            "--full-traces" => cmd.opts.full_traces = true,
             "--obs" => cmd.obs = Some(None),
             other => match other.strip_prefix("--obs=") {
                 Some(path) => cmd.obs = Some(Some(PathBuf::from(path))),
@@ -376,7 +377,7 @@ USAGE:
           [--reuse-granularity SECS] [--obs[=PATH]]
   rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
-            [--obs[=PATH]]
+            [--full-traces] [--obs[=PATH]]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
   rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
   rfd trace-stats FILE
@@ -479,6 +480,13 @@ mod tests {
         assert_eq!(cmd.opts.seeds, vec![1, 2, 3]);
         assert_eq!(cmd.opts.journal_dir, Some(PathBuf::from("results")));
         assert!(!cmd.quick);
+    }
+
+    #[test]
+    fn sweep_command_parses_full_traces() {
+        assert!(!parse_sweep_command(&[]).unwrap().opts.full_traces);
+        let cmd = parse_sweep_command(&args("--quick --full-traces")).unwrap();
+        assert!(cmd.opts.full_traces);
     }
 
     #[test]
