@@ -2,10 +2,14 @@
 //! with RCN-enhanced damping added to the Figure 8 series.
 
 use rfd_experiments::figures::fig13_14::figure13_14;
-use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
+use std::process::ExitCode;
+
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, sweep_exit_code, sweep_options,
+};
 use rfd_metrics::AsciiChart;
 
-fn main() {
+fn main() -> ExitCode {
     banner("Figure 13", "convergence time vs pulses, with RCN");
     let obs = obs_init("fig13");
     let sweep = figure13_14(&sweep_options());
@@ -28,4 +32,5 @@ fn main() {
     if let Some(path) = &obs {
         obs_finish(path);
     }
+    sweep_exit_code(&sweep)
 }

@@ -3,9 +3,13 @@
 //! no premature false suppression).
 
 use rfd_experiments::figures::fig13_14::figure13_14;
-use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
+use std::process::ExitCode;
 
-fn main() {
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, sweep_exit_code, sweep_options,
+};
+
+fn main() -> ExitCode {
     banner("Figure 14", "message count vs pulses, with RCN");
     let obs = obs_init("fig14");
     let sweep = figure13_14(&sweep_options());
@@ -14,4 +18,5 @@ fn main() {
     if let Some(path) = &obs {
         obs_finish(path);
     }
+    sweep_exit_code(&sweep)
 }

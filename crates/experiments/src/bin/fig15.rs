@@ -4,13 +4,15 @@
 use rfd_experiments::figures::fig15::{
     figure15, figure15_on, mean_convergence, INTENDED, NO_POLICY, WITH_POLICY,
 };
+use std::process::ExitCode;
+
 use rfd_experiments::output::{
-    banner, obs_finish, obs_init, publish_csv, quick_flag, sweep_options,
+    banner, obs_finish, obs_init, publish_csv, quick_flag, sweep_exit_code, sweep_options,
 };
 use rfd_experiments::TopologyKind;
 use rfd_metrics::AsciiChart;
 
-fn main() {
+fn main() -> ExitCode {
     banner("Figure 15", "impact of routing policy (208-node Internet)");
     let obs = obs_init("fig15");
     let opts = sweep_options();
@@ -43,4 +45,5 @@ fn main() {
     if let Some(path) = &obs {
         obs_finish(path);
     }
+    sweep_exit_code(&sweep)
 }

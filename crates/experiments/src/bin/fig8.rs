@@ -3,10 +3,14 @@
 //! intended-behaviour calculation.
 
 use rfd_experiments::figures::fig8_9::{critical_point, figure8_9, FULL_DAMPING_MESH};
-use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
+use std::process::ExitCode;
+
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, sweep_exit_code, sweep_options,
+};
 use rfd_metrics::AsciiChart;
 
-fn main() {
+fn main() -> ExitCode {
     banner("Figure 8", "convergence time vs number of pulses");
     let obs = obs_init("fig8");
     let sweep = figure8_9(&sweep_options());
@@ -32,4 +36,5 @@ fn main() {
     if let Some(path) = &obs {
         obs_finish(path);
     }
+    sweep_exit_code(&sweep)
 }

@@ -1,9 +1,13 @@
 //! Regenerates Figure 9: message count versus number of pulses.
 
 use rfd_experiments::figures::fig8_9::figure8_9;
-use rfd_experiments::output::{banner, obs_finish, obs_init, publish_csv, sweep_options};
+use std::process::ExitCode;
 
-fn main() {
+use rfd_experiments::output::{
+    banner, obs_finish, obs_init, publish_csv, sweep_exit_code, sweep_options,
+};
+
+fn main() -> ExitCode {
     banner("Figure 9", "message count vs number of pulses");
     let obs = obs_init("fig9");
     let sweep = figure8_9(&sweep_options());
@@ -12,4 +16,5 @@ fn main() {
     if let Some(path) = &obs {
         obs_finish(path);
     }
+    sweep_exit_code(&sweep)
 }

@@ -2,6 +2,7 @@
 //! reduced-size smoke run). Prints a per-artefact summary and writes
 //! all CSVs under `results/`.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use rfd_experiments::figures::extensions::{
@@ -15,7 +16,8 @@ use rfd_experiments::figures::fig7::{figure7, figure7_with};
 use rfd_experiments::figures::fig8_9::figure8_9;
 use rfd_experiments::figures::table1::table1;
 use rfd_experiments::output::{
-    banner, obs_finish, obs_init, quick_flag, runner_config, save_csv, sweep_options,
+    banner, obs_finish, obs_init, quick_flag, report_sweep_failures, runner_config, save_csv,
+    sweep_options,
 };
 use rfd_experiments::TopologyKind;
 
@@ -26,11 +28,12 @@ fn step(label: &str, f: impl FnOnce()) {
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
 }
 
-fn main() {
+fn main() -> ExitCode {
     banner("run_all", "regenerate every table and figure");
     let obs = obs_init("run_all");
     let quick = quick_flag();
     let opts = sweep_options();
+    let mut any_failed = false;
 
     step("Table 1", || {
         save_csv("table1", &table1().render());
@@ -81,6 +84,7 @@ fn main() {
     });
     step("Figures 8/9", || {
         let sweep = figure8_9(&opts);
+        any_failed |= report_sweep_failures(&sweep);
         save_csv("fig8", &sweep.convergence_table());
         save_csv("fig9", &sweep.message_table());
     });
@@ -103,6 +107,7 @@ fn main() {
     });
     step("Figs 13/14", || {
         let sweep = figure13_14(&opts);
+        any_failed |= report_sweep_failures(&sweep);
         save_csv("fig13", &sweep.convergence_table());
         save_csv("fig14", &sweep.message_table());
     });
@@ -112,6 +117,7 @@ fn main() {
         } else {
             figure15(&opts)
         };
+        any_failed |= report_sweep_failures(&sweep);
         save_csv("fig15", &sweep.convergence_table());
     });
     step("Extensions", || {
@@ -165,8 +171,19 @@ fn main() {
         let points = parameter_sweep(kind, &presets, 3, &[1], &runner_config());
         save_csv("sweep_params", &parameter_table(&points));
     });
-    eprintln!("\nall artefacts regenerated under results/");
+    if any_failed {
+        eprintln!(
+            "\nartefacts regenerated under results/ with FAILED cells — re-run with --resume"
+        );
+    } else {
+        eprintln!("\nall artefacts regenerated under results/");
+    }
     if let Some(path) = &obs {
         obs_finish(path);
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -188,8 +188,8 @@ pub fn partial_deployment_sweep(
             },
             ..NetworkConfig::default()
         })
-    })
-    .expect("run journal I/O failed");
+    });
+    let results = crate::sweep::grid_results_or_exit(results);
     fractions
         .iter()
         .enumerate()

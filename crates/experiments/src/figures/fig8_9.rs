@@ -147,6 +147,7 @@ mod tests {
                     convergence_secs: v,
                     convergence_std: 0.0,
                     messages: 0.0,
+                    failed_seeds: 0,
                 })
                 .collect(),
         };
@@ -158,6 +159,7 @@ mod tests {
                 ),
                 mk(CALCULATION, &[0.0, 30.0, 30.0, 2000.0, 2000.0, 2500.0]),
             ],
+            failures: Vec::new(),
         };
         // From n=4 on, measured is within 10% of calculated.
         assert_eq!(critical_point(&sweep, FULL_DAMPING_MESH, 0.1), Some(4));

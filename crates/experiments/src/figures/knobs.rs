@@ -104,8 +104,8 @@ pub fn knob_comparison_with(
                 },
             )
         },
-    )
-    .expect("run journal I/O failed");
+    );
+    let results = crate::sweep::grid_results_or_exit(results);
     knob_configs()
         .into_iter()
         .enumerate()

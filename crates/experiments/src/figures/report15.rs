@@ -61,8 +61,8 @@ pub fn interval_sweep(
             FlapPattern::new(cell.pulses, interval),
             |_| NetworkConfig::paper_full_damping(cell.seed),
         )
-    })
-    .expect("run journal I/O failed");
+    });
+    let results = crate::sweep::grid_results_or_exit(results);
     intervals
         .iter()
         .enumerate()
@@ -142,8 +142,8 @@ pub fn size_sweep(
         run_cell_metrics(kind, cell.seed, cell.pulses, |_| {
             NetworkConfig::paper_full_damping(cell.seed)
         })
-    })
-    .expect("run journal I/O failed");
+    });
+    let results = crate::sweep::grid_results_or_exit(results);
     sizes
         .iter()
         .enumerate()
@@ -212,8 +212,8 @@ pub fn parameter_sweep(
             damping: DampingDeployment::Full(*params),
             ..NetworkConfig::default()
         })
-    })
-    .expect("run journal I/O failed");
+    });
+    let results = crate::sweep::grid_results_or_exit(results);
     presets
         .iter()
         .enumerate()

@@ -21,9 +21,18 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::time::Duration;
 
 use rfd_metrics::Table;
+
+/// Reports a fatal command-line or I/O problem on stderr and exits
+/// non-zero. The experiment binaries' "fail with a message, never
+/// panic" path for everything outside the supervised cells.
+pub fn exit_with(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 /// Where result CSVs go (`results/` under the working directory, or
 /// `$RFD_RESULTS_DIR`).
@@ -33,27 +42,21 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
-/// Writes a table as `results/<name>.csv` and reports the path.
-///
-/// # Panics
-///
-/// Panics if the directory or file cannot be written (experiment
-/// binaries want loud failures).
+/// Writes a table as `results/<name>.csv` and reports the path. Exits
+/// with a message if the directory or file cannot be written.
 pub fn save_csv(name: &str, table: &Table) -> PathBuf {
     let dir = results_dir();
-    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| exit_with(&format!("cannot create {}: {e}", dir.display())));
     let path = dir.join(format!("{name}.csv"));
     fs::write(&path, table.to_csv())
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        .unwrap_or_else(|e| exit_with(&format!("cannot write {}: {e}", path.display())));
     path
 }
 
 /// Publishes a result table: pretty form on stderr, CSV on stdout,
-/// saved under `results/<name>.csv` (path reported on stderr).
-///
-/// # Panics
-///
-/// Panics if the CSV cannot be written (see [`save_csv`]).
+/// saved under `results/<name>.csv` (path reported on stderr). Exits
+/// with a message if the CSV cannot be written (see [`save_csv`]).
 pub fn publish_csv(name: &str, table: &Table) -> PathBuf {
     eprintln!("{table}");
     print!("{}", table.to_csv());
@@ -73,13 +76,15 @@ pub fn resume_flag() -> bool {
     std::env::args().any(|a| a == "--resume")
 }
 
+/// True when `--resume-force` was passed: splice a journal even when
+/// its grid fingerprint does not match the current sweep (expert
+/// escape hatch; implies `--resume`).
+pub fn resume_force_flag() -> bool {
+    std::env::args().any(|a| a == "--resume-force")
+}
+
 /// Parses `--threads N` (or `--threads=N`); 0 / absent means "all
-/// available cores".
-///
-/// # Panics
-///
-/// Panics on a malformed thread count (experiment binaries want loud
-/// failures).
+/// available cores". Exits with a message on a malformed count.
 pub fn threads_flag() -> usize {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
@@ -91,20 +96,37 @@ pub fn threads_flag() -> usize {
         if let Some(value) = value {
             return value
                 .parse()
-                .unwrap_or_else(|e| panic!("bad --threads value {value:?}: {e}"));
+                .unwrap_or_else(|e| exit_with(&format!("bad --threads value {value:?}: {e}")));
+        }
+    }
+    0
+}
+
+/// Parses `--retries N` (or `--retries=N`): how many times a failed
+/// cell is deterministically re-executed (same seed, same inputs)
+/// before it is quarantined. Absent means no retries. Exits with a
+/// message on a malformed count.
+pub fn retries_flag() -> u32 {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--retries" {
+            args.next()
+        } else {
+            arg.strip_prefix("--retries=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            return value
+                .parse()
+                .unwrap_or_else(|e| exit_with(&format!("bad --retries value {value:?}: {e}")));
         }
     }
     0
 }
 
 /// Parses `--cell-budget SECS` (or `--cell-budget=SECS`): the per-cell
-/// wall-clock budget beyond which the runner flags the cell and dumps
-/// the flight recorder.
-///
-/// # Panics
-///
-/// Panics on a malformed budget (experiment binaries want loud
-/// failures).
+/// wall-clock budget beyond which the runner quarantines the cell as
+/// timed out and dumps the flight recorder. Exits with a message on a
+/// malformed budget.
 pub fn cell_budget_flag() -> Option<Duration> {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
@@ -116,11 +138,34 @@ pub fn cell_budget_flag() -> Option<Duration> {
         if let Some(value) = value {
             let secs: f64 = value
                 .parse()
-                .unwrap_or_else(|e| panic!("bad --cell-budget value {value:?}: {e}"));
+                .unwrap_or_else(|e| exit_with(&format!("bad --cell-budget value {value:?}: {e}")));
             return Some(Duration::from_secs_f64(secs));
         }
     }
     None
+}
+
+/// The chaos-injection plan the command line resolves to: the hidden
+/// `--chaos SPEC` flag (or `--chaos=SPEC`) wins, with the `RFD_CHAOS`
+/// environment variable as the fallback. Malformed specs exit with a
+/// message — an injection plan must never silently no-op.
+pub fn chaos_plan() -> rfd_runner::ChaosPlan {
+    let mut args = std::env::args();
+    let mut spec: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--chaos" {
+            spec = args.next();
+        } else if let Some(v) = arg.strip_prefix("--chaos=") {
+            spec = Some(v.to_owned());
+        }
+    }
+    if let Some(spec) = spec {
+        return rfd_runner::ChaosPlan::parse(&spec)
+            .unwrap_or_else(|e| exit_with(&format!("--chaos: {e}")));
+    }
+    rfd_runner::ChaosPlan::from_env()
+        .unwrap_or_else(|e| exit_with(&format!("RFD_CHAOS: {e}")))
+        .unwrap_or_else(rfd_runner::ChaosPlan::none)
 }
 
 /// The observability destination the command line resolves to:
@@ -202,22 +247,53 @@ pub fn obs_finish(trace_path: &Path) {
 /// How often sweeps report progress on stderr.
 const HEARTBEAT_PERIOD: Duration = Duration::from_secs(10);
 
-/// Sweep options honouring `--quick`, `--threads N`, `--resume` and
-/// `--cell-budget SECS`. Runs journal under [`results_dir`] so
-/// interrupted sweeps can resume; progress heartbeats go to stderr.
+/// Sweep options honouring `--quick`, `--threads N`, `--resume`,
+/// `--resume-force`, `--retries N`, `--cell-budget SECS` and the
+/// hidden `--chaos` / `RFD_CHAOS` fault-injection knob. Runs journal
+/// under [`results_dir`] so interrupted sweeps can resume; progress
+/// heartbeats go to stderr.
 pub fn sweep_options() -> crate::sweep::SweepOptions {
     let base = if quick_flag() {
         crate::sweep::SweepOptions::quick()
     } else {
         crate::sweep::SweepOptions::default()
     };
+    let resume_force = resume_force_flag();
     crate::sweep::SweepOptions {
         threads: threads_flag(),
         journal_dir: Some(results_dir()),
-        resume: resume_flag(),
+        resume: resume_flag() || resume_force,
+        resume_force,
         heartbeat: Some(HEARTBEAT_PERIOD),
         cell_budget: cell_budget_flag(),
+        retries: retries_flag(),
+        chaos: chaos_plan(),
         ..base
+    }
+}
+
+/// Prints a sweep's failure report on stderr (if any cells failed) and
+/// reports whether there was one — the building block for binaries
+/// that run several sweeps and fold the outcomes together.
+pub fn report_sweep_failures(sweep: &crate::sweep::PulseSweep) -> bool {
+    if sweep.failures.is_empty() {
+        false
+    } else {
+        eprint!("{}", rfd_runner::render_failure_report(&sweep.failures));
+        true
+    }
+}
+
+/// Converts a finished sweep into the process exit code: when cells
+/// failed, the failure report goes to stderr and the run exits
+/// non-zero so scripts notice — while stdout still carries every
+/// healthy cell's CSV (failed points are marked, never silently
+/// absent).
+pub fn sweep_exit_code(sweep: &crate::sweep::PulseSweep) -> ExitCode {
+    if report_sweep_failures(sweep) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -266,9 +266,8 @@ mod tests {
         };
         for pulses in [1, 3] {
             let pattern = rfd_core::FlapPattern::paper_default(pulses);
-            let streaming = run_pattern_metrics(kind, 5, pattern, |_| {
-                NetworkConfig::paper_full_damping(5)
-            });
+            let streaming =
+                run_pattern_metrics(kind, 5, pattern, |_| NetworkConfig::paper_full_damping(5));
             let full = run_pattern_metrics_full(kind, 5, pattern, |_| {
                 NetworkConfig::paper_full_damping(5)
             });

@@ -12,7 +12,9 @@ use std::path::PathBuf;
 use rfd_bgp::NetworkConfig;
 use rfd_core::{intended_behavior, DampingParams, FlapPattern};
 use rfd_metrics::{fmt_f64, Table};
-use rfd_runner::{run_grid, RunGrid, RunnerConfig};
+use rfd_runner::{
+    hash_params, run_grid, CellFailure, ChaosPlan, GridResults, RunGrid, RunnerConfig, RunnerError,
+};
 use rfd_sim::SimDuration;
 use rfd_topology::Graph;
 
@@ -30,6 +32,10 @@ pub struct SweepPoint {
     pub convergence_std: f64,
     /// Mean message count.
     pub messages: f64,
+    /// Seeds at this point whose cells failed (panic / timeout /
+    /// journal error). The means above cover the surviving seeds only,
+    /// and tables mark the point instead of printing a silent number.
+    pub failed_seeds: usize,
 }
 
 /// One labelled curve.
@@ -53,6 +59,10 @@ impl SweepSeries {
 pub struct PulseSweep {
     /// The curves.
     pub series: Vec<SweepSeries>,
+    /// Cells quarantined by the runner (empty for a clean sweep). A
+    /// sweep with failures still renders every series — with failed
+    /// points marked — but callers must report these and exit non-zero.
+    pub failures: Vec<CellFailure>,
 }
 
 impl PulseSweep {
@@ -86,6 +96,9 @@ impl PulseSweep {
             let mut row = vec![n.to_string()];
             for s in &self.series {
                 row.push(match s.at(n) {
+                    // Failed cells are marked, never silently absent:
+                    // the suffix counts the seeds that failed there.
+                    Some(p) if p.failed_seeds > 0 => format!("FAILED:{}", p.failed_seeds),
                     Some(p) => fmt_f64(metric(p), 1),
                     None => "-".to_owned(),
                 });
@@ -122,6 +135,14 @@ pub struct SweepOptions {
     /// aggregators. Off by default — the CI smoke job turns it on once
     /// and diffs the CSVs byte-for-byte against a streaming sweep.
     pub full_traces: bool,
+    /// Extra attempts for panicked / timed-out cells (`--retries N`).
+    pub retries: u32,
+    /// Resume a journal even when its grid fingerprint doesn't match
+    /// (`--resume-force`).
+    pub resume_force: bool,
+    /// Deterministic fault injection (hidden `--chaos` / `RFD_CHAOS`
+    /// knob; empty in normal operation).
+    pub chaos: ChaosPlan,
 }
 
 impl Default for SweepOptions {
@@ -135,6 +156,9 @@ impl Default for SweepOptions {
             heartbeat: None,
             cell_budget: None,
             full_traces: false,
+            retries: 0,
+            resume_force: false,
+            chaos: ChaosPlan::none(),
         }
     }
 }
@@ -155,8 +179,11 @@ impl SweepOptions {
             threads: self.threads,
             journal_dir: self.journal_dir.clone(),
             resume: self.resume,
+            resume_force: self.resume_force,
             heartbeat: self.heartbeat,
             cell_budget: self.cell_budget,
+            retries: self.retries,
+            chaos: self.chaos.clone(),
         }
     }
 }
@@ -220,10 +247,61 @@ impl<'a> SeriesSpec<'a> {
 /// journaling is enabled; figure binaries sharing runs (Figures 8 and 9
 /// read the same grid) share a name, so a journaled sweep is reused
 /// across binaries with `--resume`.
+///
+/// Individual cell failures do not abort the sweep — they surface in
+/// [`PulseSweep::failures`] with their points marked. Exits the process
+/// with a message on journal setup errors ([`RunnerError`]); use
+/// [`try_measure_sweep`] to handle those yourself.
 pub fn measure_sweep(name: &str, specs: Vec<SeriesSpec<'_>>, opts: &SweepOptions) -> PulseSweep {
+    match try_measure_sweep(name, specs, opts) {
+        Ok(sweep) => sweep,
+        Err(e) => exit_runner_error(&e),
+    }
+}
+
+/// Reports a grid-level runner error on stderr and exits non-zero — the
+/// experiment binaries' "fail with a message, never panic" path for
+/// journal setup problems (resume mismatch, unwritable `results/`, …).
+pub fn exit_runner_error(e: &RunnerError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}
+
+/// Unwraps a [`run_grid`] outcome for the non-pulse-sweep experiment
+/// grids (tech-report tables): exits with a message on grid-level
+/// errors, and prints a failure report when any cell was quarantined so
+/// holes in the tables are never silent.
+pub fn grid_results_or_exit(outcome: Result<GridResults, RunnerError>) -> GridResults {
+    let results = outcome.unwrap_or_else(|e| exit_runner_error(&e));
+    if !results.failures().is_empty() {
+        eprint!("{}", rfd_runner::render_failure_report(results.failures()));
+    }
+    results
+}
+
+/// Like [`measure_sweep`], but surfaces grid-level errors (journal I/O,
+/// resume fingerprint mismatch) instead of exiting.
+///
+/// # Errors
+///
+/// Returns the [`RunnerError`] from [`run_grid`]; cell-level failures
+/// are *not* errors (see [`PulseSweep::failures`]).
+pub fn try_measure_sweep(
+    name: &str,
+    specs: Vec<SeriesSpec<'_>>,
+    opts: &SweepOptions,
+) -> Result<PulseSweep, RunnerError> {
+    // The fingerprint salt folds in what the axes can't see: which
+    // topology each series runs on (the damping parameters live in the
+    // config closure; the label names the profile).
+    let salt_parts: Vec<String> = specs
+        .iter()
+        .flat_map(|s| [s.label.clone(), format!("{:?}", s.kind)])
+        .collect();
     let mut grid = RunGrid::new(name)
         .pulses((0..=opts.max_pulses).collect())
-        .seeds(opts.seeds.clone());
+        .seeds(opts.seeds.clone())
+        .param_salt(hash_params(salt_parts.iter().map(String::as_str)));
     for spec in specs {
         let label = spec.label.clone();
         grid = grid.series(label, spec);
@@ -236,8 +314,7 @@ pub fn measure_sweep(name: &str, specs: Vec<SeriesSpec<'_>>, opts: &SweepOptions
         } else {
             run_cell_metrics(spec.kind, cell.seed, cell.pulses, make)
         }
-    })
-    .expect("run journal I/O failed");
+    })?;
 
     let series = results
         .series_labels()
@@ -256,12 +333,16 @@ pub fn measure_sweep(name: &str, specs: Vec<SeriesSpec<'_>>, opts: &SweepOptions
                         convergence_secs: stats.convergence.mean(),
                         convergence_std: stats.convergence.std_dev(),
                         messages: stats.messages.mean(),
+                        failed_seeds: results.point_failed(si, pi),
                     }
                 })
                 .collect(),
         })
         .collect();
-    PulseSweep { series }
+    Ok(PulseSweep {
+        series,
+        failures: results.failures().to_vec(),
+    })
 }
 
 /// Journal-friendly grid name derived from a label: lowercase, with
@@ -324,6 +405,7 @@ pub fn calculation_series(
                 // Message count has no closed form (§3); mark as NaN so
                 // tables render "-".
                 messages: f64::NAN,
+                failed_seeds: 0,
             }
         })
         .collect();
@@ -389,10 +471,12 @@ mod tests {
                         convergence_secs: 1.0,
                         convergence_std: 0.0,
                         messages: 2.0,
+                        failed_seeds: 0,
                     }],
                 },
                 calculation_series(&DampingParams::cisco(), 0, SimDuration::ZERO),
             ],
+            failures: Vec::new(),
         };
         let conv = sweep.convergence_table().to_string();
         assert!(conv.contains('A') && conv.contains("calculation"));
@@ -400,6 +484,36 @@ mod tests {
         assert!(msg.contains('-'), "NaN message counts render as -");
         assert!(sweep.series("A").is_some());
         assert!(sweep.series("missing").is_none());
+    }
+
+    #[test]
+    fn failed_points_are_marked_in_tables() {
+        let sweep = PulseSweep {
+            series: vec![SweepSeries {
+                label: "A".into(),
+                points: vec![
+                    SweepPoint {
+                        pulses: 0,
+                        convergence_secs: 1.0,
+                        convergence_std: 0.0,
+                        messages: 2.0,
+                        failed_seeds: 0,
+                    },
+                    SweepPoint {
+                        pulses: 1,
+                        convergence_secs: 5.0,
+                        convergence_std: 0.0,
+                        messages: 9.0,
+                        failed_seeds: 2,
+                    },
+                ],
+            }],
+            failures: Vec::new(),
+        };
+        let csv = sweep.convergence_table().to_csv();
+        assert!(csv.contains("FAILED:2"), "{csv}");
+        assert!(!csv.contains("5.0"), "failed means are not printed: {csv}");
+        assert!(sweep.message_table().to_csv().contains("FAILED:2"));
     }
 
     #[test]

@@ -8,7 +8,64 @@
 //! output is byte-identical no matter how many threads executed the
 //! cells or in what order they completed.
 
+use std::fmt;
+
 use rfd_sim::DetRng;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a hash of a sequence of string parts (with separators, so
+/// `["ab","c"]` and `["a","bc"]` differ). Callers fold
+/// scenario-defining parameters into a grid's [`RunGrid::param_salt`]
+/// with this, making the journal fingerprint sensitive to RFD/BGP
+/// configuration that the grid axes alone can't see.
+pub fn hash_params<'a>(parts: impl IntoIterator<Item = &'a str>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        fnv1a(&mut h, &[0x1f]);
+        fnv1a(&mut h, part.as_bytes());
+    }
+    h
+}
+
+/// The identity of a grid, written as the journal's header line and
+/// checked on `--resume`: a journal may only resume the grid that wrote
+/// it (same name, same axis shapes, same parameter hash) unless the
+/// caller forces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridFingerprint {
+    /// Grid name (also the journal file stem).
+    pub grid: String,
+    /// Number of series.
+    pub series: usize,
+    /// Number of pulse counts.
+    pub pulses: usize,
+    /// Number of seeds.
+    pub seeds: usize,
+    /// Total cell count.
+    pub cells: usize,
+    /// FNV-1a hash over name, series labels, pulse values, seed values
+    /// and the caller-supplied parameter salt.
+    pub param_hash: u64,
+}
+
+impl fmt::Display for GridFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid '{}' ({} series x {} pulses x {} seeds = {} cells, params {:016x})",
+            self.grid, self.series, self.pulses, self.seeds, self.cells, self.param_hash
+        )
+    }
+}
 
 /// One row of a grid: a labelled scenario payload.
 #[derive(Debug, Clone)]
@@ -47,6 +104,7 @@ pub struct RunGrid<S> {
     series: Vec<GridSeries<S>>,
     pulses: Vec<usize>,
     seeds: Vec<u64>,
+    param_salt: u64,
 }
 
 /// One grid position: everything an executor needs to run it and the
@@ -82,6 +140,45 @@ impl<S> RunGrid<S> {
             series: Vec::new(),
             pulses: Vec::new(),
             seeds: Vec::new(),
+            param_salt: 0,
+        }
+    }
+
+    /// Folds scenario-defining parameters that the grid axes can't see
+    /// (damping profiles, topology kinds, …) into the grid's
+    /// fingerprint, typically via [`hash_params`]. Two grids with equal
+    /// axes but different salts refuse to resume each other's journals.
+    pub fn param_salt(mut self, salt: u64) -> Self {
+        self.param_salt = salt;
+        self
+    }
+
+    /// The journal-integrity fingerprint of this grid (see
+    /// [`GridFingerprint`]).
+    pub fn fingerprint(&self) -> GridFingerprint {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, self.name.as_bytes());
+        for series in &self.series {
+            fnv1a(&mut h, b"\x1fseries\x1f");
+            fnv1a(&mut h, series.label.as_bytes());
+        }
+        for &pulses in &self.pulses {
+            fnv1a(&mut h, b"\x1fpulses\x1f");
+            fnv1a(&mut h, &(pulses as u64).to_le_bytes());
+        }
+        for &seed in &self.seeds {
+            fnv1a(&mut h, b"\x1fseed\x1f");
+            fnv1a(&mut h, &seed.to_le_bytes());
+        }
+        fnv1a(&mut h, b"\x1fsalt\x1f");
+        fnv1a(&mut h, &self.param_salt.to_le_bytes());
+        GridFingerprint {
+            grid: self.name.clone(),
+            series: self.series.len(),
+            pulses: self.pulses.len(),
+            seeds: self.seeds.len(),
+            cells: self.cell_count(),
+            param_hash: h,
         }
     }
 
@@ -226,6 +323,37 @@ mod tests {
 
         let c = RunGrid::<u8>::new("z").seed_range(43, 5);
         assert_ne!(a.seed_list(), c.seed_list());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_shape_sensitive() {
+        let base = grid().fingerprint();
+        assert_eq!(base, grid().fingerprint(), "fingerprint must be pure");
+        assert_eq!((base.series, base.pulses, base.seeds), (2, 2, 3));
+        assert_eq!(base.cells, 12);
+
+        // Any identity change moves the parameter hash.
+        let renamed = RunGrid::new("other")
+            .series("a", 1)
+            .series("b", 2)
+            .pulses(vec![1, 5])
+            .seeds(vec![100, 200, 300]);
+        assert_ne!(base.param_hash, renamed.fingerprint().param_hash);
+        assert_ne!(
+            base.param_hash,
+            grid().seeds(vec![100, 200, 301]).fingerprint().param_hash
+        );
+        assert_ne!(
+            base.param_hash,
+            grid().param_salt(7).fingerprint().param_hash
+        );
+    }
+
+    #[test]
+    fn hash_params_separates_parts() {
+        assert_ne!(hash_params(["ab", "c"]), hash_params(["a", "bc"]));
+        assert_ne!(hash_params(["x"]), hash_params(["x", ""]));
+        assert_eq!(hash_params(["x", "y"]), hash_params(["x", "y"]));
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! JSON-lines run journal.
+//! JSON-lines run journal with integrity checking.
 //!
-//! Every completed cell is appended to `results/<grid>.runs.jsonl` as a
-//! single JSON object, flushed immediately:
+//! The first line of a journal is a **header** identifying the grid
+//! that wrote it; every completed cell is then appended as a single
+//! JSON object, flushed immediately:
 //!
 //! ```json
+//! {"journal":"rfd-runs/v2","grid":"fig8-9","series":3,"pulses":5,"seeds":3,"cells":45,"param_hash":"00c5a1e0213fbb1e"}
 //! {"key":"mesh|n=4|seed=2","convergence_secs":171.5,"messages":5240.0,"suppressed":12.0}
+//! {"key":"mesh|n=4|seed=3","failed":"panic","error":"index out of bounds","attempts":3}
 //! ```
 //!
 //! A sweep killed mid-run leaves a journal with whatever cells finished
@@ -14,6 +17,20 @@
 //! shortest-round-trip form, so a resumed sweep reproduces *bit-exact*
 //! aggregates — the journal never changes the numbers, only the work.
 //!
+//! Integrity rules enforced by [`Journal::resume`]:
+//!
+//! - the header's [`GridFingerprint`] must match the grid being
+//!   resumed (name, axis shapes, cell count, parameter hash); a
+//!   mismatch is refused unless the caller forces it. Headerless
+//!   journals from older versions are accepted as-is.
+//! - arbitrary byte corruption is tolerated: lines are decoded
+//!   individually and lossily (invalid UTF-8 included), damaged lines
+//!   are skipped and *counted*, intact lines before and after them
+//!   still load.
+//! - **failure records** mark a cell as attempted-and-failed, not
+//!   completed — resume re-runs exactly those cells. When a key appears
+//!   more than once, the last record wins.
+//!
 //! Non-finite floats (JSON has no literal for them) are encoded as the
 //! strings `"NaN"`, `"inf"` and `"-inf"`.
 
@@ -22,6 +39,13 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+use crate::grid::GridFingerprint;
+use crate::supervisor::FailKind;
+use crate::RunnerError;
+
+/// Journal format tag carried in the header line.
+pub const JOURNAL_FORMAT: &str = "rfd-runs/v2";
 
 /// The metrics the runner records per run: the paper's two headline
 /// measurements (§3).
@@ -35,16 +59,71 @@ pub struct RunMetrics {
     pub suppressed: f64,
 }
 
+impl RunMetrics {
+    /// The all-NaN sentinel standing in for a failed cell's metrics.
+    /// Aggregation skips NaN, so failed cells leave holes in the stats
+    /// instead of poisoning them.
+    pub const FAILED: RunMetrics = RunMetrics {
+        convergence_secs: f64::NAN,
+        messages: f64::NAN,
+        suppressed: f64::NAN,
+    };
+}
+
 /// Execution metadata journaled alongside a cell's metrics: how long the
-/// cell took and which pool worker ran it. Purely diagnostic — resume
-/// and aggregation ignore it, and journals written before these fields
-/// existed load unchanged.
+/// cell took, which pool worker ran it, and how many supervised retries
+/// it needed. Purely diagnostic — resume and aggregation ignore it, and
+/// journals written before these fields existed load unchanged.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunMeta {
     /// Wall-clock execution time of the cell, in seconds.
     pub duration_secs: f64,
     /// Pool worker index that executed the cell.
     pub thread: u64,
+    /// Supervised retries before the cell succeeded (0 = first try).
+    pub retries: u32,
+}
+
+/// One parsed journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// The header line identifying the writing grid.
+    Header(GridFingerprint),
+    /// A completed cell.
+    Run {
+        /// Journal key of the cell.
+        key: String,
+        /// The cell's metrics.
+        metrics: RunMetrics,
+        /// Optional execution metadata.
+        meta: Option<RunMeta>,
+    },
+    /// A cell that exhausted its attempts. Not a completion: resume
+    /// re-runs it.
+    Failure {
+        /// Journal key of the cell.
+        key: String,
+        /// Failure classification.
+        kind: FailKind,
+        /// Human-readable detail.
+        error: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// What [`Journal::resume`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct ResumeState {
+    /// Intact completed cells, by journal key (last record wins).
+    pub completed: HashMap<String, RunMetrics>,
+    /// Cells whose final record is a failure (resume re-runs these).
+    pub failed: HashMap<String, FailKind>,
+    /// Damaged lines that were skipped during the scan.
+    pub skipped_lines: usize,
+    /// Whether the journal carried a header line (pre-v2 journals
+    /// don't).
+    pub had_header: bool,
 }
 
 /// Journal file path for a grid name.
@@ -59,12 +138,28 @@ pub struct Journal {
     file: Mutex<File>,
 }
 
+fn encode_header(fingerprint: &GridFingerprint) -> String {
+    format!(
+        "{{\"journal\":{},\"grid\":{},\"series\":{},\"pulses\":{},\"seeds\":{},\"cells\":{},\"param_hash\":\"{:016x}\"}}\n",
+        encode_str(JOURNAL_FORMAT),
+        encode_str(&fingerprint.grid),
+        fingerprint.series,
+        fingerprint.pulses,
+        fingerprint.seeds,
+        fingerprint.cells,
+        fingerprint.param_hash,
+    )
+}
+
 impl Journal {
-    /// Starts a fresh journal, truncating any previous one.
-    pub fn create(dir: &Path, grid_name: &str) -> io::Result<Journal> {
+    /// Starts a fresh journal, truncating any previous one, and writes
+    /// the header line identifying `fingerprint`.
+    pub fn create(dir: &Path, fingerprint: &GridFingerprint) -> io::Result<Journal> {
         std::fs::create_dir_all(dir)?;
-        let path = journal_path(dir, grid_name);
-        let file = File::create(&path)?;
+        let path = journal_path(dir, &fingerprint.grid);
+        let mut file = File::create(&path)?;
+        file.write_all(encode_header(fingerprint).as_bytes())?;
+        file.flush()?;
         Ok(Journal {
             path,
             file: Mutex::new(file),
@@ -72,31 +167,72 @@ impl Journal {
     }
 
     /// Opens a journal for resumption: returns the journal (in append
-    /// mode) plus every intact record already on disk. A missing file
-    /// behaves like an empty one; a truncated final line is skipped.
+    /// mode) plus every intact record already on disk (see
+    /// [`ResumeState`]). A missing or empty file behaves like a fresh
+    /// [`Journal::create`]. Damaged lines — truncated tails, corrupted
+    /// bytes, invalid UTF-8 — are skipped and counted, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`RunnerError::JournalMismatch`] when the on-disk header
+    /// identifies a different grid than `fingerprint` and `force` is
+    /// false; [`RunnerError::Io`] on filesystem errors.
     pub fn resume(
         dir: &Path,
-        grid_name: &str,
-    ) -> io::Result<(Journal, HashMap<String, RunMetrics>)> {
+        fingerprint: &GridFingerprint,
+        force: bool,
+    ) -> Result<(Journal, ResumeState), RunnerError> {
         std::fs::create_dir_all(dir)?;
-        let path = journal_path(dir, grid_name);
-        let mut completed = HashMap::new();
+        let path = journal_path(dir, &fingerprint.grid);
+        let mut state = ResumeState::default();
+        let mut bytes = Vec::new();
         if path.exists() {
-            let mut text = String::new();
-            File::open(&path)?.read_to_string(&mut text)?;
-            for line in text.lines() {
-                if let Some((key, metrics)) = parse_line(line) {
-                    completed.insert(key, metrics);
+            File::open(&path)?.read_to_end(&mut bytes)?;
+        }
+        for chunk in bytes.split(|&b| b == b'\n') {
+            if chunk.is_empty() {
+                continue;
+            }
+            let line = String::from_utf8_lossy(chunk);
+            match parse_record(&line) {
+                Some(Record::Header(found)) => {
+                    if !state.had_header {
+                        state.had_header = true;
+                        if found != *fingerprint && !force {
+                            return Err(RunnerError::JournalMismatch(Box::new(
+                                crate::JournalMismatch {
+                                    path,
+                                    expected: fingerprint.clone(),
+                                    found,
+                                },
+                            )));
+                        }
+                    }
                 }
+                Some(Record::Run { key, metrics, .. }) => {
+                    state.failed.remove(&key);
+                    state.completed.insert(key, metrics);
+                }
+                Some(Record::Failure { key, kind, .. }) => {
+                    state.completed.remove(&key);
+                    state.failed.insert(key, kind);
+                }
+                None => state.skipped_lines += 1,
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if bytes.is_empty() {
+            // Fresh file: stamp it with the header like `create` would.
+            file.write_all(encode_header(fingerprint).as_bytes())?;
+            file.flush()?;
+            state.had_header = true;
+        }
         Ok((
             Journal {
                 path,
                 file: Mutex::new(file),
             },
-            completed,
+            state,
         ))
     }
 
@@ -114,23 +250,49 @@ impl Journal {
         metrics: &RunMetrics,
         meta: Option<&RunMeta>,
     ) -> io::Result<()> {
-        let mut line = format!(
-            "{{\"key\":{},\"convergence_secs\":{},\"messages\":{},\"suppressed\":{}",
+        let line = encode_run(key, metrics, meta);
+        self.append(line.as_bytes())
+    }
+
+    /// Chaos hook: appends the run record *short-written* — only the
+    /// first half of its bytes, then a newline. Deterministically
+    /// simulates a torn write: the damaged record occupies one line
+    /// that resume will skip (and count), so exactly this cell re-runs.
+    pub fn record_short(
+        &self,
+        key: &str,
+        metrics: &RunMetrics,
+        meta: Option<&RunMeta>,
+    ) -> io::Result<()> {
+        let line = encode_run(key, metrics, meta);
+        let half = &line.as_bytes()[..line.len() / 2];
+        let mut torn = half.to_vec();
+        torn.push(b'\n');
+        self.append(&torn)
+    }
+
+    /// Appends a failure record for a cell that exhausted its attempts.
+    /// Failure records do **not** mark the cell completed — resume
+    /// re-runs it.
+    pub fn record_failure(
+        &self,
+        key: &str,
+        kind: FailKind,
+        error: &str,
+        attempts: u32,
+    ) -> io::Result<()> {
+        let line = format!(
+            "{{\"key\":{},\"failed\":{},\"error\":{},\"attempts\":{attempts}}}\n",
             encode_str(key),
-            encode_f64(metrics.convergence_secs),
-            encode_f64(metrics.messages),
-            encode_f64(metrics.suppressed),
+            encode_str(&kind.to_string()),
+            encode_str(error),
         );
-        if let Some(meta) = meta {
-            line.push_str(&format!(
-                ",\"duration_secs\":{},\"thread\":{}",
-                encode_f64(meta.duration_secs),
-                meta.thread
-            ));
-        }
-        line.push_str("}\n");
-        let mut file = self.file.lock().unwrap();
-        file.write_all(line.as_bytes())?;
+        self.append(line.as_bytes())
+    }
+
+    fn append(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(bytes)?;
         file.flush()
     }
 
@@ -138,6 +300,28 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+fn encode_run(key: &str, metrics: &RunMetrics, meta: Option<&RunMeta>) -> String {
+    let mut line = format!(
+        "{{\"key\":{},\"convergence_secs\":{},\"messages\":{},\"suppressed\":{}",
+        encode_str(key),
+        encode_f64(metrics.convergence_secs),
+        encode_f64(metrics.messages),
+        encode_f64(metrics.suppressed),
+    );
+    if let Some(meta) = meta {
+        line.push_str(&format!(
+            ",\"duration_secs\":{},\"thread\":{}",
+            encode_f64(meta.duration_secs),
+            meta.thread
+        ));
+        if meta.retries > 0 {
+            line.push_str(&format!(",\"retries\":{}", meta.retries));
+        }
+    }
+    line.push_str("}\n");
+    line
 }
 
 /// JSON string literal with minimal escaping.
@@ -169,16 +353,27 @@ fn encode_f64(v: f64) -> String {
     }
 }
 
-/// Parses one journal line; `None` for malformed (e.g. truncated) input.
-/// Unknown extra fields are tolerated, which is what makes the journal
-/// format forward- and backward-compatible across versions.
+/// Parses one completed-run journal line; `None` for headers, failure
+/// records, or malformed (e.g. truncated) input.
 pub fn parse_line(line: &str) -> Option<(String, RunMetrics)> {
     parse_line_meta(line).map(|(key, metrics, _)| (key, metrics))
 }
 
-/// Parses one journal line including the optional [`RunMeta`] fields.
-/// Lines written before metadata existed parse with `None` meta.
+/// Parses one completed-run journal line including the optional
+/// [`RunMeta`] fields. Lines written before metadata existed parse with
+/// `None` meta.
 pub fn parse_line_meta(line: &str) -> Option<(String, RunMetrics, Option<RunMeta>)> {
+    match parse_record(line)? {
+        Record::Run { key, metrics, meta } => Some((key, metrics, meta)),
+        _ => None,
+    }
+}
+
+/// Parses any journal line — header, run, or failure. `None` for
+/// malformed input. Unknown extra fields are tolerated, which is what
+/// makes the journal format forward- and backward-compatible across
+/// versions.
+pub fn parse_record(line: &str) -> Option<Record> {
     let mut fields = HashMap::new();
     let mut rest = line.trim();
     rest = rest.strip_prefix('{')?;
@@ -195,29 +390,84 @@ pub fn parse_line_meta(line: &str) -> Option<(String, RunMetrics, Option<RunMeta
             _ => return None,
         }
     }
+
+    if let Some(format) = fields.remove("journal") {
+        match format {
+            Value::Str(s) if s == JOURNAL_FORMAT => {}
+            _ => return None,
+        }
+        let grid = match fields.remove("grid")? {
+            Value::Str(s) => s,
+            Value::Num(_) => return None,
+        };
+        let dim = |v: Value| -> Option<usize> {
+            let n = v.as_f64()?;
+            (n.is_finite() && n >= 0.0).then_some(n as usize)
+        };
+        let param_hash = match fields.remove("param_hash")? {
+            Value::Str(s) => u64::from_str_radix(&s, 16).ok()?,
+            Value::Num(_) => return None,
+        };
+        return Some(Record::Header(GridFingerprint {
+            grid,
+            series: dim(fields.remove("series")?)?,
+            pulses: dim(fields.remove("pulses")?)?,
+            seeds: dim(fields.remove("seeds")?)?,
+            cells: dim(fields.remove("cells")?)?,
+            param_hash,
+        }));
+    }
+
     let key = match fields.remove("key")? {
         Value::Str(s) => s,
         Value::Num(_) => return None,
     };
+
+    if let Some(failed) = fields.remove("failed") {
+        let kind = match failed {
+            Value::Str(s) => FailKind::parse(&s)?,
+            Value::Num(_) => return None,
+        };
+        let error = match fields.remove("error") {
+            Some(Value::Str(s)) => s,
+            _ => String::new(),
+        };
+        let attempts = fields
+            .remove("attempts")
+            .and_then(|v| v.as_f64())
+            .map_or(1, |n| n as u32);
+        return Some(Record::Failure {
+            key,
+            kind,
+            error,
+            attempts,
+        });
+    }
+
     let convergence_secs = fields.remove("convergence_secs")?.as_f64()?;
     let messages = fields.remove("messages")?.as_f64()?;
     let suppressed = fields.remove("suppressed")?.as_f64()?;
+    let retries = fields
+        .remove("retries")
+        .and_then(|v| v.as_f64())
+        .map_or(0, |n| n as u32);
     let meta = match (fields.remove("duration_secs"), fields.remove("thread")) {
         (Some(duration), Some(thread)) => Some(RunMeta {
             duration_secs: duration.as_f64()?,
             thread: thread.as_f64()? as u64,
+            retries,
         }),
         _ => None,
     };
-    Some((
+    Some(Record::Run {
         key,
-        RunMetrics {
+        metrics: RunMetrics {
             convergence_secs,
             messages,
             suppressed,
         },
         meta,
-    ))
+    })
 }
 
 enum Value {
@@ -285,6 +535,17 @@ mod tests {
         dir
     }
 
+    fn fp(name: &str) -> GridFingerprint {
+        GridFingerprint {
+            grid: name.to_owned(),
+            series: 1,
+            pulses: 2,
+            seeds: 3,
+            cells: 6,
+            param_hash: 0xabcd_0123_4567_89ef,
+        }
+    }
+
     #[test]
     fn round_trips_exact_floats() {
         for v in [0.0, -1.5, 171.48300048213, 1e300, 3.0_f64.sqrt()] {
@@ -331,15 +592,47 @@ mod tests {
             "{\"key\":\"a\",\"convergence_secs\":1.0,\"messages\":2.0}", // missing field
             "not json at all",
             "{\"key\":7,\"convergence_secs\":1.0,\"messages\":2.0,\"suppressed\":0.0}",
+            "{\"key\":\"a\",\"failed\":\"no-such-kind\",\"error\":\"x\",\"attempts\":1}",
+            "{\"journal\":\"rfd-runs/v1\",\"grid\":\"g\"}", // unknown format
         ] {
-            assert!(parse_line(bad).is_none(), "accepted: {bad}");
+            assert!(parse_record(bad).is_none(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let fingerprint = fp("grid-x");
+        let line = encode_header(&fingerprint);
+        assert_eq!(parse_record(line.trim()), Some(Record::Header(fingerprint)));
+    }
+
+    #[test]
+    fn failure_records_round_trip() {
+        let dir = tmp_dir("failrec");
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
+        journal
+            .record_failure("a|n=1|seed=1", FailKind::Panic, "boom \"quoted\"", 3)
+            .unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let record = parse_record(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(
+            record,
+            Record::Failure {
+                key: "a|n=1|seed=1".into(),
+                kind: FailKind::Panic,
+                error: "boom \"quoted\"".into(),
+                attempts: 3,
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn meta_round_trips_and_is_optional() {
         let dir = tmp_dir("meta");
-        let journal = Journal::create(&dir, "grid").unwrap();
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
         let m = RunMetrics {
             convergence_secs: 4.5,
             messages: 100.0,
@@ -348,6 +641,7 @@ mod tests {
         let meta = RunMeta {
             duration_secs: 0.125,
             thread: 3,
+            retries: 2,
         };
         journal.record_with("with-meta", &m, Some(&meta)).unwrap();
         journal.record("without-meta", &m).unwrap();
@@ -355,7 +649,7 @@ mod tests {
         drop(journal);
 
         let text = std::fs::read_to_string(&path).unwrap();
-        let mut lines = text.lines();
+        let mut lines = text.lines().skip(1); // header
         let (k1, m1, meta1) = parse_line_meta(lines.next().unwrap()).unwrap();
         assert_eq!((k1.as_str(), m1), ("with-meta", m));
         assert_eq!(meta1, Some(meta));
@@ -366,9 +660,9 @@ mod tests {
     }
 
     #[test]
-    fn resume_accepts_pre_meta_journal_lines() {
-        // A journal written by an older version (no duration/thread
-        // fields) must resume exactly as before.
+    fn resume_accepts_pre_meta_headerless_journals() {
+        // A journal written by an older version (no header line, no
+        // duration/thread fields) must resume exactly as before.
         let dir = tmp_dir("compat");
         std::fs::create_dir_all(&dir).unwrap();
         let path = journal_path(&dir, "grid");
@@ -378,17 +672,19 @@ mod tests {
              {\"key\":\"new-style\",\"convergence_secs\":8.5,\"messages\":13.0,\"suppressed\":0.0,\"duration_secs\":0.25,\"thread\":1}\n",
         )
         .unwrap();
-        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
-        assert_eq!(completed.len(), 2);
-        assert_eq!(completed["old-style"].convergence_secs, 7.5);
-        assert_eq!(completed["new-style"].messages, 13.0);
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert_eq!(state.completed.len(), 2);
+        assert_eq!(state.completed["old-style"].convergence_secs, 7.5);
+        assert_eq!(state.completed["new-style"].messages, 13.0);
+        assert_eq!(state.skipped_lines, 0);
+        assert!(!state.had_header);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn create_record_resume_cycle() {
         let dir = tmp_dir("cycle");
-        let journal = Journal::create(&dir, "grid").unwrap();
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
         let m1 = RunMetrics {
             convergence_secs: 10.25,
             messages: 42.0,
@@ -403,23 +699,52 @@ mod tests {
         journal.record("a|n=1|seed=2", &m2).unwrap();
         drop(journal);
 
-        let (journal, completed) = Journal::resume(&dir, "grid").unwrap();
-        assert_eq!(completed.len(), 2);
-        assert_eq!(completed["a|n=1|seed=1"], m1);
-        assert!(completed["a|n=1|seed=2"].messages.is_nan());
+        let (journal, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert!(state.had_header);
+        assert_eq!(state.completed.len(), 2);
+        assert_eq!(state.completed["a|n=1|seed=1"], m1);
+        assert!(state.completed["a|n=1|seed=2"].messages.is_nan());
 
         // Appending after resume keeps earlier records.
         journal.record("a|n=1|seed=3", &m1).unwrap();
         drop(journal);
-        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
-        assert_eq!(completed.len(), 3);
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert_eq!(state.completed.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_grid_unless_forced() {
+        let dir = tmp_dir("mismatch");
+        drop(Journal::create(&dir, &fp("grid")).unwrap());
+
+        let mut other = fp("grid");
+        other.param_hash ^= 1;
+        let err = Journal::resume(&dir, &other, false).unwrap_err();
+        match err {
+            RunnerError::JournalMismatch(m) => {
+                assert_eq!(m.expected, other);
+                assert_eq!(m.found, fp("grid"));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+
+        // Shape mismatches are refused too.
+        let mut reshaped = fp("grid");
+        reshaped.seeds += 1;
+        reshaped.cells += 2;
+        assert!(Journal::resume(&dir, &reshaped, false).is_err());
+
+        // --resume-force overrides.
+        let (_, state) = Journal::resume(&dir, &other, true).unwrap();
+        assert!(state.had_header);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn resume_tolerates_truncated_tail() {
         let dir = tmp_dir("trunc");
-        let journal = Journal::create(&dir, "grid").unwrap();
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
         journal
             .record(
                 "k1",
@@ -437,16 +762,109 @@ mod tests {
         f.write_all(b"{\"key\":\"k2\",\"converg").unwrap();
         drop(f);
 
-        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
-        assert_eq!(completed.len(), 1);
-        assert!(completed.contains_key("k1"));
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains_key("k1"));
+        assert_eq!(state.skipped_lines, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_corrupt_and_non_utf8_lines() {
+        let dir = tmp_dir("corrupt");
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
+        let m = RunMetrics {
+            convergence_secs: 1.0,
+            messages: 2.0,
+            suppressed: 0.0,
+        };
+        journal.record("before", &m).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Corrupt the middle of the file with raw bytes (invalid UTF-8
+        // included), then append another valid record after them.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"\xff\xfe garbage \x80\x81\n").unwrap();
+        f.write_all(b"{\"key\":\"zapped\",\"converg\xffence\n")
+            .unwrap();
+        f.write_all(
+            b"{\"key\":\"after\",\"convergence_secs\":3.0,\"messages\":4.0,\"suppressed\":0.0}\n",
+        )
+        .unwrap();
+        drop(f);
+
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert_eq!(state.completed.len(), 2);
+        assert!(state.completed.contains_key("before"));
+        assert!(state.completed.contains_key("after"));
+        assert_eq!(state.skipped_lines, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_the_last_record() {
+        let dir = tmp_dir("dups");
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
+        let m1 = RunMetrics {
+            convergence_secs: 1.0,
+            messages: 10.0,
+            suppressed: 0.0,
+        };
+        let m2 = RunMetrics {
+            convergence_secs: 2.0,
+            messages: 20.0,
+            suppressed: 1.0,
+        };
+        // Run then newer run: last record wins.
+        journal.record("twice", &m1).unwrap();
+        journal.record("twice", &m2).unwrap();
+        // Run then failure: the cell is *not* completed.
+        journal.record("regressed", &m1).unwrap();
+        journal
+            .record_failure("regressed", FailKind::Timeout, "slow", 1)
+            .unwrap();
+        // Failure then run: a successful retry supersedes the failure.
+        journal
+            .record_failure("recovered", FailKind::Panic, "boom", 2)
+            .unwrap();
+        journal.record("recovered", &m1).unwrap();
+        drop(journal);
+
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert_eq!(state.completed["twice"], m2);
+        assert!(!state.completed.contains_key("regressed"));
+        assert_eq!(state.failed["regressed"], FailKind::Timeout);
+        assert_eq!(state.completed["recovered"], m1);
+        assert!(!state.failed.contains_key("recovered"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_damages_exactly_one_line() {
+        let dir = tmp_dir("short");
+        let journal = Journal::create(&dir, &fp("grid")).unwrap();
+        let m = RunMetrics {
+            convergence_secs: 5.0,
+            messages: 6.0,
+            suppressed: 0.0,
+        };
+        journal.record("ok-1", &m).unwrap();
+        journal.record_short("torn", &m, None).unwrap();
+        journal.record("ok-2", &m).unwrap();
+        drop(journal);
+
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert_eq!(state.completed.len(), 2);
+        assert!(!state.completed.contains_key("torn"));
+        assert_eq!(state.skipped_lines, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn create_truncates_previous_journal() {
         let dir = tmp_dir("truncate");
-        let j = Journal::create(&dir, "grid").unwrap();
+        let j = Journal::create(&dir, &fp("grid")).unwrap();
         j.record(
             "old",
             &RunMetrics {
@@ -457,9 +875,9 @@ mod tests {
         )
         .unwrap();
         drop(j);
-        let _ = Journal::create(&dir, "grid").unwrap();
-        let (_, completed) = Journal::resume(&dir, "grid").unwrap();
-        assert!(completed.is_empty());
+        let _ = Journal::create(&dir, &fp("grid")).unwrap();
+        let (_, state) = Journal::resume(&dir, &fp("grid"), false).unwrap();
+        assert!(state.completed.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,16 +9,25 @@
 //!
 //! * [`RunGrid`] (grid.rs) — a declarative grid of *series × pulse
 //!   counts × seeds*, enumerated in a fixed **grid order** that gives
-//!   every cell a stable index and journal key;
+//!   every cell a stable index, journal key, and a
+//!   [`GridFingerprint`] identifying the grid as a whole;
 //! * [`pool`] — a std-only scoped thread pool with work stealing;
-//!   results come back indexed by job, hiding completion order;
+//!   results come back indexed by job, hiding completion order, and a
+//!   panicking job never strands or poisons its siblings;
+//! * [`supervisor`] (supervisor.rs) — per-cell fault containment:
+//!   `catch_unwind`, bounded deterministic retries, wall-clock timeout
+//!   classification;
+//! * [`chaos`] (chaos.rs) — deterministic fault *injection* (panics,
+//!   hangs, journal short-writes) that the e2e tests and CI use to
+//!   prove the supervisor's behaviour;
 //! * [`Journal`] (journal.rs) — a JSON-lines record of completed runs
-//!   under `results/`, flushed per line, so an interrupted sweep
-//!   resumes instead of recomputing;
+//!   under `results/`, flushed per line and integrity-checked on
+//!   resume, so an interrupted or partially failed sweep resumes
+//!   instead of recomputing;
 //! * [`run_grid`] — the orchestrator: skips journaled cells, executes
-//!   the rest on the pool, commits results by grid index, and returns
-//!   [`GridResults`] whose aggregation folds seeds in grid order
-//!   through [`rfd_metrics::Merge`].
+//!   the rest on the pool under supervision, commits results by grid
+//!   index, and returns [`GridResults`] whose aggregation folds seeds
+//!   in grid order through [`rfd_metrics::Merge`].
 //!
 //! ## Determinism contract
 //!
@@ -33,6 +42,19 @@
 //! 3. aggregation ([`GridResults::point_stats`]) folds per-seed metrics
 //!    in grid order, so even floating-point rounding is identical run
 //!    to run.
+//!
+//! ## Fault tolerance contract
+//!
+//! A sweep **finishes** even when individual cells fail. A panicking,
+//! timed-out, or journal-I/O-failed cell is quarantined as a
+//! [`CellFailure`]: its metrics slot holds the all-NaN
+//! [`RunMetrics::FAILED`] sentinel (aggregation skips NaN, so failures
+//! leave holes, not poison), the journal carries a failure record, and
+//! [`GridResults::failures`] reports every one so the caller can print
+//! a report and exit non-zero. Re-running with resume executes exactly
+//! the failed/missing cells; because cells are pure functions of their
+//! grid position, the healed output is byte-identical to a run that
+//! never failed.
 //!
 //! ```
 //! use rfd_runner::{run_grid, RunGrid, RunMetrics, RunnerConfig};
@@ -49,23 +71,90 @@
 //! let seq = run_grid(&grid, &RunnerConfig::sequential(), exec).unwrap();
 //! let par = run_grid(&grid, &RunnerConfig::with_threads(4), exec).unwrap();
 //! assert_eq!(seq.metrics(), par.metrics());
+//! assert!(seq.failures().is_empty());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 mod grid;
 mod journal;
 pub mod pool;
+pub mod supervisor;
 
-pub use grid::{Cell, GridSeries, RunGrid};
-pub use journal::{journal_path, parse_line, parse_line_meta, Journal, RunMeta, RunMetrics};
+pub use chaos::{ChaosKind, ChaosParseError, ChaosPlan};
+pub use grid::{hash_params, Cell, GridFingerprint, GridSeries, RunGrid};
+pub use journal::{
+    journal_path, parse_line, parse_line_meta, parse_record, Journal, Record, ResumeState, RunMeta,
+    RunMetrics,
+};
+pub use supervisor::{render_failure_report, CellFailure, FailKind, FaultTotals};
 
-use rfd_metrics::RunningStats;
+use std::collections::HashSet;
+use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use rfd_metrics::RunningStats;
+use supervisor::FaultCounts;
+
+/// An error that aborts a whole grid run (as opposed to a
+/// [`CellFailure`], which quarantines one cell and lets the sweep
+/// finish).
+#[derive(Debug)]
+pub enum RunnerError {
+    /// Filesystem error creating or reading the journal.
+    Io(io::Error),
+    /// Resume was pointed at a journal written by a different grid
+    /// (boxed to keep the common `Ok`/`Io` paths small).
+    JournalMismatch(Box<JournalMismatch>),
+}
+
+/// Details of a [`RunnerError::JournalMismatch`].
+#[derive(Debug)]
+pub struct JournalMismatch {
+    /// The journal file in question.
+    pub path: PathBuf,
+    /// Fingerprint of the grid being resumed.
+    pub expected: GridFingerprint,
+    /// Fingerprint found in the journal header.
+    pub found: GridFingerprint,
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::Io(e) => write!(f, "journal I/O error: {e}"),
+            RunnerError::JournalMismatch(m) => write!(
+                f,
+                "journal {} was written by {}, but this sweep is {}; \
+                 re-run without --resume to start fresh, or pass --resume-force to splice anyway",
+                m.path.display(),
+                m.found,
+                m.expected,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunnerError::Io(e) => Some(e),
+            RunnerError::JournalMismatch(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for RunnerError {
+    fn from(e: io::Error) -> Self {
+        RunnerError::Io(e)
+    }
+}
 
 /// How a grid should be executed.
 #[derive(Debug, Clone, Default)]
@@ -77,13 +166,26 @@ pub struct RunnerConfig {
     /// When journaling: load the existing journal and skip completed
     /// cells instead of truncating and starting over.
     pub resume: bool,
+    /// Resume even when the journal's grid fingerprint doesn't match
+    /// this grid (normally refused with
+    /// [`RunnerError::JournalMismatch`]).
+    pub resume_force: bool,
     /// Period between progress heartbeat lines on stderr; `None` (the
     /// default) keeps the runner silent.
     pub heartbeat: Option<Duration>,
-    /// Per-cell wall-clock budget. A cell exceeding it is reported on
-    /// stderr and triggers a flight-recorder dump (the observability
-    /// layer's anomaly hook); the run itself continues.
+    /// Per-cell wall-clock budget. A cell exceeding it is classified as
+    /// timed out (a [`CellFailure`] after retries are exhausted), and a
+    /// watchdog reports cells *while* they overrun, dumping the flight
+    /// recorder.
     pub cell_budget: Option<Duration>,
+    /// Extra attempts for a panicked or timed-out cell before it is
+    /// declared failed. Retries re-run the same seed: cells are pure
+    /// functions of their grid position, so a successful retry yields
+    /// byte-identical metrics.
+    pub retries: u32,
+    /// Deterministic fault-injection plan (tests and the hidden
+    /// `--chaos` knob; empty in normal operation).
+    pub chaos: ChaosPlan,
 }
 
 impl RunnerConfig {
@@ -115,15 +217,34 @@ impl RunnerConfig {
         self
     }
 
+    /// Overrides the resume fingerprint check (see
+    /// [`RunnerConfig::resume_force`]).
+    pub fn resume_force(mut self, force: bool) -> Self {
+        self.resume_force = force;
+        self
+    }
+
     /// Emits a progress line on stderr every `period` while a grid runs.
     pub fn heartbeat(mut self, period: Duration) -> Self {
         self.heartbeat = Some(period);
         self
     }
 
-    /// Flags (and flight-dumps) any cell that runs longer than `budget`.
+    /// Classifies any cell running longer than `budget` as timed out.
     pub fn cell_budget(mut self, budget: Duration) -> Self {
         self.cell_budget = Some(budget);
+        self
+    }
+
+    /// Allows `n` extra attempts for panicked or timed-out cells.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
         self
     }
 
@@ -150,11 +271,15 @@ pub struct PointStats {
     pub suppressed: RunningStats,
 }
 
-/// Completed grid: every cell's metrics, in grid order.
+/// Completed grid: every cell's metrics, in grid order, plus any
+/// quarantined cell failures.
 #[derive(Debug, Clone)]
 pub struct GridResults {
     cells: Vec<Cell>,
     metrics: Vec<RunMetrics>,
+    failed: Vec<bool>,
+    failures: Vec<CellFailure>,
+    skipped_journal_lines: usize,
     series_labels: Vec<String>,
     pulse_list: Vec<usize>,
     seeds_len: usize,
@@ -166,9 +291,27 @@ impl GridResults {
         &self.cells
     }
 
-    /// Per-cell metrics, parallel to [`GridResults::cells`].
+    /// Per-cell metrics, parallel to [`GridResults::cells`]. Failed
+    /// cells hold [`RunMetrics::FAILED`].
     pub fn metrics(&self) -> &[RunMetrics] {
         &self.metrics
+    }
+
+    /// Every quarantined cell failure, in grid order. Empty for a clean
+    /// run.
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
+    }
+
+    /// Whether the cell at `index` (grid order) failed.
+    pub fn is_failed(&self, index: usize) -> bool {
+        self.failed[index]
+    }
+
+    /// Damaged journal lines skipped while resuming (0 for a fresh or
+    /// intact journal).
+    pub fn skipped_journal_lines(&self) -> usize {
+        self.skipped_journal_lines
     }
 
     /// Series labels, in grid order.
@@ -187,14 +330,28 @@ impl GridResults {
         &self.metrics[start..start + self.seeds_len]
     }
 
+    /// How many seeds failed at one (series, pulse-count) point.
+    pub fn point_failed(&self, series: usize, pulse_index: usize) -> usize {
+        let start = (series * self.pulse_list.len() + pulse_index) * self.seeds_len;
+        self.failed[start..start + self.seeds_len]
+            .iter()
+            .filter(|&&f| f)
+            .count()
+    }
+
     /// Aggregates one (series, pulse-count) point over its seeds,
-    /// folding in grid order for bit-reproducible statistics.
+    /// folding in grid order for bit-reproducible statistics. NaN
+    /// metrics — including the [`RunMetrics::FAILED`] sentinel — are
+    /// skipped, so failed cells leave holes instead of poisoning the
+    /// aggregates.
     pub fn point_stats(&self, series: usize, pulse_index: usize) -> PointStats {
         let mut convergence = RunningStats::new();
         let mut messages = RunningStats::new();
         let mut suppressed = RunningStats::new();
         for m in self.point_metrics(series, pulse_index) {
-            convergence.push(m.convergence_secs);
+            if !m.convergence_secs.is_nan() {
+                convergence.push(m.convergence_secs);
+            }
             if !m.messages.is_nan() {
                 messages.push(m.messages);
             }
@@ -210,108 +367,190 @@ impl GridResults {
     }
 }
 
+/// What a worker is currently executing (watchdog bookkeeping).
+#[derive(Debug, Clone)]
+struct ActiveCell {
+    key: String,
+    started: Instant,
+}
+
 /// Executes every cell of `grid` and returns the results in grid order.
 ///
 /// Cells already present in the journal (when `config.resume`) are not
 /// re-executed; their journaled metrics are spliced into place, which
 /// reproduces the exact output of an uninterrupted run because floats
-/// are journaled in shortest-round-trip form.
+/// are journaled in shortest-round-trip form. Cells whose last journal
+/// record is a *failure* are re-run.
+///
+/// Individual cell faults — panics, timeouts, journal-write errors —
+/// do **not** abort the run: the cell is retried up to
+/// `config.retries` times and then quarantined (see
+/// [`GridResults::failures`]); every other cell still executes.
 ///
 /// # Errors
 ///
-/// Returns any I/O error from creating, reading or appending the
-/// journal. Executor panics propagate.
-pub fn run_grid<S, F>(grid: &RunGrid<S>, config: &RunnerConfig, exec: F) -> io::Result<GridResults>
+/// [`RunnerError::Io`] on filesystem errors setting up the journal,
+/// and [`RunnerError::JournalMismatch`] when resuming a journal that
+/// was written by a different grid (unless `config.resume_force`).
+pub fn run_grid<S, F>(
+    grid: &RunGrid<S>,
+    config: &RunnerConfig,
+    exec: F,
+) -> Result<GridResults, RunnerError>
 where
     S: Sync,
     F: Fn(&S, &Cell) -> RunMetrics + Sync,
 {
     let cells = grid.cells();
+    let fingerprint = grid.fingerprint();
 
-    let (journal, completed) = match &config.journal_dir {
+    let (journal, resume_state) = match &config.journal_dir {
         Some(dir) if config.resume => {
-            let (journal, completed) = Journal::resume(dir, grid.name())?;
-            (Some(journal), completed)
+            let (journal, state) = Journal::resume(dir, &fingerprint, config.resume_force)?;
+            (Some(journal), state)
         }
-        Some(dir) => (Some(Journal::create(dir, grid.name())?), Default::default()),
-        None => (None, Default::default()),
+        Some(dir) => (
+            Some(Journal::create(dir, &fingerprint)?),
+            ResumeState::default(),
+        ),
+        None => (None, ResumeState::default()),
     };
+    if resume_state.skipped_lines > 0 {
+        eprintln!(
+            "rfd-runner: journal carried {} damaged line(s); the affected cells will re-run",
+            resume_state.skipped_lines
+        );
+    }
+    if !resume_state.failed.is_empty() {
+        eprintln!(
+            "rfd-runner: {} previously failed cell(s) will be retried",
+            resume_state.failed.len()
+        );
+    }
 
-    // Splice journaled results in by grid position; queue the rest.
+    // Splice journaled results in by grid position; queue the rest
+    // (including previously failed cells, which are *not* completed).
     let mut metrics: Vec<Option<RunMetrics>> = vec![None; cells.len()];
     let mut pending: Vec<usize> = Vec::new();
     for cell in &cells {
-        match completed.get(&cell.key()) {
+        match resume_state.completed.get(&cell.key()) {
             Some(m) => metrics[cell.index] = Some(*m),
             None => pending.push(cell.index),
         }
     }
 
     let journal = journal.as_ref();
-    let io_error: std::sync::Mutex<Option<io::Error>> = std::sync::Mutex::new(None);
     let threads = config.effective_threads();
     let total = pending.len();
-    let progress = pool::PoolProgress::new(pool::workers_for(threads, total));
+    let workers = pool::workers_for(threads, total);
+    let progress = pool::PoolProgress::new(workers);
+    let counts = FaultCounts::default();
+    let active: Vec<Mutex<Option<ActiveCell>>> = (0..workers).map(|_| Mutex::new(None)).collect();
     let started = Instant::now();
     let stop = AtomicBool::new(false);
     let fresh = std::thread::scope(|scope| {
-        let monitor = config.heartbeat.map(|period| {
-            let progress = &progress;
-            let stop = &stop;
-            scope.spawn(move || heartbeat_loop(period, total, started, progress, stop))
-        });
-        // Stops the monitor even when a cell panics and unwinds through
-        // the scope (which joins all spawned threads before returning).
+        let mut monitors = Vec::new();
+        if let Some(period) = config.heartbeat {
+            let (progress, counts, stop) = (&progress, &counts, &stop);
+            monitors.push(
+                scope.spawn(move || heartbeat_loop(period, total, started, progress, counts, stop)),
+            );
+        }
+        if let Some(budget) = config.cell_budget {
+            let (active, stop) = (&active, &stop);
+            monitors.push(scope.spawn(move || watchdog_loop(budget, active, stop)));
+        }
+        // Stops the monitors even when the closure unwinds through the
+        // scope (which joins all spawned threads before returning).
         let _stopper = MonitorStopper {
             stop: &stop,
-            monitor: monitor.as_ref().map(|h| h.thread().clone()),
+            monitors: monitors.iter().map(|h| h.thread().clone()).collect(),
         };
         pool::execute_with_progress(threads, total, Some(&progress), |ctx, i| {
             let cell = &cells[pending[i]];
+            let key = cell.key();
             let scenario = &grid.series_list()[cell.series].scenario;
+            set_active(
+                &active[ctx.worker],
+                Some(ActiveCell {
+                    key: key.clone(),
+                    started: Instant::now(),
+                }),
+            );
             let obs_span = rfd_obs::span("runner.cell");
-            let cell_started = Instant::now();
-            let m = exec(scenario, cell);
-            let duration = cell_started.elapsed();
+            let supervised = supervisor::supervise(
+                cell.index,
+                &key,
+                config.retries,
+                config.cell_budget,
+                &config.chaos,
+                &counts,
+                || exec(scenario, cell),
+            );
             drop(obs_span);
-            rfd_obs::inc("runner.cells_completed");
-            rfd_obs::observe("runner.cell_us", duration.as_micros() as u64);
-            if let Some(budget) = config.cell_budget {
-                if duration > budget {
-                    rfd_obs::inc("runner.budget_overruns");
-                    eprintln!(
-                        "rfd-runner: cell {} took {:.3}s, over its {:.3}s budget",
-                        cell.key(),
-                        duration.as_secs_f64(),
-                        budget.as_secs_f64()
-                    );
-                    match rfd_obs::dump_flight() {
-                        Ok(Some(path)) => {
-                            eprintln!("rfd-runner: flight recorder dumped to {}", path.display());
+            set_active(&active[ctx.worker], None);
+            let supervised = match supervised {
+                Ok(s) => s,
+                Err(failure) => {
+                    if let Some(journal) = journal {
+                        if let Err(e) = journal.record_failure(
+                            &failure.key,
+                            failure.kind,
+                            &failure.message,
+                            failure.attempts,
+                        ) {
+                            eprintln!("rfd-runner: could not journal failure for {key}: {e}");
                         }
-                        Ok(None) => {}
-                        Err(e) => eprintln!("rfd-runner: flight recorder dump failed: {e}"),
                     }
+                    return Err(failure);
                 }
-            }
+            };
+            rfd_obs::inc("runner.cells_completed");
+            rfd_obs::observe("runner.cell_us", supervised.duration.as_micros() as u64);
             if let Some(journal) = journal {
                 let meta = RunMeta {
-                    duration_secs: duration.as_secs_f64(),
+                    duration_secs: supervised.duration.as_secs_f64(),
                     thread: ctx.worker as u64,
+                    retries: supervised.retries,
                 };
-                if let Err(e) = journal.record_with(&cell.key(), &m, Some(&meta)) {
-                    io_error.lock().unwrap().get_or_insert(e);
+                let written = if supervised.short_write {
+                    journal.record_short(&key, &supervised.value, Some(&meta))
+                } else {
+                    journal.record_with(&key, &supervised.value, Some(&meta))
+                };
+                if let Err(e) = written {
+                    // A cell whose result can't be journaled is a cell
+                    // failure, not a process panic: the sweep finishes
+                    // and resume re-runs it.
+                    return Err(supervisor::fail_cell(
+                        &counts,
+                        CellFailure {
+                            index: cell.index,
+                            key,
+                            kind: FailKind::JournalIo,
+                            message: e.to_string(),
+                            attempts: 1,
+                        },
+                    ));
                 }
             }
-            m
+            Ok(supervised.value)
         })
     });
-    if let Some(e) = io_error.into_inner().unwrap() {
-        return Err(e);
+
+    let mut failed = vec![false; cells.len()];
+    let mut failures = Vec::new();
+    for (&slot, outcome) in pending.iter().zip(fresh) {
+        match outcome {
+            Ok(m) => metrics[slot] = Some(m),
+            Err(failure) => {
+                metrics[slot] = Some(RunMetrics::FAILED);
+                failed[slot] = true;
+                failures.push(failure);
+            }
+        }
     }
-    for (slot, m) in pending.into_iter().zip(fresh) {
-        metrics[slot] = Some(m);
-    }
+    failures.sort_by_key(|f| f.index);
 
     Ok(GridResults {
         metrics: metrics
@@ -319,23 +558,30 @@ where
             .map(|m| m.expect("cell executed"))
             .collect(),
         cells,
+        failed,
+        failures,
+        skipped_journal_lines: resume_state.skipped_lines,
         series_labels: grid.series_list().iter().map(|s| s.label.clone()).collect(),
         pulse_list: grid.pulse_list().to_vec(),
         seeds_len: grid.seed_list().len(),
     })
 }
 
-/// Sets the heartbeat stop flag (and wakes the monitor) when dropped,
-/// including during an unwind from a panicking cell.
+fn set_active(slot: &Mutex<Option<ActiveCell>>, value: Option<ActiveCell>) {
+    *slot.lock().unwrap_or_else(|e| e.into_inner()) = value;
+}
+
+/// Sets the monitor stop flag (and wakes the monitor threads) when
+/// dropped, including during an unwind from a panicking closure.
 struct MonitorStopper<'a> {
     stop: &'a AtomicBool,
-    monitor: Option<std::thread::Thread>,
+    monitors: Vec<std::thread::Thread>,
 }
 
 impl Drop for MonitorStopper<'_> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(thread) = &self.monitor {
+        for thread in &self.monitors {
             thread.unpark();
         }
     }
@@ -346,6 +592,7 @@ fn heartbeat_loop(
     total: usize,
     started: Instant,
     progress: &pool::PoolProgress,
+    counts: &FaultCounts,
     stop: &AtomicBool,
 ) {
     let mut next = started + period;
@@ -359,7 +606,8 @@ fn heartbeat_loop(
                     done,
                     total,
                     started.elapsed().as_secs_f64(),
-                    &progress.steal_counts()
+                    &progress.steal_counts(),
+                    counts.snapshot(),
                 )
             );
             next = now + period;
@@ -371,10 +619,49 @@ fn heartbeat_loop(
     }
 }
 
+/// Polls the workers' active-cell slots and reports (once per cell) any
+/// cell that is *still running* past the budget — catching hangs that
+/// the post-hoc timeout classification can only see after the cell
+/// finally returns — and dumps the flight recorder for diagnosis.
+fn watchdog_loop(budget: Duration, active: &[Mutex<Option<ActiveCell>>], stop: &AtomicBool) {
+    let mut reported: HashSet<String> = HashSet::new();
+    while !stop.load(Ordering::SeqCst) {
+        for slot in active {
+            let snapshot = slot.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            if let Some(cell) = snapshot {
+                let elapsed = cell.started.elapsed();
+                if elapsed > budget && reported.insert(cell.key.clone()) {
+                    eprintln!(
+                        "rfd-runner: watchdog: cell {} still running after {:.3}s (budget {:.3}s)",
+                        cell.key,
+                        elapsed.as_secs_f64(),
+                        budget.as_secs_f64()
+                    );
+                    match rfd_obs::dump_flight() {
+                        Ok(Some(path)) => {
+                            eprintln!("rfd-runner: flight recorder dumped to {}", path.display())
+                        }
+                        Ok(None) => {}
+                        Err(e) => eprintln!("rfd-runner: flight recorder dump failed: {e}"),
+                    }
+                }
+            }
+        }
+        std::thread::park_timeout(Duration::from_millis(50).min(budget));
+    }
+}
+
 /// One heartbeat progress line: cells done/total, elapsed wall-clock,
-/// an ETA extrapolated from the per-cell running mean, and per-worker
-/// steal counts.
-pub fn format_heartbeat(done: usize, total: usize, elapsed_secs: f64, steals: &[u64]) -> String {
+/// an ETA extrapolated from the per-cell running mean, per-worker steal
+/// counts, and — only when something went wrong — failed / retried /
+/// timed-out cell counts.
+pub fn format_heartbeat(
+    done: usize,
+    total: usize,
+    elapsed_secs: f64,
+    steals: &[u64],
+    faults: FaultTotals,
+) -> String {
     let eta = if done > 0 && done < total {
         let per_cell = elapsed_secs / done as f64;
         format!("{:.1}s", per_cell * (total - done) as f64)
@@ -384,9 +671,16 @@ pub fn format_heartbeat(done: usize, total: usize, elapsed_secs: f64, steals: &[
         "?".to_owned()
     };
     let pct = (done * 100).checked_div(total).unwrap_or(100);
-    format!(
+    let mut line = format!(
         "rfd-runner: {done}/{total} cells ({pct}%), elapsed {elapsed_secs:.1}s, eta {eta}, steals {steals:?}"
-    )
+    );
+    if faults.any() {
+        line.push_str(&format!(
+            ", failed {}, retried {}, timed out {}",
+            faults.failed, faults.retried, faults.timed_out
+        ));
+    }
+    line
 }
 
 #[cfg(test)]
@@ -462,7 +756,8 @@ mod tests {
         )
         .unwrap();
 
-        // Truncate the journal to simulate a sweep killed partway.
+        // Truncate the journal to simulate a sweep killed partway:
+        // keep the header plus six records.
         let path = journal_path(&dir, grid.name());
         let text = std::fs::read_to_string(&path).unwrap();
         let kept: Vec<&str> = text.lines().take(7).collect();
@@ -479,7 +774,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(executed.load(Ordering::SeqCst), grid.cell_count() - 7);
+        assert_eq!(executed.load(Ordering::SeqCst), grid.cell_count() - 6);
         assert_eq!(resumed.metrics(), full.metrics());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -515,7 +810,7 @@ mod tests {
     }
 
     #[test]
-    fn journal_lines_carry_duration_and_thread_meta() {
+    fn journal_starts_with_header_and_lines_carry_meta() {
         let dir = tmp_dir("meta-wiring");
         let grid = demo_grid();
         run_grid(
@@ -525,11 +820,17 @@ mod tests {
         )
         .unwrap();
         let text = std::fs::read_to_string(journal_path(&dir, grid.name())).unwrap();
-        for line in text.lines() {
+        let mut lines = text.lines();
+        assert_eq!(
+            parse_record(lines.next().unwrap()),
+            Some(Record::Header(grid.fingerprint()))
+        );
+        for line in lines {
             let (_, _, meta) = parse_line_meta(line).expect("line parses");
             let meta = meta.expect("meta recorded");
             assert!(meta.duration_secs >= 0.0);
             assert!((meta.thread as usize) < 2);
+            assert_eq!(meta.retries, 0);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -548,22 +849,38 @@ mod tests {
         })
         .unwrap();
         assert_eq!(reference.metrics(), observed.metrics());
+        assert!(observed.failures().is_empty());
     }
 
     #[test]
     fn format_heartbeat_reports_progress_and_eta() {
-        let line = format_heartbeat(10, 40, 5.0, &[2, 7]);
+        let line = format_heartbeat(10, 40, 5.0, &[2, 7], FaultTotals::default());
         assert_eq!(
             line,
             "rfd-runner: 10/40 cells (25%), elapsed 5.0s, eta 15.0s, steals [2, 7]"
         );
-        assert!(format_heartbeat(0, 40, 1.0, &[]).contains("eta ?"));
-        assert!(format_heartbeat(40, 40, 9.0, &[]).contains("eta 0.0s"));
-        assert!(format_heartbeat(0, 0, 0.0, &[]).contains("(100%)"));
+        assert!(format_heartbeat(0, 40, 1.0, &[], FaultTotals::default()).contains("eta ?"));
+        assert!(format_heartbeat(40, 40, 9.0, &[], FaultTotals::default()).contains("eta 0.0s"));
+        assert!(format_heartbeat(0, 0, 0.0, &[], FaultTotals::default()).contains("(100%)"));
     }
 
     #[test]
-    fn cell_budget_overrun_does_not_fail_the_run() {
+    fn format_heartbeat_appends_fault_counts_only_when_nonzero() {
+        let faults = FaultTotals {
+            failed: 1,
+            retried: 3,
+            timed_out: 2,
+        };
+        let line = format_heartbeat(10, 40, 5.0, &[2, 7], faults);
+        assert_eq!(
+            line,
+            "rfd-runner: 10/40 cells (25%), elapsed 5.0s, eta 15.0s, steals [2, 7], \
+             failed 1, retried 3, timed out 2"
+        );
+    }
+
+    #[test]
+    fn cell_budget_overrun_is_quarantined_not_fatal() {
         let grid = RunGrid::new("budget-test")
             .series("only", 1.0)
             .pulses(vec![1])
@@ -571,5 +888,141 @@ mod tests {
         let config = RunnerConfig::sequential().cell_budget(Duration::from_nanos(1));
         let out = run_grid(&grid, &config, demo_exec).unwrap();
         assert_eq!(out.metrics().len(), 2);
+        assert_eq!(out.failures().len(), 2);
+        assert!(out.failures().iter().all(|f| f.kind == FailKind::Timeout));
+        assert!(out.metrics().iter().all(|m| m.convergence_secs.is_nan()));
+        assert_eq!(out.point_failed(0, 0), 2);
+        // Failed points aggregate to empty stats, not NaN poison.
+        assert_eq!(out.point_stats(0, 0).convergence.count(), 0);
+    }
+
+    #[test]
+    fn panicking_cell_is_quarantined_and_the_rest_complete() {
+        let grid = demo_grid();
+        let reference = run_grid(&grid, &RunnerConfig::sequential(), demo_exec).unwrap();
+        let bad_key = "beta|n=4|seed=20";
+        for threads in [1, 2] {
+            let out = run_grid(
+                &grid,
+                &RunnerConfig::with_threads(threads),
+                |scale: &f64, cell: &Cell| {
+                    if cell.key() == bad_key {
+                        panic!("injected failure");
+                    }
+                    demo_exec(scale, cell)
+                },
+            )
+            .unwrap();
+            assert_eq!(out.failures().len(), 1, "threads={threads}");
+            let failure = &out.failures()[0];
+            assert_eq!(failure.key, bad_key);
+            assert_eq!(failure.kind, FailKind::Panic);
+            assert_eq!(failure.attempts, 1);
+            for (i, (got, want)) in out.metrics().iter().zip(reference.metrics()).enumerate() {
+                if i == failure.index {
+                    assert!(got.convergence_secs.is_nan());
+                    assert!(out.is_failed(i));
+                } else {
+                    assert_eq!(got, want, "threads={threads} cell={i}");
+                    assert!(!out.is_failed(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_retry_heals_and_journals_the_retry_count() {
+        let dir = tmp_dir("retry");
+        let grid = demo_grid();
+        let reference = run_grid(&grid, &RunnerConfig::sequential(), demo_exec).unwrap();
+        let key = "alpha|n=1|seed=10";
+        let config = RunnerConfig::sequential()
+            .journal_to(&dir)
+            .retries(2)
+            .chaos(ChaosPlan::parse(&format!("panic*1@{key}")).unwrap());
+        let out = run_grid(&grid, &config, demo_exec).unwrap();
+        assert!(out.failures().is_empty());
+        assert_eq!(out.metrics(), reference.metrics());
+
+        // The healed cell's journal line carries its retry count.
+        let text = std::fs::read_to_string(journal_path(&dir, grid.name())).unwrap();
+        let retried = text
+            .lines()
+            .filter_map(parse_line_meta)
+            .find(|(k, _, _)| k == key)
+            .expect("healed cell journaled");
+        assert_eq!(retried.2.unwrap().retries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reruns_exactly_the_failed_cells() {
+        let dir = tmp_dir("rerun-failed");
+        let grid = demo_grid();
+        let reference = run_grid(&grid, &RunnerConfig::sequential(), demo_exec).unwrap();
+        let key = "beta|n=9|seed=30";
+
+        let chaotic = RunnerConfig::sequential()
+            .journal_to(&dir)
+            .chaos(ChaosPlan::parse(&format!("panic@{key}")).unwrap());
+        let broken = run_grid(&grid, &chaotic, demo_exec).unwrap();
+        assert_eq!(broken.failures().len(), 1);
+
+        // Resume without chaos: only the failed cell re-executes, and
+        // the healed results equal an uninterrupted run's exactly.
+        let executed = AtomicUsize::new(0);
+        let healed = run_grid(
+            &grid,
+            &RunnerConfig::sequential().journal_to(&dir).resume(true),
+            |scale: &f64, cell: &Cell| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                demo_exec(scale, cell)
+            },
+        )
+        .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 1);
+        assert!(healed.failures().is_empty());
+        assert_eq!(healed.metrics(), reference.metrics());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_journal_unless_forced() {
+        let dir = tmp_dir("foreign");
+        let grid = demo_grid();
+        run_grid(
+            &grid,
+            &RunnerConfig::sequential().journal_to(&dir),
+            demo_exec,
+        )
+        .unwrap();
+
+        // Same name, different parameters: refused.
+        let salted = demo_grid().param_salt(99);
+        let err = run_grid(
+            &salted,
+            &RunnerConfig::sequential().journal_to(&dir).resume(true),
+            demo_exec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunnerError::JournalMismatch(_)));
+        assert!(err.to_string().contains("--resume-force"), "{err}");
+
+        // Forced: resumes anyway (keys match, so nothing re-runs).
+        let executed = AtomicUsize::new(0);
+        run_grid(
+            &salted,
+            &RunnerConfig::sequential()
+                .journal_to(&dir)
+                .resume(true)
+                .resume_force(true),
+            |scale: &f64, cell: &Cell| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                demo_exec(scale, cell)
+            },
+        )
+        .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

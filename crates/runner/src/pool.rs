@@ -17,8 +17,16 @@
 //! runner's heartbeat reads while a sweep is in flight.
 
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Locks a queue even if a sibling worker died while holding it — the
+/// protected data (a deque of job indices) has no invariant a panic
+/// could break, so poisoning is noise here, not a safety signal.
+fn lock_queue(queue: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    queue.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The identity of the worker executing a job.
 #[derive(Debug, Clone, Copy)]
@@ -92,10 +100,19 @@ where
 /// Like [`execute`], but hands each job its [`WorkerCtx`] and, when
 /// `progress` is given, updates it live as jobs finish.
 ///
+/// Each job runs inside `catch_unwind`: a panicking job never kills its
+/// worker, never poisons a sibling's deque, and never strands queued
+/// jobs — **every** job executes, and only after all workers have
+/// drained does the pool re-raise the panic of the lowest-indexed
+/// failed job (deterministic regardless of completion order). Callers
+/// that must survive job panics wrap jobs in their own supervision
+/// (see `supervisor`); bare closures keep panic-propagation semantics.
+///
 /// # Panics
 ///
 /// Panics if `threads` is zero, if `progress` was sized for fewer
-/// workers than [`workers_for`] resolves to, or if a job panics.
+/// workers than [`workers_for`] resolves to, or (after all jobs have
+/// run) if a job panicked.
 pub fn execute_with_progress<T, F>(
     threads: usize,
     jobs: usize,
@@ -120,15 +137,14 @@ where
             progress.completed.fetch_add(1, Ordering::Relaxed);
         }
     };
+    let run_caught = |ctx: WorkerCtx, j: usize| -> std::thread::Result<T> {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| run(ctx, j)));
+        complete_one();
+        outcome
+    };
     if threads == 1 || jobs <= 1 {
         let ctx = WorkerCtx { worker: 0 };
-        return (0..jobs)
-            .map(|j| {
-                let out = run(ctx, j);
-                complete_one();
-                out
-            })
-            .collect();
+        return resolve((0..jobs).map(|j| Some(run_caught(ctx, j))).collect());
     }
     let workers = workers_for(threads, jobs);
 
@@ -138,23 +154,22 @@ where
         .map(|w| Mutex::new((w..jobs).step_by(workers).collect()))
         .collect();
 
-    let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut results: Vec<Option<std::thread::Result<T>>> = (0..jobs).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for me in 0..workers {
             let queues = &queues;
-            let run = &run;
-            let complete_one = &complete_one;
+            let run_caught = &run_caught;
             handles.push(scope.spawn(move || {
                 let ctx = WorkerCtx { worker: me };
-                let mut done: Vec<(usize, T)> = Vec::new();
+                let mut done: Vec<(usize, std::thread::Result<T>)> = Vec::new();
                 loop {
                     // Own work first (front), then steal (back).
                     let mut stolen = false;
-                    let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                    let job = lock_queue(&queues[me]).pop_front().or_else(|| {
                         (1..workers)
                             .map(|k| (me + k) % workers)
-                            .find_map(|v| queues[v].lock().unwrap().pop_back())
+                            .find_map(|v| lock_queue(&queues[v]).pop_back())
                             .inspect(|_| stolen = true)
                     });
                     match job {
@@ -165,8 +180,7 @@ where
                                     progress.steals[me].fetch_add(1, Ordering::Relaxed);
                                 }
                             }
-                            done.push((j, run(ctx, j)));
-                            complete_one();
+                            done.push((j, run_caught(ctx, j)));
                         }
                         None => return done,
                     }
@@ -179,10 +193,24 @@ where
             }
         }
     });
+    resolve(results)
+}
+
+/// Unwraps per-job outcomes, re-raising the panic of the lowest-indexed
+/// failed job once every job has run.
+fn resolve<T>(mut results: Vec<Option<std::thread::Result<T>>>) -> Vec<T> {
+    if let Some(slot) = results.iter_mut().find(|r| matches!(r, Some(Err(_)))) {
+        if let Some(Err(payload)) = slot.take() {
+            panic::resume_unwind(payload);
+        }
+    }
     results
         .into_iter()
         .enumerate()
-        .map(|(j, r)| r.unwrap_or_else(|| panic!("job {j} never ran")))
+        .map(|(j, r)| match r {
+            Some(Ok(value)) => value,
+            _ => panic!("job {j} never ran"),
+        })
         .collect()
 }
 
@@ -238,6 +266,55 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn panicking_job_does_not_stop_siblings_or_poison_deques() {
+        // A panicking job must leave its worker alive and its siblings'
+        // deques usable: every other job still runs exactly once, and
+        // progress counts all of them, at any thread count.
+        for threads in [1, 2, 8] {
+            let jobs = 24;
+            let ran: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+            let progress = PoolProgress::new(workers_for(threads, jobs));
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                execute_with_progress(threads, jobs, Some(&progress), |_ctx, j| {
+                    ran[j].fetch_add(1, Ordering::SeqCst);
+                    if j == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    j
+                })
+            }));
+            assert!(outcome.is_err(), "threads={threads}: panic must propagate");
+            for (j, count) in ran.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "threads={threads} job={j} must run exactly once"
+                );
+            }
+            assert_eq!(progress.completed.load(Ordering::SeqCst), jobs);
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_deterministically() {
+        // With several panicking jobs, the propagated payload is always
+        // the lowest-indexed one, independent of completion order.
+        for threads in [1, 4] {
+            let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                execute(threads, 16, |j| {
+                    if j == 3 || j == 11 {
+                        panic!("job {j} failed");
+                    }
+                    j
+                })
+            }))
+            .unwrap_err();
+            let message = payload.downcast_ref::<String>().unwrap();
+            assert_eq!(message, "job 3 failed", "threads={threads}");
+        }
     }
 
     #[test]

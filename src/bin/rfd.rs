@@ -168,7 +168,14 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
     use route_flap_damping::experiments::figures::{fig13_14, fig15, fig8_9};
     use route_flap_damping::experiments::TopologyKind;
 
-    let cmd = parse_sweep_command(args)?;
+    let mut cmd = parse_sweep_command(args)?;
+    // The hidden `--chaos` flag wins; otherwise the `RFD_CHAOS`
+    // environment variable can inject the same fault plan.
+    if cmd.opts.chaos.is_empty() {
+        if let Some(plan) = rfd_runner::ChaosPlan::from_env()? {
+            cmd.opts.chaos = plan;
+        }
+    }
     let obs = obs_begin(&cmd.obs, "sweep");
     let (mesh, internet) = if cmd.quick {
         (
@@ -219,6 +226,14 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
     print!("{}", messages.to_csv());
     if let Some(path) = &obs {
         output::obs_finish(path);
+    }
+    if !sweep.failures.is_empty() {
+        eprint!("{}", rfd_runner::render_failure_report(&sweep.failures));
+        return Err(format!(
+            "{} sweep cell(s) failed — CSV marks them FAILED; re-run with --resume",
+            sweep.failures.len()
+        )
+        .into());
     }
     Ok(())
 }

@@ -6,11 +6,13 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use rfd_bgp::{DampingDeployment, NetworkConfig, PenaltyFilter, Policy, ProtocolOptions};
 use rfd_core::DampingParams;
 use rfd_experiments::scenarios::infer_relationships;
 use rfd_experiments::SweepOptions;
+use rfd_runner::ChaosPlan;
 use rfd_sim::SimDuration;
 use rfd_topology::Graph;
 
@@ -267,8 +269,10 @@ pub struct SweepCommand {
 }
 
 /// Parses the arguments of `rfd sweep`: `--figure`, `--threads N`,
-/// `--resume`, `--max-pulses N`, `--seeds A,B,C`, `--quick`,
-/// `--no-journal`, `--full-traces`, `--obs[=PATH]`.
+/// `--resume`, `--resume-force`, `--retries N`, `--cell-budget SECS`,
+/// `--max-pulses N`, `--seeds A,B,C`, `--quick`, `--no-journal`,
+/// `--full-traces`, `--obs[=PATH]`, plus the hidden fault-injection
+/// knob `--chaos SPEC` (see [`ChaosPlan::parse`]).
 ///
 /// # Errors
 ///
@@ -310,6 +314,25 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
                     .map_err(|_| CliError("--threads needs an integer".into()))?
             }
             "--resume" => cmd.opts.resume = true,
+            "--resume-force" => {
+                cmd.opts.resume = true;
+                cmd.opts.resume_force = true;
+            }
+            "--retries" => {
+                cmd.opts.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| CliError("--retries needs an integer".into()))?
+            }
+            "--cell-budget" => {
+                let secs: f64 = value("--cell-budget")?
+                    .parse()
+                    .map_err(|_| CliError("--cell-budget needs seconds".into()))?;
+                cmd.opts.cell_budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--chaos" => {
+                cmd.opts.chaos = ChaosPlan::parse(&value("--chaos")?)
+                    .map_err(|e| CliError(format!("--chaos: {e}")))?
+            }
             "--max-pulses" => {
                 cmd.opts.max_pulses = value("--max-pulses")?
                     .parse()
@@ -376,6 +399,7 @@ USAGE:
           [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
           [--reuse-granularity SECS] [--obs[=PATH]]
   rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
+            [--resume-force] [--retries N] [--cell-budget SECS]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
             [--full-traces] [--obs[=PATH]]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
@@ -525,6 +549,23 @@ mod tests {
         assert!(parse_sweep_command(&args("--seeds 1,x")).is_err());
         assert!(parse_sweep_command(&args("--seeds")).is_err());
         assert!(parse_sweep_command(&args("--bogus")).is_err());
+        assert!(parse_sweep_command(&args("--retries many")).is_err());
+        assert!(parse_sweep_command(&args("--cell-budget soon")).is_err());
+        assert!(parse_sweep_command(&args("--chaos panic")).is_err());
+    }
+
+    #[test]
+    fn sweep_command_parses_fault_tolerance_flags() {
+        let cmd = parse_sweep_command(&args(
+            "--quick --retries 2 --resume-force --cell-budget 1.5 --chaos panic@a|n=1|seed=1",
+        ))
+        .unwrap();
+        assert_eq!(cmd.opts.retries, 2);
+        assert!(cmd.opts.resume, "--resume-force implies --resume");
+        assert!(cmd.opts.resume_force);
+        assert_eq!(cmd.opts.cell_budget, Some(Duration::from_secs_f64(1.5)));
+        assert!(!cmd.opts.chaos.is_empty());
+        assert!(cmd.opts.chaos.fault_for("a|n=1|seed=1", 1).is_some());
     }
 
     #[test]
