@@ -1,0 +1,62 @@
+//! Firehose ingest benches: sustained damper-decision throughput for
+//! both workload mixes at several shard counts, plus the generator on
+//! its own (the ceiling any shard layout is fed from).
+//!
+//! Durations here are *simulated* seconds — the engine drains virtual
+//! time as fast as it can, so a 20-minute workload is a few
+//! milliseconds of wall clock.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfd_firehose::{run, Firehose, FirehoseConfig, WorkloadKind, WorkloadSpec};
+use rfd_sim::SimDuration;
+
+fn spec(kind: WorkloadKind) -> WorkloadSpec {
+    WorkloadSpec {
+        peers: 16,
+        prefixes: 1024,
+        rate: 500.0,
+        duration: SimDuration::from_secs(1200),
+        kind,
+        seed: 42,
+    }
+}
+
+fn generator_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("firehose/generate");
+    for kind in [WorkloadKind::Poisson, WorkloadKind::FlapStorm] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let count = Firehose::new(&spec(kind)).count();
+                    black_box(count)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    for kind in [WorkloadKind::Poisson, WorkloadKind::FlapStorm] {
+        let mut group = c.benchmark_group(&format!("firehose/{}", kind.name()));
+        group.sample_size(10);
+        for shards in [1usize, 2, 4] {
+            group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+                b.iter(|| {
+                    let config = FirehoseConfig {
+                        shards,
+                        ..FirehoseConfig::new(spec(kind))
+                    };
+                    let report = run(&config).expect("bench config valid");
+                    black_box(report.aggregate.updates)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, generator_only, end_to_end);
+criterion_main!(benches);

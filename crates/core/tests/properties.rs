@@ -199,6 +199,69 @@ proptest! {
         }
     }
 
+    /// `charge_raw` saturates at the RFC 2439 ceiling (the BIRD-style
+    /// clamp): no sequence of raw charge amounts pushes the penalty
+    /// past it, and a single overweight charge pins the value exactly
+    /// *at* the ceiling rather than merely below it.
+    #[test]
+    fn charge_raw_saturates_at_ceiling(
+        steps in proptest::collection::vec((0u64..600, 0.0f64..30_000.0), 1..40),
+    ) {
+        let params = DampingParams::cisco();
+        let mut d = Damper::new(params);
+        let mut now = SimTime::ZERO;
+        for (gap, amount) in steps {
+            now += SimDuration::from_secs(gap);
+            let out = d.charge_raw(now, amount);
+            prop_assert!(out.penalty <= params.penalty_ceiling() + 1e-9);
+            if amount >= params.penalty_ceiling() {
+                prop_assert!(
+                    (out.penalty - params.penalty_ceiling()).abs() < 1e-9,
+                    "overweight charge must clamp exactly to the ceiling, got {}",
+                    out.penalty
+                );
+            }
+        }
+    }
+
+    /// A released entry can be suppressed again *immediately*: right at
+    /// the reuse instant the penalty sits just below the reuse
+    /// threshold, so fresh withdrawals re-cross the cutoff and must
+    /// re-arm suppression and a new reuse deadline (no latch, no
+    /// cooldown).
+    #[test]
+    fn suppression_reenters_immediately_after_reuse(
+        gaps in proptest::collection::vec(0u64..180, 3..12),
+    ) {
+        let params = DampingParams::cisco();
+        let mut d = Damper::new(params);
+        let mut now = SimTime::ZERO;
+        // Gaps ≤ 180 s between ≥ 3 withdrawals always cross the Cisco
+        // cutoff, so the entry is suppressed when the storm ends.
+        for gap in gaps {
+            now += SimDuration::from_secs(gap);
+            d.record_update(now, UpdateKind::Withdrawal);
+        }
+        prop_assert!(d.is_suppressed());
+        let mut due = d.reuse_at(now).expect("suppressed ⇒ deadline");
+        loop {
+            match d.on_reuse_due(due) {
+                ReuseCheck::Released => break,
+                ReuseCheck::StillSuppressed { retry_at } => due = retry_at,
+            }
+        }
+        prop_assert!(!d.is_suppressed());
+        // At release the penalty is within rounding of the reuse
+        // threshold (750): one withdrawal stays below the cutoff…
+        let first = d.record_update(due, UpdateKind::Withdrawal);
+        prop_assert!(!first.newly_suppressed);
+        // …and the second re-crosses it at the very same instant.
+        let second = d.record_update(due, UpdateKind::Withdrawal);
+        prop_assert!(second.newly_suppressed, "re-entry blocked after reuse");
+        prop_assert!(second.penalty > params.cutoff_threshold());
+        prop_assert!(second.reuse_at.expect("re-armed deadline") > due);
+    }
+
     /// Closed-form penalty equals the damper's sequential computation
     /// for arbitrary schedules.
     #[test]

@@ -1,0 +1,465 @@
+//! The sharded ingest engine: one generator thread feeding W shard
+//! workers through bounded SPSC queues.
+//!
+//! The generator performs the k-way session merge ([`Firehose`]) and
+//! routes each update by `shard_hash(key) % shards`; each worker owns a
+//! [`ShardState`] and drains its queue in batches. Because the merge is
+//! globally time-ordered and routing is a pure function of the key,
+//! every worker sees its keys' updates in the same order regardless of
+//! the shard count — the aggregate decision report is identical for
+//! `--shards 1`, `2` or `8` on the same seed. Fault injection (panics,
+//! hangs) happens at *check boundaries* between updates, never inside
+//! one, so the invariance holds under chaos too.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rfd_core::DampingParams;
+use rfd_obs::Histogram;
+use rfd_runner::{ChaosKind, ChaosPlan};
+use rfd_sim::SimTime;
+
+use crate::queue::SpscQueue;
+use crate::report::{Aggregate, FirehoseReport, ShardPerf};
+use crate::shard::ShardState;
+use crate::workload::{shard_hash, Firehose, Update, WorkloadSpec};
+
+/// Updates a worker drains from its queue per lock acquisition.
+const BATCH: usize = 256;
+/// Updates between chaos checkpoints. An unbounded `panic@shardN`
+/// fault panics at every checkpoint, but the attempt counter advances
+/// per *check*, so at least this many updates are processed between
+/// recoveries — the run always finishes.
+const CHAOS_STRIDE: u32 = 1000;
+
+/// Everything one engine run needs.
+#[derive(Debug, Clone)]
+pub struct FirehoseConfig {
+    /// The synthetic workload to generate.
+    pub spec: WorkloadSpec,
+    /// Number of shard workers (and queues).
+    pub shards: usize,
+    /// Damping parameters every shard applies.
+    pub params: DampingParams,
+    /// Deterministic fault plan; keys are `shard0`, `shard1`, …
+    /// (`hang` faults model slow consumers and surface as
+    /// backpressure; `shortwrite` has no journal here and is a no-op).
+    pub chaos: ChaosPlan,
+    /// Stderr heartbeat period; `None` disables the monitor.
+    pub heartbeat: Option<Duration>,
+    /// Capacity of each shard's ingest queue.
+    pub queue_capacity: usize,
+}
+
+impl FirehoseConfig {
+    /// A config with engine defaults (1 shard, Cisco parameters, no
+    /// chaos, no heartbeat, 1024-slot queues).
+    pub fn new(spec: WorkloadSpec) -> Self {
+        FirehoseConfig {
+            spec,
+            shards: 1,
+            params: DampingParams::cisco(),
+            chaos: ChaosPlan::none(),
+            heartbeat: None,
+            queue_capacity: 1024,
+        }
+    }
+
+    /// Checks the config is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on a degenerate workload spec,
+    /// zero shards, or a zero-capacity queue.
+    pub fn validate(&self) -> Result<(), String> {
+        self.spec.validate()?;
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard gauges shared between a worker and the heartbeat monitor.
+#[derive(Debug, Default)]
+struct ShardGauges {
+    processed: AtomicU64,
+    recovered_panics: AtomicU64,
+}
+
+/// Runs the firehose to completion and reports.
+///
+/// # Errors
+///
+/// Returns the [`FirehoseConfig::validate`] message on a bad config.
+///
+/// # Panics
+///
+/// Propagates non-chaos panics from shard workers (a worker dying for
+/// any reason other than an injected fault is a bug, not a result).
+pub fn run(config: &FirehoseConfig) -> Result<FirehoseReport, String> {
+    config.validate()?;
+    let started = Instant::now();
+    let hose = Firehose::new(&config.spec);
+    let end = hose.end();
+    let queues: Vec<SpscQueue<Update>> = (0..config.shards)
+        .map(|_| SpscQueue::new(config.queue_capacity))
+        .collect();
+    let gauges: Vec<ShardGauges> = (0..config.shards).map(|_| ShardGauges::default()).collect();
+    let decision_ns = Histogram::standalone();
+    // Latest simulated instant the generator has emitted, in µs — the
+    // heartbeat's progress signal (duration is simulated time, so wall
+    // clock says nothing about how far along the run is).
+    let sim_now_us = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    let aggregates: Vec<Aggregate> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.shards)
+            .map(|i| {
+                let queue = &queues[i];
+                let gauge = &gauges[i];
+                let hist = decision_ns.clone();
+                let chaos = &config.chaos;
+                let params = config.params;
+                scope.spawn(move || shard_worker(i, queue, params, chaos, &hist, end, gauge))
+            })
+            .collect();
+
+        let monitor = config.heartbeat.map(|period| {
+            let gauges = &gauges;
+            let queues = &queues;
+            let sim_now_us = &sim_now_us;
+            let stop = &stop;
+            let total_us = config.spec.duration.as_micros();
+            scope.spawn(move || {
+                heartbeat_loop(period, started, total_us, sim_now_us, gauges, queues, stop)
+            })
+        });
+        // Stops the monitor even if the generator or a join below
+        // unwinds — otherwise the scope would deadlock waiting for it.
+        let _stopper = MonitorStopper {
+            stop: &stop,
+            monitor: monitor.as_ref().map(|h| h.thread().clone()),
+        };
+
+        for update in hose {
+            let shard = (shard_hash(update.key()) % config.shards as u64) as usize;
+            sim_now_us.store(update.at.as_micros(), Ordering::Relaxed);
+            queues[shard].push(update);
+        }
+        for queue in &queues {
+            queue.close();
+        }
+        workers
+            .into_iter()
+            .map(|h| h.join().expect("shard worker died outside chaos"))
+            .collect()
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut aggregate = Aggregate::default();
+    for shard_agg in &aggregates {
+        aggregate.merge(shard_agg);
+    }
+    let shard_perf = (0..config.shards)
+        .map(|i| ShardPerf {
+            processed: gauges[i].processed.load(Ordering::Relaxed),
+            max_queue_depth: queues[i].max_depth(),
+            push_waits: queues[i].push_waits(),
+            recovered_panics: gauges[i].recovered_panics.load(Ordering::Relaxed),
+        })
+        .collect();
+    let updates_per_sec = aggregate.updates as f64 / elapsed.max(1e-9);
+    Ok(FirehoseReport {
+        workload: config.spec.kind.name(),
+        shards: config.shards,
+        seed: config.spec.seed,
+        aggregate,
+        shard_perf,
+        elapsed_secs: elapsed,
+        updates_per_sec,
+        updates_per_sec_per_shard: updates_per_sec / config.shards as f64,
+        decision_ns,
+    })
+}
+
+/// One shard worker: drain, checkpoint, apply, repeat — wrapped in a
+/// recovery loop so injected panics lose no updates.
+fn shard_worker(
+    index: usize,
+    queue: &SpscQueue<Update>,
+    params: DampingParams,
+    chaos: &ChaosPlan,
+    decision_ns: &Histogram,
+    end: SimTime,
+    gauge: &ShardGauges,
+) -> Aggregate {
+    let chaos_key = format!("shard{index}");
+    let mut state = ShardState::new(params);
+    let mut batch: Vec<Update> = Vec::with_capacity(BATCH);
+    // Next unapplied index into `batch`: survives a recovery, so the
+    // retry resumes exactly where the fault hit.
+    let mut pos = 0usize;
+    let mut until_check = 0u32;
+    let mut attempt = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            while pos < batch.len() {
+                if until_check == 0 {
+                    // Re-arm *before* injecting: after a recovery the
+                    // next CHAOS_STRIDE updates run unchecked, so even
+                    // an every-attempt panic plan makes progress.
+                    until_check = CHAOS_STRIDE;
+                    attempt += 1;
+                    match chaos.fault_for(&chaos_key, attempt) {
+                        Some(ChaosKind::Panic) => {
+                            panic!("chaos: injected panic in {chaos_key} (attempt {attempt})")
+                        }
+                        Some(ChaosKind::Hang(d)) => std::thread::sleep(d),
+                        Some(ChaosKind::ShortWrite) | None => {}
+                    }
+                }
+                until_check -= 1;
+                let t0 = Instant::now();
+                state.apply(batch[pos]);
+                decision_ns.observe(t0.elapsed().as_nanos() as u64);
+                pos += 1;
+                gauge.processed.fetch_add(1, Ordering::Relaxed);
+            }
+            batch.clear();
+            pos = 0;
+            if !queue.pop_batch(&mut batch, BATCH) {
+                return;
+            }
+        }));
+        match outcome {
+            Ok(()) => break,
+            Err(payload) => {
+                // Only injected panics are recoverable; anything else
+                // is a real bug and must fail the run loudly.
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .unwrap_or("");
+                assert!(
+                    msg.starts_with("chaos:"),
+                    "shard worker {index} panicked outside chaos: {msg:?}"
+                );
+                gauge.recovered_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    state.finish(end)
+}
+
+/// Sets the monitor stop flag (and wakes the monitor) when dropped.
+struct MonitorStopper<'a> {
+    stop: &'a AtomicBool,
+    monitor: Option<std::thread::Thread>,
+}
+
+impl Drop for MonitorStopper<'_> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = &self.monitor {
+            thread.unpark();
+        }
+    }
+}
+
+fn heartbeat_loop(
+    period: Duration,
+    started: Instant,
+    total_us: u64,
+    sim_now_us: &AtomicU64,
+    gauges: &[ShardGauges],
+    queues: &[SpscQueue<Update>],
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::park_timeout(period);
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let processed: u64 = gauges
+            .iter()
+            .map(|g| g.processed.load(Ordering::Relaxed))
+            .sum();
+        let recovered: u64 = gauges
+            .iter()
+            .map(|g| g.recovered_panics.load(Ordering::Relaxed))
+            .sum();
+        let depths: Vec<usize> = queues.iter().map(SpscQueue::depth).collect();
+        let line = format_firehose_heartbeat(
+            processed,
+            sim_now_us.load(Ordering::Relaxed),
+            total_us,
+            started.elapsed().as_secs_f64(),
+            &depths,
+            recovered,
+        );
+        eprintln!("{line}");
+    }
+}
+
+/// One heartbeat line: updates processed and rate, simulated-time
+/// progress with wall-clock ETA, per-shard queue depths, and recovered
+/// fault count (only when nonzero).
+pub fn format_firehose_heartbeat(
+    processed: u64,
+    sim_now_us: u64,
+    total_us: u64,
+    elapsed_secs: f64,
+    queue_depths: &[usize],
+    recovered_panics: u64,
+) -> String {
+    let frac = if total_us == 0 {
+        1.0
+    } else {
+        (sim_now_us as f64 / total_us as f64).min(1.0)
+    };
+    let rate = processed as f64 / elapsed_secs.max(1e-9);
+    let eta = if frac > 0.0 {
+        format!("{:.1}s", (elapsed_secs / frac - elapsed_secs).max(0.0))
+    } else {
+        "?".to_owned()
+    };
+    let depths = queue_depths
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let mut line = format!(
+        "firehose: {processed} updates ({rate:.0}/s) sim {:.0}% eta {eta} queues {depths}",
+        frac * 100.0
+    );
+    if recovered_panics > 0 {
+        line.push_str(&format!(" recovered-panics {recovered_panics}"));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadKind;
+    use rfd_sim::SimDuration;
+
+    fn config(shards: usize, kind: WorkloadKind) -> FirehoseConfig {
+        FirehoseConfig {
+            shards,
+            ..FirehoseConfig::new(WorkloadSpec {
+                peers: 6,
+                prefixes: 32,
+                rate: 40.0,
+                duration: SimDuration::from_secs(1800),
+                kind,
+                seed: 11,
+            })
+        }
+    }
+
+    #[test]
+    fn aggregates_are_shard_count_invariant() {
+        for kind in [WorkloadKind::Poisson, WorkloadKind::FlapStorm] {
+            let one = run(&config(1, kind)).expect("runs");
+            let four = run(&config(4, kind)).expect("runs");
+            assert_eq!(one.aggregate, four.aggregate, "{kind:?}");
+            assert!(
+                one.aggregate.updates > 1000,
+                "{kind:?}: too small to mean much"
+            );
+        }
+    }
+
+    #[test]
+    fn flap_storm_exercises_every_decision_path() {
+        // Suppressed storms need ~45 simulated minutes to decay to
+        // release and ~60 to eviction; give the run three hours.
+        let mut cfg = config(2, WorkloadKind::FlapStorm);
+        cfg.spec.duration = SimDuration::from_secs(3 * 3600);
+        let report = run(&cfg).expect("runs");
+        let agg = report.aggregate;
+        assert!(agg.suppressions > 0, "{agg:?}");
+        assert!(agg.reuses > 0, "{agg:?}");
+        assert!(agg.evictions > 0, "{agg:?}");
+        assert!(report.decision_ns.count() == agg.updates);
+        assert_eq!(
+            report.shard_perf.iter().map(|p| p.processed).sum::<u64>(),
+            agg.updates
+        );
+    }
+
+    #[test]
+    fn chaos_panics_recover_without_changing_decisions() {
+        let clean = run(&config(2, WorkloadKind::FlapStorm)).expect("runs");
+        let mut chaotic_config = config(2, WorkloadKind::FlapStorm);
+        chaotic_config.chaos = ChaosPlan::none().with("shard0", ChaosKind::Panic, 2);
+        let chaotic = run(&chaotic_config).expect("runs");
+        assert_eq!(clean.aggregate, chaotic.aggregate);
+        assert_eq!(chaotic.shard_perf[0].recovered_panics, 2);
+        assert_eq!(chaotic.shard_perf[1].recovered_panics, 0);
+    }
+
+    #[test]
+    fn unbounded_panic_plan_still_finishes() {
+        let mut cfg = config(1, WorkloadKind::Poisson);
+        cfg.chaos = ChaosPlan::none().with("shard0", ChaosKind::Panic, u32::MAX);
+        let clean = run(&config(1, WorkloadKind::Poisson)).expect("runs");
+        let chaotic = run(&cfg).expect("runs");
+        assert_eq!(clean.aggregate, chaotic.aggregate);
+        assert!(chaotic.shard_perf[0].recovered_panics > 0);
+    }
+
+    #[test]
+    fn hang_fault_shows_up_as_backpressure() {
+        let mut cfg = config(1, WorkloadKind::Poisson);
+        cfg.queue_capacity = 8;
+        cfg.chaos = ChaosPlan::none().with("shard0", ChaosKind::Hang(Duration::from_millis(40)), 1);
+        let report = run(&cfg).expect("runs");
+        assert!(
+            report.shard_perf[0].push_waits > 0,
+            "generator never blocked on the hung shard"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = config(1, WorkloadKind::Poisson);
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.shards = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.queue_capacity = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.spec.rate = -1.0;
+        assert!(run(&bad).is_err());
+    }
+
+    #[test]
+    fn heartbeat_format_is_stable() {
+        let line = format_firehose_heartbeat(5000, 600_000_000, 1_200_000_000, 2.0, &[3, 0], 0);
+        assert!(line.contains("5000 updates (2500/s)"), "{line}");
+        assert!(line.contains("sim 50%"), "{line}");
+        assert!(line.contains("eta 2.0s"), "{line}");
+        assert!(line.contains("queues 3/0"), "{line}");
+        assert!(!line.contains("recovered"), "{line}");
+        let line = format_firehose_heartbeat(0, 0, 100, 1.0, &[1], 3);
+        assert!(line.contains("eta ?"), "{line}");
+        assert!(line.contains("recovered-panics 3"), "{line}");
+    }
+
+    #[test]
+    fn heartbeat_monitor_runs_and_stops() {
+        let mut cfg = config(2, WorkloadKind::Poisson);
+        cfg.heartbeat = Some(Duration::from_millis(1));
+        let report = run(&cfg).expect("runs");
+        assert!(report.aggregate.updates > 0);
+    }
+}

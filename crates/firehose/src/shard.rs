@@ -1,0 +1,347 @@
+//! Per-shard damping state: a dense slot-map of [`Damper`]s plus the
+//! bucketed reuse/decay sweep.
+//!
+//! Each shard owns the keys that hash to it and nothing else — no locks
+//! on the hot path. Reuse timers and the forgotten-state eviction sweep
+//! run at fixed *simulated-time* boundaries (multiples of
+//! [`ShardState::TICK`]): a boundary is processed when the shard first
+//! sees an update at or past it, strictly before that update is
+//! applied. Because the merged firehose delivers each shard's updates
+//! in global time order, every key's interleaving of charges, reuse
+//! checks and sweeps is a pure function of the key's own update stream
+//! — independent of how many shards the state is partitioned across.
+//! That is the determinism contract the engine's aggregate report
+//! asserts.
+
+use std::collections::HashMap;
+
+use rfd_core::{ChargeOutcome, Damper, DampingParams, ReuseCheck, ReuseList};
+use rfd_sim::{SimDuration, SimTime};
+
+use crate::report::Aggregate;
+use crate::workload::Update;
+
+/// One occupied slot: the packed (peer, prefix) key and its damper.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: u64,
+    damper: Damper,
+}
+
+/// The damping-state owner for one shard.
+#[derive(Debug)]
+pub struct ShardState {
+    params: DampingParams,
+    /// Packed key → slot index.
+    index: HashMap<u64, u32>,
+    /// Dense storage; `None` slots are on the free list.
+    slots: Vec<Option<Entry>>,
+    free: Vec<u32>,
+    /// Suppressed slots bucketed by their next reuse check.
+    reuse: ReuseList<u32>,
+    /// Next boundary index to process (boundary k = k · TICK).
+    next_tick: u64,
+    agg: Aggregate,
+}
+
+impl ShardState {
+    /// Reuse/sweep boundary granularity (simulated seconds). RFC 2439
+    /// §4.8.7 suggests quantised reuse lists at a coarse tick; 10 s
+    /// bounds the release delay while keeping sweeps rare.
+    pub const TICK: SimDuration = SimDuration::from_secs(10);
+    /// Eviction sweeps run every `EVICT_EVERY` ticks (5 simulated
+    /// minutes): scanning every slot is linear, so it is amortised over
+    /// many updates.
+    pub const EVICT_EVERY: u64 = 30;
+
+    /// An empty shard.
+    pub fn new(params: DampingParams) -> Self {
+        ShardState {
+            params,
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            reuse: ReuseList::new(Self::TICK),
+            next_tick: 1,
+            agg: Aggregate::default(),
+        }
+    }
+
+    /// Applies one update: advances boundary work up to `update.at`,
+    /// then charges the damper (creating it on first sight) and records
+    /// the decision in the aggregate. Returns the charge outcome.
+    pub fn apply(&mut self, update: Update) -> ChargeOutcome {
+        self.advance_boundaries(update.at);
+        let key = update.key();
+        let slot = match self.index.get(&key) {
+            Some(&slot) => slot,
+            None => self.insert(key),
+        };
+        let entry = self.slots[slot as usize]
+            .as_mut()
+            .expect("indexed slot occupied");
+        let outcome = entry.damper.record_update(update.at, update.kind);
+        self.agg.updates += 1;
+        // Nominal charge in integer milli-units: summing f64 penalties
+        // in shard-dependent order would not be partition-invariant.
+        self.agg.penalty_milli += (update.kind.penalty(&self.params) * 1000.0).round() as u64;
+        if outcome.newly_suppressed {
+            self.agg.suppressions += 1;
+            let reuse_at = outcome
+                .reuse_at
+                .expect("suppressed entries have a deadline");
+            self.reuse.schedule(slot, reuse_at);
+        }
+        outcome
+    }
+
+    /// Runs the remaining boundary work through `end` (the simulated
+    /// end of the firehose) and returns the shard's aggregate.
+    pub fn finish(mut self, end: SimTime) -> Aggregate {
+        self.advance_boundaries_inclusive(end);
+        self.agg.live_entries = self.index.len() as u64;
+        self.agg.suppressed_at_end = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|e| e.damper.is_suppressed())
+            .count() as u64;
+        self.agg
+    }
+
+    /// Number of live damping-state entries.
+    pub fn live_entries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The aggregate accumulated so far (finalised by
+    /// [`ShardState::finish`]).
+    pub fn aggregate(&self) -> &Aggregate {
+        &self.agg
+    }
+
+    fn insert(&mut self, key: u64) -> u32 {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(Entry {
+                    key,
+                    damper: Damper::new(self.params),
+                });
+                slot
+            }
+            None => {
+                self.slots.push(Some(Entry {
+                    key,
+                    damper: Damper::new(self.params),
+                }));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(key, slot);
+        slot
+    }
+
+    /// Processes every boundary strictly required before an update at
+    /// `now` may be applied (boundaries at instants ≤ `now`).
+    fn advance_boundaries(&mut self, now: SimTime) {
+        loop {
+            let boundary = SimTime::from_micros(self.next_tick * Self::TICK.as_micros());
+            if boundary > now {
+                break;
+            }
+            self.process_boundary(boundary, self.next_tick);
+            self.next_tick += 1;
+        }
+    }
+
+    fn advance_boundaries_inclusive(&mut self, end: SimTime) {
+        self.advance_boundaries(end);
+    }
+
+    /// One boundary: drain due reuse checks, and on eviction ticks drop
+    /// every forgettable entry.
+    fn process_boundary(&mut self, at: SimTime, tick: u64) {
+        for slot in self.reuse.drain_due(at) {
+            let entry = self.slots[slot as usize]
+                .as_mut()
+                .expect("suppressed slots are never evicted");
+            match entry.damper.on_reuse_due(at) {
+                ReuseCheck::Released => self.agg.reuses += 1,
+                ReuseCheck::StillSuppressed { retry_at } => {
+                    self.agg.reuse_deferrals += 1;
+                    self.reuse.schedule(slot, retry_at);
+                }
+            }
+        }
+        if tick.is_multiple_of(Self::EVICT_EVERY) {
+            self.sweep_forgettable(at);
+        }
+    }
+
+    /// Drops every entry whose penalty has decayed below the forgive
+    /// threshold (RFC 2439's state garbage collection). Suppressed
+    /// entries are never forgettable, so reuse-list slots stay valid.
+    fn sweep_forgettable(&mut self, at: SimTime) {
+        for slot in 0..self.slots.len() {
+            let forgettable = self.slots[slot]
+                .as_ref()
+                .is_some_and(|e| e.damper.is_forgettable(at));
+            if forgettable {
+                let entry = self.slots[slot].take().expect("checked occupied");
+                self.index.remove(&entry.key);
+                self.free.push(slot as u32);
+                self.agg.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::pack_key;
+    use rfd_core::UpdateKind;
+
+    fn update(secs: u64, peer: u32, prefix: u32, kind: UpdateKind) -> Update {
+        Update {
+            at: SimTime::from_secs(secs),
+            peer,
+            prefix,
+            kind,
+        }
+    }
+
+    fn withdrawals(
+        state: &mut ShardState,
+        secs: &[u64],
+        peer: u32,
+        prefix: u32,
+    ) -> Vec<ChargeOutcome> {
+        secs.iter()
+            .map(|&s| state.apply(update(s, peer, prefix, UpdateKind::Withdrawal)))
+            .collect()
+    }
+
+    #[test]
+    fn three_withdrawals_suppress_and_release_after_decay() {
+        let mut state = ShardState::new(DampingParams::cisco());
+        let outcomes = withdrawals(&mut state, &[0, 120, 240], 1, 7);
+        assert_eq!(
+            outcomes.iter().filter(|o| o.newly_suppressed).count(),
+            1,
+            "third withdrawal suppresses"
+        );
+        // An unrelated key far in the future advances the boundary work
+        // past the reuse deadline (~2800 s → release well within 2 h).
+        state.apply(update(7200, 2, 9, UpdateKind::Duplicate));
+        let agg = state.finish(SimTime::from_secs(7200));
+        assert_eq!(agg.suppressions, 1);
+        assert_eq!(agg.reuses, 1, "reuse timer released the entry");
+        assert_eq!(agg.updates, 4);
+    }
+
+    #[test]
+    fn recharged_entry_defers_then_releases() {
+        let mut state = ShardState::new(DampingParams::cisco());
+        withdrawals(&mut state, &[0, 120, 240], 1, 7);
+        // Secondary charge before the ~1920 s reuse deadline pushes the
+        // penalty back above the threshold: the timer check defers.
+        state.apply(update(1000, 1, 7, UpdateKind::Withdrawal));
+        let agg = state.finish(SimTime::from_secs(12_000));
+        assert_eq!(agg.suppressions, 1);
+        assert!(agg.reuse_deferrals >= 1, "recharge deferred the release");
+        assert_eq!(agg.reuses, 1, "eventually released");
+    }
+
+    #[test]
+    fn forgettable_entries_are_evicted() {
+        let mut state = ShardState::new(DampingParams::cisco());
+        // One withdrawal: penalty 1000, forgettable (< 375) after
+        // ~21.3 simulated minutes.
+        state.apply(update(0, 1, 7, UpdateKind::Withdrawal));
+        assert_eq!(state.live_entries(), 1);
+        let agg = state.finish(SimTime::from_secs(3600));
+        assert_eq!(agg.evictions, 1);
+        assert_eq!(agg.live_entries, 0);
+    }
+
+    #[test]
+    fn suppressed_entries_survive_sweeps() {
+        let mut state = ShardState::new(DampingParams::cisco());
+        withdrawals(&mut state, &[0, 120, 240], 1, 7);
+        // Advance only 10 minutes: still suppressed, so still live.
+        state.apply(update(600, 2, 9, UpdateKind::Duplicate));
+        assert_eq!(state.live_entries(), 2);
+        assert_eq!(state.aggregate().evictions, 0);
+    }
+
+    #[test]
+    fn evicted_then_reflapping_key_behaves_like_fresh_state() {
+        // The satellite contract: once evicted, a re-flapping prefix
+        // must be indistinguishable from one never seen before. The
+        // residual penalty a *non*-evicted entry would carry changes
+        // the suppression point, so this also shows eviction is load-
+        // bearing, not a no-op.
+        let params = DampingParams::cisco();
+        let flap_secs = [4000u64, 4001, 4002];
+
+        // Evicted path: early withdrawal, decay past forgettable, an
+        // eviction sweep (driven by another key's update), then re-flap.
+        let mut evicted = ShardState::new(params);
+        evicted.apply(update(0, 1, 7, UpdateKind::Withdrawal));
+        evicted.apply(update(3000, 2, 9, UpdateKind::Duplicate));
+        assert_eq!(evicted.aggregate().evictions, 1, "sweep dropped key 7");
+        let evicted_outcomes = withdrawals(&mut evicted, &flap_secs, 1, 7);
+
+        // Fresh path: the same re-flap against never-seen state.
+        let mut fresh = ShardState::new(params);
+        fresh.apply(update(3000, 2, 9, UpdateKind::Duplicate));
+        let fresh_outcomes = withdrawals(&mut fresh, &flap_secs, 1, 7);
+
+        assert_eq!(
+            evicted_outcomes, fresh_outcomes,
+            "evicted-then-reflapped key must match fresh state exactly"
+        );
+
+        // Control: without the eviction sweep the residual penalty
+        // (~46 after 4000 s of decay) makes the second withdrawal
+        // cross the cutoff — one pulse earlier than fresh state.
+        let mut damper = Damper::new(params);
+        damper.record_update(SimTime::ZERO, UpdateKind::Withdrawal);
+        let mut residual_outcomes = Vec::new();
+        for &s in &flap_secs {
+            residual_outcomes
+                .push(damper.record_update(SimTime::from_secs(s), UpdateKind::Withdrawal));
+        }
+        assert_ne!(
+            residual_outcomes, fresh_outcomes,
+            "without eviction the residual penalty changes behaviour"
+        );
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut state = ShardState::new(DampingParams::cisco());
+        for prefix in 0..8u32 {
+            state.apply(update(0, 1, prefix, UpdateKind::Withdrawal));
+        }
+        assert_eq!(state.slots.len(), 8);
+        // All eight decay out; the next keys must fill freed slots.
+        state.apply(update(3000, 2, 0, UpdateKind::Duplicate));
+        assert_eq!(state.aggregate().evictions, 8);
+        for prefix in 0..4u32 {
+            state.apply(update(3000, 3, prefix, UpdateKind::Withdrawal));
+        }
+        assert_eq!(state.slots.len(), 8, "free slots reused, not grown");
+        assert!(state.index.contains_key(&pack_key(3, 2)));
+    }
+
+    #[test]
+    fn aggregate_counts_nominal_penalty_in_milli_units() {
+        let mut state = ShardState::new(DampingParams::cisco());
+        state.apply(update(0, 1, 1, UpdateKind::Withdrawal)); // 1000
+        state.apply(update(1, 1, 1, UpdateKind::AttributeChange)); // 500
+        state.apply(update(2, 1, 1, UpdateKind::ReAnnouncement)); // 0
+        assert_eq!(state.aggregate().penalty_milli, 1_500_000);
+    }
+}

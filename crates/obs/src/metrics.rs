@@ -112,6 +112,53 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// A free-standing histogram owned by the caller rather than the
+    /// global registry. [`Histogram::observe`] always records, so this
+    /// lets a harness measure one hot path without enabling global
+    /// observability (which would also time every damper span).
+    pub fn standalone() -> Self {
+        Histogram::new()
+    }
+
+    /// The interpolated `p`-th percentile (0 < p ≤ 100) of the
+    /// recorded samples; see [`percentile_from_buckets`]. Returns 0
+    /// with no samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_from_buckets(&self.nonzero_buckets(), p)
+    }
+}
+
+/// The interpolated `p`-th percentile of a log₂-bucketed sample set,
+/// given its non-empty `(bucket_floor, count)` pairs in value order.
+///
+/// The rank `p/100 × n` (clamped to at least the first sample) is
+/// located by cumulative count, then interpolated linearly inside its
+/// bucket. A bucket with floor `f` covers `[f, 2f)`, so the
+/// interpolated value is `f + frac × f`; the zero bucket is a point.
+/// The result is exact when the bucket holds one distinct value edge
+/// and otherwise within a factor of two, which is the resolution the
+/// histogram stores in the first place.
+pub fn percentile_from_buckets(buckets: &[(u64, u64)], p: f64) -> f64 {
+    let n: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let target = (p / 100.0 * n as f64).max(1.0);
+    let mut cum = 0u64;
+    for &(floor, count) in buckets {
+        let next = cum + count;
+        if (next as f64) >= target {
+            if floor == 0 {
+                return 0.0;
+            }
+            let frac = (target - cum as f64) / count as f64;
+            return floor as f64 + frac * floor as f64;
+        }
+        cum = next;
+    }
+    // p > 100 or float round-off: report the top of the last bucket.
+    buckets.last().map_or(0.0, |&(floor, _)| 2.0 * floor as f64)
 }
 
 #[cfg(test)]
@@ -140,6 +187,44 @@ mod tests {
         assert_eq!(Histogram::bucket_floor(0), 0);
         assert_eq!(Histogram::bucket_floor(1), 1);
         assert_eq!(Histogram::bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        // Four samples, one per bucket: floors 1, 2, 4, 8.
+        let buckets = [(1u64, 1u64), (2, 1), (4, 1), (8, 1)];
+        assert_eq!(percentile_from_buckets(&buckets, 25.0), 2.0);
+        assert_eq!(percentile_from_buckets(&buckets, 50.0), 4.0);
+        assert_eq!(percentile_from_buckets(&buckets, 75.0), 8.0);
+        // p99: rank 3.96 lands 0.96 of the way through [8, 16).
+        assert!((percentile_from_buckets(&buckets, 99.0) - 15.68).abs() < 1e-9);
+        // Two samples in one bucket: rank 1 is halfway through [4, 8).
+        assert_eq!(percentile_from_buckets(&[(4, 2)], 50.0), 6.0);
+        assert_eq!(percentile_from_buckets(&[(4, 2)], 100.0), 8.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_from_buckets(&[], 50.0), 0.0);
+        // The zero bucket is the point value 0.
+        assert_eq!(percentile_from_buckets(&[(0, 3)], 99.0), 0.0);
+        // Tiny p still clamps to rank 1 (halfway through a 2-sample
+        // bucket), never to rank 0.
+        assert_eq!(percentile_from_buckets(&[(4, 2), (8, 2)], 0.001), 6.0);
+        // p beyond 100 saturates at the top of the last bucket.
+        assert_eq!(percentile_from_buckets(&[(4, 1)], 150.0), 8.0);
+    }
+
+    #[test]
+    fn histogram_percentile_matches_hand_computation() {
+        let h = Histogram::standalone();
+        for v in [100u64, 200, 400, 800] {
+            h.observe(v);
+        }
+        // Buckets hit: floors 64, 128, 256, 512 with one sample each.
+        assert_eq!(h.percentile(50.0), 256.0);
+        assert!((h.percentile(99.0) - 1003.52).abs() < 1e-9);
+        assert_eq!(Histogram::standalone().percentile(50.0), 0.0, "empty");
     }
 
     #[test]

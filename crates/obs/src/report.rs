@@ -99,7 +99,6 @@ fn histogram_section(out: &mut String, histograms: &Value) {
         let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
         let sum = v.get("sum").and_then(Value::as_u64).unwrap_or(0);
         let mean = sum as f64 / count.max(1) as f64;
-        out.push_str(&format!("  {name} (count {count}, mean {mean:.1}):\n"));
         let buckets: Vec<(u64, u64)> = v
             .get("buckets")
             .and_then(Value::as_array)
@@ -113,6 +112,11 @@ fn histogram_section(out: &mut String, histograms: &Value) {
                     .collect()
             })
             .unwrap_or_default();
+        let p50 = crate::metrics::percentile_from_buckets(&buckets, 50.0);
+        let p99 = crate::metrics::percentile_from_buckets(&buckets, 99.0);
+        out.push_str(&format!(
+            "  {name} (count {count}, mean {mean:.1}, p50 {p50:.0}, p99 {p99:.0}):\n"
+        ));
         let peak = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
         for (floor, c) in buckets {
             let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
@@ -184,6 +188,9 @@ mod tests {
         assert!(report.contains("sim.events"), "{report}");
         assert!(report.contains("1200"), "{report}");
         assert!(report.contains("sim.scheduler_depth"), "{report}");
+        // Buckets [[4,3],[8,1]] → rank 2 is 2/3 through [4,8) ≈ 7,
+        // rank 3.96 is 0.96 through [8,16) ≈ 16.
+        assert!(report.contains("p50 7, p99 16"), "{report}");
         assert!(report.contains("sim.run"), "{report}");
         assert!(report.contains("5.00s"), "{report}");
         // Spans are sorted by total time: sim.run before runner.cell.

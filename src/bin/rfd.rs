@@ -6,7 +6,8 @@ use std::process::ExitCode;
 
 use route_flap_damping::bgp::Network;
 use route_flap_damping::cli::{
-    network_config, parse_run_options, parse_sweep_command, SweepFigure, TopologySpec, USAGE,
+    network_config, parse_firehose_command, parse_run_options, parse_sweep_command, ReportFormat,
+    SweepFigure, TopologySpec, USAGE,
 };
 use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
 use route_flap_damping::experiments::output;
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
+        "firehose" => cmd_firehose(rest),
         "intended" => cmd_intended(rest),
         "topology" => cmd_topology(rest),
         "trace-stats" => cmd_trace_stats(rest),
@@ -234,6 +236,49 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
             sweep.failures.len()
         )
         .into());
+    }
+    Ok(())
+}
+
+fn cmd_firehose(args: &[String]) -> CmdResult {
+    let mut cmd = parse_firehose_command(args)?;
+    // Like `sweep`: the hidden `--chaos` flag wins, otherwise the
+    // `RFD_CHAOS` environment variable injects the same fault plan.
+    if cmd.config.chaos.is_empty() {
+        if let Some(plan) = rfd_runner::ChaosPlan::from_env()? {
+            cmd.config.chaos = plan;
+        }
+    }
+    // Narrative on stderr; stdout carries only the report so
+    // `rfd firehose … > report.csv` stays machine-parseable.
+    eprintln!(
+        "firehose: {} workload, {} peers × {} prefixes, {:.0} updates/sim-s \
+         for {:.0} sim-s, {} shard(s), seed {}{}",
+        cmd.config.spec.kind.name(),
+        cmd.config.spec.peers,
+        cmd.config.spec.prefixes,
+        cmd.config.spec.rate,
+        cmd.config.spec.duration.as_secs_f64(),
+        cmd.config.shards,
+        cmd.config.spec.seed,
+        if cmd.config.chaos.is_empty() {
+            String::new()
+        } else {
+            format!(", {} chaos fault(s)", cmd.config.chaos.faults().len())
+        },
+    );
+    let report = route_flap_damping::firehose::run(&cmd.config)?;
+    eprintln!(
+        "firehose: {} updates in {:.2} s wall ({:.0}/s), p50 {:.0} ns / p99 {:.0} ns per decision",
+        report.aggregate.updates,
+        report.elapsed_secs,
+        report.updates_per_sec,
+        report.decision_ns.percentile(50.0),
+        report.decision_ns.percentile(99.0),
+    );
+    match cmd.format {
+        ReportFormat::Csv => print!("{}", report.to_csv()),
+        ReportFormat::Json => print!("{}", report.to_json()),
     }
     Ok(())
 }

@@ -368,6 +368,128 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
     Ok(cmd)
 }
 
+/// Output format of the `rfd firehose` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// `section,field,value` CSV rows.
+    Csv,
+    /// One JSON object.
+    Json,
+}
+
+/// A parsed `rfd firehose` invocation.
+#[derive(Debug, Clone)]
+pub struct FirehoseCommand {
+    /// Engine configuration (workload, shards, params, chaos).
+    pub config: rfd_firehose::FirehoseConfig,
+    /// How the report is printed on stdout.
+    pub format: ReportFormat,
+}
+
+/// Parses the arguments of `rfd firehose`: `--peers N`, `--prefixes N`,
+/// `--rate UPDATES_PER_SIM_SEC`, `--duration SIM_SECS`,
+/// `--workload poisson|flap-storm`, `--seed N`, `--shards N`,
+/// `--params cisco|juniper|ripe229`, `--queue-capacity N`,
+/// `--heartbeat SECS`, `--format csv|json`, plus the hidden
+/// fault-injection knob `--chaos SPEC` with shard keys `shard0`,
+/// `shard1`, … (see [`ChaosPlan::parse`]).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, malformed
+/// values, or a config that fails engine validation.
+pub fn parse_firehose_command(args: &[String]) -> Result<FirehoseCommand, CliError> {
+    use rfd_firehose::{FirehoseConfig, WorkloadKind, WorkloadSpec};
+    let mut cmd = FirehoseCommand {
+        config: FirehoseConfig::new(WorkloadSpec {
+            peers: 16,
+            prefixes: 1024,
+            rate: 200.0,
+            duration: SimDuration::from_secs(3600),
+            kind: WorkloadKind::FlapStorm,
+            seed: 1,
+        }),
+        format: ReportFormat::Csv,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        let int = |name: &str, s: String| {
+            s.parse::<u64>()
+                .map_err(|_| CliError(format!("{name} needs an integer, got `{s}`")))
+        };
+        match flag.as_str() {
+            "--peers" => cmd.config.spec.peers = int("--peers", value("--peers")?)? as u32,
+            "--prefixes" => {
+                cmd.config.spec.prefixes = int("--prefixes", value("--prefixes")?)? as u32
+            }
+            "--rate" => {
+                cmd.config.spec.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| CliError("--rate needs updates per simulated second".into()))?
+            }
+            "--duration" => {
+                let secs: f64 = value("--duration")?
+                    .parse()
+                    .map_err(|_| CliError("--duration needs simulated seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--duration must be positive".into()));
+                }
+                cmd.config.spec.duration = SimDuration::from_secs_f64(secs);
+            }
+            "--workload" => {
+                cmd.config.spec.kind =
+                    rfd_firehose::WorkloadKind::parse(&value("--workload")?).map_err(CliError)?
+            }
+            "--seed" => cmd.config.spec.seed = int("--seed", value("--seed")?)?,
+            "--shards" => cmd.config.shards = int("--shards", value("--shards")?)? as usize,
+            "--params" => {
+                cmd.config.params = match value("--params")?.as_str() {
+                    "cisco" => DampingParams::cisco(),
+                    "juniper" => DampingParams::juniper(),
+                    "ripe229" => DampingParams::ripe229_aggressive(),
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown damping preset `{other}` (cisco|juniper|ripe229)"
+                        )))
+                    }
+                }
+            }
+            "--queue-capacity" => {
+                cmd.config.queue_capacity =
+                    int("--queue-capacity", value("--queue-capacity")?)? as usize
+            }
+            "--heartbeat" => {
+                let secs: f64 = value("--heartbeat")?
+                    .parse()
+                    .map_err(|_| CliError("--heartbeat needs seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--heartbeat must be positive".into()));
+                }
+                cmd.config.heartbeat = Some(Duration::from_secs_f64(secs));
+            }
+            "--chaos" => {
+                cmd.config.chaos = ChaosPlan::parse(&value("--chaos")?)
+                    .map_err(|e| CliError(format!("--chaos: {e}")))?
+            }
+            "--format" => {
+                cmd.format = match value("--format")?.as_str() {
+                    "csv" => ReportFormat::Csv,
+                    "json" => ReportFormat::Json,
+                    other => return Err(CliError(format!("unknown format `{other}` (csv|json)"))),
+                }
+            }
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+    }
+    cmd.config.validate().map_err(CliError)?;
+    Ok(cmd)
+}
+
 /// Builds the [`NetworkConfig`] for parsed run options against a built
 /// graph.
 pub fn network_config(opts: &RunOptions, graph: &Graph) -> NetworkConfig {
@@ -402,6 +524,10 @@ USAGE:
             [--resume-force] [--retries N] [--cell-budget SECS]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
             [--full-traces] [--obs[=PATH]]
+  rfd firehose [--peers N] [--prefixes N] [--rate R] [--duration SIM_SECS]
+               [--workload poisson|flap-storm] [--seed N] [--shards N]
+               [--params cisco|juniper|ripe229] [--queue-capacity N]
+               [--heartbeat SECS] [--format csv|json]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
   rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
   rfd trace-stats FILE
@@ -566,6 +692,54 @@ mod tests {
         assert_eq!(cmd.opts.cell_budget, Some(Duration::from_secs_f64(1.5)));
         assert!(!cmd.opts.chaos.is_empty());
         assert!(cmd.opts.chaos.fault_for("a|n=1|seed=1", 1).is_some());
+    }
+
+    #[test]
+    fn firehose_command_defaults_and_overrides() {
+        use rfd_firehose::WorkloadKind;
+        let cmd = parse_firehose_command(&[]).unwrap();
+        assert_eq!(cmd.config.shards, 1);
+        assert_eq!(cmd.config.spec.kind, WorkloadKind::FlapStorm);
+        assert_eq!(cmd.format, ReportFormat::Csv);
+        assert!(cmd.config.chaos.is_empty());
+        assert_eq!(cmd.config.heartbeat, None);
+
+        let cmd = parse_firehose_command(&args(
+            "--peers 8 --prefixes 64 --rate 50 --duration 600 --workload poisson \
+             --seed 9 --shards 4 --params juniper --queue-capacity 32 \
+             --heartbeat 2 --format json --chaos panic*1@shard0",
+        ))
+        .unwrap();
+        assert_eq!(cmd.config.spec.peers, 8);
+        assert_eq!(cmd.config.spec.prefixes, 64);
+        assert_eq!(cmd.config.spec.rate, 50.0);
+        assert_eq!(cmd.config.spec.duration, SimDuration::from_secs(600));
+        assert_eq!(cmd.config.spec.kind, WorkloadKind::Poisson);
+        assert_eq!(cmd.config.spec.seed, 9);
+        assert_eq!(cmd.config.shards, 4);
+        assert_eq!(cmd.config.params, DampingParams::juniper());
+        assert_eq!(cmd.config.queue_capacity, 32);
+        assert_eq!(cmd.config.heartbeat, Some(Duration::from_secs(2)));
+        assert_eq!(cmd.format, ReportFormat::Json);
+        assert!(cmd.config.chaos.fault_for("shard0", 1).is_some());
+    }
+
+    #[test]
+    fn firehose_command_rejects_bad_input() {
+        assert!(parse_firehose_command(&args("--bogus")).is_err());
+        assert!(parse_firehose_command(&args("--peers")).is_err());
+        assert!(parse_firehose_command(&args("--peers many")).is_err());
+        assert!(
+            parse_firehose_command(&args("--peers 0")).is_err(),
+            "fails validation"
+        );
+        assert!(parse_firehose_command(&args("--workload tsunami")).is_err());
+        assert!(parse_firehose_command(&args("--duration -3")).is_err());
+        assert!(parse_firehose_command(&args("--shards 0")).is_err());
+        assert!(parse_firehose_command(&args("--params never")).is_err());
+        assert!(parse_firehose_command(&args("--format yaml")).is_err());
+        assert!(parse_firehose_command(&args("--chaos panic")).is_err());
+        assert!(parse_firehose_command(&args("--heartbeat 0")).is_err());
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   four-state classifier;
 //! * [`runner`] — deterministic parallel job-grid execution with
 //!   journaling and resume;
+//! * [`firehose`] — sharded route-update ingest harness: synthetic
+//!   firehose workloads, partitioned damping state, throughput and
+//!   decision-latency measurement with a shard-count-invariant
+//!   aggregate report;
 //! * [`obs`] — std-only observability: spans, counters, histograms,
 //!   flight recorder and Chrome-trace export (off unless enabled);
 //! * [`experiments`] — one entry point per table/figure of the paper.
@@ -54,6 +58,7 @@ pub mod cli;
 pub use rfd_bgp as bgp;
 pub use rfd_core as damping;
 pub use rfd_experiments as experiments;
+pub use rfd_firehose as firehose;
 pub use rfd_metrics as metrics;
 pub use rfd_obs as obs;
 pub use rfd_runner as runner;

@@ -1,0 +1,160 @@
+//! End-to-end tests of `rfd firehose`: the shard-count determinism
+//! contract, checked through the real binary exactly the way the CI
+//! smoke job checks it — by diffing the `aggregate,` rows of the CSV
+//! report across shard counts, clean and under injected faults.
+
+use std::process::Command;
+
+fn firehose_csv(extra: &[&str]) -> String {
+    let mut args = vec![
+        "firehose",
+        "--peers",
+        "6",
+        "--prefixes",
+        "64",
+        "--rate",
+        "40",
+        "--duration",
+        "10800",
+        "--seed",
+        "11",
+    ];
+    args.extend_from_slice(extra);
+    let out = Command::new(env!("CARGO_BIN_EXE_rfd"))
+        .args(&args)
+        .env_remove("RFD_CHAOS")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "rfd {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn aggregate_rows(csv: &str) -> Vec<&str> {
+    let rows: Vec<&str> = csv
+        .lines()
+        .filter(|l| l.starts_with("aggregate,"))
+        .collect();
+    assert_eq!(rows.len(), 8, "unexpected aggregate section:\n{csv}");
+    rows
+}
+
+fn field(csv: &str, name: &str) -> u64 {
+    let prefix = format!("aggregate,{name},");
+    csv.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("no {name} row in:\n{csv}"))
+        .parse()
+        .expect("integer aggregate value")
+}
+
+#[test]
+fn aggregates_identical_across_shard_counts() {
+    let one = firehose_csv(&["--workload", "flap-storm", "--shards", "1"]);
+    let two = firehose_csv(&["--workload", "flap-storm", "--shards", "2"]);
+    let eight = firehose_csv(&["--workload", "flap-storm", "--shards", "8"]);
+    assert_eq!(aggregate_rows(&one), aggregate_rows(&two));
+    assert_eq!(aggregate_rows(&one), aggregate_rows(&eight));
+    // The run must actually exercise the decision machinery, or the
+    // equality above proves nothing.
+    assert!(field(&one, "updates") > 1000);
+    assert!(field(&one, "suppressions") > 0);
+    assert!(field(&one, "reuses") > 0);
+    assert!(field(&one, "evictions") > 0);
+
+    let poisson_one = firehose_csv(&["--workload", "poisson", "--shards", "1"]);
+    let poisson_four = firehose_csv(&["--workload", "poisson", "--shards", "4"]);
+    assert_eq!(aggregate_rows(&poisson_one), aggregate_rows(&poisson_four));
+}
+
+#[test]
+fn aggregates_survive_chaos_panics_unchanged() {
+    let clean = firehose_csv(&["--workload", "flap-storm", "--shards", "2"]);
+    let chaotic = firehose_csv(&[
+        "--workload",
+        "flap-storm",
+        "--shards",
+        "2",
+        "--chaos",
+        "panic*2@shard0",
+    ]);
+    assert_eq!(aggregate_rows(&clean), aggregate_rows(&chaotic));
+    assert!(
+        chaotic.contains("shard0,recovered_panics,2"),
+        "faults were not actually injected:\n{chaotic}"
+    );
+}
+
+#[test]
+fn json_report_parses_and_matches_csv_aggregate() {
+    let csv = firehose_csv(&["--workload", "poisson", "--shards", "2"]);
+    let json = firehose_csv(&["--workload", "poisson", "--shards", "2", "--format", "json"]);
+    let doc = route_flap_damping::obs::json::parse(&json).expect("JSON report parses");
+    let agg = doc.get("aggregate").expect("aggregate object");
+    for name in [
+        "updates",
+        "suppressions",
+        "reuses",
+        "reuse_deferrals",
+        "evictions",
+        "penalty_milli",
+        "suppressed_at_end",
+        "live_entries",
+    ] {
+        assert_eq!(
+            agg.get(name)
+                .and_then(route_flap_damping::obs::json::Value::as_u64),
+            Some(field(&csv, name)),
+            "JSON/CSV disagree on {name}"
+        );
+    }
+}
+
+#[test]
+fn heartbeat_and_env_chaos_reach_the_engine() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rfd"))
+        .args([
+            "firehose",
+            "--peers",
+            "4",
+            "--prefixes",
+            "32",
+            "--rate",
+            "200",
+            "--duration",
+            "600",
+            "--workload",
+            "poisson",
+            "--shards",
+            "2",
+            "--heartbeat",
+            "0.001",
+        ])
+        .env("RFD_CHAOS", "panic*1@shard1")
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("shard1,recovered_panics,1"),
+        "RFD_CHAOS fallback ignored:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("firehose:"),
+        "no narrative on stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn firehose_rejects_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rfd"))
+        .args(["firehose", "--workload", "tsunami"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
