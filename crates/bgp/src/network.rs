@@ -18,7 +18,7 @@
 //!    MRAI and reuse timer fires (silent reuse timers do not affect the
 //!    metrics, matching the paper's footnote 3).
 
-use rfd_core::{FlapPattern, LinkStatus, RootCause};
+use rfd_core::{FlapPattern, LedgerFilter, LedgerSink, LinkStatus, NullLedger, RootCause};
 use rfd_metrics::{
     ConvergenceTracker, MessageCounter, NullSink, Trace, TraceEventKind, TraceSink, VecSink,
 };
@@ -110,6 +110,9 @@ struct NetWorld<S: TraceSink> {
     /// and the headline aggregators, so nothing is retained.
     muted: bool,
     null: NullSink,
+    /// The damping-lifecycle ledger consumer ([`NullLedger`] until a
+    /// filter is installed with `Network::set_ledger`).
+    ledger: Box<dyn LedgerSink>,
     delay_rng: DetRng,
     mrai_rng: DetRng,
     delay_range: (SimDuration, SimDuration),
@@ -196,6 +199,11 @@ impl<S: TraceSink> NetWorld<S> {
         rfd_obs::add("bgp.mrai_scheduled", out.mrai_timers.len() as u64);
         for kind in out.traces {
             self.emit(now, kind);
+        }
+        if !self.muted {
+            for record in out.ledger {
+                self.ledger.record(record);
+            }
         }
         for (to, msg) in out.sends {
             self.emit(
@@ -542,6 +550,7 @@ impl<S: TraceSink> Network<S> {
             // network has converged.
             muted: true,
             null: NullSink::new(),
+            ledger: Box::new(NullLedger),
             delay_rng: DetRng::from_seed_and_label(config.seed, "delays"),
             mrai_rng: DetRng::from_seed_and_label(config.seed, "mrai"),
             delay_range: config.delay_range,
@@ -593,8 +602,33 @@ impl<S: TraceSink> Network<S> {
     /// Consumes the network, finishing and yielding the sink (pending
     /// aggregator state flushes; `metrics.sink.*` obs counters fire).
     pub fn into_sink(mut self) -> S {
+        self.world.ledger.finish();
         self.world.sink.finish();
         self.world.sink
+    }
+
+    /// Installs the damping-lifecycle ledger: every router starts
+    /// checking `filter` at its emission sites, and matching records
+    /// stream into `sink` during the measured phase (warm-up records
+    /// are dropped, like trace events).
+    ///
+    /// Keep a [`rfd_core::SharedLedger`] clone to read the records back
+    /// after the run.
+    pub fn set_ledger(&mut self, filter: LedgerFilter, sink: Box<dyn LedgerSink>) {
+        let filter = std::sync::Arc::new(filter);
+        for router in &mut self.world.routers {
+            router.set_ledger_filter(Some(std::sync::Arc::clone(&filter)));
+        }
+        self.world.ledger = sink;
+    }
+
+    /// Finishes and detaches the ledger sink, restoring the off state.
+    pub fn clear_ledger(&mut self) {
+        for router in &mut self.world.routers {
+            router.set_ledger_filter(None);
+        }
+        self.world.ledger.finish();
+        self.world.ledger = Box::new(NullLedger);
     }
 
     /// Read access to a router (for tests and inspection).
@@ -1185,6 +1219,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ledger_streams_lifecycle_without_perturbing_the_run() {
+        let g = line(4);
+        let isp = NodeId::new(3);
+        // Reference run, ledger off.
+        let mut plain = Network::new(&g, isp, NetworkConfig::paper_full_damping(5));
+        let plain_report = plain.run_paper_workload(3);
+        // Identical run with the ledger focused on the [originAS →
+        // ispAS] entry.
+        let mut net = Network::new(&g, isp, NetworkConfig::paper_full_damping(5));
+        net.warm_up();
+        let origin = net.origin();
+        let shared = rfd_core::SharedLedger::new(rfd_core::VecLedger::new());
+        net.set_ledger(
+            rfd_core::LedgerFilter::keys([(origin.raw(), Prefix::ORIGIN.id())]),
+            Box::new(shared.clone()),
+        );
+        let report = net.run_pulses(FlapPattern::paper_default(3), SimDuration::from_secs(100));
+        assert_eq!(report.message_count, plain_report.message_count);
+        assert_eq!(report.convergence_time, plain_report.convergence_time);
+        assert_eq!(report.events_processed, plain_report.events_processed);
+
+        let ledger = shared.lock();
+        let records = ledger.records();
+        assert!(!records.is_empty());
+        // Only the ISP holds that (peer, prefix) entry.
+        assert!(records
+            .iter()
+            .all(|r| r.node == isp.raw() && r.peer == origin.raw()));
+        assert!(
+            records.windows(2).all(|w| w[0].at <= w[1].at),
+            "records stream in time order"
+        );
+        let suppressed = records
+            .iter()
+            .filter(|r| matches!(r.event, rfd_core::LedgerEvent::Suppressed { .. }))
+            .count();
+        let released = records
+            .iter()
+            .filter(|r| matches!(r.event, rfd_core::LedgerEvent::Released { .. }))
+            .count();
+        assert_eq!(suppressed, 1, "third pulse suppresses the entry once");
+        assert_eq!(released, 1, "the reuse timer eventually releases it");
+    }
+
+    #[test]
+    fn ledger_drops_warm_up_records() {
+        let g = mesh_torus(3, 3);
+        let mut net = Network::new(&g, NodeId::new(2), NetworkConfig::paper_full_damping(11));
+        let shared = rfd_core::SharedLedger::new(rfd_core::VecLedger::new());
+        net.set_ledger(rfd_core::LedgerFilter::all(), Box::new(shared.clone()));
+        net.warm_up();
+        assert_eq!(
+            shared.lock().records().len(),
+            0,
+            "warm-up must not reach the ledger sink"
+        );
+        net.run_pulses(FlapPattern::paper_default(1), SimDuration::from_secs(100));
+        assert!(
+            !shared.lock().records().is_empty(),
+            "the measured phase streams records"
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct RibInEntry {
     /// Root cause attached to the most recent update from this peer;
     /// re-attached when a reuse of this entry triggers announcements.
     pub last_rc: Option<RootCause>,
+    /// How many times the damper has been charged (the ledger's 1-based
+    /// flap index; stays 0 without damping).
+    pub charges: u64,
 }
 
 impl RibInEntry {
@@ -44,6 +47,7 @@ impl RibInEntry {
             rcn,
             selective,
             last_rc: None,
+            charges: 0,
         }
     }
 

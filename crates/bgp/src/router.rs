@@ -31,8 +31,12 @@
 //! never clones a path vector.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use rfd_core::{DampingParams, RelativePreference, ReuseCheck, RootCause, UpdateKind};
+use rfd_core::{
+    DampingParams, LedgerEvent, LedgerFilter, LedgerRecord, RelativePreference, ReuseCheck,
+    RootCause, UpdateKind,
+};
 use rfd_metrics::TraceEventKind;
 use rfd_sim::{DetRng, SimDuration, SimTime};
 use rfd_topology::NodeId;
@@ -71,6 +75,9 @@ pub struct RouterOutput {
     pub reuse_timers: Vec<(NodeId, Prefix, SimTime)>,
     /// Trace events to record at the current instant.
     pub traces: Vec<TraceEventKind>,
+    /// Damping-lifecycle ledger records (empty unless a
+    /// [`LedgerFilter`] is installed and matched).
+    pub ledger: Vec<LedgerRecord>,
 }
 
 /// Rounds a deadline up to the next multiple of `granularity`
@@ -161,6 +168,9 @@ pub struct Router {
     down: Vec<bool>,
     /// This router's own single-hop route, interned once.
     self_route: Route,
+    /// The damping-lifecycle ledger's watched key set; `None` (the
+    /// default) keeps every emission site to a single branch.
+    ledger: Option<Arc<LedgerFilter>>,
 }
 
 // Every handler takes (now, event args…, table, rng, policy, out): the
@@ -194,6 +204,7 @@ impl Router {
             charging_enabled: true,
             down: vec![false; n],
             self_route,
+            ledger: None,
         };
         if originates {
             router.originate(Prefix::ORIGIN);
@@ -258,6 +269,23 @@ impl Router {
         self.charging_enabled = enabled;
     }
 
+    /// Installs (or removes) the damping-lifecycle ledger's key filter.
+    /// With a filter installed, handlers push [`LedgerRecord`]s for
+    /// matching (peer, prefix) keys into [`RouterOutput::ledger`].
+    pub fn set_ledger_filter(&mut self, filter: Option<Arc<LedgerFilter>>) {
+        self.ledger = filter;
+    }
+
+    /// Whether the ledger watches `(peer, prefix)` — the one branch the
+    /// hot path pays when the ledger is off.
+    #[inline]
+    fn ledger_watches(&self, peer: NodeId, prefix: Prefix) -> bool {
+        match &self.ledger {
+            None => false,
+            Some(filter) => filter.matches(peer.raw(), prefix.id()),
+        }
+    }
+
     /// Read access to the RIB-IN entry for the default prefix.
     pub fn rib_in(&self, peer: NodeId) -> Option<&RibInEntry> {
         self.rib_in_for(Prefix::ORIGIN, peer)
@@ -317,7 +345,9 @@ impl Router {
             .slot_of(from)
             .unwrap_or_else(|| panic!("router {} received update from non-peer {from}", self.id));
         let prefix = msg.prefix;
+        let watched = self.ledger_watches(from, prefix);
         let (config_damping, config_filter) = (self.config.damping, self.config.filter);
+        let node = self.id.raw();
         let n = self.slots.len();
         let state = self
             .prefixes
@@ -366,7 +396,45 @@ impl Router {
                 } else {
                     kind.penalty(&params)
                 };
+                // Ledger: report the lazy decay the charge is about to
+                // fold in, then the charge itself with before/after
+                // values. All of it is gated on the preselected key set
+                // so the unwatched hot path computes nothing extra.
+                let before = watched.then(|| {
+                    let (anchor, stored) = damper.stored_penalty();
+                    let decayed = damper.penalty_at(now);
+                    if now > anchor && stored > 0.0 {
+                        out.ledger.push(LedgerRecord {
+                            at: now,
+                            node,
+                            peer: from.raw(),
+                            prefix: prefix.id(),
+                            event: LedgerEvent::Decay {
+                                from: stored,
+                                to: decayed,
+                                idle: now.since(anchor),
+                            },
+                        });
+                    }
+                    decayed
+                });
                 let outcome = damper.charge_raw(now, amount);
+                entry.charges += 1;
+                if let Some(before) = before {
+                    out.ledger.push(LedgerRecord {
+                        at: now,
+                        node,
+                        peer: from.raw(),
+                        prefix: prefix.id(),
+                        event: LedgerEvent::Charge {
+                            kind,
+                            before,
+                            after: outcome.penalty,
+                            flap: entry.charges,
+                            crossed_cutoff: outcome.newly_suppressed,
+                        },
+                    });
+                }
                 out.traces.push(TraceEventKind::PenaltySample {
                     node: self.id.raw(),
                     peer: from.raw(),
@@ -384,11 +452,27 @@ impl Router {
                     let due = outcome
                         .reuse_at
                         .expect("newly suppressed entries have a deadline");
-                    out.reuse_timers.push((
-                        from,
-                        prefix,
-                        quantize_up(due, self.config.protocol.reuse_granularity),
-                    ));
+                    let armed = quantize_up(due, self.config.protocol.reuse_granularity);
+                    if watched {
+                        out.ledger.push(LedgerRecord {
+                            at: now,
+                            node,
+                            peer: from.raw(),
+                            prefix: prefix.id(),
+                            event: LedgerEvent::Suppressed {
+                                penalty: outcome.penalty,
+                                reuse_at: due,
+                            },
+                        });
+                        out.ledger.push(LedgerRecord {
+                            at: now,
+                            node,
+                            peer: from.raw(),
+                            prefix: prefix.id(),
+                            event: LedgerEvent::ReuseArmed { due: armed },
+                        });
+                    }
+                    out.reuse_timers.push((from, prefix, armed));
                 }
             }
         }
@@ -481,6 +565,7 @@ impl Router {
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
+        let watched = self.ledger_watches(peer, prefix);
         let slot = self
             .slot_of(peer)
             .expect("MRAI timer for unknown peer/prefix");
@@ -491,7 +576,24 @@ impl Router {
         let m = &mut state.mrai[slot];
         m.timer_pending = false;
         if m.dirty {
+            let sends_before = out.sends.len();
             self.sync_peer(now, prefix, peer, table, rng, policy, out);
+            // Ledger: a deferred change going out now is an MRAI flush
+            // (nothing sent means WRATE coalescing absorbed the flap).
+            if watched {
+                if let Some((_, msg)) = out.sends[sends_before..].iter().find(|(to, _)| *to == peer)
+                {
+                    out.ledger.push(LedgerRecord {
+                        at: now,
+                        node: self.id.raw(),
+                        peer: peer.raw(),
+                        prefix: prefix.id(),
+                        event: LedgerEvent::MraiFlushed {
+                            withdrawal: msg.is_withdrawal(),
+                        },
+                    });
+                }
+            }
         }
     }
 
@@ -507,6 +609,8 @@ impl Router {
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
+        let watched = self.ledger_watches(peer, prefix);
+        let node = self.id.raw();
         let slot = self.slot_of(peer).expect("reuse timer for unknown peer");
         let state = self
             .prefixes
@@ -519,18 +623,46 @@ impl Router {
             return;
         };
         if !damper.is_suppressed() {
-            return; // stale timer (entry already released)
+            // Stale timer (entry already released): cancelled by doing
+            // nothing.
+            if watched {
+                out.ledger.push(LedgerRecord {
+                    at: now,
+                    node,
+                    peer: peer.raw(),
+                    prefix: prefix.id(),
+                    event: LedgerEvent::ReuseStale,
+                });
+            }
+            return;
         }
+        let penalty_at_check = if watched { damper.penalty_at(now) } else { 0.0 };
         match damper.on_reuse_due(now) {
             ReuseCheck::StillSuppressed { retry_at } => {
                 // Charges since suppression pushed the deadline out —
                 // re-arm (this is how secondary charging extends reuse
                 // timers).
-                out.reuse_timers.push((
-                    peer,
-                    prefix,
-                    quantize_up(retry_at, self.config.protocol.reuse_granularity),
-                ));
+                let armed = quantize_up(retry_at, self.config.protocol.reuse_granularity);
+                if watched {
+                    out.ledger.push(LedgerRecord {
+                        at: now,
+                        node,
+                        peer: peer.raw(),
+                        prefix: prefix.id(),
+                        event: LedgerEvent::ReuseDeferred {
+                            penalty: penalty_at_check,
+                            retry_at: armed,
+                        },
+                    });
+                    out.ledger.push(LedgerRecord {
+                        at: now,
+                        node,
+                        peer: peer.raw(),
+                        prefix: prefix.id(),
+                        event: LedgerEvent::ReuseArmed { due: armed },
+                    });
+                }
+                out.reuse_timers.push((peer, prefix, armed));
             }
             ReuseCheck::Released => {
                 let reuse_rc = entry.last_rc;
@@ -538,6 +670,18 @@ impl Router {
                 let new_best =
                     Self::decide(self.id, self.self_route, &self.slots, state, table, policy);
                 let noisy = new_best != old_best;
+                if watched {
+                    out.ledger.push(LedgerRecord {
+                        at: now,
+                        node,
+                        peer: peer.raw(),
+                        prefix: prefix.id(),
+                        event: LedgerEvent::Released {
+                            penalty: penalty_at_check,
+                            noisy,
+                        },
+                    });
+                }
                 out.traces.push(TraceEventKind::Reused {
                     node: self.id.raw(),
                     peer: peer.raw(),
@@ -693,6 +837,8 @@ impl Router {
         policy: &Policy,
         out: &mut RouterOutput,
     ) {
+        let watched = self.ledger_watches(peer, prefix);
+        let node = self.id.raw();
         let slot = self.slot_of(peer).expect("sync with non-peer");
         if self.down[slot] {
             return; // dead session: nothing can be sent
@@ -713,6 +859,19 @@ impl Router {
                 // paper's setup).
                 if self.config.protocol.withdrawal_pacing && now < m.ready_at {
                     m.dirty = true;
+                    if watched {
+                        out.ledger.push(LedgerRecord {
+                            at: now,
+                            node,
+                            peer: peer.raw(),
+                            prefix: prefix.id(),
+                            event: LedgerEvent::MraiDeferred {
+                                ready_at: m.ready_at,
+                                held_for: m.ready_at.since(now),
+                                withdrawal: true,
+                            },
+                        });
+                    }
                     if !m.timer_pending {
                         m.timer_pending = true;
                         out.mrai_timers.push((peer, prefix, m.ready_at));
@@ -745,6 +904,19 @@ impl Router {
                 } else {
                     // Owe an advertisement; coalesce behind the timer.
                     m.dirty = true;
+                    if watched {
+                        out.ledger.push(LedgerRecord {
+                            at: now,
+                            node,
+                            peer: peer.raw(),
+                            prefix: prefix.id(),
+                            event: LedgerEvent::MraiDeferred {
+                                ready_at: m.ready_at,
+                                held_for: m.ready_at.since(now),
+                                withdrawal: false,
+                            },
+                        });
+                    }
                     if !m.timer_pending {
                         m.timer_pending = true;
                         out.mrai_timers.push((peer, prefix, m.ready_at));
@@ -1407,6 +1579,238 @@ mod tests {
         );
         assert!(r.best().is_none());
         assert_eq!(r.rib_in(n(0)).unwrap().route, None);
+    }
+
+    // ---- damping-lifecycle ledger ----
+
+    fn ledger_on(r: &mut Router, peer: u32) {
+        r.set_ledger_filter(Some(Arc::new(LedgerFilter::keys([(
+            peer,
+            Prefix::ORIGIN.id(),
+        )]))));
+    }
+
+    #[test]
+    fn ledger_records_suppression_lifecycle() {
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
+        ledger_on(&mut r, 0);
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut records = Vec::new();
+        let mut reuse_at = None;
+        for pulse in 0..3u64 {
+            let mut out = RouterOutput::default();
+            let msg = announce_from(&mut tb, 0);
+            r.handle_update(
+                t(pulse * 120),
+                n(0),
+                &msg,
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            records.append(&mut out.ledger);
+            let mut out = RouterOutput::default();
+            r.handle_update(
+                t(pulse * 120 + 60),
+                n(0),
+                &UpdateMessage::withdraw(),
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            if let Some(&(_, _, at)) = out.reuse_timers.first() {
+                reuse_at = Some(at);
+            }
+            records.append(&mut out.ledger);
+        }
+        // Every record carries the watched key.
+        assert!(records
+            .iter()
+            .all(|rec| rec.node == 1 && rec.peer == 0 && rec.prefix == Prefix::ORIGIN.id()));
+        // Six charges (3 announcements + 3 withdrawals), 1-based flap
+        // indices, before/after consistent, only the last crosses the
+        // cut-off.
+        let charges: Vec<_> = records
+            .iter()
+            .filter_map(|rec| match rec.event {
+                LedgerEvent::Charge {
+                    before,
+                    after,
+                    flap,
+                    crossed_cutoff,
+                    ..
+                } => Some((before, after, flap, crossed_cutoff)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(charges.len(), 6);
+        for (i, &(before, after, flap, crossed)) in charges.iter().enumerate() {
+            assert_eq!(flap, i as u64 + 1);
+            assert!(after >= before, "charges never shrink the penalty");
+            assert_eq!(crossed, i == 5, "only the third withdrawal crosses");
+        }
+        // Decay records shrink the stored value over idle time.
+        assert!(records.iter().any(|rec| matches!(
+            rec.event,
+            LedgerEvent::Decay { from, to, idle } if to < from && !idle.is_zero()
+        )));
+        // Suppression, then an armed reuse timer, close the stream.
+        let tail: Vec<_> = records.iter().rev().take(2).collect();
+        assert!(matches!(tail[1].event, LedgerEvent::Suppressed { .. }));
+        assert!(matches!(tail[0].event, LedgerEvent::ReuseArmed { .. }));
+
+        // Secondary charging while suppressed (announce, withdraw,
+        // announce) pushes the release past the armed deadline; then
+        // walk the reuse timer to release. The final record must be a
+        // noisy release.
+        for (at, announce) in [(400, true), (410, false), (420, true)] {
+            let mut out = RouterOutput::default();
+            let msg = if announce {
+                announce_from(&mut tb, 0)
+            } else {
+                UpdateMessage::withdraw()
+            };
+            r.handle_update(t(at), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
+            records.append(&mut out.ledger);
+        }
+        let mut due = reuse_at.expect("suppressed");
+        for _ in 0..8 {
+            let mut out = RouterOutput::default();
+            r.on_reuse_timer(
+                due,
+                n(0),
+                Prefix::ORIGIN,
+                &mut tb,
+                &mut rng,
+                &policy,
+                &mut out,
+            );
+            let next = out.reuse_timers.first().map(|&(_, _, at)| at);
+            records.append(&mut out.ledger);
+            match next {
+                Some(at) => due = at,
+                None => break,
+            }
+        }
+        let last = records.last().expect("records");
+        assert!(
+            matches!(last.event, LedgerEvent::Released { noisy: true, penalty } if penalty > 0.0),
+            "{last:?}"
+        );
+        // A deferred check (secondary charging from the t=400 announce)
+        // must have logged itself before releasing.
+        assert!(records
+            .iter()
+            .any(|rec| matches!(rec.event, LedgerEvent::ReuseDeferred { .. })));
+    }
+
+    #[test]
+    fn ledger_is_silent_without_filter_or_match() {
+        let mut tb = PathTable::new();
+        let mut r = Router::new(n(1), vec![n(0), n(2)], false, plain_config(true), &mut tb);
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        let msg = announce_from(&mut tb, 0);
+        r.handle_update(t(0), n(0), &msg, &mut tb, &mut rng, &policy, &mut out);
+        assert!(out.ledger.is_empty(), "no filter installed");
+        // A filter watching a different peer stays silent too.
+        ledger_on(&mut r, 7);
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(10),
+            n(0),
+            &UpdateMessage::withdraw(),
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(out.ledger.is_empty(), "unmatched key");
+    }
+
+    #[test]
+    fn ledger_records_mrai_deferral_and_flush() {
+        // Same shape as mrai_paces_consecutive_announcements, watching
+        // the deferred-to peer 2.
+        let mut tb = PathTable::new();
+        let mut r = Router::new(
+            n(1),
+            vec![n(0), n(2), n(3)],
+            false,
+            plain_config(false),
+            &mut tb,
+        );
+        ledger_on(&mut r, 2);
+        let policy = Policy::ShortestPath;
+        let mut rng = rng();
+        let mut out = RouterOutput::default();
+        let long = {
+            let base = tb.originate(n(9));
+            let via5 = tb.prepend(base, n(5));
+            tb.prepend(via5, n(0))
+        };
+        r.handle_update(
+            t(0),
+            n(0),
+            &UpdateMessage::announce(long),
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        let short = {
+            let base = tb.originate(n(9));
+            tb.prepend(base, n(3))
+        };
+        let mut out = RouterOutput::default();
+        r.handle_update(
+            t(5),
+            n(3),
+            &UpdateMessage::announce(short),
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        let deferred: Vec<_> = out
+            .ledger
+            .iter()
+            .filter_map(|rec| match rec.event {
+                LedgerEvent::MraiDeferred {
+                    ready_at,
+                    held_for,
+                    withdrawal,
+                } => Some((rec.peer, ready_at, held_for, withdrawal)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            deferred,
+            vec![(2, t(30), SimDuration::from_secs(25), false)],
+            "the t=5 change toward peer 2 is held until the t=30 MRAI"
+        );
+        let mut out = RouterOutput::default();
+        r.on_mrai_expiry(
+            t(30),
+            n(2),
+            Prefix::ORIGIN,
+            &mut tb,
+            &mut rng,
+            &policy,
+            &mut out,
+        );
+        assert!(
+            out.ledger
+                .iter()
+                .any(|rec| matches!(rec.event, LedgerEvent::MraiFlushed { withdrawal: false })),
+            "{:?}",
+            out.ledger
+        );
     }
 
     // ---- protocol knobs ----

@@ -109,6 +109,14 @@ impl Damper {
         self.penalty.value_at(now, &self.effective_params())
     }
 
+    /// The raw stored penalty and the instant it is exact at (the lazy
+    /// decay anchor). Decay is recomputed from here on demand; the
+    /// ledger's decay events report this anchor against the recomputed
+    /// value.
+    pub fn stored_penalty(&self) -> (SimTime, f64) {
+        (self.penalty.updated_at(), self.penalty.raw_value())
+    }
+
     /// Charges the entry for one received update and applies the
     /// suppression rule.
     ///

@@ -1,0 +1,350 @@
+//! The damping lifecycle ledger: a per-(peer, prefix) audit stream of
+//! timer interactions.
+//!
+//! Aggregate metrics say *how many* routes ended up suppressed; they
+//! cannot say *which* timer deferred *which* update and why. The ledger
+//! answers that: an opt-in, key-filtered stream of
+//! [`LedgerRecord`]s — penalty charges with before/after values,
+//! cut-off threshold crossings, suppress/reuse timer arm/fire/cancel,
+//! MRAI deferrals and decay recomputations — emitted by the router at
+//! the exact decision points the paper's timer-interaction analysis is
+//! about.
+//!
+//! The shape mirrors the metrics crate's `TraceSink`: a streaming
+//! observer trait ([`LedgerSink`]), a [`NullLedger`] for the off state,
+//! a buffering [`VecLedger`], and a counting sink for non-perturbation
+//! contracts. The hot path pays exactly one branch when the ledger is
+//! off: emission sites check a preselected key set
+//! ([`LedgerFilter::matches`]) before building any event.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use rfd_sim::{SimDuration, SimTime};
+
+use crate::update::UpdateKind;
+
+/// One lifecycle event on a single (peer, prefix) damping entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LedgerEvent {
+    /// The lazily-stored penalty was decayed forward to the current
+    /// instant before being used (every charge and reuse check does
+    /// this — RFC 2439 decay is recomputed, never ticked).
+    Decay {
+        /// The stored value, exact at the previous anchor instant.
+        from: f64,
+        /// The recomputed value at this record's instant.
+        to: f64,
+        /// How long the value had been left un-recomputed.
+        idle: SimDuration,
+    },
+    /// The entry was charged for one received update.
+    Charge {
+        /// What kind of update caused the charge.
+        kind: UpdateKind,
+        /// Decayed penalty just before the charge.
+        before: f64,
+        /// Penalty just after the charge (post-ceiling).
+        after: f64,
+        /// How many charges this entry has taken so far (1-based).
+        flap: u64,
+        /// True when this charge pushed the penalty over the cut-off
+        /// threshold: the suppression boundary was crossed.
+        crossed_cutoff: bool,
+    },
+    /// The entry became suppressed (always follows a `Charge` with
+    /// `crossed_cutoff`).
+    Suppressed {
+        /// Penalty at suppression time.
+        penalty: f64,
+        /// Projected release instant absent further charges.
+        reuse_at: SimTime,
+    },
+    /// A reuse timer was armed (possibly quantised up by the reuse-list
+    /// granularity).
+    ReuseArmed {
+        /// Expiry instant of the timer.
+        due: SimTime,
+    },
+    /// A reuse timer fired and found the penalty still above the reuse
+    /// threshold — the paper's secondary-charging signature — so the
+    /// check rescheduled itself.
+    ReuseDeferred {
+        /// Decayed penalty at the check.
+        penalty: f64,
+        /// When the rescheduled timer will fire.
+        retry_at: SimTime,
+    },
+    /// A reuse timer fired and released the route.
+    Released {
+        /// Decayed penalty at release (below the reuse threshold).
+        penalty: f64,
+        /// True when the release re-announced a route that was still
+        /// viable ("noisy" release propagating an update).
+        noisy: bool,
+    },
+    /// A reuse timer fired for an entry that is no longer suppressed —
+    /// a stale timer, cancelled by doing nothing.
+    ReuseStale,
+    /// The MRAI timer held back an outbound update for this prefix.
+    MraiDeferred {
+        /// The instant the peer's rate limiter will allow sending.
+        ready_at: SimTime,
+        /// How long the update will have been held (`ready_at - now`).
+        held_for: SimDuration,
+        /// True when the deferred change is a withdrawal (only paced
+        /// under WRATE).
+        withdrawal: bool,
+    },
+    /// A previously deferred change was flushed when the MRAI timer
+    /// fired.
+    MraiFlushed {
+        /// True when the flushed change is a withdrawal.
+        withdrawal: bool,
+    },
+}
+
+/// One timestamped, keyed ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerRecord {
+    /// Simulated instant of the event.
+    pub at: SimTime,
+    /// The router (node) whose damping entry this is.
+    pub node: u32,
+    /// The peer the damped route was learned from.
+    pub peer: u32,
+    /// The damped prefix.
+    pub prefix: u32,
+    /// What happened.
+    pub event: LedgerEvent,
+}
+
+/// A streaming consumer of ledger records (same observer shape as the
+/// metrics `TraceSink`).
+pub trait LedgerSink: fmt::Debug + Send {
+    /// Consumes one record.
+    fn record(&mut self, record: LedgerRecord);
+    /// Called once when the run ends.
+    fn finish(&mut self) {}
+}
+
+impl LedgerSink for Box<dyn LedgerSink> {
+    fn record(&mut self, record: LedgerRecord) {
+        (**self).record(record);
+    }
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+/// The off state: drops every record.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullLedger;
+
+impl LedgerSink for NullLedger {
+    fn record(&mut self, _record: LedgerRecord) {}
+}
+
+/// Buffers every record (the `rfd explain` replay sink).
+#[derive(Debug, Default)]
+pub struct VecLedger {
+    records: Vec<LedgerRecord>,
+}
+
+impl VecLedger {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        VecLedger::default()
+    }
+
+    /// The buffered records in emission order.
+    pub fn records(&self) -> &[LedgerRecord] {
+        &self.records
+    }
+
+    /// Consumes the buffer.
+    pub fn into_records(self) -> Vec<LedgerRecord> {
+        self.records
+    }
+}
+
+impl LedgerSink for VecLedger {
+    fn record(&mut self, record: LedgerRecord) {
+        self.records.push(record);
+    }
+}
+
+/// Counts records without retaining them — the sink the
+/// non-perturbation contract runs with (proof that emission happened,
+/// O(1) memory).
+#[derive(Debug, Default)]
+pub struct CountingLedger {
+    records: u64,
+}
+
+impl CountingLedger {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CountingLedger::default()
+    }
+
+    /// How many records were emitted.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+impl LedgerSink for CountingLedger {
+    fn record(&mut self, _record: LedgerRecord) {
+        self.records += 1;
+    }
+}
+
+/// A cloneable handle around any sink, so a caller can hand a
+/// `Box<dyn LedgerSink>` to a run and keep a second handle to read the
+/// records back afterwards (trait objects cannot be downcast).
+#[derive(Debug, Default)]
+pub struct SharedLedger<L> {
+    inner: Arc<Mutex<L>>,
+}
+
+impl<L> Clone for SharedLedger<L> {
+    fn clone(&self) -> Self {
+        SharedLedger {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<L: LedgerSink> SharedLedger<L> {
+    /// Wraps `inner` in a shared, lockable handle.
+    pub fn new(inner: L) -> Self {
+        SharedLedger {
+            inner: Arc::new(Mutex::new(inner)),
+        }
+    }
+
+    /// Locks the wrapped sink (poison-tolerant: records are plain data,
+    /// never left half-written).
+    pub fn lock(&self) -> MutexGuard<'_, L> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<L: LedgerSink> LedgerSink for SharedLedger<L> {
+    fn record(&mut self, record: LedgerRecord) {
+        self.lock().record(record);
+    }
+    fn finish(&mut self) {
+        self.lock().finish();
+    }
+}
+
+fn pack_key(peer: u32, prefix: u32) -> u64 {
+    (u64::from(peer) << 32) | u64::from(prefix)
+}
+
+/// The preselected (peer, prefix) key set the ledger samples.
+///
+/// Emission sites call [`LedgerFilter::matches`] before building any
+/// event, so an empty filter costs one branch per decision and nothing
+/// else — the non-perturbation contract's mechanical basis.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerFilter {
+    /// Sorted packed `(peer, prefix)` keys; `None` watches every key.
+    keys: Option<Vec<u64>>,
+}
+
+impl LedgerFilter {
+    /// Watches every (peer, prefix) key. Replay-scale runs only — this
+    /// emits on every damping decision.
+    pub fn all() -> Self {
+        LedgerFilter { keys: None }
+    }
+
+    /// Watches exactly the given keys.
+    pub fn keys(keys: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut packed: Vec<u64> = keys
+            .into_iter()
+            .map(|(peer, prefix)| pack_key(peer, prefix))
+            .collect();
+        packed.sort_unstable();
+        packed.dedup();
+        LedgerFilter { keys: Some(packed) }
+    }
+
+    /// Whether the key is in the watched set.
+    #[inline]
+    pub fn matches(&self, peer: u32, prefix: u32) -> bool {
+        match &self.keys {
+            None => true,
+            Some(keys) => keys.binary_search(&pack_key(peer, prefix)).is_ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_secs: u64) -> LedgerRecord {
+        LedgerRecord {
+            at: SimTime::from_secs(at_secs),
+            node: 1,
+            peer: 2,
+            prefix: 3,
+            event: LedgerEvent::ReuseStale,
+        }
+    }
+
+    #[test]
+    fn vec_ledger_buffers_in_order() {
+        let mut sink = VecLedger::new();
+        sink.record(rec(1));
+        sink.record(rec(2));
+        assert_eq!(sink.records().len(), 2);
+        assert_eq!(sink.records()[0].at, SimTime::from_secs(1));
+        let records = sink.into_records();
+        assert_eq!(records[1].at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn counting_ledger_counts_without_retaining() {
+        let mut sink = CountingLedger::new();
+        for i in 0..5 {
+            sink.record(rec(i));
+        }
+        assert_eq!(sink.records(), 5);
+    }
+
+    #[test]
+    fn filter_matches_exact_keys_only() {
+        let f = LedgerFilter::keys([(7, 0), (3, 9)]);
+        assert!(f.matches(7, 0));
+        assert!(f.matches(3, 9));
+        assert!(!f.matches(7, 9));
+        assert!(!f.matches(3, 0));
+        assert!(!f.matches(0, 7), "peer/prefix must not be conflated");
+        let all = LedgerFilter::all();
+        assert!(all.matches(123, 456));
+        let empty = LedgerFilter::keys([]);
+        assert!(!empty.matches(0, 0));
+    }
+
+    #[test]
+    fn boxed_sink_forwards() {
+        let mut boxed: Box<dyn LedgerSink> = Box::new(CountingLedger::new());
+        boxed.record(rec(0));
+        boxed.finish();
+    }
+
+    #[test]
+    fn shared_ledger_reads_back_through_a_clone() {
+        let shared = SharedLedger::new(VecLedger::new());
+        let mut boxed: Box<dyn LedgerSink> = Box::new(shared.clone());
+        boxed.record(rec(1));
+        boxed.record(rec(2));
+        boxed.finish();
+        assert_eq!(shared.lock().records().len(), 2);
+    }
+}

@@ -45,6 +45,7 @@
 mod analytic;
 mod damper;
 mod decay_table;
+mod ledger;
 mod params;
 mod penalty;
 mod rcn;
@@ -60,6 +61,10 @@ pub use analytic::{
 };
 pub use damper::{ChargeOutcome, Damper, ReuseCheck};
 pub use decay_table::DecayTable;
+pub use ledger::{
+    CountingLedger, LedgerEvent, LedgerFilter, LedgerRecord, LedgerSink, NullLedger, SharedLedger,
+    VecLedger,
+};
 pub use params::{DampingParams, DampingParamsBuilder, ValidateParamsError};
 pub use penalty::Penalty;
 pub use rcn::{LinkStatus, RcnChargePolicy, RcnFilter, RootCause, RootCauseHistory};

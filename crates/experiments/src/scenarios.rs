@@ -166,6 +166,41 @@ pub fn run_pattern_metrics(
     }
 }
 
+/// Like [`run_cell_metrics`], but with the timer-interaction ledger
+/// attached for the given (peer, prefix) keys.
+///
+/// Records stream into a [`rfd_core::CountingLedger`] — O(1) memory,
+/// and deliberately *not* part of [`rfd_runner::RunMetrics`]: the
+/// sweep's output contract is that its CSVs are byte-identical with
+/// the ledger on or off (the non-perturbation contract, tested at the
+/// sweep layer).
+pub fn run_cell_metrics_audited(
+    kind: TopologyKind,
+    seed: u64,
+    pulses: usize,
+    keys: &[(u32, u32)],
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> rfd_runner::RunMetrics {
+    let pattern = rfd_core::FlapPattern::paper_default(pulses);
+    let graph = kind.build(seed);
+    let isp = pick_isp(&graph, seed);
+    let config = make_config(&graph);
+    let mut network =
+        Network::new_with_sink(&graph, isp, config, rfd_metrics::SuppressionStats::new());
+    network.warm_up();
+    network.set_ledger(
+        rfd_core::LedgerFilter::keys(keys.iter().copied()),
+        Box::new(rfd_core::CountingLedger::new()),
+    );
+    let report = network.run_pulses(pattern, SimDuration::from_secs(100));
+    let stats = network.into_sink();
+    rfd_runner::RunMetrics {
+        convergence_secs: report.convergence_time.as_secs_f64(),
+        messages: report.message_count as f64,
+        suppressed: stats.ever_suppressed_entries() as f64,
+    }
+}
+
 /// Full-trace variant of [`run_cell_metrics`] (see
 /// [`run_pattern_metrics_full`]).
 pub fn run_cell_metrics_full(

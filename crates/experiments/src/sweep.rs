@@ -18,7 +18,9 @@ use rfd_runner::{
 use rfd_sim::SimDuration;
 use rfd_topology::Graph;
 
-use crate::scenarios::{run_cell_metrics, run_cell_metrics_full, run_workload, TopologyKind};
+use crate::scenarios::{
+    run_cell_metrics, run_cell_metrics_audited, run_cell_metrics_full, run_workload, TopologyKind,
+};
 
 /// One measured point of a sweep (averaged over seeds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,6 +145,11 @@ pub struct SweepOptions {
     /// Deterministic fault injection (hidden `--chaos` / `RFD_CHAOS`
     /// knob; empty in normal operation).
     pub chaos: ChaosPlan,
+    /// (peer, prefix) keys to audit with the timer-interaction ledger
+    /// in every cell (`--ledger P:X`); empty means off. Records stream
+    /// into a counting sink and never reach the journals or tables —
+    /// the sweep's CSVs are byte-identical either way (tested).
+    pub ledger_keys: Vec<(u32, u32)>,
 }
 
 impl Default for SweepOptions {
@@ -159,6 +166,7 @@ impl Default for SweepOptions {
             retries: 0,
             resume_force: false,
             chaos: ChaosPlan::none(),
+            ledger_keys: Vec::new(),
         }
     }
 }
@@ -307,12 +315,15 @@ pub fn try_measure_sweep(
         grid = grid.series(label, spec);
     }
     let full = opts.full_traces;
+    let ledger = opts.ledger_keys.clone();
     let results = run_grid(&grid, &opts.runner_config(), |spec: &SeriesSpec, cell| {
         let make = |g: &Graph| (spec.make)(g, cell.seed);
         if full {
             run_cell_metrics_full(spec.kind, cell.seed, cell.pulses, make)
-        } else {
+        } else if ledger.is_empty() {
             run_cell_metrics(spec.kind, cell.seed, cell.pulses, make)
+        } else {
+            run_cell_metrics_audited(spec.kind, cell.seed, cell.pulses, &ledger, make)
         }
     })?;
 
@@ -590,6 +601,44 @@ mod tests {
             streaming.message_table().to_csv(),
             buffered.message_table().to_csv()
         );
+    }
+
+    /// The ledger's non-perturbation contract at the sweep layer:
+    /// auditing every cell's (peer, prefix) keys must leave the CSVs
+    /// byte-identical, sequentially and under a parallel pool.
+    #[test]
+    fn sweep_is_byte_identical_with_and_without_ledger() {
+        let opts = |threads, ledger_keys: Vec<(u32, u32)>| SweepOptions {
+            max_pulses: 2,
+            seeds: vec![1, 2],
+            threads,
+            ledger_keys,
+            ..SweepOptions::default()
+        };
+        let specs = || {
+            vec![
+                SeriesSpec::by_seed("undamped", TINY, NetworkConfig::paper_no_damping),
+                SeriesSpec::by_seed("damped", TINY, NetworkConfig::paper_full_damping),
+            ]
+        };
+        // Watch every plausible peer of the origin entry plus one key
+        // that never matches — emission on hit and the filter miss
+        // branch are both exercised.
+        let keys: Vec<(u32, u32)> = (0..32).map(|peer| (peer, 0)).collect();
+        for threads in [1, 2] {
+            let plain = measure_sweep("ledger-check", specs(), &opts(threads, Vec::new()));
+            let audited = measure_sweep("ledger-check", specs(), &opts(threads, keys.clone()));
+            assert_eq!(
+                plain.convergence_table().to_csv(),
+                audited.convergence_table().to_csv(),
+                "ledger perturbed the convergence CSV at threads={threads}"
+            );
+            assert_eq!(
+                plain.message_table().to_csv(),
+                audited.message_table().to_csv(),
+                "ledger perturbed the message CSV at threads={threads}"
+            );
+        }
     }
 
     #[test]

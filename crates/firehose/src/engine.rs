@@ -23,6 +23,7 @@ use rfd_sim::SimTime;
 use crate::queue::SpscQueue;
 use crate::report::{Aggregate, FirehoseReport, ShardPerf};
 use crate::shard::ShardState;
+use crate::telemetry::{DeltaTracker, ShardSnapshot, TelemetrySink};
 use crate::workload::{shard_hash, Firehose, Update, WorkloadSpec};
 
 /// Updates a worker drains from its queue per lock acquisition.
@@ -84,11 +85,17 @@ impl FirehoseConfig {
     }
 }
 
-/// Per-shard gauges shared between a worker and the heartbeat monitor.
+/// Per-shard gauges shared between a worker and the observers (the
+/// heartbeat monitor and the telemetry sampler). Workers write them
+/// with relaxed stores — `suppressions` and `live_entries` only at
+/// batch boundaries — so observation never perturbs the decision
+/// stream.
 #[derive(Debug, Default)]
 struct ShardGauges {
     processed: AtomicU64,
     recovered_panics: AtomicU64,
+    suppressions: AtomicU64,
+    live_entries: AtomicU64,
 }
 
 /// Runs the firehose to completion and reports.
@@ -102,6 +109,28 @@ struct ShardGauges {
 /// Propagates non-chaos panics from shard workers (a worker dying for
 /// any reason other than an injected fault is a bug, not a result).
 pub fn run(config: &FirehoseConfig) -> Result<FirehoseReport, String> {
+    run_with_telemetry(config, None)
+}
+
+/// Like [`run`], with an optional live-telemetry sampler: every
+/// `interval` of wall-clock time the sink receives one
+/// [`ShardSnapshot`] row per shard, plus one final tick when the run
+/// ends (so even a sub-interval run yields a complete snapshot set).
+///
+/// Telemetry is observation only — the aggregate report is identical
+/// with or without it (tested).
+///
+/// # Errors
+///
+/// Returns the [`FirehoseConfig::validate`] message on a bad config.
+///
+/// # Panics
+///
+/// Propagates non-chaos panics from shard workers, as [`run`] does.
+pub fn run_with_telemetry(
+    config: &FirehoseConfig,
+    telemetry: Option<(Duration, &mut dyn TelemetrySink)>,
+) -> Result<FirehoseReport, String> {
     config.validate()?;
     let started = Instant::now();
     let hose = Firehose::new(&config.spec);
@@ -110,7 +139,12 @@ pub fn run(config: &FirehoseConfig) -> Result<FirehoseReport, String> {
         .map(|_| SpscQueue::new(config.queue_capacity))
         .collect();
     let gauges: Vec<ShardGauges> = (0..config.shards).map(|_| ShardGauges::default()).collect();
-    let decision_ns = Histogram::standalone();
+    // One latency histogram per shard (the telemetry sampler reads
+    // interval deltas per shard); the report's cross-shard histogram
+    // is their exact bucket-wise merge.
+    let shard_hists: Vec<Histogram> = (0..config.shards)
+        .map(|_| Histogram::standalone())
+        .collect();
     // Latest simulated instant the generator has emitted, in µs — the
     // heartbeat's progress signal (duration is simulated time, so wall
     // clock says nothing about how far along the run is).
@@ -122,28 +156,44 @@ pub fn run(config: &FirehoseConfig) -> Result<FirehoseReport, String> {
             .map(|i| {
                 let queue = &queues[i];
                 let gauge = &gauges[i];
-                let hist = decision_ns.clone();
+                let hist = shard_hists[i].clone();
                 let chaos = &config.chaos;
                 let params = config.params;
                 scope.spawn(move || shard_worker(i, queue, params, chaos, &hist, end, gauge))
             })
             .collect();
 
-        let monitor = config.heartbeat.map(|period| {
+        let mut observers: Vec<std::thread::Thread> = Vec::new();
+        if let Some(period) = config.heartbeat {
             let gauges = &gauges;
             let queues = &queues;
             let sim_now_us = &sim_now_us;
             let stop = &stop;
             let total_us = config.spec.duration.as_micros();
-            scope.spawn(move || {
+            let handle = scope.spawn(move || {
                 heartbeat_loop(period, started, total_us, sim_now_us, gauges, queues, stop)
-            })
-        });
-        // Stops the monitor even if the generator or a join below
-        // unwinds — otherwise the scope would deadlock waiting for it.
+            });
+            observers.push(handle.thread().clone());
+        }
+        if let Some((interval, sink)) = telemetry {
+            let gauges = &gauges;
+            let queues = &queues;
+            let hists = &shard_hists;
+            let sim_now_us = &sim_now_us;
+            let stop = &stop;
+            let handle = scope.spawn(move || {
+                telemetry_loop(
+                    interval, started, sim_now_us, gauges, queues, hists, stop, sink,
+                )
+            });
+            observers.push(handle.thread().clone());
+        }
+        // Stops the observers even if the generator or a join below
+        // unwinds — otherwise the scope would deadlock waiting for
+        // them.
         let _stopper = MonitorStopper {
             stop: &stop,
-            monitor: monitor.as_ref().map(|h| h.thread().clone()),
+            observers,
         };
 
         for update in hose {
@@ -164,6 +214,10 @@ pub fn run(config: &FirehoseConfig) -> Result<FirehoseReport, String> {
     let mut aggregate = Aggregate::default();
     for shard_agg in &aggregates {
         aggregate.merge(shard_agg);
+    }
+    let decision_ns = Histogram::standalone();
+    for hist in &shard_hists {
+        decision_ns.merge_from(hist);
     }
     let shard_perf = (0..config.shards)
         .map(|i| ShardPerf {
@@ -232,6 +286,14 @@ fn shard_worker(
             }
             batch.clear();
             pos = 0;
+            // Batch-boundary gauge refresh for the observers: cheap
+            // relaxed stores once per drained batch, never per update.
+            gauge
+                .suppressions
+                .store(state.aggregate().suppressions, Ordering::Relaxed);
+            gauge
+                .live_entries
+                .store(state.live_entries() as u64, Ordering::Relaxed);
             if !queue.pop_batch(&mut batch, BATCH) {
                 return;
             }
@@ -256,16 +318,17 @@ fn shard_worker(
     state.finish(end)
 }
 
-/// Sets the monitor stop flag (and wakes the monitor) when dropped.
+/// Sets the observer stop flag (and wakes every observer thread —
+/// heartbeat monitor, telemetry sampler) when dropped.
 struct MonitorStopper<'a> {
     stop: &'a AtomicBool,
-    monitor: Option<std::thread::Thread>,
+    observers: Vec<std::thread::Thread>,
 }
 
 impl Drop for MonitorStopper<'_> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(thread) = &self.monitor {
+        for thread in &self.observers {
             thread.unpark();
         }
     }
@@ -304,6 +367,65 @@ fn heartbeat_loop(
         );
         eprintln!("{line}");
     }
+}
+
+/// The telemetry sampler: wakes every `interval`, reads the shared
+/// gauges and per-shard histograms, and hands one row per shard to the
+/// sink. Emits exactly one final tick after the stop flag is raised,
+/// then finishes the sink.
+#[allow(clippy::too_many_arguments)]
+fn telemetry_loop(
+    interval: Duration,
+    started: Instant,
+    sim_now_us: &AtomicU64,
+    gauges: &[ShardGauges],
+    queues: &[SpscQueue<Update>],
+    hists: &[Histogram],
+    stop: &AtomicBool,
+    sink: &mut dyn TelemetrySink,
+) {
+    let mut trackers: Vec<DeltaTracker> = gauges.iter().map(|_| DeltaTracker::new()).collect();
+    let mut seq = 0u64;
+    let mut done = false;
+    while !done {
+        std::thread::park_timeout(interval);
+        done = stop.load(Ordering::Relaxed);
+        let elapsed_secs = started.elapsed().as_secs_f64();
+        let sim_us = sim_now_us.load(Ordering::Relaxed);
+        let rows: Vec<ShardSnapshot> = (0..gauges.len())
+            .map(|i| {
+                let processed = gauges[i].processed.load(Ordering::Relaxed);
+                let suppressions = gauges[i].suppressions.load(Ordering::Relaxed);
+                let (processed_delta, rate_per_sec, p50_ns, p99_ns) =
+                    trackers[i].advance(processed, elapsed_secs, &hists[i].nonzero_buckets());
+                ShardSnapshot {
+                    seq,
+                    elapsed_secs,
+                    sim_us,
+                    shard: i,
+                    processed,
+                    processed_delta,
+                    rate_per_sec,
+                    suppressions,
+                    suppression_ratio: if processed > 0 {
+                        suppressions as f64 / processed as f64
+                    } else {
+                        0.0
+                    },
+                    queue_depth: queues[i].depth(),
+                    max_queue_depth: queues[i].max_depth(),
+                    push_waits: queues[i].push_waits(),
+                    live_entries: gauges[i].live_entries.load(Ordering::Relaxed),
+                    recovered_panics: gauges[i].recovered_panics.load(Ordering::Relaxed),
+                    p50_ns,
+                    p99_ns,
+                }
+            })
+            .collect();
+        sink.tick(&rows);
+        seq += 1;
+    }
+    sink.finish();
 }
 
 /// One heartbeat line: updates processed and rate, simulated-time
@@ -453,6 +575,75 @@ mod tests {
         let line = format_firehose_heartbeat(0, 0, 100, 1.0, &[1], 3);
         assert!(line.contains("eta ?"), "{line}");
         assert!(line.contains("recovered-panics 3"), "{line}");
+    }
+
+    #[test]
+    fn telemetry_ticks_cover_every_shard_and_reconcile_with_the_report() {
+        let mut sink = crate::telemetry::VecTelemetry::new();
+        let cfg = config(3, WorkloadKind::FlapStorm);
+        let report =
+            run_with_telemetry(&cfg, Some((Duration::from_millis(1), &mut sink))).expect("runs");
+        let ticks = sink.ticks();
+        assert!(!ticks.is_empty(), "at least the final tick must fire");
+        for rows in ticks {
+            assert_eq!(rows.len(), 3, "one row per shard per tick");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.shard, i);
+                assert_eq!(row.seq, rows[0].seq, "all rows of a tick share seq");
+            }
+        }
+        // The final tick fires after the workers have drained, so its
+        // cumulative counters equal the report's.
+        let last = ticks.last().unwrap();
+        assert_eq!(
+            last.iter().map(|r| r.processed).sum::<u64>(),
+            report.aggregate.updates
+        );
+        assert_eq!(
+            last.iter().map(|r| r.suppressions).sum::<u64>(),
+            report.aggregate.suppressions
+        );
+        assert_eq!(
+            last.iter().map(|r| r.live_entries).sum::<u64>(),
+            report.aggregate.live_entries
+        );
+        // Cumulative counters never move backwards across ticks.
+        for shard in 0..3 {
+            let series: Vec<u64> = ticks.iter().map(|rows| rows[shard].processed).collect();
+            assert!(series.windows(2).all(|w| w[0] <= w[1]), "{series:?}");
+        }
+    }
+
+    /// The telemetry side of the non-perturbation contract: sampling
+    /// must not change a single decision, at one shard or several.
+    #[test]
+    fn telemetry_does_not_perturb_the_aggregate() {
+        for shards in [1, 2] {
+            let plain = run(&config(shards, WorkloadKind::FlapStorm)).expect("runs");
+            let mut sink = crate::telemetry::VecTelemetry::new();
+            let sampled = run_with_telemetry(
+                &config(shards, WorkloadKind::FlapStorm),
+                Some((Duration::from_millis(1), &mut sink)),
+            )
+            .expect("runs");
+            assert_eq!(
+                plain.aggregate_signature(),
+                sampled.aggregate_signature(),
+                "telemetry perturbed the run at shards={shards}"
+            );
+            assert_eq!(plain.decision_ns.count(), sampled.decision_ns.count());
+        }
+    }
+
+    #[test]
+    fn per_shard_histograms_merge_into_the_report_total() {
+        let report = run(&config(4, WorkloadKind::Poisson)).expect("runs");
+        assert_eq!(
+            report.decision_ns.count(),
+            report.aggregate.updates,
+            "merged histogram covers every decision exactly once"
+        );
+        assert!(report.decision_ns.sum() > 0);
     }
 
     #[test]

@@ -34,9 +34,13 @@ pub mod engine;
 pub mod queue;
 pub mod report;
 pub mod shard;
+pub mod telemetry;
 pub mod workload;
 
-pub use engine::{format_firehose_heartbeat, run, FirehoseConfig};
+pub use engine::{format_firehose_heartbeat, run, run_with_telemetry, FirehoseConfig};
 pub use report::{Aggregate, FirehoseReport, ShardPerf};
 pub use shard::ShardState;
+pub use telemetry::{
+    prometheus_exposition, JsonlTelemetry, ShardSnapshot, TelemetrySink, VecTelemetry,
+};
 pub use workload::{pack_key, shard_hash, Firehose, Update, WorkloadKind, WorkloadSpec};

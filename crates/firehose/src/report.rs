@@ -193,49 +193,54 @@ impl FirehoseReport {
     }
 }
 
+/// A small fixed report for rendering tests (shared with the telemetry
+/// module's Prometheus-exposition tests).
+#[cfg(test)]
+pub(crate) fn test_demo_report() -> FirehoseReport {
+    let decision_ns = Histogram::standalone();
+    for v in [100u64, 200, 400, 800] {
+        decision_ns.observe(v);
+    }
+    FirehoseReport {
+        workload: "poisson",
+        shards: 2,
+        seed: 7,
+        aggregate: Aggregate {
+            updates: 1000,
+            suppressions: 10,
+            reuses: 4,
+            reuse_deferrals: 2,
+            evictions: 3,
+            penalty_milli: 500_000,
+            suppressed_at_end: 6,
+            live_entries: 40,
+        },
+        shard_perf: vec![
+            ShardPerf {
+                processed: 600,
+                max_queue_depth: 12,
+                push_waits: 1,
+                recovered_panics: 0,
+            },
+            ShardPerf {
+                processed: 400,
+                max_queue_depth: 3,
+                push_waits: 0,
+                recovered_panics: 2,
+            },
+        ],
+        elapsed_secs: 0.5,
+        updates_per_sec: 2000.0,
+        updates_per_sec_per_shard: 1000.0,
+        decision_ns,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn demo_report() -> FirehoseReport {
-        let decision_ns = Histogram::standalone();
-        for v in [100u64, 200, 400, 800] {
-            decision_ns.observe(v);
-        }
-        FirehoseReport {
-            workload: "poisson",
-            shards: 2,
-            seed: 7,
-            aggregate: Aggregate {
-                updates: 1000,
-                suppressions: 10,
-                reuses: 4,
-                reuse_deferrals: 2,
-                evictions: 3,
-                penalty_milli: 500_000,
-                suppressed_at_end: 6,
-                live_entries: 40,
-            },
-            shard_perf: vec![
-                ShardPerf {
-                    processed: 600,
-                    max_queue_depth: 12,
-                    push_waits: 1,
-                    recovered_panics: 0,
-                },
-                ShardPerf {
-                    processed: 400,
-                    max_queue_depth: 3,
-                    push_waits: 0,
-                    recovered_panics: 2,
-                },
-            ],
-            elapsed_secs: 0.5,
-            updates_per_sec: 2000.0,
-            updates_per_sec_per_shard: 1000.0,
-            decision_ns,
-        }
-    }
+    use super::test_demo_report as demo_report;
 
     #[test]
     fn merge_sums_every_field() {

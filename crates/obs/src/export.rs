@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-use crate::registry;
+use crate::registry::{self, lock_unpoisoned};
 use crate::span::SpanRecord;
 
 /// JSON string literal with minimal escaping.
@@ -110,7 +110,7 @@ fn push_thread_events(out: &mut String, tid: usize, records: &[SpanRecord], firs
 fn span_aggregates() -> std::collections::BTreeMap<&'static str, (u64, u64, u64)> {
     let mut agg: std::collections::BTreeMap<&'static str, (u64, u64, u64)> = Default::default();
     for buf in registry::global().thread_bufs() {
-        let events = buf.events.lock().unwrap();
+        let events = lock_unpoisoned(&buf.events);
         for r in &events.spans {
             if let Some(dur) = r.dur_us {
                 let entry = agg.entry(r.name).or_insert((0, 0, 0));
@@ -131,7 +131,7 @@ fn summary_body() -> String {
     let mut out = String::new();
 
     out.push_str("\"counters\":{");
-    let counters = reg.counters.lock().unwrap();
+    let counters = lock_unpoisoned(&reg.counters);
     for (i, (name, c)) in counters.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -139,8 +139,17 @@ fn summary_body() -> String {
         let _ = write!(out, "{}:{}", encode_str(name), c.get());
     }
     drop(counters);
+    out.push_str("},\n\"gauges\":{");
+    let gauges = lock_unpoisoned(&reg.gauges);
+    for (i, (name, g)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", encode_str(name), g.get());
+    }
+    drop(gauges);
     out.push_str("},\n\"histograms\":{");
-    let histograms = reg.histograms.lock().unwrap();
+    let histograms = lock_unpoisoned(&reg.histograms);
     for (i, (name, h)) in histograms.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -174,7 +183,10 @@ fn summary_body() -> String {
     }
     out.push_str("},\n\"meta\":{");
     let bufs = reg.thread_bufs();
-    let dropped: u64 = bufs.iter().map(|b| b.events.lock().unwrap().dropped).sum();
+    let dropped: u64 = bufs
+        .iter()
+        .map(|b| lock_unpoisoned(&b.events).dropped)
+        .sum();
     let _ = write!(
         out,
         "\"threads\":{},\"dropped_spans\":{dropped}",
@@ -196,12 +208,12 @@ pub fn render_trace() -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
     for buf in reg.thread_bufs() {
-        let events = buf.events.lock().unwrap();
+        let events = lock_unpoisoned(&buf.events);
         push_thread_events(&mut out, buf.tid, &events.spans, &mut first);
     }
     // Counter final values as ph:"C" records on a synthetic tid.
     let now = reg.now_us();
-    let counters = reg.counters.lock().unwrap();
+    let counters = lock_unpoisoned(&reg.counters);
     for (name, c) in counters.iter() {
         if !first {
             out.push_str(",\n");
@@ -311,6 +323,7 @@ mod tests {
             let _outer = crate::span("export.outer");
             let _inner = crate::span("export.inner");
             crate::inc("export.counter");
+            crate::gauge_set("export.gauge", -4);
             crate::observe("export.hist", 33);
         }
         let text = render_trace();
@@ -326,6 +339,13 @@ mod tests {
             .get("counters")
             .and_then(|c| c.get("export.counter"))
             .is_some());
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("export.gauge"))
+                .and_then(crate::json::Value::as_f64),
+            Some(-4.0)
+        );
         assert!(parsed
             .get("histograms")
             .and_then(|h| h.get("export.hist"))

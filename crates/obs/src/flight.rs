@@ -13,18 +13,18 @@ use std::path::{Path, PathBuf};
 use std::sync::Once;
 
 use crate::export::encode_str;
-use crate::registry;
+use crate::registry::{self, lock_unpoisoned};
 
 /// Configures where [`dump_flight`] (and the panic hook) writes.
 pub fn set_flight_path(path: impl Into<PathBuf>) {
-    *registry::global().flight_path.lock().unwrap() = Some(path.into());
+    *lock_unpoisoned(&registry::global().flight_path) = Some(path.into());
 }
 
 fn render_flight() -> String {
     let mut out = String::from("{\"flightEvents\":[\n");
     let mut first = true;
     for buf in registry::global().thread_bufs() {
-        let events = buf.events.lock().unwrap();
+        let events = lock_unpoisoned(&buf.events);
         for r in events.ring_in_order() {
             if !first {
                 out.push_str(",\n");
@@ -72,10 +72,7 @@ pub fn dump_flight() -> io::Result<Option<PathBuf>> {
     // overrunning their budget at once) must serialize, or their
     // truncate-and-write sequences interleave into invalid JSON. The
     // lock is poison-tolerant because this also runs in the panic hook.
-    let guard = registry::global()
-        .flight_path
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
+    let guard = lock_unpoisoned(&registry::global().flight_path);
     match guard.as_deref() {
         Some(path) => {
             write_flight(path)?;
@@ -145,6 +142,102 @@ mod tests {
             .unwrap();
         assert_eq!(beta.get("sim_us").and_then(Value::as_u64), Some(123));
         assert!(beta.get("dur_us").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_after_ring_wraparound_keeps_newest_in_insertion_order() {
+        let _guard = crate::tests::GLOBAL_TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        const EXTRA: usize = 10;
+        // Overfill the ring: RING_CAP "old" marks, then EXTRA "new" ones.
+        // The dump must hold exactly RING_CAP records — the newest ones,
+        // still in insertion order — with exactly the EXTRA oldest gone.
+        for _ in 0..crate::registry::RING_CAP {
+            crate::mark("flight.wrap.old");
+        }
+        for _ in 0..EXTRA {
+            crate::mark("flight.wrap.new");
+        }
+        let dir = std::env::temp_dir().join(format!("rfd-obs-wrap-test-{}", std::process::id()));
+        let path = dir.join("wrap.flightrec.json");
+        set_flight_path(&path);
+        dump_flight().expect("dump ok").expect("path configured");
+        crate::disable();
+        crate::reset();
+        *lock_unpoisoned(&registry::global().flight_path) = None;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse(&text).expect("valid JSON");
+        let Some(Value::Array(events)) = parsed.get("flightEvents").cloned() else {
+            panic!("flightEvents array expected")
+        };
+        assert_eq!(events.len(), crate::registry::RING_CAP, "ring is bounded");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect();
+        let old = names.iter().filter(|n| **n == "flight.wrap.old").count();
+        let new = names.iter().filter(|n| **n == "flight.wrap.new").count();
+        assert_eq!(new, EXTRA, "every new record survives");
+        assert_eq!(
+            old,
+            crate::registry::RING_CAP - EXTRA,
+            "exactly the oldest records are dropped"
+        );
+        // Insertion order is preserved: all surviving old records come
+        // before the new ones, and timestamps never go backwards.
+        let first_new = names
+            .iter()
+            .position(|n| *n == "flight.wrap.new")
+            .expect("new records present");
+        assert_eq!(first_new, old, "old block precedes new block");
+        let stamps: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("at_us").and_then(Value::as_u64))
+            .collect();
+        assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "dump must preserve insertion order"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_survives_a_poisoned_thread_buffer() {
+        let _guard = crate::tests::GLOBAL_TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        crate::mark("flight.poison.before");
+        // Panic while holding the thread buffer's lock — the exact state
+        // a crashing instrumented thread leaves behind. The dump (which
+        // runs from the panic hook in production) must still render.
+        let bufs = registry::global().thread_bufs();
+        assert!(!bufs.is_empty());
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _held = bufs[0].events.lock().unwrap();
+            panic!("poison the buffer");
+        }));
+        assert!(poisoned.is_err());
+        assert!(bufs[0].events.is_poisoned(), "setup failed to poison");
+        let dir = std::env::temp_dir().join(format!("rfd-obs-poison-test-{}", std::process::id()));
+        let path = dir.join("poison.flightrec.json");
+        set_flight_path(&path);
+        let written = dump_flight().expect("dump ok despite poison");
+        crate::disable();
+        crate::reset();
+        *lock_unpoisoned(&registry::global().flight_path) = None;
+        assert_eq!(written.as_deref(), Some(path.as_path()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse(&text).expect("valid JSON");
+        let names: Vec<&str> = parsed
+            .get("flightEvents")
+            .and_then(Value::as_array)
+            .expect("flightEvents array")
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect();
+        assert!(names.contains(&"flight.poison.before"), "{names:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -49,7 +49,7 @@ mod span;
 
 pub use export::{render_trace, summary_json, write_trace};
 pub use flight::{dump_flight, install_panic_hook, set_flight_path};
-pub use metrics::{percentile_from_buckets, Counter, Histogram};
+pub use metrics::{percentile_from_buckets, Counter, Gauge, Histogram};
 pub use report::{render_report, ReportError};
 pub use span::SpanGuard;
 
@@ -86,6 +86,13 @@ pub fn counter(name: &'static str) -> Counter {
     registry::global().counter(name)
 }
 
+/// A handle to the named gauge, registering it on first use. Unlike a
+/// counter a gauge is a *level* — it can be set outright or moved in
+/// either direction (queue depths, slot occupancy).
+pub fn gauge(name: &'static str) -> Gauge {
+    registry::global().gauge(name)
+}
+
 /// A handle to the named log₂-bucketed histogram, registering it on
 /// first use.
 pub fn histogram(name: &'static str) -> Histogram {
@@ -112,6 +119,22 @@ pub fn add(name: &'static str, n: u64) {
 pub fn observe(name: &'static str, value: u64) {
     if is_enabled() {
         span::with_tls(|tls| tls.histogram(name).observe(value));
+    }
+}
+
+/// Sets the named gauge to `value` (no-op while disabled).
+#[inline]
+pub fn gauge_set(name: &'static str, value: i64) {
+    if is_enabled() {
+        span::with_tls(|tls| tls.gauge(name).set(value));
+    }
+}
+
+/// Moves the named gauge by signed `delta` (no-op while disabled).
+#[inline]
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if is_enabled() {
+        span::with_tls(|tls| tls.gauge(name).add(delta));
     }
 }
 
@@ -177,6 +200,27 @@ mod tests {
         disable();
         reset();
         assert!(!json.contains("test.a"), "{json}");
+    }
+
+    #[test]
+    fn gauges_record_levels_and_respect_enable() {
+        let _guard = GLOBAL_TEST_LOCK.lock().unwrap();
+        disable();
+        reset();
+        gauge_set("test.g", 9);
+        enable();
+        let json = summary_json();
+        assert!(
+            !json.contains("test.g"),
+            "disabled gauge writes must drop: {json}"
+        );
+        gauge_set("test.g", 9);
+        gauge_add("test.g", 3);
+        gauge_add("test.g", -5);
+        let json = summary_json();
+        disable();
+        reset();
+        assert!(json.contains("\"test.g\":7"), "{json}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Counters and log₂-bucketed histograms.
+//! Counters, gauges and log₂-bucketed histograms.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A monotonically increasing named counter. Handles are cheap clones
@@ -28,6 +28,42 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named instantaneous level. Counters are monotonic by contract;
+/// quantities that go *down* again — queue depth, damper slot occupancy,
+/// in-flight cells — need set/add/sub semantics, which is exactly what a
+/// gauge is. Handles are cheap clones of one shared atomic.
+#[derive(Debug, Clone)]
+pub struct Gauge(pub(crate) Arc<AtomicI64>);
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -127,6 +163,27 @@ impl Histogram {
     pub fn percentile(&self, p: f64) -> f64 {
         percentile_from_buckets(&self.nonzero_buckets(), p)
     }
+
+    /// Folds another histogram's samples into this one, bucket by
+    /// bucket. Log₂ buckets are position-aligned across all histograms,
+    /// so the merge is exact: the result is indistinguishable from
+    /// having observed every sample on `self` directly. This is how
+    /// per-shard latency histograms combine into one cross-shard
+    /// distribution.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .sum
+            .fetch_add(other.0.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// The interpolated `p`-th percentile of a log₂-bucketed sample set,
@@ -174,6 +231,58 @@ mod tests {
         let c2 = c.clone();
         c2.inc();
         assert_eq!(c.get(), 11, "clones share the cell");
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_subs() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(10);
+        g.add(5);
+        g.sub(20);
+        assert_eq!(g.get(), -5, "gauges may go negative");
+        let g2 = g.clone();
+        g2.set(3);
+        assert_eq!(g.get(), 3, "clones share the cell");
+    }
+
+    #[test]
+    fn merge_from_is_exact() {
+        let a = Histogram::standalone();
+        let b = Histogram::standalone();
+        let direct = Histogram::standalone();
+        for v in [0u64, 1, 7, 1000] {
+            a.observe(v);
+            direct.observe(v);
+        }
+        for v in [3u64, 7, 2048] {
+            b.observe(v);
+            direct.observe(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.sum(), direct.sum());
+        assert_eq!(a.nonzero_buckets(), direct.nonzero_buckets());
+        assert_eq!(a.percentile(50.0), direct.percentile(50.0));
+        assert_eq!(a.percentile(99.0), direct.percentile(99.0));
+        // Exact expected shape: 0→1, 1→1, [2,4)→1, [4,8)→2, [512,1024)→1,
+        // [2048,4096)→1.
+        assert_eq!(
+            a.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 1), (4, 2), (512, 1), (2048, 1)]
+        );
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 3066);
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let a = Histogram::standalone();
+        a.observe(42);
+        let before = a.nonzero_buckets();
+        a.merge_from(&Histogram::standalone());
+        assert_eq!(a.nonzero_buckets(), before);
+        assert_eq!(a.count(), 1);
     }
 
     #[test]

@@ -13,11 +13,22 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
-use crate::metrics::{Counter, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram};
 use crate::span::ThreadBuf;
+
+/// Locks a mutex, recovering the data behind a poisoned one.
+///
+/// The registry's locks only guard registration maps and export
+/// snapshots — there is no invariant a mid-panic thread could leave
+/// half-established — so treating poison as fatal would just let one
+/// panicking instrumented thread wedge the flight-recorder dump that is
+/// trying to explain that very panic.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Hard cap on completed span records kept per thread (beyond it spans
 /// are counted as dropped, not stored). 1 M records ≈ 40 MB/thread at
@@ -33,6 +44,7 @@ pub(crate) struct Registry {
     pub(crate) generation: AtomicU64,
     pub(crate) epoch: Instant,
     pub(crate) counters: Mutex<BTreeMap<&'static str, Counter>>,
+    pub(crate) gauges: Mutex<BTreeMap<&'static str, Gauge>>,
     pub(crate) histograms: Mutex<BTreeMap<&'static str, Histogram>>,
     pub(crate) threads: Mutex<Vec<Arc<ThreadBuf>>>,
     pub(crate) flight_path: Mutex<Option<PathBuf>>,
@@ -45,6 +57,7 @@ impl Registry {
             generation: AtomicU64::new(0),
             epoch: Instant::now(),
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             threads: Mutex::new(Vec::new()),
             flight_path: Mutex::new(None),
@@ -58,18 +71,21 @@ impl Registry {
     }
 
     pub(crate) fn counter(&self, name: &'static str) -> Counter {
-        self.counters
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.counters)
             .entry(name)
             .or_insert_with(Counter::new)
             .clone()
     }
 
+    pub(crate) fn gauge(&self, name: &'static str) -> Gauge {
+        lock_unpoisoned(&self.gauges)
+            .entry(name)
+            .or_insert_with(Gauge::new)
+            .clone()
+    }
+
     pub(crate) fn histogram(&self, name: &'static str) -> Histogram {
-        self.histograms
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.histograms)
             .entry(name)
             .or_insert_with(Histogram::new)
             .clone()
@@ -77,7 +93,7 @@ impl Registry {
 
     /// Registers a fresh per-thread buffer.
     pub(crate) fn register_thread(&self) -> Arc<ThreadBuf> {
-        let mut threads = self.threads.lock().unwrap();
+        let mut threads = lock_unpoisoned(&self.threads);
         let buf = Arc::new(ThreadBuf::new(threads.len()));
         threads.push(buf.clone());
         buf
@@ -85,13 +101,14 @@ impl Registry {
 
     /// Snapshot of all registered per-thread buffers.
     pub(crate) fn thread_bufs(&self) -> Vec<Arc<ThreadBuf>> {
-        self.threads.lock().unwrap().clone()
+        lock_unpoisoned(&self.threads).clone()
     }
 
     pub(crate) fn reset(&self) {
-        self.counters.lock().unwrap().clear();
-        self.histograms.lock().unwrap().clear();
-        self.threads.lock().unwrap().clear();
+        lock_unpoisoned(&self.counters).clear();
+        lock_unpoisoned(&self.gauges).clear();
+        lock_unpoisoned(&self.histograms).clear();
+        lock_unpoisoned(&self.threads).clear();
         self.generation.fetch_add(1, Ordering::SeqCst);
     }
 }

@@ -90,6 +90,22 @@ fn counter_section(out: &mut String, counters: &Value) {
     }
 }
 
+fn gauge_section(out: &mut String, gauges: &Value) {
+    let Some(map) = gauges.as_object() else {
+        return;
+    };
+    if map.is_empty() {
+        return;
+    }
+    out.push_str("gauges:\n");
+    for (name, v) in map {
+        if let Some(n) = v.as_f64() {
+            out.push_str(&format!("  {name:<40} {n:>14}\n"));
+        }
+    }
+    out.push('\n');
+}
+
 fn histogram_section(out: &mut String, histograms: &Value) {
     let Some(map) = histograms.as_object() else {
         return;
@@ -136,9 +152,10 @@ fn histogram_section(out: &mut String, histograms: &Value) {
 pub fn render_report(text: &str) -> Result<String, ReportError> {
     let doc = parse(text)?;
     let counters = doc.get("counters");
+    let gauges = doc.get("gauges");
     let histograms = doc.get("histograms");
     let spans = doc.get("spans");
-    if counters.is_none() && histograms.is_none() && spans.is_none() {
+    if counters.is_none() && gauges.is_none() && histograms.is_none() && spans.is_none() {
         return Err(ReportError::NotAnObsFile);
     }
     let mut out = String::new();
@@ -160,6 +177,9 @@ pub fn render_report(text: &str) -> Result<String, ReportError> {
         counter_section(&mut out, counters);
         out.push('\n');
     }
+    if let Some(gauges) = gauges {
+        gauge_section(&mut out, gauges);
+    }
     if let Some(histograms) = histograms {
         histogram_section(&mut out, histograms);
     }
@@ -173,6 +193,7 @@ mod tests {
     const SAMPLE: &str = r#"{
         "traceEvents": [],
         "counters": {"sim.events": 1200, "bgp.updates_sent": 450},
+        "gauges": {"firehose.queue_depth": -2, "firehose.live_entries": 31},
         "histograms": {"sim.scheduler_depth": {"count": 4, "sum": 22, "buckets": [[4, 3], [8, 1]]}},
         "spans": {
             "sim.run": {"count": 2, "total_us": 5000000, "max_us": 3000000},
@@ -187,6 +208,9 @@ mod tests {
         assert!(report.contains("threads: 2"), "{report}");
         assert!(report.contains("sim.events"), "{report}");
         assert!(report.contains("1200"), "{report}");
+        assert!(report.contains("gauges:"), "{report}");
+        assert!(report.contains("firehose.queue_depth"), "{report}");
+        assert!(report.contains("-2"), "{report}");
         assert!(report.contains("sim.scheduler_depth"), "{report}");
         // Buckets [[4,3],[8,1]] → rank 2 is 2/3 through [4,8) ≈ 7,
         // rank 3.96 is 0.96 through [8,16) ≈ 16.
@@ -218,6 +242,7 @@ mod tests {
         crate::reset();
         crate::enable();
         crate::inc("report.counter");
+        crate::gauge_set("report.gauge", 17);
         crate::observe("report.hist", 9);
         {
             let _s = crate::span("report.span");
@@ -227,6 +252,7 @@ mod tests {
         crate::reset();
         let report = render_report(&summary).expect("summary renders");
         assert!(report.contains("report.counter"), "{report}");
+        assert!(report.contains("report.gauge"), "{report}");
         assert!(report.contains("report.hist"), "{report}");
         assert!(report.contains("report.span"), "{report}");
     }

@@ -6,8 +6,8 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::metrics::{Counter, Histogram};
-use crate::registry::{self, RING_CAP, SPAN_CAP};
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::registry::{self, lock_unpoisoned, RING_CAP, SPAN_CAP};
 
 /// One completed span (or instantaneous mark, with `dur_us == None`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +81,7 @@ pub(crate) struct TlsState {
     generation: u64,
     buf: Arc<ThreadBuf>,
     counters: HashMap<&'static str, Counter>,
+    gauges: HashMap<&'static str, Gauge>,
     histograms: HashMap<&'static str, Histogram>,
 }
 
@@ -91,6 +92,7 @@ impl TlsState {
             generation: reg.generation.load(Ordering::SeqCst),
             buf: reg.register_thread(),
             counters: HashMap::new(),
+            gauges: HashMap::new(),
             histograms: HashMap::new(),
         }
     }
@@ -101,6 +103,12 @@ impl TlsState {
             .or_insert_with(|| registry::global().counter(name))
     }
 
+    pub(crate) fn gauge(&mut self, name: &'static str) -> &Gauge {
+        self.gauges
+            .entry(name)
+            .or_insert_with(|| registry::global().gauge(name))
+    }
+
     pub(crate) fn histogram(&mut self, name: &'static str) -> &Histogram {
         self.histograms
             .entry(name)
@@ -108,7 +116,7 @@ impl TlsState {
     }
 
     fn record(&self, record: SpanRecord) {
-        self.buf.events.lock().unwrap().push(record);
+        lock_unpoisoned(&self.buf.events).push(record);
     }
 }
 

@@ -6,12 +6,13 @@ use std::process::ExitCode;
 
 use route_flap_damping::bgp::Network;
 use route_flap_damping::cli::{
-    network_config, parse_firehose_command, parse_run_options, parse_sweep_command, ReportFormat,
-    SweepFigure, TopologySpec, USAGE,
+    network_config, parse_explain_command, parse_firehose_command, parse_run_options,
+    parse_sweep_command, ReportFormat, SweepFigure, TopologySpec, USAGE,
 };
 use route_flap_damping::damping::{intended_behavior, DampingParams, FlapPattern};
 use route_flap_damping::experiments::output;
 use route_flap_damping::experiments::pick_isp;
+use route_flap_damping::explain;
 use route_flap_damping::metrics::{export_trace, StateClassifier};
 use route_flap_damping::sim::SimDuration;
 use route_flap_damping::topology::{to_edge_list, NodeId};
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "explain" => cmd_explain(rest),
         "sweep" => cmd_sweep(rest),
         "firehose" => cmd_firehose(rest),
         "intended" => cmd_intended(rest),
@@ -166,6 +168,28 @@ fn cmd_run(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn cmd_explain(args: &[String]) -> CmdResult {
+    let cmd = parse_explain_command(args)?;
+    let report = explain::replay(&cmd)?;
+    // Narrative goes to stderr so `--json` leaves a pure document on
+    // stdout (golden diffs, jq).
+    eprintln!(
+        "replayed {} pulses on {} nodes (seed {}); {} ledger records for (peer {}, prefix {})",
+        report.pulses,
+        report.nodes,
+        report.seed,
+        report.records.len(),
+        report.peer,
+        report.prefix
+    );
+    if cmd.json {
+        print!("{}", explain::render_json(&report));
+    } else {
+        print!("{}", explain::render_timeline(&report));
+    }
+    Ok(())
+}
+
 fn cmd_sweep(args: &[String]) -> CmdResult {
     use route_flap_damping::experiments::figures::{fig13_14, fig15, fig8_9};
     use route_flap_damping::experiments::TopologyKind;
@@ -267,7 +291,32 @@ fn cmd_firehose(args: &[String]) -> CmdResult {
             format!(", {} chaos fault(s)", cmd.config.chaos.faults().len())
         },
     );
-    let report = route_flap_damping::firehose::run(&cmd.config)?;
+    let report = match &cmd.telemetry {
+        None => route_flap_damping::firehose::run(&cmd.config)?,
+        Some(path) => {
+            let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+            let mut sink = route_flap_damping::firehose::JsonlTelemetry::new(file);
+            let report = route_flap_damping::firehose::run_with_telemetry(
+                &cmd.config,
+                Some((cmd.telemetry_interval, &mut sink)),
+            )?;
+            eprintln!(
+                "firehose: telemetry snapshots written to {}",
+                path.display()
+            );
+            report
+        }
+    };
+    if let Some(path) = &cmd.prom {
+        std::fs::write(
+            path,
+            route_flap_damping::firehose::prometheus_exposition(&report),
+        )?;
+        eprintln!(
+            "firehose: prometheus exposition written to {}",
+            path.display()
+        );
+    }
     eprintln!(
         "firehose: {} updates in {:.2} s wall ({:.0}/s), p50 {:.0} ns / p99 {:.0} ns per decision",
         report.aggregate.updates,

@@ -243,6 +243,93 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
     Ok(opts)
 }
 
+/// A parsed `rfd explain` invocation: a normal run, replayed with the
+/// damping ledger focused on one (peer, prefix) key.
+#[derive(Debug, Clone)]
+pub struct ExplainCommand {
+    /// The run to replay (same flags as `rfd run`).
+    pub run: RunOptions,
+    /// Peer whose damping entries to audit (`None` = the origin AS,
+    /// resolved once the network is built).
+    pub peer: Option<u32>,
+    /// Prefix id to audit (the paper's workloads use prefix 0).
+    pub prefix: u32,
+    /// Restrict the timeline to this observing router.
+    pub node: Option<u32>,
+    /// Emit machine-readable JSON instead of the human timeline.
+    pub json: bool,
+}
+
+/// Parses the arguments of `rfd explain`: `--peer N`, `--prefix N`,
+/// `--node N`, `--json`, plus every `rfd run` flag (the replayed run
+/// must be describable exactly).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, or malformed
+/// values.
+pub fn parse_explain_command(args: &[String]) -> Result<ExplainCommand, CliError> {
+    let mut peer = None;
+    let mut prefix = 0u32;
+    let mut node = None;
+    let mut json = false;
+    let mut run_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--peer" => {
+                peer = Some(
+                    value("--peer")?
+                        .parse()
+                        .map_err(|_| CliError("--peer needs a node index".into()))?,
+                );
+            }
+            "--prefix" => {
+                prefix = value("--prefix")?
+                    .parse()
+                    .map_err(|_| CliError("--prefix needs a prefix id".into()))?;
+            }
+            "--node" => {
+                node = Some(
+                    value("--node")?
+                        .parse()
+                        .map_err(|_| CliError("--node needs a node index".into()))?,
+                );
+            }
+            "--json" => json = true,
+            // Everything else (flags and their values alike) belongs to
+            // the embedded run description.
+            other => run_args.push(other.to_owned()),
+        }
+    }
+    let run = parse_run_options(&run_args)?;
+    Ok(ExplainCommand {
+        run,
+        peer,
+        prefix,
+        node,
+        json,
+    })
+}
+
+/// Parses a `--ledger` key: `PEER:PREFIX`, or bare `PEER` (prefix 0).
+fn parse_ledger_key(spec: &str) -> Result<(u32, u32), CliError> {
+    let bad = || CliError(format!("--ledger needs PEER[:PREFIX], got `{spec}`"));
+    let (peer, prefix) = match spec.split_once(':') {
+        Some((p, x)) => (p, x),
+        None => (spec, "0"),
+    };
+    Ok((
+        peer.trim().parse().map_err(|_| bad())?,
+        prefix.trim().parse().map_err(|_| bad())?,
+    ))
+}
+
 /// Which figure `rfd sweep` regenerates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepFigure {
@@ -358,6 +445,10 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
             }
             "--no-journal" => cmd.opts.journal_dir = None,
             "--full-traces" => cmd.opts.full_traces = true,
+            "--ledger" => {
+                let spec = value("--ledger")?;
+                cmd.opts.ledger_keys.push(parse_ledger_key(&spec)?);
+            }
             "--obs" => cmd.obs = Some(None),
             other => match other.strip_prefix("--obs=") {
                 Some(path) => cmd.obs = Some(Some(PathBuf::from(path))),
@@ -384,13 +475,20 @@ pub struct FirehoseCommand {
     pub config: rfd_firehose::FirehoseConfig,
     /// How the report is printed on stdout.
     pub format: ReportFormat,
+    /// Write per-shard telemetry snapshots (JSONL) here.
+    pub telemetry: Option<PathBuf>,
+    /// Wall-clock period between telemetry snapshots.
+    pub telemetry_interval: Duration,
+    /// Write the final Prometheus text exposition here.
+    pub prom: Option<PathBuf>,
 }
 
 /// Parses the arguments of `rfd firehose`: `--peers N`, `--prefixes N`,
 /// `--rate UPDATES_PER_SIM_SEC`, `--duration SIM_SECS`,
 /// `--workload poisson|flap-storm`, `--seed N`, `--shards N`,
 /// `--params cisco|juniper|ripe229`, `--queue-capacity N`,
-/// `--heartbeat SECS`, `--format csv|json`, plus the hidden
+/// `--heartbeat SECS`, `--format csv|json`, `--telemetry FILE`,
+/// `--telemetry-interval SECS`, `--prom FILE`, plus the hidden
 /// fault-injection knob `--chaos SPEC` with shard keys `shard0`,
 /// `shard1`, … (see [`ChaosPlan::parse`]).
 ///
@@ -410,6 +508,9 @@ pub fn parse_firehose_command(args: &[String]) -> Result<FirehoseCommand, CliErr
             seed: 1,
         }),
         format: ReportFormat::Csv,
+        telemetry: None,
+        telemetry_interval: Duration::from_secs(1),
+        prom: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -483,6 +584,17 @@ pub fn parse_firehose_command(args: &[String]) -> Result<FirehoseCommand, CliErr
                     other => return Err(CliError(format!("unknown format `{other}` (csv|json)"))),
                 }
             }
+            "--telemetry" => cmd.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--telemetry-interval" => {
+                let secs: f64 = value("--telemetry-interval")?
+                    .parse()
+                    .map_err(|_| CliError("--telemetry-interval needs seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--telemetry-interval must be positive".into()));
+                }
+                cmd.telemetry_interval = Duration::from_secs_f64(secs);
+            }
+            "--prom" => cmd.prom = Some(PathBuf::from(value("--prom")?)),
             other => return Err(CliError(format!("unknown flag `{other}`"))),
         }
     }
@@ -520,14 +632,17 @@ USAGE:
           [--filter plain|rcn|selective] [--policy shortest|novalley]
           [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
           [--reuse-granularity SECS] [--obs[=PATH]]
+  rfd explain [--peer N] [--prefix N] [--node N] [--json]
+              [any `rfd run` flag: --topology, --pulses, --seed, ...]
   rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
             [--resume-force] [--retries N] [--cell-budget SECS]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
-            [--full-traces] [--obs[=PATH]]
+            [--full-traces] [--ledger PEER[:PREFIX]]... [--obs[=PATH]]
   rfd firehose [--peers N] [--prefixes N] [--rate R] [--duration SIM_SECS]
                [--workload poisson|flap-storm] [--seed N] [--shards N]
                [--params cisco|juniper|ripe229] [--queue-capacity N]
                [--heartbeat SECS] [--format csv|json]
+               [--telemetry FILE] [--telemetry-interval SECS] [--prom FILE]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
   rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
   rfd trace-stats FILE
@@ -536,6 +651,10 @@ USAGE:
   rfd help
 
 TOPOLOGIES: mesh:10x10, internet:100, ring:8, line:5, clique:6
+EXPLAIN: replays a run with the timer-interaction ledger focused on
+  one (peer, prefix) entry and prints its damping lifecycle — charges,
+  threshold crossings, reuse-timer arms/deferrals, MRAI holds.
+  `--peer` defaults to the origin AS; `--json` for machine output.
 OBSERVABILITY: --obs (or RFD_OBS=1) records spans/counters to a
   Chrome-trace JSON under results/; inspect with `rfd obs-report` or
   load into Perfetto (ui.perfetto.dev).
@@ -612,6 +731,37 @@ mod tests {
     }
 
     #[test]
+    fn explain_command_parses_key_and_run_flags() {
+        let cmd = parse_explain_command(&args(
+            "--peer 4 --prefix 1 --json --topology line:4 --pulses 3 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(cmd.peer, Some(4));
+        assert_eq!(cmd.prefix, 1);
+        assert_eq!(cmd.node, None);
+        assert!(cmd.json);
+        assert_eq!(cmd.run.topology, TopologySpec::Line(4));
+        assert_eq!(cmd.run.pulses, 3);
+        assert_eq!(cmd.run.seed, 7);
+    }
+
+    #[test]
+    fn explain_command_defaults_to_origin_and_prefix_zero() {
+        let cmd = parse_explain_command(&args("")).unwrap();
+        assert_eq!(cmd.peer, None, "origin is resolved at replay time");
+        assert_eq!(cmd.prefix, 0);
+        assert!(!cmd.json);
+    }
+
+    #[test]
+    fn explain_command_rejects_bad_input() {
+        assert!(parse_explain_command(&args("--peer")).is_err());
+        assert!(parse_explain_command(&args("--peer x")).is_err());
+        assert!(parse_explain_command(&args("--bogus")).is_err());
+        assert!(parse_explain_command(&args("--pulses nope")).is_err());
+    }
+
+    #[test]
     fn filter_requires_damping() {
         let e = parse_run_options(&args("--damping off --filter rcn")).unwrap_err();
         assert!(e.to_string().contains("requires damping"));
@@ -637,6 +787,20 @@ mod tests {
         assert!(!parse_sweep_command(&[]).unwrap().opts.full_traces);
         let cmd = parse_sweep_command(&args("--quick --full-traces")).unwrap();
         assert!(cmd.opts.full_traces);
+    }
+
+    #[test]
+    fn sweep_command_parses_ledger_keys() {
+        assert!(parse_sweep_command(&[])
+            .unwrap()
+            .opts
+            .ledger_keys
+            .is_empty());
+        let cmd = parse_sweep_command(&args("--ledger 4:1 --ledger 7")).unwrap();
+        assert_eq!(cmd.opts.ledger_keys, vec![(4, 1), (7, 0)]);
+        assert!(parse_sweep_command(&args("--ledger")).is_err());
+        assert!(parse_sweep_command(&args("--ledger x:y")).is_err());
+        assert!(parse_sweep_command(&args("--ledger 4:")).is_err());
     }
 
     #[test]
@@ -722,6 +886,27 @@ mod tests {
         assert_eq!(cmd.config.heartbeat, Some(Duration::from_secs(2)));
         assert_eq!(cmd.format, ReportFormat::Json);
         assert!(cmd.config.chaos.fault_for("shard0", 1).is_some());
+    }
+
+    #[test]
+    fn firehose_command_parses_telemetry_flags() {
+        let cmd = parse_firehose_command(&[]).unwrap();
+        assert_eq!(cmd.telemetry, None);
+        assert_eq!(cmd.telemetry_interval, Duration::from_secs(1));
+        assert_eq!(cmd.prom, None);
+
+        let cmd = parse_firehose_command(&args(
+            "--telemetry shards.jsonl --telemetry-interval 0.5 --prom metrics.prom",
+        ))
+        .unwrap();
+        assert_eq!(cmd.telemetry, Some(PathBuf::from("shards.jsonl")));
+        assert_eq!(cmd.telemetry_interval, Duration::from_millis(500));
+        assert_eq!(cmd.prom, Some(PathBuf::from("metrics.prom")));
+
+        assert!(parse_firehose_command(&args("--telemetry")).is_err());
+        assert!(parse_firehose_command(&args("--telemetry-interval 0")).is_err());
+        assert!(parse_firehose_command(&args("--telemetry-interval nope")).is_err());
+        assert!(parse_firehose_command(&args("--prom")).is_err());
     }
 
     #[test]

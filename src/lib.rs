@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod explain;
 
 pub use rfd_bgp as bgp;
 pub use rfd_core as damping;

@@ -150,6 +150,115 @@ fn heartbeat_and_env_chaos_reach_the_engine() {
 }
 
 #[test]
+fn telemetry_files_are_written_and_do_not_perturb_the_report() {
+    use route_flap_damping::obs::json;
+
+    let dir = std::env::temp_dir().join(format!("rfd-telemetry-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let jsonl = dir.join("shards.jsonl");
+    let prom = dir.join("metrics.prom");
+
+    for shards in ["1", "2"] {
+        let plain = firehose_csv(&["--workload", "flap-storm", "--shards", shards]);
+        let observed = firehose_csv(&[
+            "--workload",
+            "flap-storm",
+            "--shards",
+            shards,
+            "--telemetry",
+            jsonl.to_str().unwrap(),
+            "--telemetry-interval",
+            "0.01",
+            "--prom",
+            prom.to_str().unwrap(),
+        ]);
+        // The non-perturbation contract, end to end: the decision
+        // aggregate is identical with the observers on or off.
+        assert_eq!(
+            aggregate_rows(&plain),
+            aggregate_rows(&observed),
+            "telemetry perturbed the {shards}-shard aggregate"
+        );
+
+        let shard_count: usize = shards.parse().unwrap();
+        let text = std::fs::read_to_string(&jsonl).expect("telemetry JSONL written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() >= shard_count,
+            "expected at least one tick of {shard_count} rows:\n{text}"
+        );
+        assert_eq!(lines.len() % shard_count, 0, "partial tick in:\n{text}");
+        let mut seen_shards = vec![false; shard_count];
+        for line in &lines {
+            let row = json::parse(line).expect("telemetry line parses as JSON");
+            for key in [
+                "seq",
+                "elapsed_ms",
+                "sim_us",
+                "shard",
+                "processed",
+                "processed_delta",
+                "rate_per_sec",
+                "suppressions",
+                "suppression_ratio",
+                "queue_depth",
+                "max_queue_depth",
+                "push_waits",
+                "live_entries",
+                "recovered_panics",
+                "p50_ns",
+                "p99_ns",
+            ] {
+                assert!(row.get(key).is_some(), "missing {key} in line: {line}");
+            }
+            let shard = row
+                .get("shard")
+                .and_then(json::Value::as_u64)
+                .expect("integer shard id") as usize;
+            assert!(shard < shard_count, "shard id out of range: {line}");
+            seen_shards[shard] = true;
+        }
+        assert!(
+            seen_shards.iter().all(|&s| s),
+            "not every shard reported: {seen_shards:?}"
+        );
+        // The final tick is emitted after the workers join, so its
+        // cumulative counters reconcile exactly with the report.
+        let last_tick = &lines[lines.len() - shard_count..];
+        let final_processed: u64 = last_tick
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("processed")
+                    .and_then(json::Value::as_u64)
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(final_processed, field(&plain, "updates"));
+
+        let prom_text = std::fs::read_to_string(&prom).expect("prom exposition written");
+        assert!(
+            prom_text.contains(&format!(
+                "rfd_firehose_updates_total {}",
+                field(&plain, "updates")
+            )),
+            "exposition disagrees with the report:\n{prom_text}"
+        );
+        for needle in [
+            "# TYPE rfd_firehose_updates_total counter",
+            "# TYPE rfd_firehose_live_entries gauge",
+            "rfd_firehose_shard_processed_total{shard=\"0\"}",
+            "rfd_firehose_decision_latency_ns{quantile=\"0.99\"}",
+            "rfd_firehose_decision_latency_ns_count",
+        ] {
+            assert!(prom_text.contains(needle), "missing {needle}:\n{prom_text}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn firehose_rejects_bad_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_rfd"))
         .args(["firehose", "--workload", "tsunami"])
