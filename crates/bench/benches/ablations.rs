@@ -1,10 +1,17 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
-//! exact reuse timers vs RFC 2439 reuse lists, plain vs RCN vs
+//! exact reuse timers vs RFC 2439 reuse lists, exact `exp()` decay vs
+//! table lookup vs memoized lookup, the per-key-`Damper` map vs the
+//! SoA `DamperStore` on a full-damping pulse workload, plain vs RCN vs
 //! selective penalty filters, and topology generation costs.
+
+use std::collections::HashMap;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfd_bgp::{NetworkConfig, PenaltyFilter};
-use rfd_core::{Damper, DampingParams, ReuseCheck, ReuseList, UpdateKind};
+use rfd_core::{
+    Damper, DamperStore, DampingParams, DecayTable, MemoizedDecay, ReuseCheck, ReuseList,
+    UpdateKind,
+};
 use rfd_experiments::{run_workload, TopologyKind};
 use rfd_sim::{SimDuration, SimTime};
 use rfd_topology::{internet_like, mesh_torus, Relationships};
@@ -88,6 +95,131 @@ fn bench_reuse_mechanisms(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+/// Decay-computation ablation (ISSUE-8 satellite): one decayed value
+/// per call, over a cycling mix of intervals from seconds to hours, so
+/// branch predictors can't memorise a single `dt`.
+fn bench_decay_compute(c: &mut Criterion) {
+    let params = DampingParams::cisco();
+    let tick = SimDuration::from_secs(1);
+    let table = DecayTable::new(&params, tick, 4096);
+    let memo = MemoizedDecay::new(DecayTable::new(&params, tick, 4096));
+    // 64 irregular intervals, 1 s .. ~9.4 h (some beyond the table,
+    // forcing the powi chunk path).
+    let dts: Vec<SimDuration> = (0..64u64)
+        .map(|i| SimDuration::from_secs(1 + i * i * 8 + i * 13))
+        .collect();
+    let ticks: Vec<u64> = dts.iter().map(|dt| table.ticks_for(*dt)).collect();
+
+    let mut group = c.benchmark_group("ablation/decay_compute");
+    group.bench_function("exact_exp", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % dts.len();
+            black_box(params.decay_factor(dts[i]))
+        });
+    });
+    group.bench_function("table_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ticks.len();
+            black_box(table.factor_at_ticks(ticks[i]))
+        });
+    });
+    group.bench_function("table_fixed_point_milli", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ticks.len();
+            black_box(table.decay_milli(1_000_000, ticks[i]))
+        });
+    });
+    group.bench_function("memoized_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ticks.len();
+            black_box(memo.factor_at_ticks(ticks[i]))
+        });
+    });
+    group.finish();
+}
+
+/// The full-damping pulse workload at the damper layer (ISSUE-8
+/// headline): every key takes `PULSES` withdrawal/re-announcement
+/// pulses with staggered offsets, and after every pulse round the
+/// whole population is decay-scanned (the reuse/eviction boundary work
+/// a damping router or the firehose performs), ending with a
+/// forgettable sweep. Three state layouts: the pre-refactor HashMap of
+/// per-key [`Damper`]s, the SoA [`DamperStore`] in exact mode (layout
+/// win only), and the store in bucketed mode (layout + fixed-point
+/// table decay — the intended fast path).
+fn bench_damper_hot_path(c: &mut Criterion) {
+    const KEYS: u64 = 65_536;
+    const PULSES: u64 = 8;
+    let params = DampingParams::cisco();
+
+    fn hashmap_pulses(params: DampingParams) -> usize {
+        let mut map: HashMap<u64, Damper> = HashMap::with_capacity(KEYS as usize);
+        for k in 0..KEYS {
+            map.insert(k, Damper::new(params));
+        }
+        let mut live = 0usize;
+        for pulse in 0..PULSES {
+            for k in 0..KEYS {
+                let base = SimTime::from_secs(pulse * 120 + k % 60);
+                let d = map.get_mut(&k).expect("inserted");
+                d.record_update(base, UpdateKind::Withdrawal);
+                d.record_update(
+                    base + SimDuration::from_secs(30),
+                    UpdateKind::ReAnnouncement,
+                );
+            }
+            // Boundary scan: every entry's decayed penalty is checked
+            // against the forgive threshold, as the eviction sweep does.
+            let scan_at = SimTime::from_secs(pulse * 120 + 90);
+            live += map.values().filter(|d| !d.is_forgettable(scan_at)).count();
+        }
+        let sweep_at = SimTime::from_secs(PULSES * 120 + 3600);
+        map.retain(|_, d| !d.is_forgettable(sweep_at));
+        live + map.len()
+    }
+
+    fn store_pulses(mut store: DamperStore) -> usize {
+        let slots: Vec<u32> = (0..KEYS).map(|k| store.insert(k)).collect();
+        let mut live = 0usize;
+        for pulse in 0..PULSES {
+            for (i, &slot) in slots.iter().enumerate() {
+                let base = SimTime::from_secs(pulse * 120 + i as u64 % 60);
+                store.record_update(slot, base, UpdateKind::Withdrawal);
+                store.record_update(
+                    slot,
+                    base + SimDuration::from_secs(30),
+                    UpdateKind::ReAnnouncement,
+                );
+            }
+            let scan_at = SimTime::from_secs(pulse * 120 + 90);
+            live += slots
+                .iter()
+                .filter(|&&slot| !store.is_forgettable(slot, scan_at))
+                .count();
+        }
+        let sweep_at = SimTime::from_secs(PULSES * 120 + 3600);
+        store.sweep_forgettable(sweep_at, |_, _| {});
+        live + store.len()
+    }
+
+    let mut group = c.benchmark_group("ablation/damper_hot_path");
+    group.sample_size(10);
+    group.bench_function("per_key_damper_map", |b| {
+        b.iter(|| black_box(hashmap_pulses(params)));
+    });
+    group.bench_function("soa_store_exact", |b| {
+        b.iter(|| black_box(store_pulses(DamperStore::exact(params))));
+    });
+    group.bench_function("soa_store_bucketed", |b| {
+        b.iter(|| black_box(store_pulses(DamperStore::bucketed_default(params))));
+    });
     group.finish();
 }
 
@@ -212,6 +344,8 @@ fn bench_session_flaps(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_reuse_mechanisms,
+    bench_decay_compute,
+    bench_damper_hot_path,
     bench_filters_end_to_end,
     bench_vendor_params,
     bench_topologies,

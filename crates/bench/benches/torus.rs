@@ -32,6 +32,20 @@ fn bench_torus_pulse(c: &mut Criterion) {
             black_box(report.message_count)
         });
     });
+    // The same run on the bucketed damper path (60 s reuse
+    // quantisation, table decay) — the ISSUE-8 whole-run comparison.
+    // The damper math is only part of this workload (Amdahl), so the
+    // honest whole-run delta lives here and the isolated hot-path
+    // speedup in ablation/damper_hot_path.
+    group.bench_function("pulse_run_full_damping_3_bucketed", |b| {
+        b.iter(|| {
+            let mut config = NetworkConfig::paper_full_damping(7);
+            config.protocol.reuse_granularity = Some(rfd_sim::SimDuration::from_secs(60));
+            let mut net = Network::new(&g, NodeId::new(42), config);
+            let report = net.run_paper_workload(3);
+            black_box(report.message_count)
+        });
+    });
     group.finish();
 }
 

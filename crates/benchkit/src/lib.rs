@@ -30,6 +30,21 @@ const DEFAULT_SAMPLE_SIZE: usize = 20;
 /// Wall-clock budget per benchmark (warm-up plus sampling).
 const TIME_BUDGET: Duration = Duration::from_millis(400);
 
+/// `--quick` on the bench command line (CI smoke mode): a fraction of
+/// the budget and few samples — numbers are smoke-level only, the run
+/// just proves every bench still executes.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn time_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(50)
+    } else {
+        TIME_BUDGET
+    }
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -152,11 +167,12 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let per_sample = TIME_BUDGET / (self.sample_size as u32).max(1);
+        let budget = time_budget();
+        let per_sample = budget / (self.sample_size as u32).max(1);
         let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
         self.samples.clear();
-        let deadline = Instant::now() + TIME_BUDGET;
+        let deadline = Instant::now() + budget;
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             for _ in 0..iters {
@@ -177,7 +193,11 @@ where
 {
     let mut b = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: if quick_mode() {
+            sample_size.min(5)
+        } else {
+            sample_size
+        },
     };
     f(&mut b);
     if b.samples.is_empty() {

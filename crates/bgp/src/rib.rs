@@ -5,8 +5,14 @@
 //! holding the selected best route; and a RIB-OUT per peer recording
 //! what was last advertised. Routes are interned [`Route`] handles
 //! (`Copy`), so RIB reads and writes move 12 bytes, not path vectors.
+//!
+//! Damping state itself lives in the router's central
+//! [`DamperStore`](rfd_core::DamperStore) (one SoA store per router, so
+//! decay sweeps and reuse checks touch dense arrays instead of chasing
+//! per-entry state); the entry holds the store slot plus a mirror of
+//! the suppression flag so the decision process reads one local bool.
 
-use rfd_core::{Damper, DampingParams, RcnFilter, RootCause, SelectiveFilter};
+use rfd_core::{RcnFilter, RootCause, SelectiveFilter};
 use rfd_topology::NodeId;
 
 use crate::config::PenaltyFilter;
@@ -17,8 +23,12 @@ use crate::intern::Route;
 pub struct RibInEntry {
     /// Latest route received from the peer (`None` after a withdrawal).
     pub route: Option<Route>,
-    /// Damping state (absent when this router does not damp).
-    pub damper: Option<Damper>,
+    /// Slot in the router's [`DamperStore`](rfd_core::DamperStore)
+    /// (absent when this router does not damp).
+    pub damper_slot: Option<u32>,
+    /// Mirror of the store's suppression flag, maintained after every
+    /// charge and reuse check.
+    pub suppressed: bool,
     /// RCN history/filter for this peer (RCN deployments).
     pub rcn: Option<RcnFilter>,
     /// Selective-damping filter for this peer.
@@ -33,17 +43,19 @@ pub struct RibInEntry {
 
 impl RibInEntry {
     /// Creates an empty entry configured for this router's damping
-    /// deployment and filter choice.
-    pub fn new(damping: Option<DampingParams>, filter: PenaltyFilter) -> Self {
-        let damper = damping.map(Damper::new);
-        let (rcn, selective) = match (damper.is_some(), filter) {
+    /// deployment and filter choice. `damper_slot` is the slot the
+    /// router allocated in its damper store (`None` disables damping
+    /// for the entry, and with it the filters).
+    pub fn new(damper_slot: Option<u32>, filter: PenaltyFilter) -> Self {
+        let (rcn, selective) = match (damper_slot.is_some(), filter) {
             (true, PenaltyFilter::Rcn) => (Some(RcnFilter::default()), None),
             (true, PenaltyFilter::Selective) => (None, Some(SelectiveFilter::new())),
             _ => (None, None),
         };
         RibInEntry {
             route: None,
-            damper,
+            damper_slot,
+            suppressed: false,
             rcn,
             selective,
             last_rc: None,
@@ -53,13 +65,13 @@ impl RibInEntry {
 
     /// Whether the entry is currently suppressed.
     pub fn is_suppressed(&self) -> bool {
-        self.damper.as_ref().is_some_and(Damper::is_suppressed)
+        self.suppressed
     }
 
     /// The route if it may be used in best-path selection (present and
     /// not suppressed).
     pub fn usable_route(&self) -> Option<Route> {
-        if self.is_suppressed() {
+        if self.suppressed {
             None
         } else {
             self.route
@@ -81,27 +93,23 @@ pub struct BestRoute {
 mod tests {
     use super::*;
     use crate::intern::PathTable;
-    use rfd_core::UpdateKind;
+    use rfd_core::{DamperStore, DampingParams};
     use rfd_sim::SimTime;
-
-    fn cisco() -> DampingParams {
-        DampingParams::cisco()
-    }
 
     #[test]
     fn entry_without_damping_never_suppressed() {
         let e = RibInEntry::new(None, PenaltyFilter::Plain);
         assert!(!e.is_suppressed());
-        assert!(e.damper.is_none() && e.rcn.is_none() && e.selective.is_none());
+        assert!(e.damper_slot.is_none() && e.rcn.is_none() && e.selective.is_none());
     }
 
     #[test]
     fn filter_wiring_matches_config() {
-        let e = RibInEntry::new(Some(cisco()), PenaltyFilter::Rcn);
+        let e = RibInEntry::new(Some(0), PenaltyFilter::Rcn);
         assert!(e.rcn.is_some() && e.selective.is_none());
-        let e = RibInEntry::new(Some(cisco()), PenaltyFilter::Selective);
+        let e = RibInEntry::new(Some(0), PenaltyFilter::Selective);
         assert!(e.rcn.is_none() && e.selective.is_some());
-        let e = RibInEntry::new(Some(cisco()), PenaltyFilter::Plain);
+        let e = RibInEntry::new(Some(0), PenaltyFilter::Plain);
         assert!(e.rcn.is_none() && e.selective.is_none());
         // filters require a damper
         let e = RibInEntry::new(None, PenaltyFilter::Rcn);
@@ -110,15 +118,16 @@ mod tests {
 
     #[test]
     fn usable_route_hides_suppressed() {
+        let mut store = DamperStore::exact(DampingParams::cisco());
         let mut table = PathTable::new();
-        let mut e = RibInEntry::new(Some(cisco()), PenaltyFilter::Plain);
+        let slot = store.insert(0);
+        let mut e = RibInEntry::new(Some(slot), PenaltyFilter::Plain);
         e.route = Some(table.originate(NodeId::new(1)));
         assert!(e.usable_route().is_some());
-        let damper = e.damper.as_mut().unwrap();
-        damper.charge_raw(SimTime::ZERO, 5000.0);
+        store.charge_raw(slot, SimTime::ZERO, 5000.0);
+        e.suppressed = store.is_suppressed(slot);
         assert!(e.is_suppressed());
         assert!(e.usable_route().is_none());
         assert!(e.route.is_some(), "the route itself is retained");
-        let _ = UpdateKind::Withdrawal; // silence unused import on some cfgs
     }
 }

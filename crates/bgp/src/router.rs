@@ -34,8 +34,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rfd_core::{
-    DampingParams, LedgerEvent, LedgerFilter, LedgerRecord, RelativePreference, ReuseCheck,
-    RootCause, UpdateKind,
+    DamperStore, DampingParams, LedgerEvent, LedgerFilter, LedgerRecord, RelativePreference,
+    ReuseCheck, RootCause, UpdateKind,
 };
 use rfd_metrics::TraceEventKind;
 use rfd_sim::{DetRng, SimDuration, SimTime};
@@ -168,9 +168,20 @@ pub struct Router {
     down: Vec<bool>,
     /// This router's own single-hop route, interned once.
     self_route: Route,
+    /// Central damping state for every (peer, prefix) entry: dense SoA
+    /// arrays in place of per-entry state machines. `None` when this
+    /// router does not damp. Exact mode unless the reuse-granularity
+    /// knob is set, in which case penalty decay is bucketed to the same
+    /// tick.
+    damper_store: Option<DamperStore>,
     /// The damping-lifecycle ledger's watched key set; `None` (the
     /// default) keeps every emission site to a single branch.
     ledger: Option<Arc<LedgerFilter>>,
+}
+
+/// Packs a (peer, prefix) pair into the damper store's slot key.
+fn damper_key(peer: NodeId, prefix: Prefix) -> u64 {
+    (u64::from(peer.raw()) << 32) | u64::from(prefix.id())
 }
 
 // Every handler takes (now, event args…, table, rng, policy, out): the
@@ -195,6 +206,15 @@ impl Router {
         slots.dedup();
         let n = slots.len();
         let self_route = table.originate(id);
+        let damper_store = config.damping.map(|params| {
+            match config.protocol.reuse_granularity {
+                // Exact decay: bit-identical to the per-entry `Damper`.
+                None => DamperStore::exact(params),
+                // The quantised-reuse knob also buckets penalty decay
+                // to the same tick (table lookups instead of `exp`).
+                Some(g) => DamperStore::bucketed(params, g, 4096),
+            }
+        });
         let mut router = Router {
             id,
             peers,
@@ -204,6 +224,7 @@ impl Router {
             charging_enabled: true,
             down: vec![false; n],
             self_route,
+            damper_store,
             ledger: None,
         };
         if originates {
@@ -346,15 +367,23 @@ impl Router {
             .unwrap_or_else(|| panic!("router {} received update from non-peer {from}", self.id));
         let prefix = msg.prefix;
         let watched = self.ledger_watches(from, prefix);
-        let (config_damping, config_filter) = (self.config.damping, self.config.filter);
+        let config_filter = self.config.filter;
         let node = self.id.raw();
         let n = self.slots.len();
+        // Disjoint field borrows: the damper store and the prefix map
+        // are mutated side by side below.
+        let damper_store = &mut self.damper_store;
         let state = self
             .prefixes
             .entry(prefix)
             .or_insert_with(|| PrefixState::new(n));
-        let entry = state.rib_in[slot]
-            .get_or_insert_with(|| RibInEntry::new(config_damping, config_filter));
+        if state.rib_in[slot].is_none() {
+            let damper_slot = damper_store
+                .as_mut()
+                .map(|store| store.insert(damper_key(from, prefix)));
+            state.rib_in[slot] = Some(RibInEntry::new(damper_slot, config_filter));
+        }
+        let entry = state.rib_in[slot].as_mut().expect("just inserted");
 
         // Classify relative to the currently held route. A route whose
         // path contains this AS is unusable (RFC 4271 treats it as a
@@ -382,8 +411,9 @@ impl Router {
         // Charge the damping penalty (RFC 2439: every update for the
         // entry charges — unless a filter intervenes).
         if self.charging_enabled {
-            if let Some(damper) = entry.damper.as_mut() {
-                let params: DampingParams = *damper.params();
+            if let Some(damper_slot) = entry.damper_slot {
+                let store = damper_store.as_mut().expect("damper slot implies store");
+                let params: DampingParams = *store.params();
                 let amount = if let Some(rcn) = entry.rcn.as_mut() {
                     rcn.charge_for(kind, msg.root_cause, &params)
                 } else if let Some(sel) = entry.selective.as_mut() {
@@ -401,8 +431,8 @@ impl Router {
                 // values. All of it is gated on the preselected key set
                 // so the unwatched hot path computes nothing extra.
                 let before = watched.then(|| {
-                    let (anchor, stored) = damper.stored_penalty();
-                    let decayed = damper.penalty_at(now);
+                    let (anchor, stored) = store.stored_penalty(damper_slot);
+                    let decayed = store.penalty_at(damper_slot, now);
                     if now > anchor && stored > 0.0 {
                         out.ledger.push(LedgerRecord {
                             at: now,
@@ -418,7 +448,8 @@ impl Router {
                     }
                     decayed
                 });
-                let outcome = damper.charge_raw(now, amount);
+                let outcome = store.charge_raw(damper_slot, now, amount);
+                entry.suppressed = store.is_suppressed(damper_slot);
                 entry.charges += 1;
                 if let Some(before) = before {
                     out.ledger.push(LedgerRecord {
@@ -441,7 +472,7 @@ impl Router {
                     prefix: prefix.id(),
                     value: outcome.penalty,
                     charge: amount,
-                    suppressed: damper.is_suppressed(),
+                    suppressed: entry.suppressed,
                 });
                 if outcome.newly_suppressed {
                     out.traces.push(TraceEventKind::Suppressed {
@@ -612,6 +643,7 @@ impl Router {
         let watched = self.ledger_watches(peer, prefix);
         let node = self.id.raw();
         let slot = self.slot_of(peer).expect("reuse timer for unknown peer");
+        let damper_store = &mut self.damper_store;
         let state = self
             .prefixes
             .get_mut(&prefix)
@@ -619,10 +651,11 @@ impl Router {
         let entry = state.rib_in[slot]
             .as_mut()
             .expect("reuse timer for unknown peer");
-        let Some(damper) = entry.damper.as_mut() else {
+        let Some(damper_slot) = entry.damper_slot else {
             return;
         };
-        if !damper.is_suppressed() {
+        let store = damper_store.as_mut().expect("damper slot implies store");
+        if !store.is_suppressed(damper_slot) {
             // Stale timer (entry already released): cancelled by doing
             // nothing.
             if watched {
@@ -636,8 +669,12 @@ impl Router {
             }
             return;
         }
-        let penalty_at_check = if watched { damper.penalty_at(now) } else { 0.0 };
-        match damper.on_reuse_due(now) {
+        let penalty_at_check = if watched {
+            store.penalty_at(damper_slot, now)
+        } else {
+            0.0
+        };
+        match store.on_reuse_due(damper_slot, now) {
             ReuseCheck::StillSuppressed { retry_at } => {
                 // Charges since suppression pushed the deadline out —
                 // re-arm (this is how secondary charging extends reuse
@@ -666,6 +703,8 @@ impl Router {
             }
             ReuseCheck::Released => {
                 let reuse_rc = entry.last_rc;
+                // Sync the mirror before the decision process reads it.
+                entry.suppressed = false;
                 let old_best = state.best;
                 let new_best =
                     Self::decide(self.id, self.self_route, &self.slots, state, table, policy);

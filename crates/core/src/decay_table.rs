@@ -12,6 +12,65 @@ use rfd_sim::SimDuration;
 
 use crate::params::DampingParams;
 
+/// Strength-reduced unsigned division by a fixed divisor.
+///
+/// Quantising a timestamp to a tick index is one u64 division — tens of
+/// cycles on most cores, and the damper hot path pays it on every
+/// touch. The divisor is fixed at table-construction time, so the
+/// Granlund–Montgomery "round-up" method applies: precompute
+/// `magic = ⌊2⁶⁴/d⌋ + 1` once, then `n / d == (n · magic) >> 64` for
+/// every `n` below a divisor-dependent bound (a 128-bit multiply and a
+/// shift). Past the bound — sim times of centuries for microsecond
+/// divisors — it falls back to real division, so the result is exact
+/// for **all** inputs (a property test pins this against `/`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TickDiv {
+    divisor: u64,
+    magic: u64,
+    /// `(n * magic) >> 64` is exact for all `n < bound`.
+    bound: u64,
+}
+
+impl TickDiv {
+    pub(crate) fn new(divisor: u64) -> Self {
+        assert!(divisor > 0, "divisor must be positive");
+        if divisor == 1 {
+            return TickDiv {
+                divisor,
+                magic: 0,
+                bound: 0,
+            };
+        }
+        let two64 = 1u128 << 64;
+        let magic = (two64 / divisor as u128 + 1) as u64;
+        // magic · d = 2⁶⁴ + e with 0 < e ≤ d; the shortcut is exact
+        // while n · e < 2⁶⁴.
+        let e = magic as u128 * divisor as u128 - two64;
+        let bound = (two64 / e).min(u64::MAX as u128) as u64;
+        TickDiv {
+            divisor,
+            magic,
+            bound,
+        }
+    }
+
+    /// `n / divisor`, exactly.
+    #[inline]
+    pub(crate) fn div(&self, n: u64) -> u64 {
+        if n < self.bound {
+            ((n as u128 * self.magic as u128) >> 64) as u64
+        } else if self.divisor == 1 {
+            n
+        } else {
+            n / self.divisor
+        }
+    }
+
+    pub(crate) fn divisor(&self) -> u64 {
+        self.divisor
+    }
+}
+
 /// A quantised decay table.
 ///
 /// `factors[i]` is the decay over `i` ticks; durations are rounded to
@@ -34,6 +93,7 @@ use crate::params::DampingParams;
 #[derive(Debug, Clone)]
 pub struct DecayTable {
     tick: SimDuration,
+    tick_div: TickDiv,
     factors: Vec<f64>,
 }
 
@@ -52,7 +112,18 @@ impl DecayTable {
         for i in 1..=entries {
             factors.push(factors[i - 1] * per_tick);
         }
-        DecayTable { tick, factors }
+        DecayTable {
+            tick,
+            tick_div: TickDiv::new(tick.as_micros()),
+            factors,
+        }
+    }
+
+    /// The strength-reduced divider for this table's tick, shared with
+    /// the SoA store so timestamp quantisation never pays a hardware
+    /// divide.
+    pub(crate) fn tick_div(&self) -> TickDiv {
+        self.tick_div
     }
 
     /// The tick granularity.
@@ -72,21 +143,108 @@ impl DecayTable {
 
     /// Decay factor over `dt`, quantised to the nearest tick.
     pub fn decay_factor(&self, dt: SimDuration) -> f64 {
-        let tick_us = self.tick.as_micros();
-        let mut ticks = (dt.as_micros() + tick_us / 2) / tick_us;
+        self.factor_at_ticks(self.ticks_for(dt))
+    }
+
+    /// Number of whole ticks covering `dt`, rounded to the nearest tick
+    /// — the index [`DecayTable::decay_factor`] would look up.
+    #[inline]
+    pub fn ticks_for(&self, dt: SimDuration) -> u64 {
+        self.tick_div
+            .div(dt.as_micros() + self.tick_div.divisor() / 2)
+    }
+
+    /// Decay factor over a whole number of ticks.
+    ///
+    /// The common case (within the table) is a single indexed load;
+    /// durations beyond the table raise the last entry to the number of
+    /// whole-table chunks with `powi` instead of the old O(chunks)
+    /// multiplication loop.
+    #[inline]
+    pub fn factor_at_ticks(&self, ticks: u64) -> f64 {
         let max = self.len() as u64;
-        let mut factor = 1.0;
-        // Whole-table chunks for long silences.
-        while ticks > max {
-            factor *= self.factors[max as usize];
-            ticks -= max;
+        if ticks <= max {
+            return self.factors[ticks as usize];
         }
-        factor * self.factors[ticks as usize]
+        // `chunks` whole-table hops land the remainder in 1..=max, the
+        // same split the old subtraction loop produced.
+        let chunks = (ticks - 1) / max;
+        let rem = ticks - chunks * max;
+        let chunks = chunks.min(i32::MAX as u64) as i32;
+        self.factors[max as usize].powi(chunks) * self.factors[rem as usize]
     }
 
     /// `value` decayed over `dt`.
     pub fn decayed(&self, value: f64, dt: SimDuration) -> f64 {
         value * self.decay_factor(dt)
+    }
+
+    /// Fixed-point decay: `milli` (milli-units of penalty) decayed over
+    /// `ticks`, rounded to the nearest milli-unit. The hot-path form
+    /// used by the SoA damper store — integer in, integer out, so
+    /// aggregation over shards stays order-free.
+    #[inline]
+    pub fn decay_milli(&self, milli: u64, ticks: u64) -> u64 {
+        if ticks == 0 || milli == 0 {
+            return milli;
+        }
+        let decayed = milli as f64 * self.factor_at_ticks(ticks);
+        // floor(x + 0.5) == x.round() whenever adding 0.5 to x is
+        // exact, which holds for all x < 2^24 — realistic penalty
+        // ceilings are a few million milli-units. The `as` truncation
+        // avoids `round()`'s libm call on targets without a native
+        // round instruction; absurd ceilings keep the exact path.
+        if decayed < (1u64 << 24) as f64 {
+            (decayed + 0.5) as u64
+        } else {
+            decayed.round() as u64
+        }
+    }
+}
+
+/// A [`DecayTable`] with a one-entry memo of the last `(ticks, factor)`
+/// lookup.
+///
+/// Boundary-driven workloads decay whole populations by the same
+/// elapsed-tick count over and over; the memo turns the common repeated
+/// lookup (and any beyond-table `powi`) into a compare. Exists for the
+/// ablation bench comparing exact `exp()` vs table vs memoized table.
+#[derive(Debug, Clone)]
+pub struct MemoizedDecay {
+    table: DecayTable,
+    last: std::cell::Cell<(u64, f64)>,
+}
+
+impl MemoizedDecay {
+    /// Wraps a table with an empty memo.
+    pub fn new(table: DecayTable) -> Self {
+        MemoizedDecay {
+            table,
+            last: std::cell::Cell::new((0, 1.0)),
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &DecayTable {
+        &self.table
+    }
+
+    /// Decay factor over `ticks`, served from the memo when the tick
+    /// count repeats.
+    #[inline]
+    pub fn factor_at_ticks(&self, ticks: u64) -> f64 {
+        let (memo_ticks, memo_factor) = self.last.get();
+        if ticks == memo_ticks {
+            return memo_factor;
+        }
+        let factor = self.table.factor_at_ticks(ticks);
+        self.last.set((ticks, factor));
+        factor
+    }
+
+    /// Decay factor over `dt`, quantised like the underlying table.
+    pub fn decay_factor(&self, dt: SimDuration) -> f64 {
+        self.factor_at_ticks(self.table.ticks_for(dt))
     }
 }
 
@@ -142,6 +300,83 @@ mod tests {
     }
 
     #[test]
+    fn powi_chunking_matches_exact_for_very_long_durations() {
+        // Durations hundreds of table-lengths out: the `powi` chunk
+        // computation must agree with the closed-form exponential (the
+        // old multiplication loop was O(chunks); the factor itself must
+        // not change beyond float noise).
+        let params = cisco();
+        let tick = SimDuration::from_secs(30);
+        let table = DecayTable::new(&params, tick, 16);
+        for hours in [1u64, 5, 24, 96, 720] {
+            let dt = SimDuration::from_secs(hours * 3600);
+            let exact = params.decay_factor(dt);
+            let quant = table.decay_factor(dt);
+            if exact < 1e-300 {
+                // Both underflow together far past any realistic horizon.
+                assert!(quant < 1e-290, "{hours}h: {quant}");
+                continue;
+            }
+            let rel = (exact - quant).abs() / exact;
+            assert!(rel < 1e-6, "{hours}h: {exact} vs {quant} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn chunk_split_matches_the_old_subtraction_loop() {
+        // The remainder index must stay in 1..=len for beyond-table
+        // ticks, exactly as the old `while ticks > max` loop left it.
+        let params = cisco();
+        let table = DecayTable::new(&params, SimDuration::from_secs(10), 8);
+        for ticks in 1u64..200 {
+            let fast = table.factor_at_ticks(ticks);
+            // Reference: the pre-rewrite subtraction loop.
+            let max = table.len() as u64;
+            let mut t = ticks;
+            let mut factor = 1.0;
+            while t > max {
+                factor *= table.factor_at_ticks(max);
+                t -= max;
+            }
+            let slow = factor * table.factor_at_ticks(t);
+            assert!(
+                (fast - slow).abs() / slow < 1e-12,
+                "ticks={ticks}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_table_serves_repeated_ticks() {
+        let params = cisco();
+        let memo = MemoizedDecay::new(DecayTable::new(&params, SimDuration::from_secs(10), 100));
+        for _ in 0..3 {
+            for ticks in [5u64, 5, 5, 90, 90, 5, 250] {
+                let direct = memo.table().factor_at_ticks(ticks);
+                assert_eq!(memo.factor_at_ticks(ticks), direct);
+            }
+        }
+        let dt = SimDuration::from_secs(73);
+        assert_eq!(
+            memo.decay_factor(dt),
+            memo.table().decay_factor(dt),
+            "duration path quantises like the table"
+        );
+    }
+
+    #[test]
+    fn decay_milli_rounds_to_nearest_milliunit() {
+        let params = cisco();
+        let table = DecayTable::new(&params, SimDuration::from_secs(1), 4000);
+        let milli = 1_000_000u64; // penalty 1000.000
+        let decayed = table.decay_milli(milli, 900);
+        let expect = (milli as f64 * table.factor_at_ticks(900)).round() as u64;
+        assert_eq!(decayed, expect);
+        assert_eq!(table.decay_milli(milli, 0), milli);
+        assert_eq!(table.decay_milli(0, 900), 0);
+    }
+
+    #[test]
     fn usable_as_penalty_substitute() {
         // A damping loop computed with the table stays within 1% of the
         // exact penalty for realistic workloads.
@@ -160,6 +395,55 @@ mod tests {
         }
         let e = exact.value_at(SimTime::from_secs(360), &params);
         assert!((e - quant).abs() / e < 0.01, "{e} vs {quant}");
+    }
+
+    #[test]
+    fn tick_div_matches_hardware_division_everywhere() {
+        // Exactness over awkward divisors and boundary dividends,
+        // including values past each divisor's fast-path bound (the
+        // fallback must kick in seamlessly).
+        let divisors = [
+            1u64,
+            2,
+            3,
+            7,
+            10,
+            1_000,
+            999_983,
+            1_000_000,
+            60_000_000,
+            u64::MAX,
+        ];
+        for &d in &divisors {
+            let td = TickDiv::new(d);
+            assert_eq!(td.divisor(), d);
+            let mut probes = vec![
+                0u64,
+                1,
+                d - 1,
+                d,
+                d.saturating_add(1),
+                u64::MAX,
+                u64::MAX - 1,
+            ];
+            // A cheap LCG walk over the full u64 range.
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..10_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                probes.push(x);
+            }
+            for &n in &probes {
+                assert_eq!(td.div(n), n / d, "{n} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tick_div_rejects_zero() {
+        TickDiv::new(0);
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod rcn;
 mod reuse_list;
 mod schedule;
 mod selective;
+mod store;
 mod trace;
 mod update;
 
@@ -60,7 +61,7 @@ pub use analytic::{
     FlapPattern, IntendedBehavior,
 };
 pub use damper::{ChargeOutcome, Damper, ReuseCheck};
-pub use decay_table::DecayTable;
+pub use decay_table::{DecayTable, MemoizedDecay};
 pub use ledger::{
     CountingLedger, LedgerEvent, LedgerFilter, LedgerRecord, LedgerSink, NullLedger, SharedLedger,
     VecLedger,
@@ -71,5 +72,6 @@ pub use rcn::{LinkStatus, RcnChargePolicy, RcnFilter, RootCause, RootCauseHistor
 pub use reuse_list::ReuseList;
 pub use schedule::FlapSchedule;
 pub use selective::{RelativePreference, SelectiveFilter};
+pub use store::{DamperStore, DecayMode};
 pub use trace::{PenaltySample, PenaltyTrace};
 pub use update::UpdateKind;

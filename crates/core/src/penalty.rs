@@ -44,6 +44,11 @@ impl Penalty {
         }
     }
 
+    /// Rehydrates a penalty from its stored parts (SoA damper store).
+    pub(crate) fn from_parts(value: f64, updated_at: SimTime) -> Self {
+        Penalty { value, updated_at }
+    }
+
     /// The instant the stored value is exact at.
     pub fn updated_at(&self) -> SimTime {
         self.updated_at

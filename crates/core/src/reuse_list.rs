@@ -8,10 +8,22 @@
 //! experiments use exact timers; this module exists for fidelity and for
 //! the ablation bench comparing the two (reuse can be delayed by up to
 //! one granularity tick, slightly lengthening convergence).
+//!
+//! The storage is the RFC's actual shape: a fixed ring of per-tick
+//! buckets addressed modulo the ring length, so the common schedule and
+//! drain operations are array indexing rather than ordered-map
+//! traffic. Deadlines beyond the ring window (or, defensively, behind
+//! the drain cursor) spill to an ordered overflow map and are promoted
+//! into the ring as the cursor advances.
 
 use std::collections::BTreeMap;
 
 use rfd_sim::{SimDuration, SimTime};
+
+/// Number of ring buckets. With the firehose's default 10 s tick the
+/// window spans ~85 minutes — past the longest vendor max-hold-down —
+/// so overflow is the rare path.
+const RING_SLOTS: usize = 512;
 
 /// A quantised reuse schedule over keys of type `K` (e.g. (peer, prefix)
 /// pairs).
@@ -32,7 +44,13 @@ use rfd_sim::{SimDuration, SimTime};
 #[derive(Debug, Clone)]
 pub struct ReuseList<K> {
     granularity: SimDuration,
-    buckets: BTreeMap<u64, Vec<K>>,
+    /// Ring bucket for tick `t` is `ring[t % RING_SLOTS]`, valid for
+    /// ticks in `[base, base + RING_SLOTS)`.
+    ring: Vec<Vec<K>>,
+    /// First tick not yet drained; every ring entry's tick is ≥ `base`.
+    base: u64,
+    /// Entries outside the ring window, keyed by tick.
+    overflow: BTreeMap<u64, Vec<K>>,
     len: usize,
 }
 
@@ -46,7 +64,9 @@ impl<K> ReuseList<K> {
         assert!(!granularity.is_zero(), "granularity must be positive");
         ReuseList {
             granularity,
-            buckets: BTreeMap::new(),
+            ring: std::iter::repeat_with(Vec::new).take(RING_SLOTS).collect(),
+            base: 0,
+            overflow: BTreeMap::new(),
             len: 0,
         }
     }
@@ -74,32 +94,84 @@ impl<K> ReuseList<K> {
 
     /// Schedules `key` for reuse no earlier than `reuse_at`.
     pub fn schedule(&mut self, key: K, reuse_at: SimTime) {
-        let bucket = self.bucket_for(reuse_at);
-        self.buckets.entry(bucket).or_default().push(key);
+        let tick = self.bucket_for(reuse_at);
+        if tick >= self.base && tick < self.base + RING_SLOTS as u64 {
+            self.ring[(tick % RING_SLOTS as u64) as usize].push(key);
+        } else {
+            self.overflow.entry(tick).or_default().push(key);
+        }
         self.len += 1;
     }
 
     /// The next instant at which [`ReuseList::drain_due`] will release
     /// something, if any entries are scheduled.
     pub fn next_due(&self) -> Option<SimTime> {
-        self.buckets
-            .keys()
-            .next()
-            .map(|&b| SimTime::from_micros(b * self.granularity.as_micros()))
+        let mut best: Option<u64> = self.overflow.keys().next().copied();
+        for tick in self.base..self.base + RING_SLOTS as u64 {
+            if best.is_some_and(|b| b <= tick) {
+                break;
+            }
+            if !self.ring[(tick % RING_SLOTS as u64) as usize].is_empty() {
+                best = Some(tick);
+                break;
+            }
+        }
+        best.map(|b| SimTime::from_micros(b * self.granularity.as_micros()))
     }
 
     /// Removes and returns every entry whose tick has passed by `now`,
-    /// in scheduling order within each tick.
+    /// in tick order, preserving scheduling order within each tick.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<K> {
         let current = now.as_micros() / self.granularity.as_micros();
         let mut due = Vec::new();
-        let ready: Vec<u64> = self.buckets.range(..=current).map(|(&b, _)| b).collect();
-        for b in ready {
-            let mut entries = self.buckets.remove(&b).expect("bucket existed");
-            self.len -= entries.len();
-            due.append(&mut entries);
+        // Ticks behind the cursor only ever live in overflow.
+        if self.base > 0 {
+            self.drain_overflow_upto(current.min(self.base - 1), &mut due);
+        }
+        if current >= self.base {
+            let last_ring = current.min(self.base + RING_SLOTS as u64 - 1);
+            for tick in self.base..=last_ring {
+                let slot = (tick % RING_SLOTS as u64) as usize;
+                self.len -= self.ring[slot].len();
+                let mut bucket = std::mem::take(&mut self.ring[slot]);
+                due.append(&mut bucket);
+            }
+            // A jump past the whole window makes far overflow due too.
+            self.drain_overflow_upto(current, &mut due);
+            self.base = current + 1;
+            self.promote_overflow();
         }
         due
+    }
+
+    /// Drains every overflow bucket with tick ≤ `upto` into `out`, in
+    /// ascending tick order.
+    fn drain_overflow_upto(&mut self, upto: u64, out: &mut Vec<K>) {
+        let rest = match upto.checked_add(1) {
+            Some(bound) => self.overflow.split_off(&bound),
+            None => BTreeMap::new(),
+        };
+        for (_, mut entries) in std::mem::replace(&mut self.overflow, rest) {
+            self.len -= entries.len();
+            out.append(&mut entries);
+        }
+    }
+
+    /// Moves overflow buckets that fall inside the (advanced) ring
+    /// window into their ring slots. The target slots are always empty:
+    /// every tick they previously covered is behind the new cursor and
+    /// was just drained.
+    fn promote_overflow(&mut self) {
+        let end = self.base + RING_SLOTS as u64;
+        while let Some((&tick, _)) = self.overflow.first_key_value() {
+            if tick >= end {
+                break;
+            }
+            let entries = self.overflow.remove(&tick).expect("first key exists");
+            let slot = (tick % RING_SLOTS as u64) as usize;
+            debug_assert!(self.ring[slot].is_empty(), "promoted into occupied slot");
+            self.ring[slot] = entries;
+        }
     }
 }
 
@@ -178,5 +250,66 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_granularity_panics() {
         let _: ReuseList<u32> = ReuseList::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn far_future_entries_spill_to_overflow_and_come_back() {
+        // One-second ticks: the ring window is RING_SLOTS seconds wide,
+        // so a deadline two windows out must take the overflow path and
+        // still release exactly on its tick.
+        let g = SimDuration::from_secs(1);
+        let mut list: ReuseList<&str> = ReuseList::new(g);
+        let far = 2 * RING_SLOTS as u64 + 5;
+        list.schedule("far", t(far));
+        list.schedule("near", t(3));
+        assert_eq!(list.next_due(), Some(t(3)));
+        assert_eq!(list.drain_due(t(3)), vec!["near"]);
+        // The cursor advanced; the far entry is still pending.
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.next_due(), Some(t(far)));
+        assert!(list.drain_due(t(far - 1)).is_empty());
+        assert_eq!(list.drain_due(t(far)), vec!["far"]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_survives_overflow_promotion() {
+        // Two entries on the same far tick, scheduled before the cursor
+        // advances, plus one scheduled after promotion: release order is
+        // scheduling order.
+        let g = SimDuration::from_secs(1);
+        let mut list: ReuseList<u32> = ReuseList::new(g);
+        let far = RING_SLOTS as u64 + 50;
+        list.schedule(1, t(far));
+        list.schedule(2, t(far));
+        // Advance the cursor into the window that contains `far`.
+        assert!(list.drain_due(t(100)).is_empty());
+        list.schedule(3, t(far));
+        assert_eq!(list.drain_due(t(far)), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn entries_behind_the_cursor_release_on_next_drain() {
+        let g = SimDuration::from_secs(10);
+        let mut list: ReuseList<u32> = ReuseList::new(g);
+        assert!(list.drain_due(t(500)).is_empty());
+        // Defensive: a deadline earlier than the drained-to point still
+        // comes out on the next drain, never lost.
+        list.schedule(9, t(40));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.drain_due(t(500)), vec![9]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn huge_time_jump_drains_ring_and_overflow_in_tick_order() {
+        let g = SimDuration::from_secs(1);
+        let mut list: ReuseList<&str> = ReuseList::new(g);
+        list.schedule("ring", t(10));
+        list.schedule("overflow", t(RING_SLOTS as u64 + 700));
+        let drained = list.drain_due(t(10 * RING_SLOTS as u64));
+        assert_eq!(drained, vec!["ring", "overflow"]);
+        assert!(list.is_empty());
+        assert_eq!(list.next_due(), None);
     }
 }

@@ -45,6 +45,43 @@ pub fn measured_specs(mesh: TopologyKind, internet: TopologyKind) -> Vec<SeriesS
     ]
 }
 
+/// The full-damping series of Figures 8/9 with reuse timers quantised
+/// to `granularity` — the routers run the bucketed damper hot path
+/// ([`DamperStore::bucketed`](rfd_core::DamperStore::bucketed)) instead
+/// of exact per-touch `exp()`. Quantisation moves releases by up to one
+/// granularity tick, so this sweep pins its **own** golden rather than
+/// the exact one.
+pub fn bucketed_specs(
+    mesh: TopologyKind,
+    internet: TopologyKind,
+    granularity: rfd_sim::SimDuration,
+) -> Vec<SeriesSpec<'static>> {
+    let quantised = move |seed| {
+        let mut config = NetworkConfig::paper_full_damping(seed);
+        config.protocol.reuse_granularity = Some(granularity);
+        config
+    };
+    vec![
+        SeriesSpec::by_seed(FULL_DAMPING_MESH, mesh, quantised),
+        SeriesSpec::by_seed(FULL_DAMPING_INTERNET, internet, quantised),
+    ]
+}
+
+/// Runs the bucketed-mode Figure 8 sweep as its own grid
+/// ("fig8-9-bucketed", so journals never mix with the exact sweep).
+pub fn figure8_9_bucketed_on(
+    opts: &SweepOptions,
+    mesh: TopologyKind,
+    internet: TopologyKind,
+    granularity: rfd_sim::SimDuration,
+) -> PulseSweep {
+    measure_sweep(
+        "fig8-9-bucketed",
+        bucketed_specs(mesh, internet, granularity),
+        opts,
+    )
+}
+
 /// Parameterised variant for reduced-size tests and benches. All
 /// measured series run as a single grid ("fig8-9") so the thread pool
 /// spans series, pulse counts and seeds at once.

@@ -1,15 +1,41 @@
-//! End-to-end regression pin for the Figure 8 quick sweep.
+//! End-to-end regression pins for the Figure 8 quick sweep.
 //!
-//! The committed golden CSV was captured before the AS-path interning /
-//! RIB-flattening refactor of the bgp crate; this test asserts the
-//! refactor's contract — the sweep output is **byte-identical** to the
-//! pre-refactor run, at one worker thread and at two (the runner's
+//! Two committed goldens, one per damper hot path:
+//!
+//! * `fig8_quick.csv` — exact mode, captured before the AS-path
+//!   interning / RIB-flattening refactor of the bgp crate and held
+//!   again through the SoA `DamperStore` / timer-wheel refactor: the
+//!   sweep output must stay **byte-identical**.
+//! * `fig8_quick_bucketed.csv` — the bucketed damper path (reuse
+//!   timers quantised to 60 s, table-driven decay). Quantisation
+//!   legitimately moves releases by up to one tick, so this path pins
+//!   its own golden instead of the exact one.
+//!
+//! Both are asserted at one worker thread and at two (the runner's
 //! determinism contract says thread count must not matter).
+//!
+//! Regenerate after an *intentional* semantic change with
+//! `RFD_BLESS=1 cargo test -p rfd-experiments --test fig8_golden`.
 
-use rfd_experiments::figures::fig8_9::figure8_9;
+use rfd_experiments::figures::fig8_9::{figure8_9, figure8_9_bucketed_on};
+use rfd_experiments::scenarios::TopologyKind;
 use rfd_experiments::sweep::SweepOptions;
+use rfd_sim::SimDuration;
 
 const GOLDEN: &str = include_str!("golden/fig8_quick.csv");
+const GOLDEN_BUCKETED: &str = include_str!("golden/fig8_quick_bucketed.csv");
+
+fn check(actual: &str, golden: &str, file: &str, what: &str) {
+    if std::env::var_os("RFD_BLESS").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(file);
+        std::fs::write(&path, actual).expect("write golden");
+        eprintln!("blessed {}", path.display());
+    } else {
+        assert_eq!(actual, golden, "{what}");
+    }
+}
 
 fn quick_csv(threads: usize) -> String {
     let opts = SweepOptions {
@@ -19,12 +45,57 @@ fn quick_csv(threads: usize) -> String {
     figure8_9(&opts).convergence_table().to_csv()
 }
 
+fn quick_bucketed_csv(threads: usize) -> String {
+    let opts = SweepOptions {
+        threads,
+        ..SweepOptions::quick()
+    };
+    figure8_9_bucketed_on(
+        &opts,
+        TopologyKind::PAPER_MESH,
+        TopologyKind::PAPER_INTERNET,
+        SimDuration::from_secs(60),
+    )
+    .convergence_table()
+    .to_csv()
+}
+
 #[test]
 fn fig8_quick_matches_golden_single_thread() {
-    assert_eq!(quick_csv(1), GOLDEN, "single-thread sweep diverged");
+    check(
+        &quick_csv(1),
+        GOLDEN,
+        "fig8_quick.csv",
+        "single-thread sweep diverged",
+    );
 }
 
 #[test]
 fn fig8_quick_matches_golden_two_threads() {
-    assert_eq!(quick_csv(2), GOLDEN, "two-thread sweep diverged");
+    check(
+        &quick_csv(2),
+        GOLDEN,
+        "fig8_quick.csv",
+        "two-thread sweep diverged",
+    );
+}
+
+#[test]
+fn fig8_quick_bucketed_matches_golden_single_thread() {
+    check(
+        &quick_bucketed_csv(1),
+        GOLDEN_BUCKETED,
+        "fig8_quick_bucketed.csv",
+        "single-thread bucketed sweep diverged",
+    );
+}
+
+#[test]
+fn fig8_quick_bucketed_matches_golden_two_threads() {
+    check(
+        &quick_bucketed_csv(2),
+        GOLDEN_BUCKETED,
+        "fig8_quick_bucketed.csv",
+        "two-thread bucketed sweep diverged",
+    );
 }

@@ -15,14 +15,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use rfd_core::DampingParams;
+use rfd_core::{DampingParams, DecayMode};
 use rfd_obs::Histogram;
 use rfd_runner::{ChaosKind, ChaosPlan};
-use rfd_sim::SimTime;
+use rfd_sim::{SimDuration, SimTime};
 
 use crate::queue::SpscQueue;
 use crate::report::{Aggregate, FirehoseReport, ShardPerf};
-use crate::shard::ShardState;
+use crate::shard::{ShardOptions, ShardState};
 use crate::telemetry::{DeltaTracker, ShardSnapshot, TelemetrySink};
 use crate::workload::{shard_hash, Firehose, Update, WorkloadSpec};
 
@@ -43,6 +43,15 @@ pub struct FirehoseConfig {
     pub shards: usize,
     /// Damping parameters every shard applies.
     pub params: DampingParams,
+    /// Reuse/sweep boundary granularity in simulated time (default
+    /// 10 s, the engine's historical hard-coded value).
+    pub reuse_tick: SimDuration,
+    /// Eviction sweeps run every this many reuse ticks (default 30).
+    pub evict_every: u64,
+    /// Penalty decay mode: exact `exp()` (the default, bit-identical
+    /// to per-key [`Damper`](rfd_core::Damper)s) or bucketed
+    /// fixed-point table lookup.
+    pub decay: DecayMode,
     /// Deterministic fault plan; keys are `shard0`, `shard1`, …
     /// (`hang` faults model slow consumers and surface as
     /// backpressure; `shortwrite` has no journal here and is a no-op).
@@ -54,16 +63,30 @@ pub struct FirehoseConfig {
 }
 
 impl FirehoseConfig {
-    /// A config with engine defaults (1 shard, Cisco parameters, no
-    /// chaos, no heartbeat, 1024-slot queues).
+    /// A config with engine defaults (1 shard, Cisco parameters, 10 s
+    /// reuse tick, eviction every 30 ticks, exact decay, no chaos, no
+    /// heartbeat, 1024-slot queues).
     pub fn new(spec: WorkloadSpec) -> Self {
         FirehoseConfig {
             spec,
             shards: 1,
             params: DampingParams::cisco(),
+            reuse_tick: ShardState::TICK,
+            evict_every: ShardState::EVICT_EVERY,
+            decay: DecayMode::Exact,
             chaos: ChaosPlan::none(),
             heartbeat: None,
             queue_capacity: 1024,
+        }
+    }
+
+    /// The per-shard state options this config implies.
+    pub fn shard_options(&self) -> ShardOptions {
+        ShardOptions {
+            params: self.params,
+            reuse_tick: self.reuse_tick,
+            evict_every: self.evict_every,
+            decay: self.decay,
         }
     }
 
@@ -72,7 +95,8 @@ impl FirehoseConfig {
     /// # Errors
     ///
     /// Returns a human-readable message on a degenerate workload spec,
-    /// zero shards, or a zero-capacity queue.
+    /// zero shards, a zero-capacity queue, a zero reuse tick, or a
+    /// zero eviction period.
     pub fn validate(&self) -> Result<(), String> {
         self.spec.validate()?;
         if self.shards == 0 {
@@ -80,6 +104,12 @@ impl FirehoseConfig {
         }
         if self.queue_capacity == 0 {
             return Err("queue capacity must be at least 1".into());
+        }
+        if self.reuse_tick == SimDuration::ZERO {
+            return Err("reuse tick must be positive".into());
+        }
+        if self.evict_every == 0 {
+            return Err("eviction period must be at least 1 tick".into());
         }
         Ok(())
     }
@@ -158,8 +188,8 @@ pub fn run_with_telemetry(
                 let gauge = &gauges[i];
                 let hist = shard_hists[i].clone();
                 let chaos = &config.chaos;
-                let params = config.params;
-                scope.spawn(move || shard_worker(i, queue, params, chaos, &hist, end, gauge))
+                let options = config.shard_options();
+                scope.spawn(move || shard_worker(i, queue, options, chaos, &hist, end, gauge))
             })
             .collect();
 
@@ -246,14 +276,14 @@ pub fn run_with_telemetry(
 fn shard_worker(
     index: usize,
     queue: &SpscQueue<Update>,
-    params: DampingParams,
+    options: ShardOptions,
     chaos: &ChaosPlan,
     decision_ns: &Histogram,
     end: SimTime,
     gauge: &ShardGauges,
 ) -> Aggregate {
     let chaos_key = format!("shard{index}");
-    let mut state = ShardState::new(params);
+    let mut state = ShardState::with_options(options);
     let mut batch: Vec<Update> = Vec::with_capacity(BATCH);
     // Next unapplied index into `batch`: survives a recovery, so the
     // retry resumes exactly where the fault hit.
@@ -559,9 +589,59 @@ mod tests {
         let mut bad = ok.clone();
         bad.queue_capacity = 0;
         assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.reuse_tick = SimDuration::ZERO;
+        assert!(bad.validate().is_err());
         let mut bad = ok;
+        bad.evict_every = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = config(1, WorkloadKind::Poisson);
         bad.spec.rate = -1.0;
         assert!(run(&bad).is_err());
+    }
+
+    /// The shard-count-invariance contract holds in bucketed decay
+    /// mode too: quantised decay is still a pure function of each
+    /// key's own update stream.
+    #[test]
+    fn bucketed_mode_is_shard_count_invariant() {
+        let bucketed = |shards| {
+            let mut cfg = config(shards, WorkloadKind::FlapStorm);
+            cfg.decay = DecayMode::Bucketed;
+            cfg
+        };
+        let one = run(&bucketed(1)).expect("runs");
+        let four = run(&bucketed(4)).expect("runs");
+        assert_eq!(one.aggregate_signature(), four.aggregate_signature());
+        assert!(one.aggregate.suppressions > 0, "storm must damp");
+    }
+
+    /// A coarser sweep cadence is visible in the aggregate (fewer or
+    /// equal evictions by run end), but stays shard-count invariant.
+    #[test]
+    fn custom_boundary_knobs_are_honoured_and_invariant() {
+        let coarse = |shards| {
+            let mut cfg = config(shards, WorkloadKind::FlapStorm);
+            cfg.spec.duration = SimDuration::from_secs(3 * 3600);
+            cfg.reuse_tick = SimDuration::from_secs(60);
+            cfg.evict_every = 60;
+            cfg
+        };
+        let one = run(&coarse(1)).expect("runs");
+        let three = run(&coarse(3)).expect("runs");
+        assert_eq!(one.aggregate, three.aggregate);
+        let mut default_cfg = config(1, WorkloadKind::FlapStorm);
+        default_cfg.spec.duration = SimDuration::from_secs(3 * 3600);
+        let default_run = run(&default_cfg).expect("runs");
+        // 1 h eviction cadence vs 5 min: strictly less sweep work has
+        // happened by the end of the run.
+        assert!(
+            one.aggregate.evictions <= default_run.aggregate.evictions,
+            "coarse cadence evicted more ({} > {})",
+            one.aggregate.evictions,
+            default_run.aggregate.evictions
+        );
+        assert!(default_run.aggregate.evictions > 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod workload;
 
 pub use engine::{format_firehose_heartbeat, run, run_with_telemetry, FirehoseConfig};
 pub use report::{Aggregate, FirehoseReport, ShardPerf};
-pub use shard::ShardState;
+pub use shard::{ShardOptions, ShardState};
 pub use telemetry::{
     prometheus_exposition, JsonlTelemetry, ShardSnapshot, TelemetrySink, VecTelemetry,
 };

@@ -7,8 +7,9 @@
 //! It provides:
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-microsecond simulated time;
-//! * [`Scheduler`] — the event agenda, ordered by `(time, FIFO)` with
-//!   lazy cancellation;
+//! * [`Scheduler`] — the event agenda, ordered by `(time, FIFO)`,
+//!   backed by a hierarchical [`TimerWheel`] with O(1) cancellation
+//!   (the original binary-heap agenda survives as [`HeapScheduler`]);
 //! * [`Engine`] / [`World`] / [`Context`] — the run loop that hands
 //!   events to the model and lets it schedule more;
 //! * [`DetRng`] — seeded, splittable random streams so every run is
@@ -55,8 +56,10 @@ mod engine;
 mod rng;
 mod scheduler;
 mod time;
+mod wheel;
 
 pub use engine::{Context, Engine, RunOutcome, RunStats, World};
 pub use rng::DetRng;
-pub use scheduler::{EventId, Scheduler};
+pub use scheduler::{EventId, HeapScheduler, Scheduler};
 pub use time::{SimDuration, SimTime, MICROS_PER_SEC};
+pub use wheel::TimerWheel;

@@ -4,17 +4,101 @@
 //! were scheduled (FIFO). The BGP model relies on this: a router that
 //! sends two updates to the same peer at the same instant must have them
 //! processed in order.
+//!
+//! [`Scheduler`] is backed by the hierarchical timer wheel
+//! ([`TimerWheel`](crate::TimerWheel)), which absorbs the MRAI/reuse
+//! timer flood with O(1) scheduling and cancellation.
+//! [`HeapScheduler`] is the original `BinaryHeap` implementation, kept
+//! as the executable reference model the property tests pin the wheel
+//! against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// Opaque handle to a scheduled event, used for cancellation.
 ///
 /// Handles are unique across the lifetime of a [`Scheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId(pub(crate) u64);
+
+/// A priority queue of events ordered by `(time, insertion order)`.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_sim::{Scheduler, SimTime};
+///
+/// let mut agenda = Scheduler::new();
+/// agenda.schedule(SimTime::from_secs(2), "late");
+/// agenda.schedule(SimTime::from_secs(1), "early");
+/// let (t, ev) = agenda.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1), "early"));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    wheel: TimerWheel<E>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty agenda.
+    pub fn new() -> Self {
+        Scheduler {
+            wheel: TimerWheel::new(),
+        }
+    }
+
+    /// Schedules `event` at absolute time `at` and returns a handle that
+    /// can later be passed to [`Scheduler::cancel`].
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        EventId(self.wheel.schedule(at, event))
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// O(1) via the wheel's generation stamps: the slab entry is
+    /// invalidated in place, so there is no tombstone set to compact.
+    /// Returns `true` the first time a live handle is cancelled,
+    /// `false` for repeat or unknown handles (events already delivered
+    /// have a bumped generation and cannot resolve).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.wheel.cancel(id.0)
+    }
+
+    /// Removes and returns the earliest live event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.wheel.pop()
+    }
+
+    /// Returns the timestamp of the earliest live event without removing
+    /// it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+
+    /// Number of live events still scheduled.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Returns true if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+
+    /// Discards every scheduled event.
+    pub fn clear(&mut self) {
+        self.wheel.clear();
+    }
+}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -47,36 +131,29 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A priority queue of events ordered by `(time, insertion order)`.
+/// The original `BinaryHeap` agenda with lazy tombstone cancellation.
 ///
-/// # Examples
-///
-/// ```
-/// use rfd_sim::{Scheduler, SimTime};
-///
-/// let mut agenda = Scheduler::new();
-/// agenda.schedule(SimTime::from_secs(2), "late");
-/// agenda.schedule(SimTime::from_secs(1), "early");
-/// let (t, ev) = agenda.pop().unwrap();
-/// assert_eq!((t, ev), (SimTime::from_secs(1), "early"));
-/// ```
+/// Functionally identical to [`Scheduler`]; kept as the reference model
+/// for the wheel's property tests and for A/B benchmarking. Handles
+/// issued by one implementation are not interchangeable with the
+/// other's.
 #[derive(Debug)]
-pub struct Scheduler<E> {
+pub struct HeapScheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
 }
 
-impl<E> Default for Scheduler<E> {
+impl<E> Default for HeapScheduler<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> Scheduler<E> {
+impl<E> HeapScheduler<E> {
     /// Creates an empty agenda.
     pub fn new() -> Self {
-        Scheduler {
+        HeapScheduler {
             heap: BinaryHeap::new(),
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
@@ -84,7 +161,7 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedules `event` at absolute time `at` and returns a handle that
-    /// can later be passed to [`Scheduler::cancel`].
+    /// can later be passed to [`HeapScheduler::cancel`].
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -118,7 +195,7 @@ impl<E> Scheduler<E> {
     /// their sequence numbers, so `(time, FIFO)` pop order is
     /// unaffected. Also clears stale tombstones for events that were
     /// already delivered (cancelling a delivered event's handle would
-    /// otherwise skew [`Scheduler::len`] forever).
+    /// otherwise skew [`HeapScheduler::len`] forever).
     fn compact(&mut self) {
         let entries = std::mem::take(&mut self.heap).into_vec();
         self.heap = entries
@@ -238,10 +315,10 @@ mod tests {
     }
 
     #[test]
-    fn cancel_heavy_schedules_compact_tombstones() {
-        // Schedule 1000 events, cancel 999 of them: without compaction
-        // the tombstone set would hold ~999 entries; with it, both the
-        // set and the heap shrink as cancellations exceed half the heap.
+    fn cancel_heavy_schedules_stay_compact() {
+        // Schedule 1000 events, cancel 999: the wheel invalidates slab
+        // entries in place, so `len` tracks live entries exactly and
+        // the lone survivor pops.
         let mut s = Scheduler::new();
         let ids: Vec<_> = (0..1000)
             .map(|i| s.schedule(SimTime::from_secs(i), i))
@@ -250,23 +327,12 @@ mod tests {
             s.cancel(*id);
         }
         assert_eq!(s.len(), 1);
-        assert!(
-            s.cancelled.len() <= s.heap.len(),
-            "tombstones ({}) exceed half the heap ({})",
-            s.cancelled.len(),
-            s.heap.len()
-        );
-        assert!(
-            s.heap.len() < 10,
-            "compaction left {} dead entries in the heap",
-            s.heap.len()
-        );
         assert_eq!(s.pop(), Some((SimTime::from_secs(0), 0)));
         assert!(s.is_empty());
     }
 
     #[test]
-    fn compaction_preserves_time_and_fifo_order() {
+    fn cancellation_preserves_time_and_fifo_order() {
         let mut s = Scheduler::new();
         let t = SimTime::from_secs(7);
         let mut keep = Vec::new();
@@ -279,7 +345,7 @@ mod tests {
             }
         }
         let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, keep, "FIFO order must survive heap rebuilds");
+        assert_eq!(order, keep, "FIFO order must survive cancellations");
     }
 
     #[test]
@@ -288,8 +354,8 @@ mod tests {
         let a = s.schedule(SimTime::from_secs(1), "a");
         s.schedule(SimTime::from_secs(2), "b");
         assert_eq!(s.pop().unwrap().1, "a");
-        // `a` was already delivered: the stale tombstone is purged by
-        // the next compaction instead of undercounting forever.
+        // `a` was already delivered: its generation stamp is stale, so
+        // the cancel is a no-op.
         s.cancel(a);
         assert_eq!(s.len(), 1);
         assert_eq!(s.pop().unwrap().1, "b");
@@ -307,5 +373,79 @@ mod tests {
         assert_eq!(s.len(), 3);
         let survivors: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
         assert_eq!(survivors, vec![0, 2, 4]);
+    }
+
+    mod heap_reference {
+        use super::*;
+
+        #[test]
+        fn behaves_like_the_wheel_on_basics() {
+            let mut s = HeapScheduler::new();
+            s.schedule(SimTime::from_secs(3), 'c');
+            let b = s.schedule(SimTime::from_secs(2), 'b');
+            s.schedule(SimTime::from_secs(1), 'a');
+            s.cancel(b);
+            let order: Vec<char> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec!['a', 'c']);
+        }
+
+        #[test]
+        fn cancel_heavy_schedules_compact_tombstones() {
+            // Schedule 1000 events, cancel 999 of them: without
+            // compaction the tombstone set would hold ~999 entries; with
+            // it, both the set and the heap shrink as cancellations
+            // exceed half the heap.
+            let mut s = HeapScheduler::new();
+            let ids: Vec<_> = (0..1000)
+                .map(|i| s.schedule(SimTime::from_secs(i), i))
+                .collect();
+            for id in ids.iter().skip(1) {
+                s.cancel(*id);
+            }
+            assert_eq!(s.len(), 1);
+            assert!(
+                s.cancelled.len() <= s.heap.len(),
+                "tombstones ({}) exceed half the heap ({})",
+                s.cancelled.len(),
+                s.heap.len()
+            );
+            assert!(
+                s.heap.len() < 10,
+                "compaction left {} dead entries in the heap",
+                s.heap.len()
+            );
+            assert_eq!(s.pop(), Some((SimTime::from_secs(0), 0)));
+            assert!(s.is_empty());
+        }
+
+        #[test]
+        fn compaction_preserves_time_and_fifo_order() {
+            let mut s = HeapScheduler::new();
+            let t = SimTime::from_secs(7);
+            let mut keep = Vec::new();
+            for i in 0..400 {
+                let id = s.schedule(t, i);
+                if i % 5 == 0 {
+                    keep.push(i);
+                } else {
+                    s.cancel(id);
+                }
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, keep, "FIFO order must survive heap rebuilds");
+        }
+
+        #[test]
+        fn cancelling_a_delivered_event_does_not_skew_len() {
+            let mut s = HeapScheduler::new();
+            let a = s.schedule(SimTime::from_secs(1), "a");
+            s.schedule(SimTime::from_secs(2), "b");
+            assert_eq!(s.pop().unwrap().1, "a");
+            // `a` was already delivered: the stale tombstone is purged
+            // by the next compaction instead of undercounting forever.
+            s.cancel(a);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.pop().unwrap().1, "b");
+        }
     }
 }

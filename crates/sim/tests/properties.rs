@@ -1,7 +1,9 @@
 //! Property-based tests for the simulation kernel.
 
 use proptest::prelude::*;
-use rfd_sim::{Context, DetRng, Engine, RunOutcome, Scheduler, SimDuration, SimTime, World};
+use rfd_sim::{
+    Context, DetRng, Engine, HeapScheduler, RunOutcome, Scheduler, SimDuration, SimTime, World,
+};
 
 proptest! {
     /// Events always pop in non-decreasing time order, regardless of the
@@ -119,5 +121,105 @@ proptest! {
         prop_assert_eq!((time + dur) - dur, time);
         prop_assert_eq!((time + dur) - time, dur);
         prop_assert!(time + dur >= time);
+    }
+
+    /// Differential test: the timer-wheel [`Scheduler`] and the
+    /// reference [`HeapScheduler`] deliver identical `(time, payload)`
+    /// streams under randomized interleavings of schedule, cancel (of
+    /// live handles only — the two implementations intentionally differ
+    /// on cancelling an already-delivered handle), and pop. Times are
+    /// drawn from a coarse palette so FIFO ties are common.
+    #[test]
+    fn wheel_matches_heap_reference(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..40, 0usize..64),
+            1..300,
+        )
+    ) {
+        let mut wheel = Scheduler::new();
+        let mut heap = HeapScheduler::new();
+        // Live (not yet cancelled or popped) handles, keyed by payload.
+        let mut live: Vec<(usize, rfd_sim::EventId, rfd_sim::EventId)> = Vec::new();
+        let mut next_payload = 0usize;
+        // Pops advance time, so remember the floor: scheduling in the
+        // past is legal, but keep most inserts clustered for ties.
+        for (sel, t_raw, idx) in ops {
+            match sel {
+                0..=4 => {
+                    // Mix a coarse palette (multiples of 250 ms, forcing
+                    // FIFO ties) with irregular fine-grained deadlines
+                    // that straddle wheel rotation boundaries.
+                    let at = if sel < 3 {
+                        SimTime::from_micros(t_raw * 250_000)
+                    } else {
+                        SimTime::from_micros(t_raw * 77_251)
+                    };
+                    let p = next_payload;
+                    next_payload += 1;
+                    let idw = wheel.schedule(at, p);
+                    let idh = heap.schedule(at, p);
+                    live.push((p, idw, idh));
+                }
+                5 | 6 if !live.is_empty() => {
+                    let (_, idw, idh) = live.swap_remove(idx % live.len());
+                    prop_assert_eq!(wheel.cancel(idw), heap.cancel(idh));
+                }
+                _ => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                    if let Some((_, p)) = a {
+                        live.retain(|(lp, _, _)| *lp != p);
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end: every remaining event must come out in
+        // the same (time, FIFO) order with the same payload.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same differential, but with timestamps spanning every wheel
+    /// level and beyond its 76-hour top rotation (overflow map), plus
+    /// behind-cursor inserts after pops.
+    #[test]
+    fn wheel_matches_heap_across_levels_and_overflow(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..64, 0u32..46),
+            1..200,
+        )
+    ) {
+        let mut wheel = Scheduler::new();
+        let mut heap = HeapScheduler::new();
+        for (sel, mant, shift) in ops {
+            if sel < 4 {
+                // mant << shift sweeps from microseconds to ~2000 hours,
+                // crossing every level boundary and into overflow.
+                let at = SimTime::from_micros(mant << shift.min(45));
+                let p = (mant, shift);
+                wheel.schedule(at, p);
+                heap.schedule(at, p);
+            } else {
+                prop_assert_eq!(wheel.pop(), heap.pop());
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -487,10 +487,11 @@ pub struct FirehoseCommand {
 /// `--rate UPDATES_PER_SIM_SEC`, `--duration SIM_SECS`,
 /// `--workload poisson|flap-storm`, `--seed N`, `--shards N`,
 /// `--params cisco|juniper|ripe229`, `--queue-capacity N`,
-/// `--heartbeat SECS`, `--format csv|json`, `--telemetry FILE`,
-/// `--telemetry-interval SECS`, `--prom FILE`, plus the hidden
-/// fault-injection knob `--chaos SPEC` with shard keys `shard0`,
-/// `shard1`, … (see [`ChaosPlan::parse`]).
+/// `--reuse-tick SIM_SECS`, `--evict-every TICKS`,
+/// `--decay exact|bucketed`, `--heartbeat SECS`, `--format csv|json`,
+/// `--telemetry FILE`, `--telemetry-interval SECS`, `--prom FILE`,
+/// plus the hidden fault-injection knob `--chaos SPEC` with shard keys
+/// `shard0`, `shard1`, … (see [`ChaosPlan::parse`]).
 ///
 /// # Errors
 ///
@@ -563,6 +564,29 @@ pub fn parse_firehose_command(args: &[String]) -> Result<FirehoseCommand, CliErr
             "--queue-capacity" => {
                 cmd.config.queue_capacity =
                     int("--queue-capacity", value("--queue-capacity")?)? as usize
+            }
+            "--reuse-tick" => {
+                let secs: f64 = value("--reuse-tick")?
+                    .parse()
+                    .map_err(|_| CliError("--reuse-tick needs simulated seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--reuse-tick must be positive".into()));
+                }
+                cmd.config.reuse_tick = SimDuration::from_secs_f64(secs);
+            }
+            "--evict-every" => {
+                cmd.config.evict_every = int("--evict-every", value("--evict-every")?)?
+            }
+            "--decay" => {
+                cmd.config.decay = match value("--decay")?.as_str() {
+                    "exact" => rfd_core::DecayMode::Exact,
+                    "bucketed" => rfd_core::DecayMode::Bucketed,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown decay mode `{other}` (exact|bucketed)"
+                        )))
+                    }
+                }
             }
             "--heartbeat" => {
                 let secs: f64 = value("--heartbeat")?
@@ -641,8 +665,10 @@ USAGE:
   rfd firehose [--peers N] [--prefixes N] [--rate R] [--duration SIM_SECS]
                [--workload poisson|flap-storm] [--seed N] [--shards N]
                [--params cisco|juniper|ripe229] [--queue-capacity N]
-               [--heartbeat SECS] [--format csv|json]
-               [--telemetry FILE] [--telemetry-interval SECS] [--prom FILE]
+               [--reuse-tick SIM_SECS] [--evict-every TICKS]
+               [--decay exact|bucketed] [--heartbeat SECS]
+               [--format csv|json] [--telemetry FILE]
+               [--telemetry-interval SECS] [--prom FILE]
   rfd intended [--pulses N] [--interval SECS] [--params cisco|juniper]
   rfd topology --kind KIND:SIZE [--seed N] [--out FILE]
   rfd trace-stats FILE
@@ -867,13 +893,20 @@ mod tests {
         assert_eq!(cmd.format, ReportFormat::Csv);
         assert!(cmd.config.chaos.is_empty());
         assert_eq!(cmd.config.heartbeat, None);
+        assert_eq!(cmd.config.reuse_tick, SimDuration::from_secs(10));
+        assert_eq!(cmd.config.evict_every, 30);
+        assert_eq!(cmd.config.decay, rfd_core::DecayMode::Exact);
 
         let cmd = parse_firehose_command(&args(
             "--peers 8 --prefixes 64 --rate 50 --duration 600 --workload poisson \
              --seed 9 --shards 4 --params juniper --queue-capacity 32 \
+             --reuse-tick 5 --evict-every 12 --decay bucketed \
              --heartbeat 2 --format json --chaos panic*1@shard0",
         ))
         .unwrap();
+        assert_eq!(cmd.config.reuse_tick, SimDuration::from_secs(5));
+        assert_eq!(cmd.config.evict_every, 12);
+        assert_eq!(cmd.config.decay, rfd_core::DecayMode::Bucketed);
         assert_eq!(cmd.config.spec.peers, 8);
         assert_eq!(cmd.config.spec.prefixes, 64);
         assert_eq!(cmd.config.spec.rate, 50.0);
@@ -925,6 +958,10 @@ mod tests {
         assert!(parse_firehose_command(&args("--format yaml")).is_err());
         assert!(parse_firehose_command(&args("--chaos panic")).is_err());
         assert!(parse_firehose_command(&args("--heartbeat 0")).is_err());
+        assert!(parse_firehose_command(&args("--reuse-tick 0")).is_err());
+        assert!(parse_firehose_command(&args("--reuse-tick soon")).is_err());
+        assert!(parse_firehose_command(&args("--evict-every 0")).is_err());
+        assert!(parse_firehose_command(&args("--decay fuzzy")).is_err());
     }
 
     #[test]
