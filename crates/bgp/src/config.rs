@@ -149,6 +149,11 @@ pub struct NetworkConfig {
     /// Safety horizon for a run (simulated seconds after which the run
     /// is cut off).
     pub horizon: SimDuration,
+    /// Number of simulation shards. `1` (the default) runs the
+    /// single-threaded engine; larger values partition the routers
+    /// into conservative lock-step shards with identical results —
+    /// byte-determinism across shard counts is a tested contract.
+    pub sim_shards: usize,
 }
 
 impl Default for NetworkConfig {
@@ -163,6 +168,7 @@ impl Default for NetworkConfig {
             delay_range: (SimDuration::from_millis(10), SimDuration::from_millis(500)),
             protocol: ProtocolOptions::default(),
             horizon: SimDuration::from_secs(100_000),
+            sim_shards: 1,
         }
     }
 }
@@ -216,6 +222,9 @@ impl NetworkConfig {
             return Err(ConfigError(
                 "minimum delay must be positive (zero-delay loops)".into(),
             ));
+        }
+        if self.sim_shards == 0 {
+            return Err(ConfigError("sim_shards must be at least 1".into()));
         }
         if let Some(g) = self.protocol.reuse_granularity {
             if g.is_zero() {

@@ -1,11 +1,27 @@
 //! The whole-network simulation harness.
 //!
 //! [`Network`] builds one [`Router`] per topology node, appends the
-//! origin AS (Figure 1: `originAS` attached to a chosen `ispAS`), wires
-//! everything into the [`rfd_sim::Engine`], injects the paper's pulse
-//! workload on the origin link, and streams every trace event into a
-//! pluggable [`TraceSink`] (default: a [`VecSink`] buffering the full
+//! origin AS (Figure 1: `originAS` attached to a chosen `ispAS`),
+//! partitions the routers into [`NetworkConfig::sim_shards`]
+//! conservative simulation shards, injects the paper's pulse workload
+//! on the origin link, and streams every trace event into a pluggable
+//! [`TraceSink`] (default: a [`VecSink`] buffering the full
 //! [`rfd_metrics::Trace`]; sweeps plug in O(1)-memory aggregators).
+//!
+//! # Sharded execution
+//!
+//! Routers are assigned to shards by the deterministic FNV partition
+//! ([`rfd_topology::shard_of`]). Each shard owns its routers, its own
+//! [`ShardEngine`] event queue, its own [`PathTable`], and one pair of
+//! RNG streams *per node* (`delays/<id>`, `mrai/<id>`), so a node's
+//! random draws depend only on its own event order — never on which
+//! shard it shares with whom. Shards advance in lock-step windows of
+//! `lookahead = min link delay` planned by an [`EpochBarrier`]; BGP
+//! messages crossing a shard boundary travel as resolved AS paths and
+//! are re-interned and merged at the window barrier in the canonical
+//! `(time, key)` order. The result is byte-identical at any shard
+//! count — a tested contract, the same way the sweep runner proves
+//! thread-count invariance.
 //!
 //! A run has three phases:
 //!
@@ -18,20 +34,26 @@
 //!    MRAI and reuse timer fires (silent reuse timers do not affect the
 //!    metrics, matching the paper's footnote 3).
 
-use rfd_core::{FlapPattern, LedgerFilter, LedgerSink, LinkStatus, NullLedger, RootCause};
-use rfd_metrics::{
-    ConvergenceTracker, MessageCounter, NullSink, Trace, TraceEventKind, TraceSink, VecSink,
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rfd_core::{
+    FlapPattern, LedgerFilter, LedgerRecord, LedgerSink, LinkStatus, NullLedger, RootCause,
 };
-use rfd_sim::{Context, DetRng, Engine, RunOutcome, SimDuration, SimTime, World};
+use rfd_metrics::{ConvergenceTracker, MessageCounter, Trace, TraceEventKind, TraceSink, VecSink};
+use rfd_sim::{
+    event_key, DetRng, Engine, EpochBarrier, RunOutcome, ShardEngine, SimDuration, SimTime,
+    WindowPlan, INJECTOR_SRC,
+};
 use rfd_topology::{Graph, NodeId};
 
 use crate::config::NetworkConfig;
 use crate::intern::PathTable;
-use crate::message::{Prefix, UpdateMessage};
+use crate::message::{Prefix, UpdateMessage, UpdatePayload};
 use crate::policy::Policy;
 use crate::router::{Router, RouterConfig, RouterOutput};
 
-/// Events exchanged through the simulation engine.
+/// Events exchanged through the simulation shards.
 #[derive(Debug, Clone, Copy)]
 pub enum NetEvent {
     /// Delivery of an update message to `to`.
@@ -62,22 +84,33 @@ pub enum NetEvent {
         /// The suppressed prefix.
         prefix: Prefix,
     },
-    /// Status change of an origin link (the flap workload).
+    /// Status change of an origin link (the flap workload). The root
+    /// cause is stamped when the event is injected so the handling
+    /// shard needs no global sequence state.
     OriginLink {
         /// Index into the network's origin list.
         origin: usize,
         /// New link status.
         up: bool,
+        /// Root cause (present when RCN is deployed).
+        rc: Option<RootCause>,
     },
-    /// Status change of an interior link (failure injection): both
-    /// endpoint sessions reset.
-    LinkStatus {
-        /// One endpoint.
-        a: NodeId,
-        /// The other endpoint.
-        b: NodeId,
+    /// One endpoint's view of an interior link status change (failure
+    /// injection): the session to `peer` resets. A flap of link `a`–`b`
+    /// is injected as two of these — one per endpoint, on the
+    /// endpoint's own shard.
+    LinkSession {
+        /// The endpoint handling this event.
+        node: NodeId,
+        /// The peer at the other end of the link.
+        peer: NodeId,
         /// New link status.
         up: bool,
+        /// Root cause shared by both endpoint events.
+        rc: Option<RootCause>,
+        /// True on exactly one of the two endpoint events; the primary
+        /// emits the single `LinkFlap` trace event.
+        primary: bool,
     },
 }
 
@@ -92,46 +125,6 @@ pub struct RunReport {
     pub events_processed: u64,
     /// How the run ended (should be `Quiescent`).
     pub outcome: RunOutcome,
-}
-
-struct NetWorld<S: TraceSink> {
-    routers: Vec<Router>,
-    /// The shared AS-path interner; every router works on handles into
-    /// this table.
-    path_table: PathTable,
-    policy: Policy,
-    /// The pluggable trace observer for the measured phase.
-    sink: S,
-    /// Always-on headline aggregators: [`RunReport`] fields come from
-    /// these, whatever sink is plugged in.
-    conv: ConvergenceTracker,
-    msgs: MessageCounter,
-    /// True during warm-up: events route to `null` instead of the sink
-    /// and the headline aggregators, so nothing is retained.
-    muted: bool,
-    null: NullSink,
-    /// The damping-lifecycle ledger consumer ([`NullLedger`] until a
-    /// filter is installed with `Network::set_ledger`).
-    ledger: Box<dyn LedgerSink>,
-    delay_rng: DetRng,
-    mrai_rng: DetRng,
-    delay_range: (SimDuration, SimDuration),
-    origins: Vec<OriginAttachment>,
-    rcn_enabled: bool,
-    rc_seq: u64,
-    /// Per directed link: the latest delivery instant scheduled so far.
-    /// BGP sessions run over TCP, so updates between two peers arrive
-    /// in the order they were sent — later messages are clamped to
-    /// arrive strictly after earlier ones (without this, a withdrawal
-    /// can be overtaken by an older announcement and install a
-    /// permanently stale route).
-    last_delivery: std::collections::HashMap<(u32, u32), SimTime>,
-    /// Interior links currently down (normalised endpoint order).
-    /// In-flight messages crossing a dead link are dropped at delivery
-    /// time, like the TCP session teardown would lose them.
-    down_links: std::collections::HashSet<(u32, u32)>,
-    /// Messages dropped on dead links.
-    dropped: u64,
 }
 
 /// One origin AS attached to the network (Figure 1's originAS/ispAS
@@ -156,30 +149,127 @@ fn norm_link(a: NodeId, b: NodeId) -> (u32, u32) {
     }
 }
 
-impl<S: TraceSink> NetWorld<S> {
-    /// Routes one trace event: the headline aggregators and the
-    /// pluggable sink during the measured phase, a [`NullSink`] during
-    /// warm-up (nothing retained, nothing measured).
-    fn emit(&mut self, at: SimTime, kind: TraceEventKind) {
-        if self.muted {
-            self.null.record(at, kind);
-            return;
-        }
-        self.conv.record(at, kind);
-        self.msgs.record(at, kind);
-        self.sink.record(at, kind);
+/// A BGP update crossing a shard boundary. [`Route`] handles are
+/// per-shard, so the AS path travels resolved and is re-interned on the
+/// destination shard in canonical merge order.
+///
+/// [`Route`]: crate::intern::Route
+#[derive(Debug)]
+struct RemoteMsg {
+    at: SimTime,
+    /// Canonical event key ([`event_key`] of the sender).
+    key: u64,
+    from: NodeId,
+    to: NodeId,
+    prefix: Prefix,
+    /// `None` for a withdrawal, the resolved AS path otherwise.
+    path: Option<Vec<NodeId>>,
+    root_cause: Option<RootCause>,
+    degraded: Option<bool>,
+}
+
+/// Everything one shard hands the coordinator at a window barrier.
+type WindowOutput = (
+    Vec<RemoteMsg>,
+    Vec<(SimTime, u64, TraceEventKind)>,
+    Vec<(SimTime, u64, LedgerRecord)>,
+);
+
+/// One simulation shard: the routers it owns, their event queue, path
+/// interner, and per-node RNG streams.
+struct Shard {
+    id: usize,
+    /// Raw node id → owning shard (shared, immutable).
+    node_shard: Arc<Vec<u16>>,
+    /// Raw node id → index into its shard's `routers`.
+    node_local: Arc<Vec<u32>>,
+    engine: ShardEngine<NetEvent>,
+    /// Local routers in ascending global id order.
+    routers: Vec<Router>,
+    path_table: PathTable,
+    policy: Policy,
+    /// Per local node: message-delay stream (`delays/<id>`).
+    delay_rngs: Vec<DetRng>,
+    /// Per local node: MRAI-jitter stream (`mrai/<id>`).
+    mrai_rngs: Vec<DetRng>,
+    /// Per local node: next canonical event sequence number.
+    seqs: Vec<u64>,
+    delay_range: (SimDuration, SimDuration),
+    origins: Vec<OriginAttachment>,
+    /// Per directed link out of this shard's nodes: the latest delivery
+    /// instant scheduled so far. BGP sessions run over TCP, so updates
+    /// between two peers arrive in the order they were sent — later
+    /// messages are clamped to arrive strictly after earlier ones
+    /// (without this, a withdrawal can be overtaken by an older
+    /// announcement and install a permanently stale route). The sender
+    /// owns the slot, so cross-shard links need no shared state.
+    last_delivery: HashMap<(u32, u32), SimTime>,
+    /// This shard's view of interior links currently down. Both
+    /// endpoints process their own `LinkSession` event, so every shard
+    /// that can receive over the link knows its status.
+    down_links: HashSet<(u32, u32)>,
+    /// Messages dropped on dead links.
+    dropped: u64,
+    /// True during warm-up: traces and ledger records are discarded.
+    muted: bool,
+    /// Trace events discarded while muted.
+    discarded: u64,
+    /// Current window's trace buffer, in processing order (which is
+    /// `(time, key)` order — pops are monotone).
+    traces: Vec<(SimTime, u64, TraceEventKind)>,
+    /// Current window's ledger-record buffer.
+    ledger: Vec<(SimTime, u64, LedgerRecord)>,
+    /// Cross-shard messages produced this window.
+    outbox: Vec<RemoteMsg>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("routers", &self.routers.len())
+            .field("pending", &self.engine.len())
+            .finish()
+    }
+}
+
+impl Shard {
+    fn local(&self, node: NodeId) -> usize {
+        debug_assert_eq!(self.node_shard[node.index()] as usize, self.id);
+        self.node_local[node.index()] as usize
     }
 
-    fn delay(&mut self) -> SimDuration {
-        let (lo, hi) = self.delay_range;
-        self.delay_rng.duration_between(lo, hi)
+    fn is_local(&self, node: NodeId) -> bool {
+        self.node_shard[node.index()] as usize == self.id
+    }
+
+    /// Next canonical event key for an event created by local `node`.
+    fn next_key(&mut self, node: NodeId) -> u64 {
+        let l = self.local(node);
+        let seq = self.seqs[l];
+        self.seqs[l] += 1;
+        event_key(node.raw(), seq)
+    }
+
+    /// Buffers one trace event under the processing event's `(at, key)`
+    /// identity (discarded while muted).
+    fn emit(&mut self, at: SimTime, key: u64, kind: TraceEventKind) {
+        if self.muted {
+            self.discarded += 1;
+        } else {
+            self.traces.push((at, key, kind));
+        }
     }
 
     /// Delivery instant for a message sent now on `from → to`:
     /// `now + random delay`, pushed past any earlier in-flight message
-    /// on the same directed link (TCP ordering).
+    /// on the same directed link (TCP ordering). The delay comes from
+    /// the *sender's* stream, so the draw order is the sender's event
+    /// order — shard-layout invariant.
     fn delivery_at(&mut self, now: SimTime, from: NodeId, to: NodeId) -> SimTime {
-        let natural = now + self.delay();
+        let l = self.local(from);
+        let (lo, hi) = self.delay_range;
+        let natural = now + self.delay_rngs[l].duration_between(lo, hi);
         let slot = self
             .last_delivery
             .entry((from.raw(), to.raw()))
@@ -193,50 +283,70 @@ impl<S: TraceSink> NetWorld<S> {
         at
     }
 
-    fn apply_output(&mut self, ctx: &mut Context<'_, NetEvent>, node: NodeId, out: RouterOutput) {
-        let now = ctx.now();
+    /// Puts one update on the wire: local deliveries go straight onto
+    /// this shard's queue, cross-shard ones into the outbox with the
+    /// AS path resolved. `emit_key` is the identity of the event being
+    /// processed (for trace ordering).
+    fn send(&mut self, now: SimTime, emit_key: u64, from: NodeId, to: NodeId, msg: UpdateMessage) {
+        self.emit(
+            now,
+            emit_key,
+            TraceEventKind::UpdateSent {
+                from: from.raw(),
+                to: to.raw(),
+                withdrawal: msg.is_withdrawal(),
+            },
+        );
+        let at = self.delivery_at(now, from, to);
+        let key = self.next_key(from);
+        if self.is_local(to) {
+            self.engine
+                .schedule(at, key, NetEvent::Deliver { from, to, msg });
+        } else {
+            let path = match msg.payload {
+                UpdatePayload::Announce(route) => Some(self.path_table.path(route).to_vec()),
+                UpdatePayload::Withdraw => None,
+            };
+            self.outbox.push(RemoteMsg {
+                at,
+                key,
+                from,
+                to,
+                prefix: msg.prefix,
+                path,
+                root_cause: msg.root_cause,
+                degraded: msg.degraded,
+            });
+        }
+    }
+
+    fn apply_output(&mut self, now: SimTime, key: u64, node: NodeId, out: RouterOutput) {
         rfd_obs::add("bgp.updates_sent", out.sends.len() as u64);
         rfd_obs::add("bgp.mrai_scheduled", out.mrai_timers.len() as u64);
         for kind in out.traces {
-            self.emit(now, kind);
+            self.emit(now, key, kind);
         }
         if !self.muted {
             for record in out.ledger {
-                self.ledger.record(record);
+                self.ledger.push((now, key, record));
             }
         }
         for (to, msg) in out.sends {
-            self.emit(
-                now,
-                TraceEventKind::UpdateSent {
-                    from: node.raw(),
-                    to: to.raw(),
-                    withdrawal: msg.is_withdrawal(),
-                },
-            );
-            let at = self.delivery_at(now, node, to);
-            ctx.schedule_at(
-                at,
-                NetEvent::Deliver {
-                    from: node,
-                    to,
-                    msg,
-                },
-            );
+            self.send(now, key, node, to, msg);
         }
         for (peer, prefix, at) in out.mrai_timers {
-            ctx.schedule_at(at, NetEvent::MraiExpiry { node, peer, prefix });
+            let k = self.next_key(node);
+            self.engine
+                .schedule(at, k, NetEvent::MraiExpiry { node, peer, prefix });
         }
         for (peer, prefix, at) in out.reuse_timers {
-            ctx.schedule_at(at, NetEvent::ReuseTimer { node, peer, prefix });
+            let k = self.next_key(node);
+            self.engine
+                .schedule(at, k, NetEvent::ReuseTimer { node, peer, prefix });
         }
     }
-}
 
-impl<S: TraceSink> World for NetWorld<S> {
-    type Event = NetEvent;
-
-    fn handle(&mut self, ctx: &mut Context<'_, NetEvent>, event: NetEvent) {
+    fn handle(&mut self, at: SimTime, key: u64, event: NetEvent) {
         match event {
             NetEvent::Deliver { from, to, msg } => {
                 if self.down_links.contains(&norm_link(from, to)) {
@@ -247,73 +357,66 @@ impl<S: TraceSink> World for NetWorld<S> {
                 }
                 rfd_obs::inc("bgp.updates_received");
                 self.emit(
-                    ctx.now(),
+                    at,
+                    key,
                     TraceEventKind::UpdateReceived {
                         from: from.raw(),
                         to: to.raw(),
                         withdrawal: msg.is_withdrawal(),
                     },
                 );
+                let l = self.local(to);
                 let mut out = RouterOutput::default();
-                self.routers[to.index()].handle_update(
-                    ctx.now(),
+                self.routers[l].handle_update(
+                    at,
                     from,
                     &msg,
                     &mut self.path_table,
-                    &mut self.mrai_rng,
+                    &mut self.mrai_rngs[l],
                     &self.policy,
                     &mut out,
                 );
-                self.apply_output(ctx, to, out);
+                self.apply_output(at, key, to, out);
             }
             NetEvent::MraiExpiry { node, peer, prefix } => {
                 rfd_obs::inc("bgp.mrai_expiries");
+                let l = self.local(node);
                 let mut out = RouterOutput::default();
-                self.routers[node.index()].on_mrai_expiry(
-                    ctx.now(),
+                self.routers[l].on_mrai_expiry(
+                    at,
                     peer,
                     prefix,
                     &mut self.path_table,
-                    &mut self.mrai_rng,
+                    &mut self.mrai_rngs[l],
                     &self.policy,
                     &mut out,
                 );
-                self.apply_output(ctx, node, out);
+                self.apply_output(at, key, node, out);
             }
             NetEvent::ReuseTimer { node, peer, prefix } => {
+                let l = self.local(node);
                 let mut out = RouterOutput::default();
-                self.routers[node.index()].on_reuse_timer(
-                    ctx.now(),
+                self.routers[l].on_reuse_timer(
+                    at,
                     peer,
                     prefix,
                     &mut self.path_table,
-                    &mut self.mrai_rng,
+                    &mut self.mrai_rngs[l],
                     &self.policy,
                     &mut out,
                 );
-                self.apply_output(ctx, node, out);
+                self.apply_output(at, key, node, out);
             }
-            NetEvent::OriginLink { origin, up } => {
+            NetEvent::OriginLink { origin, up, rc } => {
                 let attachment = self.origins[origin];
                 self.emit(
-                    ctx.now(),
+                    at,
+                    key,
                     TraceEventKind::OriginFlap {
                         prefix: attachment.prefix.id(),
                         up,
                     },
                 );
-                // The detecting endpoint stamps a fresh root cause
-                // (§6.1: {[ispAS originAS], status, seq}).
-                let rc = if self.rcn_enabled {
-                    self.rc_seq += 1;
-                    Some(RootCause::new(
-                        (attachment.isp.raw(), attachment.node.raw()),
-                        if up { LinkStatus::Up } else { LinkStatus::Down },
-                        self.rc_seq,
-                    ))
-                } else {
-                    None
-                };
                 let mut msg = if up {
                     UpdateMessage::announce(self.path_table.originate(attachment.node))
                         .with_root_cause(rc)
@@ -321,76 +424,174 @@ impl<S: TraceSink> World for NetWorld<S> {
                     UpdateMessage::withdraw().with_root_cause(rc)
                 };
                 msg.prefix = attachment.prefix;
-                self.emit(
-                    ctx.now(),
-                    TraceEventKind::UpdateSent {
-                        from: attachment.node.raw(),
-                        to: attachment.isp.raw(),
-                        withdrawal: msg.is_withdrawal(),
-                    },
-                );
-                let at = self.delivery_at(ctx.now(), attachment.node, attachment.isp);
-                ctx.schedule_at(
+                self.send(at, key, attachment.node, attachment.isp, msg);
+            }
+            NetEvent::LinkSession {
+                node,
+                peer,
+                up,
+                rc,
+                primary,
+            } => {
+                if primary {
+                    self.emit(
+                        at,
+                        key,
+                        TraceEventKind::LinkFlap {
+                            a: node.raw(),
+                            b: peer.raw(),
+                            up,
+                        },
+                    );
+                }
+                let link = norm_link(node, peer);
+                if up {
+                    self.down_links.remove(&link);
+                } else {
+                    self.down_links.insert(link);
+                }
+                let l = self.local(node);
+                let mut out = RouterOutput::default();
+                if up {
+                    self.routers[l].on_session_up(
+                        at,
+                        peer,
+                        rc,
+                        &mut self.path_table,
+                        &mut self.mrai_rngs[l],
+                        &self.policy,
+                        &mut out,
+                    );
+                } else {
+                    self.routers[l].on_session_down(
+                        at,
+                        peer,
+                        rc,
+                        &mut self.path_table,
+                        &mut self.mrai_rngs[l],
+                        &self.policy,
+                        &mut out,
+                    );
+                }
+                self.apply_output(at, key, node, out);
+            }
+        }
+    }
+
+    /// Processes every queued event strictly before `end`; returns the
+    /// number processed.
+    fn run_window(&mut self, end: SimTime) -> u64 {
+        let before = self.engine.processed();
+        while let Some((at, key, event)) = self.engine.pop_before(end) {
+            self.handle(at, key, event);
+        }
+        self.engine.processed() - before
+    }
+
+    /// Schedules a message routed here from another shard, re-interning
+    /// its AS path. Callers deliver accepted messages in global
+    /// `(time, key)` order, which makes the intern order canonical.
+    fn accept_remote(&mut self, msg: RemoteMsg) {
+        let update = match msg.path {
+            Some(ref path) => UpdateMessage::announce(self.path_table.from_path(path)),
+            None => UpdateMessage::withdraw(),
+        };
+        let mut update = update
+            .with_root_cause(msg.root_cause)
+            .with_degraded(msg.degraded);
+        update.prefix = msg.prefix;
+        self.engine.schedule(
+            msg.at,
+            msg.key,
+            NetEvent::Deliver {
+                from: msg.from,
+                to: msg.to,
+                msg: update,
+            },
+        );
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.engine.next_time()
+    }
+
+    fn take_window_output(&mut self) -> WindowOutput {
+        (
+            std::mem::take(&mut self.outbox),
+            std::mem::take(&mut self.traces),
+            std::mem::take(&mut self.ledger),
+        )
+    }
+
+    /// Runs the origin's kickoff announcement through this shard's
+    /// machinery (warm-up priming). Mirrors the workload injection
+    /// path: only the resulting sends are scheduled.
+    fn kickoff_origin(&mut self, origin: NodeId) {
+        let l = self.local(origin);
+        let mut out = RouterOutput::default();
+        self.routers[l].kickoff(
+            SimTime::ZERO,
+            &mut self.path_table,
+            &mut self.mrai_rngs[l],
+            &self.policy,
+            &mut out,
+        );
+        for (to, msg) in out.sends {
+            let at = self.delivery_at(SimTime::ZERO, origin, to);
+            let key = self.next_key(origin);
+            if self.is_local(to) {
+                self.engine.schedule(
                     at,
+                    key,
                     NetEvent::Deliver {
-                        from: attachment.node,
-                        to: attachment.isp,
+                        from: origin,
+                        to,
                         msg,
                     },
                 );
-            }
-            NetEvent::LinkStatus { a, b, up } => {
-                self.emit(
-                    ctx.now(),
-                    TraceEventKind::LinkFlap {
-                        a: a.raw(),
-                        b: b.raw(),
-                        up,
-                    },
-                );
-                let key = norm_link(a, b);
-                let rc = if self.rcn_enabled {
-                    self.rc_seq += 1;
-                    Some(RootCause::new(
-                        key,
-                        if up { LinkStatus::Up } else { LinkStatus::Down },
-                        self.rc_seq,
-                    ))
-                } else {
-                    None
+            } else {
+                let path = match msg.payload {
+                    UpdatePayload::Announce(route) => Some(self.path_table.path(route).to_vec()),
+                    UpdatePayload::Withdraw => None,
                 };
-                if up {
-                    self.down_links.remove(&key);
-                } else {
-                    self.down_links.insert(key);
-                }
-                for (node, peer) in [(a, b), (b, a)] {
-                    let mut out = RouterOutput::default();
-                    if up {
-                        self.routers[node.index()].on_session_up(
-                            ctx.now(),
-                            peer,
-                            rc,
-                            &mut self.path_table,
-                            &mut self.mrai_rng,
-                            &self.policy,
-                            &mut out,
-                        );
-                    } else {
-                        self.routers[node.index()].on_session_down(
-                            ctx.now(),
-                            peer,
-                            rc,
-                            &mut self.path_table,
-                            &mut self.mrai_rng,
-                            &self.policy,
-                            &mut out,
-                        );
-                    }
-                    self.apply_output(ctx, node, out);
-                }
+                self.outbox.push(RemoteMsg {
+                    at,
+                    key,
+                    from: origin,
+                    to,
+                    prefix: msg.prefix,
+                    path,
+                    root_cause: msg.root_cause,
+                    degraded: msg.degraded,
+                });
             }
         }
+    }
+}
+
+/// Feeds a window's merged trace events to the coordinator-side
+/// consumers in canonical `(time, key)` order. The sort is stable, so
+/// events of one processing step keep their emission order; keys are
+/// unique per step, so cross-shard ties cannot occur.
+fn feed_traces<S: TraceSink>(
+    conv: &mut ConvergenceTracker,
+    msgs: &mut MessageCounter,
+    sink: &mut S,
+    mut traces: Vec<(SimTime, u64, TraceEventKind)>,
+) {
+    traces.sort_by_key(|&(at, key, _)| (at, key));
+    for (at, _, kind) in traces {
+        conv.record(at, kind);
+        msgs.record(at, kind);
+        sink.record(at, kind);
+    }
+}
+
+/// Feeds a window's merged ledger records in canonical order.
+fn feed_ledger(sink: &mut dyn LedgerSink, mut records: Vec<(SimTime, u64, LedgerRecord)>) {
+    records.sort_by_key(|&(at, key, _)| (at, key));
+    for (_, _, record) in records {
+        sink.record(record);
     }
 }
 
@@ -402,19 +603,45 @@ impl<S: TraceSink> World for NetWorld<S> {
 /// sinks ([`rfd_metrics::SuppressionStats`], tuples of trackers, …)
 /// keep per-run memory O(1) in the event count. [`RunReport`] fields
 /// come from built-in aggregators either way.
-#[derive(Debug)]
 pub struct Network<S: TraceSink = VecSink> {
-    engine: Engine<NetEvent>,
-    world: NetWorld<S>,
+    shards: Vec<Shard>,
+    /// Raw node id → owning shard.
+    node_shard: Arc<Vec<u16>>,
+    /// The conservative window width: the minimum link delay.
+    lookahead: SimDuration,
+    horizon: SimTime,
+    origins: Vec<OriginAttachment>,
+    /// The pluggable trace observer for the measured phase.
+    sink: S,
+    /// Always-on headline aggregators: [`RunReport`] fields come from
+    /// these, whatever sink is plugged in.
+    conv: ConvergenceTracker,
+    msgs: MessageCounter,
+    /// The damping-lifecycle ledger consumer ([`NullLedger`] until a
+    /// filter is installed with `Network::set_ledger`).
+    ledger: Box<dyn LedgerSink>,
+    rcn_enabled: bool,
+    /// Root-cause sequence numbers, stamped at injection time.
+    rc_seq: u64,
+    /// Canonical key sequence for injected (primed) events.
+    inj_seq: u64,
+    /// Total events processed over the network's lifetime.
+    processed: u64,
+    /// Synchronization windows executed over the network's lifetime.
+    windows: u64,
+    /// Wall-clock time shards spent waiting at window barriers
+    /// (threaded execution only; zero for `sim_shards = 1`).
+    stall: std::time::Duration,
     warmed_up: bool,
 }
 
-impl<S: TraceSink> std::fmt::Debug for NetWorld<S> {
+impl<S: TraceSink> std::fmt::Debug for Network<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetWorld")
-            .field("routers", &self.routers.len())
+        f.debug_struct("Network")
+            .field("shards", &self.shards)
             .field("origins", &self.origins)
             .field("retained_events", &self.sink.retained_events())
+            .field("warmed_up", &self.warmed_up)
             .finish()
     }
 }
@@ -450,7 +677,7 @@ impl Network<VecSink> {
     /// The trace recorded so far (measured phase only; warm-up records
     /// nothing).
     pub fn trace(&self) -> &Trace {
-        self.world.sink.trace()
+        self.sink.trace()
     }
 }
 
@@ -484,6 +711,10 @@ impl<S: TraceSink> Network<S> {
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         assert!(!isps.is_empty(), "need at least one origin attachment");
+        assert!(
+            config.sim_shards <= usize::from(u16::MAX),
+            "sim_shards exceeds the shard id range"
+        );
         // The clone is necessary: origin nodes are appended below, and
         // the caller keeps `base` (the same graph is reused across sweep
         // cells). The policy, in contrast, is ours to keep — take it.
@@ -515,96 +746,162 @@ impl<S: TraceSink> Network<S> {
         let mut deploy_rng = DetRng::from_seed_and_label(config.seed, "damping-deployment");
         let damping = config.damping.resolve(graph.node_count(), &mut deploy_rng);
 
-        let mut path_table = PathTable::new();
-        let routers: Vec<Router> = graph
+        // Deterministic FNV partition over the full graph, appended
+        // origins included.
+        let n_shards = config.sim_shards;
+        let node_shard: Vec<u16> = graph
             .nodes()
-            .map(|id| {
-                let peers: Vec<NodeId> = graph.neighbors(id).to_vec();
-                let rc = RouterConfig {
-                    damping: damping[id.index()],
-                    filter: config.filter,
-                    mrai: config.mrai,
-                    mrai_jitter: config.mrai_jitter,
-                    protocol: config.protocol,
-                };
-                let mut router = Router::new(id, peers, false, rc, &mut path_table);
-                if let Some(att) = origins.iter().find(|a| a.node == id) {
-                    router.originate(att.prefix);
-                }
-                router.set_charging(false); // warm-up first
-                router
+            .map(|n| rfd_topology::shard_of(n, n_shards))
+            .collect();
+        let mut node_local = vec![0u32; graph.node_count()];
+        let mut shard_sizes = vec![0u32; n_shards];
+        for (i, &s) in node_shard.iter().enumerate() {
+            node_local[i] = shard_sizes[s as usize];
+            shard_sizes[s as usize] += 1;
+        }
+        let node_shard = Arc::new(node_shard);
+        let node_local = Arc::new(node_local);
+
+        let mut shards: Vec<Shard> = (0..n_shards)
+            .map(|id| Shard {
+                id,
+                node_shard: Arc::clone(&node_shard),
+                node_local: Arc::clone(&node_local),
+                engine: ShardEngine::new(),
+                routers: Vec::with_capacity(shard_sizes[id] as usize),
+                path_table: PathTable::new(),
+                policy: policy.clone(),
+                delay_rngs: Vec::with_capacity(shard_sizes[id] as usize),
+                mrai_rngs: Vec::with_capacity(shard_sizes[id] as usize),
+                seqs: vec![0; shard_sizes[id] as usize],
+                delay_range: config.delay_range,
+                origins: origins.clone(),
+                last_delivery: HashMap::new(),
+                down_links: HashSet::new(),
+                dropped: 0,
+                // Warm-up runs muted; `warm_up` lifts the mute once the
+                // network has converged.
+                muted: true,
+                discarded: 0,
+                traces: Vec::new(),
+                ledger: Vec::new(),
+                outbox: Vec::new(),
             })
             .collect();
 
-        let mut engine = Engine::new();
-        engine.set_horizon(SimTime::ZERO + config.horizon);
+        for id in graph.nodes() {
+            let shard = &mut shards[node_shard[id.index()] as usize];
+            let peers: Vec<NodeId> = graph.neighbors(id).to_vec();
+            let rc = RouterConfig {
+                damping: damping[id.index()],
+                filter: config.filter,
+                mrai: config.mrai,
+                mrai_jitter: config.mrai_jitter,
+                protocol: config.protocol,
+            };
+            let mut router = Router::new(id, peers, false, rc, &mut shard.path_table);
+            if let Some(att) = origins.iter().find(|a| a.node == id) {
+                router.originate(att.prefix);
+            }
+            router.set_charging(false); // warm-up first
+            shard.routers.push(router);
+            shard.delay_rngs.push(DetRng::from_seed_and_label(
+                config.seed,
+                &format!("delays/{}", id.raw()),
+            ));
+            shard.mrai_rngs.push(DetRng::from_seed_and_label(
+                config.seed,
+                &format!("mrai/{}", id.raw()),
+            ));
+        }
 
-        let world = NetWorld {
-            routers,
-            path_table,
-            policy,
+        Network {
+            shards,
+            node_shard,
+            lookahead: config.delay_range.0,
+            horizon: SimTime::ZERO + config.horizon,
+            origins,
             sink,
             conv: ConvergenceTracker::new(),
             msgs: MessageCounter::new(),
-            // Warm-up runs muted; `warm_up` lifts the mute once the
-            // network has converged.
-            muted: true,
-            null: NullSink::new(),
             ledger: Box::new(NullLedger),
-            delay_rng: DetRng::from_seed_and_label(config.seed, "delays"),
-            mrai_rng: DetRng::from_seed_and_label(config.seed, "mrai"),
-            delay_range: config.delay_range,
-            origins,
             rcn_enabled: config.filter == crate::config::PenaltyFilter::Rcn,
             rc_seq: 0,
-            last_delivery: std::collections::HashMap::new(),
-            down_links: std::collections::HashSet::new(),
-            dropped: 0,
-        };
-
-        Network {
-            engine,
-            world,
+            inj_seq: 0,
+            processed: 0,
+            windows: 0,
+            stall: std::time::Duration::ZERO,
             warmed_up: false,
         }
     }
 
     /// The first origin AS id (the appended node).
     pub fn origin(&self) -> NodeId {
-        self.world.origins[0].node
+        self.origins[0].node
     }
 
     /// The first origin's ISP AS id.
     pub fn isp(&self) -> NodeId {
-        self.world.origins[0].isp
+        self.origins[0].isp
     }
 
     /// All origin attachments.
     pub fn origins(&self) -> &[OriginAttachment] {
-        &self.world.origins
+        &self.origins
     }
 
-    /// Current simulated time.
+    /// Current simulated time: the instant of the last processed event.
     pub fn now(&self) -> SimTime {
-        self.engine.now()
+        self.shards
+            .iter()
+            .map(|s| s.engine.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Number of simulation shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Synchronization windows executed so far (equals events processed
+    /// in meaning only for pathological workloads; a window usually
+    /// covers many events).
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Total events processed over the network's lifetime (warm-up
+    /// included).
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Cumulative wall-clock time shards spent stalled at window
+    /// barriers (threaded execution only; always zero for
+    /// `sim_shards = 1`). On a single-core host this is dominated by
+    /// the serialization of the shards themselves, not by true
+    /// synchronization overhead.
+    pub fn barrier_stall(&self) -> std::time::Duration {
+        self.stall
     }
 
     /// Read access to the measured-phase sink.
     pub fn sink(&self) -> &S {
-        &self.world.sink
+        &self.sink
     }
 
     /// Mutable access to the measured-phase sink.
     pub fn sink_mut(&mut self) -> &mut S {
-        &mut self.world.sink
+        &mut self.sink
     }
 
     /// Consumes the network, finishing and yielding the sink (pending
     /// aggregator state flushes; `metrics.sink.*` obs counters fire).
     pub fn into_sink(mut self) -> S {
-        self.world.ledger.finish();
-        self.world.sink.finish();
-        self.world.sink
+        self.ledger.finish();
+        self.sink.finish();
+        self.sink
     }
 
     /// Installs the damping-lifecycle ledger: every router starts
@@ -616,46 +913,273 @@ impl<S: TraceSink> Network<S> {
     /// after the run.
     pub fn set_ledger(&mut self, filter: LedgerFilter, sink: Box<dyn LedgerSink>) {
         let filter = std::sync::Arc::new(filter);
-        for router in &mut self.world.routers {
-            router.set_ledger_filter(Some(std::sync::Arc::clone(&filter)));
+        for shard in &mut self.shards {
+            for router in &mut shard.routers {
+                router.set_ledger_filter(Some(std::sync::Arc::clone(&filter)));
+            }
         }
-        self.world.ledger = sink;
+        self.ledger = sink;
     }
 
     /// Finishes and detaches the ledger sink, restoring the off state.
     pub fn clear_ledger(&mut self) {
-        for router in &mut self.world.routers {
-            router.set_ledger_filter(None);
+        for shard in &mut self.shards {
+            for router in &mut shard.routers {
+                router.set_ledger_filter(None);
+            }
         }
-        self.world.ledger.finish();
-        self.world.ledger = Box::new(NullLedger);
+        self.ledger.finish();
+        self.ledger = Box::new(NullLedger);
     }
 
     /// Read access to a router (for tests and inspection).
     pub fn router(&self, id: NodeId) -> &Router {
-        &self.world.routers[id.index()]
+        let shard = &self.shards[self.node_shard[id.index()] as usize];
+        &shard.routers[shard.node_local[id.index()] as usize]
     }
 
-    /// Read access to the shared AS-path interner (resolve [`Route`]
-    /// handles to paths, inspect [`PathTable::stats`]).
+    /// Read access to the AS-path interner holding `id`'s routes
+    /// (resolve [`Route`] handles from that router, inspect
+    /// [`PathTable::stats`]). Each shard interns independently, so a
+    /// handle is only meaningful against its owner's table.
     ///
     /// [`Route`]: crate::intern::Route
+    pub fn path_table_for(&self, id: NodeId) -> &PathTable {
+        &self.shards[self.node_shard[id.index()] as usize].path_table
+    }
+
+    /// Read access to the first shard's AS-path interner. With
+    /// `sim_shards = 1` (the default) this is the whole network's
+    /// table; with more shards, prefer [`Network::path_table_for`].
     pub fn path_table(&self) -> &PathTable {
-        &self.world.path_table
+        &self.shards[0].path_table
     }
 
     /// Total suppressed RIB-IN entries across the network.
     pub fn suppressed_entries(&self) -> usize {
-        self.world
-            .routers
+        self.shards
             .iter()
+            .flat_map(|s| s.routers.iter())
             .map(Router::suppressed_entries)
             .sum()
     }
 
+    /// Messages lost on links that went down while they were in flight.
+    pub fn dropped_messages(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    fn shard_index(&self, node: NodeId) -> usize {
+        self.node_shard[node.index()] as usize
+    }
+
+    /// Injects one coordinator event onto the owning shard's queue
+    /// under the next injector key.
+    fn prime(&mut self, at: SimTime, owner: NodeId, event: NetEvent) {
+        let key = event_key(INJECTOR_SRC, self.inj_seq);
+        self.inj_seq += 1;
+        let s = self.shard_index(owner);
+        self.shards[s].engine.schedule(at, key, event);
+    }
+
+    fn next_root_cause(&mut self, link: (u32, u32), up: bool) -> Option<RootCause> {
+        if !self.rcn_enabled {
+            return None;
+        }
+        self.rc_seq += 1;
+        Some(RootCause::new(
+            link,
+            if up { LinkStatus::Up } else { LinkStatus::Down },
+            self.rc_seq,
+        ))
+    }
+
+    /// Runs every shard to completion under the conservative barrier
+    /// protocol. Single shard runs inline; multiple shards run on
+    /// scoped worker threads — with identical results either way, by
+    /// the canonical-merge construction.
+    fn drive(&mut self) -> (RunOutcome, u64) {
+        let obs_span = rfd_obs::is_enabled().then(|| rfd_obs::span("sim.run"));
+        let budget = Engine::<NetEvent>::DEFAULT_EVENT_BUDGET;
+        let mut barrier = EpochBarrier::new(self.lookahead, self.horizon, budget);
+        let before = self.processed;
+        let outcome = if self.shards.len() == 1 {
+            self.drive_sequential(&mut barrier, before)
+        } else {
+            self.drive_threaded(&mut barrier, before)
+        };
+        self.windows += barrier.windows();
+        let delta = self.processed - before;
+        rfd_obs::add("sim.events", delta);
+        if let Some(mut span) = obs_span {
+            span.sim_time_us(self.now().as_micros());
+        }
+        (outcome, delta)
+    }
+
+    fn drive_sequential(&mut self, barrier: &mut EpochBarrier, run_start: u64) -> RunOutcome {
+        loop {
+            let min_next = self.shards.iter_mut().filter_map(Shard::next_time).min();
+            match barrier.plan(min_next, self.processed - run_start) {
+                WindowPlan::Run { end } => {
+                    let mut traces = Vec::new();
+                    let mut records = Vec::new();
+                    let mut outmsgs = Vec::new();
+                    for shard in &mut self.shards {
+                        self.processed += shard.run_window(end);
+                        let (outbox, t, l) = shard.take_window_output();
+                        outmsgs.extend(outbox);
+                        traces.extend(t);
+                        records.extend(l);
+                    }
+                    feed_traces(&mut self.conv, &mut self.msgs, &mut self.sink, traces);
+                    feed_ledger(self.ledger.as_mut(), records);
+                    // `(at, key)` pairs are globally unique, so the
+                    // unstable sort is a total order: the destination
+                    // shards re-intern paths in canonical order.
+                    outmsgs.sort_unstable_by_key(|m: &RemoteMsg| (m.at, m.key));
+                    for msg in outmsgs {
+                        let dest = self.node_shard[msg.to.index()] as usize;
+                        self.shards[dest].accept_remote(msg);
+                    }
+                }
+                WindowPlan::Quiescent => return RunOutcome::Quiescent,
+                WindowPlan::HorizonReached => return RunOutcome::HorizonReached,
+                WindowPlan::BudgetExhausted => return RunOutcome::BudgetExhausted,
+            }
+        }
+    }
+
+    fn drive_threaded(&mut self, barrier: &mut EpochBarrier, run_start: u64) -> RunOutcome {
+        use std::sync::mpsc;
+
+        enum Cmd {
+            Window { end: SimTime, inbox: Vec<RemoteMsg> },
+            Stop,
+        }
+        struct Reply {
+            shard: usize,
+            next_time: Option<SimTime>,
+            output: WindowOutput,
+            delta: u64,
+            busy: std::time::Duration,
+        }
+
+        let n = self.shards.len();
+        let mut next_times: Vec<Option<SimTime>> =
+            self.shards.iter_mut().map(Shard::next_time).collect();
+        let mut inboxes: Vec<Vec<RemoteMsg>> = (0..n).map(|_| Vec::new()).collect();
+        let shards = &mut self.shards;
+        let node_shard = Arc::clone(&self.node_shard);
+        let conv = &mut self.conv;
+        let msgs = &mut self.msgs;
+        let sink = &mut self.sink;
+        let ledger = self.ledger.as_mut();
+        let processed = &mut self.processed;
+        let stall = &mut self.stall;
+
+        let outcome = std::thread::scope(|scope| {
+            let mut cmd_txs = Vec::with_capacity(n);
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let (tx, rx) = mpsc::channel::<Cmd>();
+                cmd_txs.push(tx);
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            Cmd::Window { end, inbox } => {
+                                let started = std::time::Instant::now();
+                                for msg in inbox {
+                                    shard.accept_remote(msg);
+                                }
+                                let delta = shard.run_window(end);
+                                let output = shard.take_window_output();
+                                let next_time = shard.next_time();
+                                let _ = reply_tx.send(Reply {
+                                    shard: i,
+                                    next_time,
+                                    output,
+                                    delta,
+                                    busy: started.elapsed(),
+                                });
+                            }
+                            Cmd::Stop => break,
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            let outcome = loop {
+                let min_next = next_times
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .chain(inboxes.iter().flatten().map(|m| m.at))
+                    .min();
+                match barrier.plan(min_next, *processed - run_start) {
+                    WindowPlan::Run { end } => {
+                        let dispatched = std::time::Instant::now();
+                        for (i, tx) in cmd_txs.iter().enumerate() {
+                            tx.send(Cmd::Window {
+                                end,
+                                inbox: std::mem::take(&mut inboxes[i]),
+                            })
+                            .expect("shard worker alive");
+                        }
+                        let mut traces = Vec::new();
+                        let mut records = Vec::new();
+                        let mut outmsgs = Vec::new();
+                        let mut busy = std::time::Duration::ZERO;
+                        for _ in 0..n {
+                            let reply = reply_rx.recv().expect("shard worker reply");
+                            next_times[reply.shard] = reply.next_time;
+                            *processed += reply.delta;
+                            busy += reply.busy;
+                            let (outbox, t, l) = reply.output;
+                            outmsgs.extend(outbox);
+                            traces.extend(t);
+                            records.extend(l);
+                        }
+                        // Stall = idle shard-time at this barrier: the
+                        // window spans `wall` for everyone, each shard
+                        // was busy for its own slice.
+                        let wall = dispatched.elapsed();
+                        *stall += (wall * n as u32).saturating_sub(busy);
+                        feed_traces(conv, msgs, sink, traces);
+                        feed_ledger(ledger, records);
+                        outmsgs.sort_unstable_by_key(|m: &RemoteMsg| (m.at, m.key));
+                        for msg in outmsgs {
+                            let dest = node_shard[msg.to.index()] as usize;
+                            inboxes[dest].push(msg);
+                        }
+                    }
+                    WindowPlan::Quiescent => break RunOutcome::Quiescent,
+                    WindowPlan::HorizonReached => break RunOutcome::HorizonReached,
+                    WindowPlan::BudgetExhausted => break RunOutcome::BudgetExhausted,
+                }
+            };
+            for tx in &cmd_txs {
+                let _ = tx.send(Cmd::Stop);
+            }
+            outcome
+        });
+
+        // A horizon/budget cutoff can leave routed-but-undelivered
+        // messages; park them on their destination queues so a later
+        // run still sees them.
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            for msg in inbox {
+                shards[i].accept_remote(msg);
+            }
+        }
+        outcome
+    }
+
     /// Phase 1: the origin announces its prefix and the network
-    /// converges with penalty charging disabled. Warm-up events route
-    /// through a [`NullSink`]: nothing reaches the measured-phase sink
+    /// converges with penalty charging disabled. Warm-up events are
+    /// discarded at the shards: nothing reaches the measured-phase sink
     /// or the headline aggregators.
     ///
     /// # Panics
@@ -665,56 +1189,48 @@ impl<S: TraceSink> Network<S> {
     pub fn warm_up(&mut self) -> &mut Self {
         let _obs_span = rfd_obs::span("bgp.warmup");
         assert!(!self.warmed_up, "warm_up may only run once");
-        for i in 0..self.world.origins.len() {
-            let origin = self.world.origins[i].node;
-            let mut out = RouterOutput::default();
-            {
-                let world = &mut self.world;
-                world.routers[origin.index()].kickoff(
-                    SimTime::ZERO,
-                    &mut world.path_table,
-                    &mut world.mrai_rng,
-                    &world.policy,
-                    &mut out,
-                );
-            }
-            // Feed the kickoff output through priming events: replicate
-            // apply_output semantics by scheduling directly on the
-            // engine.
-            for (to, msg) in out.sends {
-                let at = self.world.delivery_at(SimTime::ZERO, origin, to);
-                self.engine.prime(
-                    at,
-                    NetEvent::Deliver {
-                        from: origin,
-                        to,
-                        msg,
-                    },
-                );
-            }
+        for i in 0..self.origins.len() {
+            let origin = self.origins[i].node;
+            let s = self.shard_index(origin);
+            self.shards[s].kickoff_origin(origin);
         }
-        let (outcome, _) = self.engine.run(&mut self.world);
+        // Route any cross-shard kickoff announcements before the run.
+        let mut outmsgs = Vec::new();
+        for shard in &mut self.shards {
+            outmsgs.append(&mut shard.outbox);
+        }
+        outmsgs.sort_unstable_by_key(|m: &RemoteMsg| (m.at, m.key));
+        for msg in outmsgs {
+            let dest = self.node_shard[msg.to.index()] as usize;
+            self.shards[dest].accept_remote(msg);
+        }
+        let (outcome, _) = self.drive();
         assert_eq!(outcome, RunOutcome::Quiescent, "warm-up failed to converge");
-        for att in &self.world.origins {
+        for att in &self.origins {
             assert!(
-                self.world
-                    .routers
+                self.shards
                     .iter()
+                    .flat_map(|s| s.routers.iter())
                     .all(|r| r.best_for(att.prefix).is_some()),
                 "warm-up left some router without a route to {}",
                 att.prefix
             );
         }
-        for r in &mut self.world.routers {
-            r.set_charging(true);
+        for shard in &mut self.shards {
+            for r in &mut shard.routers {
+                r.set_charging(true);
+            }
         }
         assert_eq!(
-            self.world.sink.retained_events(),
+            self.sink.retained_events(),
             0,
             "warm-up must not retain trace events"
         );
-        rfd_obs::add("bgp.warmup_events_discarded", self.world.null.seen());
-        self.world.muted = false;
+        let discarded: u64 = self.shards.iter().map(|s| s.discarded).sum();
+        rfd_obs::add("bgp.warmup_events_discarded", discarded);
+        for shard in &mut self.shards {
+            shard.muted = false;
+        }
         self.warmed_up = true;
         self
     }
@@ -758,28 +1274,27 @@ impl<S: TraceSink> Network<S> {
         lead_in: SimDuration,
     ) -> RunReport {
         assert!(self.warmed_up, "call warm_up() before running a workload");
-        let start = self.engine.now() + lead_in;
+        let start = self.now() + lead_in;
         for &(origin, schedule) in schedules {
             assert!(
-                origin < self.world.origins.len(),
+                origin < self.origins.len(),
                 "origin index {origin} out of range"
             );
+            let att = self.origins[origin];
             for &(offset, status) in schedule.events() {
                 let at = start + offset.since(SimTime::ZERO);
-                self.engine.prime(
-                    at,
-                    NetEvent::OriginLink {
-                        origin,
-                        up: status == rfd_core::LinkStatus::Up,
-                    },
-                );
+                let up = status == rfd_core::LinkStatus::Up;
+                // §6.1: the detecting endpoint stamps a fresh root
+                // cause {[ispAS originAS], status, seq}.
+                let rc = self.next_root_cause((att.isp.raw(), att.node.raw()), up);
+                self.prime(at, att.node, NetEvent::OriginLink { origin, up, rc });
             }
         }
-        let (outcome, stats) = self.engine.run(&mut self.world);
+        let (outcome, delta) = self.drive();
         RunReport {
-            convergence_time: self.world.conv.convergence_time(),
-            message_count: self.world.msgs.message_count(),
-            events_processed: stats.events_processed,
+            convergence_time: self.conv.convergence_time(),
+            message_count: self.msgs.message_count(),
+            events_processed: delta,
             outcome,
         }
     }
@@ -801,36 +1316,44 @@ impl<S: TraceSink> Network<S> {
     ) -> RunReport {
         assert!(self.warmed_up, "call warm_up() before running a workload");
         assert!(
-            self.world
-                .routers
-                .get(a.index())
-                .is_some_and(|r| r.peers().contains(&b)),
+            a.index() < self.node_shard.len() && self.router(a).peers().contains(&b),
             "{a}–{b} is not a link of this network"
         );
-        let start = self.engine.now() + lead_in;
+        let start = self.now() + lead_in;
         for &(offset, status) in schedule.events() {
             let at = start + offset.since(SimTime::ZERO);
-            self.engine.prime(
+            let up = status == rfd_core::LinkStatus::Up;
+            let rc = self.next_root_cause(norm_link(a, b), up);
+            self.prime(
                 at,
-                NetEvent::LinkStatus {
-                    a,
-                    b,
-                    up: status == rfd_core::LinkStatus::Up,
+                a,
+                NetEvent::LinkSession {
+                    node: a,
+                    peer: b,
+                    up,
+                    rc,
+                    primary: true,
+                },
+            );
+            self.prime(
+                at,
+                b,
+                NetEvent::LinkSession {
+                    node: b,
+                    peer: a,
+                    up,
+                    rc,
+                    primary: false,
                 },
             );
         }
-        let (outcome, stats) = self.engine.run(&mut self.world);
+        let (outcome, delta) = self.drive();
         RunReport {
-            convergence_time: self.world.conv.convergence_time(),
-            message_count: self.world.msgs.message_count(),
-            events_processed: stats.events_processed,
+            convergence_time: self.conv.convergence_time(),
+            message_count: self.msgs.message_count(),
+            events_processed: delta,
             outcome,
         }
-    }
-
-    /// Messages lost on links that went down while they were in flight.
-    pub fn dropped_messages(&self) -> u64 {
-        self.world.dropped
     }
 
     /// Convenience: warm up and run the paper's default workload of
@@ -886,7 +1409,7 @@ mod tests {
                 hops_via_path,
                 expect,
                 "node {id}: path {} vs bfs {expect}",
-                net.path_table().display(best.route)
+                net.path_table_for(id).display(best.route)
             );
         }
     }
@@ -1060,6 +1583,107 @@ mod tests {
         assert_ne!(run(100), run(200));
     }
 
+    /// The sharded-engine contract: identical results — report fields
+    /// and the complete trace event sequence — at any shard count.
+    #[test]
+    fn sharded_runs_are_identical_across_shard_counts() {
+        let g = mesh_torus(4, 4);
+        let run = |shards: usize| {
+            let mut cfg = NetworkConfig::paper_full_damping(11);
+            cfg.sim_shards = shards;
+            let mut net = Network::new(&g, NodeId::new(2), cfg);
+            let report = net.run_paper_workload(3);
+            let events: Vec<rfd_metrics::TraceEvent> = net.trace().events().to_vec();
+            (
+                report.message_count,
+                report.convergence_time,
+                report.events_processed,
+                net.dropped_messages(),
+                net.suppressed_entries(),
+                events,
+            )
+        };
+        let one = run(1);
+        assert!(!one.5.is_empty(), "the reference run must trace something");
+        assert_eq!(one, run(2), "2 shards diverged from 1");
+        assert_eq!(one, run(8), "8 shards diverged from 1");
+    }
+
+    /// Same contract under RCN damping (root causes are stamped at
+    /// injection time; their dedup must not depend on the partition).
+    #[test]
+    fn sharded_rcn_runs_are_identical_across_shard_counts() {
+        let g = mesh_torus(3, 3);
+        let run = |shards: usize| {
+            let mut cfg = NetworkConfig::paper_rcn_damping(7);
+            cfg.sim_shards = shards;
+            let mut net = Network::new(&g, NodeId::new(4), cfg);
+            let report = net.run_paper_workload(3);
+            (
+                report.message_count,
+                report.convergence_time,
+                report.events_processed,
+                net.trace().events().to_vec(),
+            )
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    /// Interior link failure with in-flight loss, across shard counts:
+    /// exercises the split `LinkSession` events and per-shard
+    /// `down_links` views.
+    #[test]
+    fn sharded_link_schedule_is_identical_across_shard_counts() {
+        let g = mesh_torus(3, 3);
+        let run = |shards: usize| {
+            let mut cfg = NetworkConfig::paper_no_damping(9);
+            cfg.sim_shards = shards;
+            let mut net = Network::new(&g, NodeId::new(0), cfg);
+            net.warm_up();
+            let mut events = Vec::new();
+            for k in 0..12u64 {
+                events.push((
+                    SimTime::from_micros(k * 150_000),
+                    if k % 2 == 0 {
+                        rfd_core::LinkStatus::Down
+                    } else {
+                        rfd_core::LinkStatus::Up
+                    },
+                ));
+            }
+            let schedule = rfd_core::FlapSchedule::new(events);
+            let report = net.run_link_schedule(
+                NodeId::new(1),
+                NodeId::new(2),
+                &schedule,
+                SimDuration::from_secs(10),
+            );
+            (
+                report.message_count,
+                report.events_processed,
+                net.dropped_messages(),
+                net.trace().events().to_vec(),
+            )
+        };
+        let one = run(1);
+        assert!(one.2 > 0, "the workload must lose something in flight");
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(5));
+    }
+
+    /// More shards than nodes: empty shards must be harmless.
+    #[test]
+    fn more_shards_than_meaningful_partitions_is_fine() {
+        let g = ring(4);
+        let mut cfg = small_cfg(6);
+        cfg.sim_shards = 12;
+        let mut net = Network::new(&g, NodeId::new(1), cfg);
+        let report = net.run_paper_workload(1);
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        assert!(report.message_count > 0);
+        assert_eq!(net.shard_count(), 12);
+    }
+
     #[test]
     fn interior_link_flap_damps_transit_routes() {
         // Flap a mesh link repeatedly: entries for routes through it
@@ -1221,6 +1845,29 @@ mod tests {
         }
     }
 
+    /// Multi-origin workloads across shard counts: kickoffs and pulse
+    /// schedules on different origins must interleave identically.
+    #[test]
+    fn sharded_multi_origin_runs_are_identical_across_shard_counts() {
+        let g = mesh_torus(4, 4);
+        let run = |shards: usize| {
+            let mut cfg = NetworkConfig::paper_full_damping(8);
+            cfg.sim_shards = shards;
+            let mut net = Network::new_multi(&g, &[NodeId::new(2), NodeId::new(13)], cfg);
+            net.warm_up();
+            let s0 = rfd_core::FlapSchedule::from(FlapPattern::paper_default(2));
+            let s1 = rfd_core::FlapSchedule::from(FlapPattern::paper_default(4));
+            let report = net.run_schedules(&[(0, &s0), (1, &s1)], SimDuration::from_secs(100));
+            (
+                report.message_count,
+                report.convergence_time,
+                report.events_processed,
+                net.trace().events().to_vec(),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
     #[test]
     fn ledger_streams_lifecycle_without_perturbing_the_run() {
         let g = line(4);
@@ -1283,6 +1930,33 @@ mod tests {
             !shared.lock().records().is_empty(),
             "the measured phase streams records"
         );
+    }
+
+    /// The ledger stream must also be partition-invariant (records
+    /// merge at barriers in canonical order).
+    #[test]
+    fn sharded_ledger_stream_is_identical_across_shard_counts() {
+        let g = line(4);
+        let isp = NodeId::new(3);
+        let run = |shards: usize| {
+            let mut cfg = NetworkConfig::paper_full_damping(5);
+            cfg.sim_shards = shards;
+            let mut net = Network::new(&g, isp, cfg);
+            net.warm_up();
+            let origin = net.origin();
+            let shared = rfd_core::SharedLedger::new(rfd_core::VecLedger::new());
+            net.set_ledger(
+                rfd_core::LedgerFilter::keys([(origin.raw(), Prefix::ORIGIN.id())]),
+                Box::new(shared.clone()),
+            );
+            net.run_pulses(FlapPattern::paper_default(3), SimDuration::from_secs(100));
+            let ledger = shared.lock();
+            let rendered: Vec<String> = ledger.records().iter().map(|r| format!("{r:?}")).collect();
+            rendered
+        };
+        let one = run(1);
+        assert!(!one.is_empty());
+        assert_eq!(one, run(2));
     }
 
     #[test]

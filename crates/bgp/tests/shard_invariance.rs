@@ -1,0 +1,99 @@
+//! Property tests for the sharded engine's byte-determinism contract:
+//! on arbitrary small topologies, seeds and workloads, a sharded run
+//! must equal the single-shard run exactly — same report numbers, same
+//! trace event sequence, event for event.
+//!
+//! The unit tests in `network.rs` pin specific scenarios; these
+//! randomize across the dimensions an adversary would probe: topology
+//! family (cut-edge patterns differ wildly between a ring and a BA
+//! hub), ISP placement (origin on a cut edge or not), shard counts
+//! beyond the node count, damping on and off, and multi-pulse
+//! workloads that keep cross-shard traffic alive across many barrier
+//! windows.
+
+use proptest::prelude::*;
+use rfd_bgp::{Network, NetworkConfig};
+use rfd_metrics::TraceEvent;
+use rfd_sim::SimDuration;
+use rfd_topology::{internet_like, mesh_torus, ring, NodeId};
+
+/// A randomly chosen small topology (kept small: every case runs the
+/// full workload twice).
+#[derive(Debug, Clone, Copy)]
+enum Topo {
+    Ring(usize),
+    Torus(usize, usize),
+    Internet(usize, u64),
+}
+
+impl Topo {
+    fn build(self) -> rfd_topology::Graph {
+        match self {
+            Topo::Ring(n) => ring(n),
+            Topo::Torus(w, h) => mesh_torus(w, h),
+            Topo::Internet(n, seed) => internet_like(n, 2, seed),
+        }
+    }
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topo> {
+    prop_oneof![
+        (4usize..10).prop_map(Topo::Ring),
+        ((2usize..5), (2usize..5)).prop_map(|(w, h)| Topo::Torus(w, h)),
+        ((6usize..16), 0u64..1000).prop_map(|(n, s)| Topo::Internet(n, s)),
+    ]
+}
+
+/// Everything observable about a run that the contract pins.
+fn run_once(
+    topo: Topo,
+    isp_pick: usize,
+    seed: u64,
+    damping: bool,
+    pulses: usize,
+    shards: usize,
+) -> (usize, SimDuration, u64, u64, Vec<TraceEvent>) {
+    let graph = topo.build();
+    let isp = NodeId::new((isp_pick % graph.node_count()) as u32);
+    let mut cfg = if damping {
+        NetworkConfig::paper_full_damping(seed)
+    } else {
+        NetworkConfig::paper_no_damping(seed)
+    };
+    cfg.sim_shards = shards;
+    let mut net = Network::new(&graph, isp, cfg);
+    let report = net.run_paper_workload(pulses);
+    (
+        report.message_count,
+        report.convergence_time,
+        report.events_processed,
+        net.dropped_messages(),
+        net.trace().events().to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded == single-shard on arbitrary small scenarios.
+    #[test]
+    fn sharded_run_equals_single_shard_run(
+        topo in topo_strategy(),
+        isp_pick in 0usize..64,
+        seed in 1u64..10_000,
+        damping in any::<bool>(),
+        pulses in 1usize..3,
+        shards in 2usize..7,
+    ) {
+        let reference = run_once(topo, isp_pick, seed, damping, pulses, 1);
+        let sharded = run_once(topo, isp_pick, seed, damping, pulses, shards);
+        prop_assert_eq!(
+            &reference.4, &sharded.4,
+            "trace diverged: topo {:?} seed {} shards {}", topo, seed, shards
+        );
+        prop_assert_eq!(reference.0, sharded.0, "message count");
+        prop_assert_eq!(reference.1, sharded.1, "convergence time");
+        prop_assert_eq!(reference.2, sharded.2, "events processed");
+        prop_assert_eq!(reference.3, sharded.3, "dropped messages");
+    }
+}

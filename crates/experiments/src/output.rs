@@ -102,6 +102,32 @@ pub fn threads_flag() -> usize {
     0
 }
 
+/// Parses `--sim-shards N` (or `--sim-shards=N`): how many conservative
+/// simulation shards each cell's network runs on. Absent means 1 (the
+/// classic single-queue engine). Results are byte-identical at any
+/// count — CI diffs shard-1 and shard-2 sweeps to prove it. Exits with
+/// a message on a malformed or zero count.
+pub fn sim_shards_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--sim-shards" {
+            args.next()
+        } else {
+            arg.strip_prefix("--sim-shards=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            let n: usize = value
+                .parse()
+                .unwrap_or_else(|e| exit_with(&format!("bad --sim-shards value {value:?}: {e}")));
+            if n == 0 {
+                exit_with("--sim-shards must be at least 1");
+            }
+            return n;
+        }
+    }
+    1
+}
+
 /// Parses `--retries N` (or `--retries=N`): how many times a failed
 /// cell is deterministically re-executed (same seed, same inputs)
 /// before it is quarantined. Absent means no retries. Exits with a
@@ -247,9 +273,9 @@ pub fn obs_finish(trace_path: &Path) {
 /// How often sweeps report progress on stderr.
 const HEARTBEAT_PERIOD: Duration = Duration::from_secs(10);
 
-/// Sweep options honouring `--quick`, `--threads N`, `--resume`,
-/// `--resume-force`, `--retries N`, `--cell-budget SECS` and the
-/// hidden `--chaos` / `RFD_CHAOS` fault-injection knob. Runs journal
+/// Sweep options honouring `--quick`, `--threads N`, `--sim-shards N`,
+/// `--resume`, `--resume-force`, `--retries N`, `--cell-budget SECS`
+/// and the hidden `--chaos` / `RFD_CHAOS` fault-injection knob. Runs journal
 /// under [`results_dir`] so interrupted sweeps can resume; progress
 /// heartbeats go to stderr.
 pub fn sweep_options() -> crate::sweep::SweepOptions {
@@ -268,6 +294,7 @@ pub fn sweep_options() -> crate::sweep::SweepOptions {
         cell_budget: cell_budget_flag(),
         retries: retries_flag(),
         chaos: chaos_plan(),
+        sim_shards: sim_shards_flag(),
         ..base
     }
 }

@@ -150,6 +150,17 @@ pub struct SweepOptions {
     /// into a counting sink and never reach the journals or tables —
     /// the sweep's CSVs are byte-identical either way (tested).
     pub ledger_keys: Vec<(u32, u32)>,
+    /// Simulation shards per cell (`--sim-shards N`). The sharded
+    /// engine is byte-deterministic across shard counts, so this knob
+    /// never changes the CSVs — it is excluded from the journal
+    /// fingerprint on purpose, and CI diffs a shard-1 sweep against a
+    /// shard-2 sweep to hold the contract.
+    pub sim_shards: usize,
+    /// Run every series on this topology instead of its own
+    /// (`--topology torus:RxC|ba:N` on `rfd sweep`). Folded into the
+    /// journal fingerprint: an overridden sweep never resumes a
+    /// default-topology journal.
+    pub topology: Option<TopologyKind>,
 }
 
 impl Default for SweepOptions {
@@ -167,6 +178,8 @@ impl Default for SweepOptions {
             resume_force: false,
             chaos: ChaosPlan::none(),
             ledger_keys: Vec::new(),
+            sim_shards: 1,
+            topology: None,
         }
     }
 }
@@ -296,12 +309,18 @@ pub fn grid_results_or_exit(outcome: Result<GridResults, RunnerError>) -> GridRe
 /// are *not* errors (see [`PulseSweep::failures`]).
 pub fn try_measure_sweep(
     name: &str,
-    specs: Vec<SeriesSpec<'_>>,
+    mut specs: Vec<SeriesSpec<'_>>,
     opts: &SweepOptions,
 ) -> Result<PulseSweep, RunnerError> {
+    if let Some(kind) = opts.topology {
+        for spec in &mut specs {
+            spec.kind = kind;
+        }
+    }
     // The fingerprint salt folds in what the axes can't see: which
     // topology each series runs on (the damping parameters live in the
-    // config closure; the label names the profile).
+    // config closure; the label names the profile). `sim_shards` is
+    // deliberately absent: shard counts do not change results.
     let salt_parts: Vec<String> = specs
         .iter()
         .flat_map(|s| [s.label.clone(), format!("{:?}", s.kind)])
@@ -316,8 +335,13 @@ pub fn try_measure_sweep(
     }
     let full = opts.full_traces;
     let ledger = opts.ledger_keys.clone();
+    let shards = opts.sim_shards.max(1);
     let results = run_grid(&grid, &opts.runner_config(), |spec: &SeriesSpec, cell| {
-        let make = |g: &Graph| (spec.make)(g, cell.seed);
+        let make = |g: &Graph| {
+            let mut cfg = (spec.make)(g, cell.seed);
+            cfg.sim_shards = shards;
+            cfg
+        };
         if full {
             run_cell_metrics_full(spec.kind, cell.seed, cell.pulses, make)
         } else if ledger.is_empty() {

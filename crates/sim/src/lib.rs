@@ -55,11 +55,13 @@
 mod engine;
 mod rng;
 mod scheduler;
+mod shard;
 mod time;
 mod wheel;
 
 pub use engine::{Context, Engine, RunOutcome, RunStats, World};
 pub use rng::DetRng;
 pub use scheduler::{EventId, HeapScheduler, Scheduler};
+pub use shard::{event_key, EpochBarrier, ShardEngine, WindowPlan, INJECTOR_SRC};
 pub use time::{SimDuration, SimTime, MICROS_PER_SEC};
 pub use wheel::TimerWheel;

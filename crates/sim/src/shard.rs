@@ -1,0 +1,285 @@
+//! Building blocks for conservative parallel simulation.
+//!
+//! The sharded run loop splits one global agenda into N per-shard
+//! [`ShardEngine`]s and advances them in lock-step windows planned by
+//! an [`EpochBarrier`]. The protocol is classic conservative
+//! ("null-message-free barrier") synchronization:
+//!
+//! * Every cross-shard interaction has a **lookahead** `L`: an event a
+//!   shard processes at time `t` can only affect another shard at
+//!   `t + L` or later (for the BGP model, `L` is the minimum link
+//!   delay — see `NetworkConfig::delay_range`).
+//! * The barrier picks the global minimum next-event time `t0` and
+//!   lets every shard process its local events in `[t0, t0 + L)`
+//!   independently; messages destined for other shards are collected
+//!   in outboxes.
+//! * At the window boundary the coordinator merges all outboxes in the
+//!   canonical `(time, key)` order and delivers them; by the lookahead
+//!   guarantee every such message lands at `≥ t0 + L`, i.e. never
+//!   inside the window just processed.
+//!
+//! Determinism across shard counts comes from the **canonical event
+//! key**: a `u64` packing `(source node, per-source sequence)` (see
+//! [`event_key`]). Each shard's wheel pops in `(time, key)` order
+//! (`TimerWheel::schedule_keyed`), and the coordinator merges
+//! cross-shard streams by the same `(time, key)` tuple, so the total
+//! order of processed events is a pure function of the model — not of
+//! the partition.
+
+use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
+
+/// Source id used in [`event_key`] for events injected by the
+/// coordinator rather than created by a node (workload priming, link
+/// schedules). `u32::MAX` sorts after every real node id, so at equal
+/// timestamps injected events are processed after model-generated
+/// ones — a fixed, partition-independent rule.
+pub const INJECTOR_SRC: u32 = u32::MAX;
+
+/// Packs the canonical ordering key for one event: the creating node's
+/// raw id in the high 32 bits, its per-source sequence number in the
+/// low 32.
+///
+/// Keys are globally unique as long as each source keeps its own
+/// monotone sequence (asserted here to stay below 2³²), and the order
+/// `(time, key)` is then a total order on events that does not depend
+/// on how nodes are partitioned into shards.
+#[inline]
+pub fn event_key(src: u32, seq: u64) -> u64 {
+    assert!(seq < (1 << 32), "per-source event sequence overflowed");
+    (u64::from(src) << 32) | seq
+}
+
+/// One shard's event queue and clock: the per-shard half of the
+/// [`Engine`](crate::Engine)/`Scheduler` pair, driven from outside by
+/// an [`EpochBarrier`] window plan instead of a self-contained run
+/// loop.
+#[derive(Debug)]
+pub struct ShardEngine<E> {
+    wheel: TimerWheel<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for ShardEngine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ShardEngine<E> {
+    /// Creates an empty shard engine at time zero.
+    pub fn new() -> Self {
+        ShardEngine {
+            wheel: TimerWheel::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `event` at `at` under the canonical key (see
+    /// [`event_key`]). Returns a raw id usable with
+    /// [`cancel`](Self::cancel).
+    pub fn schedule(&mut self, at: SimTime, key: u64, event: E) -> u64 {
+        debug_assert!(
+            at >= self.now,
+            "scheduled into the past: {at} < {}",
+            self.now
+        );
+        self.wheel.schedule_keyed(at, key, event)
+    }
+
+    /// Cancels a previously scheduled event by raw id. O(1).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        self.wheel.cancel(id)
+    }
+
+    /// The earliest pending event time, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+
+    /// Pops the earliest event if it is strictly before `end`,
+    /// advancing the shard clock to it. Returns `(time, key, event)`.
+    pub fn pop_before(&mut self, end: SimTime) -> Option<(SimTime, u64, E)> {
+        let at = self.wheel.peek_time()?;
+        if at >= end {
+            return None;
+        }
+        let (at, key, event) = self.wheel.pop_keyed().expect("peeked entry");
+        self.now = at;
+        self.processed += 1;
+        Some((at, key, event))
+    }
+
+    /// The shard clock: the time of the last processed event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (live) events.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+}
+
+/// What the coordinator should do next, as decided by
+/// [`EpochBarrier::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPlan {
+    /// Run every shard up to (exclusive) `end`.
+    Run {
+        /// Exclusive upper bound of the window.
+        end: SimTime,
+    },
+    /// No shard has pending events: the simulation is quiescent.
+    Quiescent,
+    /// The earliest pending event lies beyond the horizon; it stays
+    /// queued (mirroring `Engine`'s horizon semantics).
+    HorizonReached,
+    /// The event budget was exhausted.
+    BudgetExhausted,
+}
+
+/// Plans lock-step synchronization windows for a set of
+/// [`ShardEngine`]s.
+///
+/// The barrier owns the global run limits (horizon, event budget) and
+/// the lookahead; per window it takes the minimum next-event time
+/// across shards and returns the exclusive window end
+/// `min(t0 + lookahead, horizon + 1µs)`. Capping at one past the
+/// horizon preserves the single-engine contract exactly: no event with
+/// `time > horizon` is ever processed (it is reported as
+/// [`WindowPlan::HorizonReached`] on the next plan), while events *at*
+/// the horizon still run. The cap keeps `end > t0`, so every planned
+/// window makes progress.
+#[derive(Debug)]
+pub struct EpochBarrier {
+    lookahead: SimDuration,
+    horizon: SimTime,
+    budget: u64,
+    windows: u64,
+}
+
+impl EpochBarrier {
+    /// Creates a barrier with the given lookahead, horizon and event
+    /// budget. `lookahead` must be positive — a zero lookahead would
+    /// plan empty windows forever.
+    pub fn new(lookahead: SimDuration, horizon: SimTime, budget: u64) -> Self {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative windows need a positive lookahead"
+        );
+        EpochBarrier {
+            lookahead,
+            horizon,
+            budget,
+            windows: 0,
+        }
+    }
+
+    /// The per-window lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Number of windows planned so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Plans the next window given the minimum pending event time
+    /// across all shards (`None` when every shard is empty) and the
+    /// total events processed so far.
+    pub fn plan(&mut self, min_next: Option<SimTime>, processed: u64) -> WindowPlan {
+        let Some(t0) = min_next else {
+            return WindowPlan::Quiescent;
+        };
+        if t0 > self.horizon {
+            return WindowPlan::HorizonReached;
+        }
+        if processed >= self.budget {
+            return WindowPlan::BudgetExhausted;
+        }
+        self.windows += 1;
+        let natural = t0 + self.lookahead;
+        let cap = self.horizon + SimDuration::from_micros(1);
+        WindowPlan::Run {
+            end: natural.min(cap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn event_key_orders_by_source_then_sequence() {
+        assert!(event_key(1, 5) < event_key(2, 0));
+        assert!(event_key(2, 0) < event_key(2, 1));
+        assert!(event_key(0, u32::MAX as u64) < event_key(1, 0));
+        // Injected events sort after every node-created one.
+        assert!(event_key(u32::MAX - 1, 0) < event_key(INJECTOR_SRC, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence overflowed")]
+    fn event_key_rejects_sequence_overflow() {
+        event_key(0, 1 << 32);
+    }
+
+    #[test]
+    fn pop_before_respects_window_and_key_order() {
+        let mut s = ShardEngine::new();
+        s.schedule(t(10), event_key(2, 0), "b");
+        s.schedule(t(10), event_key(1, 0), "a");
+        s.schedule(t(30), event_key(0, 0), "later");
+        assert_eq!(s.next_time(), Some(t(10)));
+        assert_eq!(s.pop_before(t(20)), Some((t(10), event_key(1, 0), "a")));
+        assert_eq!(s.pop_before(t(20)), Some((t(10), event_key(2, 0), "b")));
+        assert_eq!(s.pop_before(t(20)), None, "t=30 is outside the window");
+        assert_eq!(s.now(), t(10));
+        assert_eq!(s.processed(), 2);
+        assert_eq!(s.pop_before(t(31)), Some((t(30), event_key(0, 0), "later")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn barrier_plans_lookahead_windows() {
+        let mut b = EpochBarrier::new(SimDuration::from_micros(100), t(1_000), 10);
+        assert_eq!(b.plan(Some(t(40)), 0), WindowPlan::Run { end: t(140) });
+        assert_eq!(b.plan(None, 1), WindowPlan::Quiescent);
+        assert_eq!(b.windows(), 1);
+    }
+
+    #[test]
+    fn barrier_caps_window_one_past_horizon() {
+        let mut b = EpochBarrier::new(SimDuration::from_secs(1), t(1_000), 10);
+        // An event exactly at the horizon still runs: end is horizon+1.
+        assert_eq!(b.plan(Some(t(1_000)), 0), WindowPlan::Run { end: t(1_001) });
+        // Beyond the horizon the event stays queued.
+        assert_eq!(b.plan(Some(t(1_001)), 1), WindowPlan::HorizonReached);
+    }
+
+    #[test]
+    fn barrier_reports_budget_exhaustion() {
+        let mut b = EpochBarrier::new(SimDuration::from_micros(1), t(1_000), 2);
+        assert_eq!(b.plan(Some(t(0)), 2), WindowPlan::BudgetExhausted);
+        assert!(matches!(b.plan(Some(t(0)), 1), WindowPlan::Run { .. }));
+    }
+}

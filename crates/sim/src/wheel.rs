@@ -130,6 +130,29 @@ impl<E> TimerWheel<E> {
         (u64::from(gen) << 32) | u64::from(idx)
     }
 
+    /// Schedules `event` at `at` under a caller-supplied ordering key.
+    ///
+    /// The key takes the place of the internal sequence number in every
+    /// ordering structure, so pop order is exactly `(at, key)` — the
+    /// contract the sharded engine builds its canonical cross-shard
+    /// order on. Callers must guarantee `(at, key)` pairs are unique
+    /// (the overflow map would silently coalesce duplicates); the
+    /// sharded engine's keys are globally unique by construction.
+    /// Mixing `schedule_keyed` with plain [`schedule`](Self::schedule)
+    /// on one wheel forfeits the FIFO-at-same-time contract and should
+    /// be avoided.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) -> u64 {
+        let at_us = at.as_micros();
+        let idx = self.alloc(at_us, key, event);
+        if at_us < self.cur {
+            self.front.push(Reverse((at_us, key, idx)));
+        } else {
+            self.place(idx, at_us, key);
+        }
+        let gen = self.slab[idx as usize].gen;
+        (u64::from(gen) << 32) | u64::from(idx)
+    }
+
     fn alloc(&mut self, at: u64, seq: u64, event: E) -> u32 {
         self.live += 1;
         if let Some(idx) = self.free.pop() {
@@ -230,6 +253,19 @@ impl<E> TimerWheel<E> {
         self.release(idx);
         self.live -= 1;
         Some((SimTime::from_micros(at), event))
+    }
+
+    /// Removes and returns the earliest live event together with its
+    /// ordering key (the internal sequence number for plainly-scheduled
+    /// entries; the caller's key for
+    /// [`schedule_keyed`](Self::schedule_keyed) ones).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let (at, key, idx) = self.settle()?;
+        self.front.pop();
+        let event = self.slab[idx as usize].event.take().expect("live entry");
+        self.release(idx);
+        self.live -= 1;
+        Some((SimTime::from_micros(at), key, event))
     }
 
     /// The timestamp of the earliest live event.
@@ -482,6 +518,56 @@ mod tests {
         let b = w.schedule(t_us(7), 3);
         assert_ne!(a, b);
         assert_eq!(w.pop(), Some((t_us(7), 3)));
+    }
+
+    #[test]
+    fn keyed_entries_pop_in_time_then_key_order() {
+        let mut w = TimerWheel::new();
+        // Same instant, keys deliberately scheduled out of order; plus
+        // entries across level boundaries and in the overflow region.
+        let entries = [
+            (t_us(500), 9u64, "t500/k9"),
+            (t_us(500), 2, "t500/k2"),
+            (t_us(500), 5, "t500/k5"),
+            (t_us(slot_size(2) + 3), 1, "far"),
+            (t_us(span(LEVELS - 1) + 8), 0, "overflow"),
+            (t_us(3), 77, "first"),
+        ];
+        for &(at, key, tag) in &entries {
+            w.schedule_keyed(at, key, tag);
+        }
+        let popped: Vec<(u64, u64, &str)> = std::iter::from_fn(|| w.pop_keyed())
+            .map(|(at, key, tag)| (at.as_micros(), key, tag))
+            .collect();
+        let mut expect: Vec<(u64, u64, &str)> = entries
+            .iter()
+            .map(|&(at, key, tag)| (at.as_micros(), key, tag))
+            .collect();
+        expect.sort_unstable_by_key(|&(at, key, _)| (at, key));
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn keyed_schedule_behind_cursor_keeps_key_order() {
+        let mut w = TimerWheel::new();
+        w.schedule_keyed(t_us(100), 1, "a");
+        assert_eq!(w.pop_keyed().unwrap().2, "a");
+        // Cursor is past 100; a straggler with a smaller key at the
+        // same past instant must still pop first.
+        w.schedule_keyed(t_us(50), 4, "late");
+        w.schedule_keyed(t_us(50), 3, "early");
+        assert_eq!(w.pop_keyed().unwrap(), (t_us(50), 3, "early"));
+        assert_eq!(w.pop_keyed().unwrap(), (t_us(50), 4, "late"));
+    }
+
+    #[test]
+    fn keyed_entries_cancel_like_plain_ones() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule_keyed(t_us(10), 1, "gone");
+        w.schedule_keyed(t_us(10), 2, "kept");
+        assert!(w.cancel(id));
+        assert_eq!(w.pop_keyed(), Some((t_us(10), 2, "kept")));
+        assert_eq!(w.pop_keyed(), None);
     }
 
     #[test]

@@ -86,17 +86,21 @@ pub fn internet_like(n: usize, m: usize, seed: u64) -> Graph {
     }
     // Endpoint pool: each node appears once per incident link, so
     // sampling uniformly from the pool is degree-proportional sampling.
-    let mut pool: Vec<NodeId> = g.links().iter().flat_map(|l| [l.a(), l.b()]).collect();
+    // The final pool holds two entries per link (~2·n·m); reserving it
+    // up front keeps 10k+-node generation free of reallocation churn.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * (m * (m + 1) / 2 + (n - m - 1) * m));
+    pool.extend(g.links().iter().flat_map(|l| [l.a(), l.b()]));
+    let mut targets = Vec::with_capacity(m);
     for v in (m + 1)..n {
         let v = NodeId::new(v as u32);
-        let mut targets = Vec::with_capacity(m);
+        targets.clear();
         while targets.len() < m {
             let candidate = pool[rng.below(pool.len())];
             if candidate != v && !targets.contains(&candidate) {
                 targets.push(candidate);
             }
         }
-        for t in targets {
+        for &t in &targets {
             g.add_link(v, t);
             pool.push(v);
             pool.push(t);
@@ -245,6 +249,19 @@ mod tests {
         // Most nodes are low degree (long tail).
         let low = g.nodes().filter(|&n| g.degree(n) <= 4).count();
         assert!(low * 2 > g.node_count());
+    }
+
+    #[test]
+    fn internet_like_scales_to_ten_thousand_nodes() {
+        // Scale smoke test for the sharded-engine workloads: generation
+        // must stay O(n·m) and the long-tail shape must survive. Runs
+        // in well under a second even on one debug-profile core.
+        let g = internet_like(10_000, 2, 11);
+        assert_eq!(g.node_count(), 10_000);
+        assert_eq!(g.link_count(), 3 + (10_000 - 3) * 2);
+        assert!(g.is_connected());
+        let max_deg = g.nodes().map(|n| g.degree(n)).max().unwrap();
+        assert!(max_deg >= 100, "expected large hubs, max degree {max_deg}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use rfd_bgp::{DampingDeployment, NetworkConfig, PenaltyFilter, Policy, ProtocolOptions};
 use rfd_core::DampingParams;
-use rfd_experiments::scenarios::infer_relationships;
+use rfd_experiments::scenarios::{infer_relationships, TopologyKind};
 use rfd_experiments::SweepOptions;
 use rfd_runner::ChaosPlan;
 use rfd_sim::SimDuration;
@@ -47,18 +47,20 @@ impl TopologySpec {
                 .map_err(|_| CliError(format!("bad size `{s}` in `{spec}`")))
         };
         match kind {
-            "mesh" => {
+            // `torus` is an alias for `mesh` (the paper's mesh *is* a
+            // torus), `ba` for `internet` (Barabási–Albert).
+            "mesh" | "torus" => {
                 let (w, h) = size
                     .split_once('x')
-                    .ok_or_else(|| CliError(format!("mesh needs WxH, got `{size}`")))?;
+                    .ok_or_else(|| CliError(format!("{kind} needs WxH, got `{size}`")))?;
                 Ok(TopologySpec::Mesh(parse_n(w)?, parse_n(h)?))
             }
-            "internet" => Ok(TopologySpec::Internet(parse_n(size)?)),
+            "internet" | "ba" => Ok(TopologySpec::Internet(parse_n(size)?)),
             "ring" => Ok(TopologySpec::Ring(parse_n(size)?)),
             "line" => Ok(TopologySpec::Line(parse_n(size)?)),
             "clique" => Ok(TopologySpec::Clique(parse_n(size)?)),
             other => Err(CliError(format!(
-                "unknown topology kind `{other}` (mesh|internet|ring|line|clique)"
+                "unknown topology kind `{other}` (mesh|torus|internet|ba|ring|line|clique)"
             ))),
         }
     }
@@ -115,6 +117,9 @@ pub struct RunOptions {
     /// Observability request: `None` off, `Some(None)` on at the
     /// default destination, `Some(Some(path))` on at `path`.
     pub obs: Option<Option<PathBuf>>,
+    /// Conservative simulation shards (`--sim-shards N`); results are
+    /// byte-identical at any count.
+    pub sim_shards: usize,
 }
 
 impl Default for RunOptions {
@@ -132,6 +137,7 @@ impl Default for RunOptions {
             states: false,
             protocol: ProtocolOptions::default(),
             obs: None,
+            sim_shards: 1,
         }
     }
 }
@@ -216,6 +222,14 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
                 }
             }
             "--trace" => opts.trace_out = Some(value("--trace")?),
+            "--sim-shards" => {
+                opts.sim_shards = value("--sim-shards")?
+                    .parse()
+                    .map_err(|_| CliError("--sim-shards needs an integer".into()))?;
+                if opts.sim_shards == 0 {
+                    return Err(CliError("--sim-shards must be at least 1".into()));
+                }
+            }
             "--obs" => opts.obs = Some(None),
             "--states" => opts.states = true,
             "--wrate" => opts.protocol.withdrawal_pacing = true,
@@ -355,8 +369,22 @@ pub struct SweepCommand {
     pub obs: Option<Option<PathBuf>>,
 }
 
+/// Maps a `--topology` spec onto a sweep-capable [`TopologyKind`]: only
+/// the paper's two families run whole pulse grids, so torus/mesh and
+/// ba/internet are accepted and the micro-topology gallery is not.
+fn sweep_topology(spec: &TopologySpec) -> Result<TopologyKind, CliError> {
+    match *spec {
+        TopologySpec::Mesh(width, height) => Ok(TopologyKind::Mesh { width, height }),
+        TopologySpec::Internet(nodes) => Ok(TopologyKind::Internet { nodes, m: 2 }),
+        _ => Err(CliError(
+            "sweep topologies are torus:RxC (mesh:WxH) or ba:N (internet:N)".into(),
+        )),
+    }
+}
+
 /// Parses the arguments of `rfd sweep`: `--figure`, `--threads N`,
-/// `--resume`, `--resume-force`, `--retries N`, `--cell-budget SECS`,
+/// `--sim-shards N`, `--topology torus:RxC|ba:N`, `--resume`,
+/// `--resume-force`, `--retries N`, `--cell-budget SECS`,
 /// `--max-pulses N`, `--seeds A,B,C`, `--quick`, `--no-journal`,
 /// `--full-traces`, `--obs[=PATH]`, plus the hidden fault-injection
 /// knob `--chaos SPEC` (see [`ChaosPlan::parse`]).
@@ -399,6 +427,19 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
                 cmd.opts.threads = value("--threads")?
                     .parse()
                     .map_err(|_| CliError("--threads needs an integer".into()))?
+            }
+            "--sim-shards" => {
+                cmd.opts.sim_shards = value("--sim-shards")?
+                    .parse()
+                    .map_err(|_| CliError("--sim-shards needs an integer".into()))?;
+                if cmd.opts.sim_shards == 0 {
+                    return Err(CliError("--sim-shards must be at least 1".into()));
+                }
+            }
+            "--topology" => {
+                cmd.opts.topology = Some(sweep_topology(&TopologySpec::parse(&value(
+                    "--topology",
+                )?)?)?)
             }
             "--resume" => cmd.opts.resume = true,
             "--resume-force" => {
@@ -642,6 +683,7 @@ pub fn network_config(opts: &RunOptions, graph: &Graph) -> NetworkConfig {
         } else {
             Policy::ShortestPath
         },
+        sim_shards: opts.sim_shards,
         ..NetworkConfig::default()
     }
 }
@@ -655,12 +697,13 @@ USAGE:
           [--seed N] [--damping off|cisco|juniper|ripe229]
           [--filter plain|rcn|selective] [--policy shortest|novalley]
           [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
-          [--reuse-granularity SECS] [--obs[=PATH]]
+          [--reuse-granularity SECS] [--sim-shards N] [--obs[=PATH]]
   rfd explain [--peer N] [--prefix N] [--node N] [--json]
               [any `rfd run` flag: --topology, --pulses, --seed, ...]
   rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
             [--resume-force] [--retries N] [--cell-budget SECS]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
+            [--topology torus:RxC|ba:N] [--sim-shards N]
             [--full-traces] [--ledger PEER[:PREFIX]]... [--obs[=PATH]]
   rfd firehose [--peers N] [--prefixes N] [--rate R] [--duration SIM_SECS]
                [--workload poisson|flap-storm] [--seed N] [--shards N]
@@ -676,7 +719,10 @@ USAGE:
   rfd table1
   rfd help
 
-TOPOLOGIES: mesh:10x10, internet:100, ring:8, line:5, clique:6
+TOPOLOGIES: mesh:10x10 (alias torus:10x10), internet:100 (alias ba:100),
+  ring:8, line:5, clique:6
+SHARDING: --sim-shards N partitions the routers into N conservative
+  lock-step simulation shards; results are byte-identical at any N.
 EXPLAIN: replays a run with the timer-interaction ledger focused on
   one (peer, prefix) entry and prints its damping lifecycle — charges,
   threshold crossings, reuse-timer arms/deferrals, MRAI holds.
@@ -708,6 +754,51 @@ mod tests {
         assert!(TopologySpec::parse("mesh:10").is_err());
         assert!(TopologySpec::parse("blob:3").is_err());
         assert!(TopologySpec::parse("mesh").is_err());
+    }
+
+    #[test]
+    fn topology_aliases_parse() {
+        assert_eq!(
+            TopologySpec::parse("torus:6x7"),
+            Ok(TopologySpec::Mesh(6, 7))
+        );
+        assert_eq!(
+            TopologySpec::parse("ba:2000"),
+            Ok(TopologySpec::Internet(2000))
+        );
+        assert!(TopologySpec::parse("torus:6").is_err());
+    }
+
+    #[test]
+    fn sim_shards_flag_parses_on_run_and_sweep() {
+        let opts = parse_run_options(&args("--sim-shards 4")).unwrap();
+        assert_eq!(opts.sim_shards, 4);
+        assert_eq!(parse_run_options(&args("")).unwrap().sim_shards, 1);
+        assert!(parse_run_options(&args("--sim-shards 0")).is_err());
+        assert!(parse_run_options(&args("--sim-shards x")).is_err());
+
+        let cmd = parse_sweep_command(&args("--sim-shards 2")).unwrap();
+        assert_eq!(cmd.opts.sim_shards, 2);
+        assert!(parse_sweep_command(&args("--sim-shards 0")).is_err());
+    }
+
+    #[test]
+    fn sweep_topology_override_parses() {
+        let cmd = parse_sweep_command(&args("--topology torus:5x8")).unwrap();
+        assert_eq!(
+            cmd.opts.topology,
+            Some(TopologyKind::Mesh {
+                width: 5,
+                height: 8
+            })
+        );
+        let cmd = parse_sweep_command(&args("--topology ba:500")).unwrap();
+        assert_eq!(
+            cmd.opts.topology,
+            Some(TopologyKind::Internet { nodes: 500, m: 2 })
+        );
+        assert!(parse_sweep_command(&args("--topology ring:8")).is_err());
+        assert_eq!(parse_sweep_command(&args("")).unwrap().opts.topology, None);
     }
 
     #[test]

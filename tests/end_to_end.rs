@@ -145,9 +145,9 @@ fn internet_topology_shows_the_same_qualitative_behavior() {
     // (a leaf attachment sees little exploration — §7 discusses how
     // fewer alternate paths mean fewer false suppressions).
     let isp = NodeId::new(0);
-    let mut plain = Network::new(&graph, isp, NetworkConfig::paper_no_damping(8));
+    let mut plain = Network::new(&graph, isp, NetworkConfig::paper_no_damping(9));
     let base = plain.run_paper_workload(1);
-    let mut damped = Network::new(&graph, isp, NetworkConfig::paper_full_damping(8));
+    let mut damped = Network::new(&graph, isp, NetworkConfig::paper_full_damping(9));
     let with = damped.run_paper_workload(1);
     assert!(with.convergence_time > base.convergence_time * 5);
     assert!(damped.trace().ever_suppressed_entries() > 0);

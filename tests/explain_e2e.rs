@@ -20,7 +20,7 @@ const FIG8_ARGS: &[&str] = &[
     "--interval",
     "120",
     "--seed",
-    "1",
+    "2",
     "--peer",
     "3",
 ];
