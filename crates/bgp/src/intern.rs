@@ -295,6 +295,49 @@ impl PathTable {
         self.sorted[m.range()].binary_search(&node).is_ok()
     }
 
+    /// All interned paths in id order (snapshot capture).
+    pub fn paths(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.meta.iter().map(|m| &self.arena[m.range()])
+    }
+
+    /// The route handle for an already-interned path id (snapshot
+    /// restore: routes are checkpointed as raw ids against the table's
+    /// path list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not an interned id.
+    pub fn route_by_id(&self, raw: u32) -> Route {
+        let m = self.meta[raw as usize];
+        let path = &self.arena[m.range()];
+        self.route(PathId(raw), path)
+    }
+
+    /// Rebuilds a table that assigns ids `0..n` to `paths` in order.
+    ///
+    /// The prepend memo and hit counters start empty — they are caches
+    /// and never influence which id a path interns to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the paths are not distinct (a valid snapshot lists
+    /// each interned path exactly once, in intern order).
+    pub fn rebuild<I, P>(paths: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[NodeId]>,
+    {
+        let mut table = PathTable::new();
+        for (i, p) in paths.into_iter().enumerate() {
+            let id = table.intern(p.as_ref());
+            assert_eq!(
+                id.0 as usize, i,
+                "snapshot paths must be distinct and listed in intern order"
+            );
+        }
+        table
+    }
+
     /// The path rendered like the wire format ("AS2 AS1 AS0").
     pub fn display(&self, route: Route) -> String {
         let parts: Vec<String> = self.path(route).iter().map(ToString::to_string).collect();

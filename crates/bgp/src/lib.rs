@@ -42,6 +42,7 @@ mod router;
 pub use config::{ConfigError, DampingDeployment, NetworkConfig, PenaltyFilter, ProtocolOptions};
 pub use intern::{InternStats, PathId, PathTable, Route};
 pub use message::{Prefix, UpdateMessage, UpdatePayload};
+pub use network::snapshot::{self, Snapshot, SnapshotError, SnapshotKey};
 pub use network::{NetEvent, Network, OriginAttachment, RunReport};
 pub use policy::Policy;
 pub use rib::{BestRoute, RibInEntry};

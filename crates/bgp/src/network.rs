@@ -53,6 +53,9 @@ use crate::message::{Prefix, UpdateMessage, UpdatePayload};
 use crate::policy::Policy;
 use crate::router::{Router, RouterConfig, RouterOutput};
 
+#[path = "snapshot.rs"]
+pub mod snapshot;
+
 /// Events exchanged through the simulation shards.
 #[derive(Debug, Clone, Copy)]
 pub enum NetEvent {
@@ -633,6 +636,16 @@ pub struct Network<S: TraceSink = VecSink> {
     /// (threaded execution only; zero for `sim_shards = 1`).
     stall: std::time::Duration,
     warmed_up: bool,
+    /// True exactly between the end of [`Network::warm_up`] and the
+    /// first workload injection: a snapshot taken here is *warm* —
+    /// penalties zero, filters pristine — and eligible for forking
+    /// into damping-parameter variants (see [`snapshot`]).
+    warm_boundary: bool,
+    /// Lifetime `processed` count at the instant the current measured
+    /// workload was primed; checkpointed runs report
+    /// `processed - measured_base` so a killed-and-resumed run yields
+    /// the same [`RunReport`] as an uninterrupted one.
+    measured_base: u64,
 }
 
 impl<S: TraceSink> std::fmt::Debug for Network<S> {
@@ -832,6 +845,8 @@ impl<S: TraceSink> Network<S> {
             windows: 0,
             stall: std::time::Duration::ZERO,
             warmed_up: false,
+            warm_boundary: false,
+            measured_base: 0,
         }
     }
 
@@ -978,6 +993,7 @@ impl<S: TraceSink> Network<S> {
     fn prime(&mut self, at: SimTime, owner: NodeId, event: NetEvent) {
         let key = event_key(INJECTOR_SRC, self.inj_seq);
         self.inj_seq += 1;
+        self.warm_boundary = false;
         let s = self.shard_index(owner);
         self.shards[s].engine.schedule(at, key, event);
     }
@@ -1232,6 +1248,7 @@ impl<S: TraceSink> Network<S> {
             shard.muted = false;
         }
         self.warmed_up = true;
+        self.warm_boundary = true;
         self
     }
 
@@ -1273,7 +1290,26 @@ impl<S: TraceSink> Network<S> {
         schedules: &[(usize, &rfd_core::FlapSchedule)],
         lead_in: SimDuration,
     ) -> RunReport {
+        self.prime_schedules(schedules, lead_in);
+        let (outcome, delta) = self.drive();
+        RunReport {
+            convergence_time: self.conv.convergence_time(),
+            message_count: self.msgs.message_count(),
+            events_processed: delta,
+            outcome,
+        }
+    }
+
+    /// Injects every flap event of `schedules` up-front (so a snapshot
+    /// taken mid-run carries the rest of the workload in its event
+    /// wheels) and marks the start of the measured phase.
+    fn prime_schedules(
+        &mut self,
+        schedules: &[(usize, &rfd_core::FlapSchedule)],
+        lead_in: SimDuration,
+    ) {
         assert!(self.warmed_up, "call warm_up() before running a workload");
+        self.measured_base = self.processed;
         let start = self.now() + lead_in;
         for &(origin, schedule) in schedules {
             assert!(
@@ -1290,13 +1326,110 @@ impl<S: TraceSink> Network<S> {
                 self.prime(at, att.node, NetEvent::OriginLink { origin, up, rc });
             }
         }
-        let (outcome, delta) = self.drive();
+    }
+
+    /// Like [`Network::run_schedules`], but pausing every `every` of
+    /// simulated time to hand `&mut self` to `checkpoint` (typically
+    /// [`snapshot::Snapshot::capture`] + a file write). The pauses land
+    /// on conservative window boundaries and are **byte-neutral**: the
+    /// traces, ledger records, and report are identical to an
+    /// uninterrupted [`Network::run_schedules`] call. Return `false`
+    /// from `checkpoint` to abandon the run early (the report then
+    /// carries [`RunOutcome::HorizonReached`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`] or `every` is zero.
+    pub fn run_schedules_with_checkpoints(
+        &mut self,
+        schedules: &[(usize, &rfd_core::FlapSchedule)],
+        lead_in: SimDuration,
+        every: SimDuration,
+        checkpoint: impl FnMut(&mut Network<S>) -> bool,
+    ) -> RunReport {
+        self.prime_schedules(schedules, lead_in);
+        self.drive_with_checkpoints(every, checkpoint)
+    }
+
+    /// Continues a restored run (see [`snapshot::Snapshot::resume_into`])
+    /// to quiescence, with the same periodic-checkpoint contract as
+    /// [`Network::run_schedules_with_checkpoints`]. The report covers
+    /// the *whole* measured workload — including the events processed
+    /// before the snapshot was taken — so a killed-and-resumed run
+    /// reports exactly what the uninterrupted run would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`] or `every` is zero.
+    pub fn resume_with_checkpoints(
+        &mut self,
+        every: SimDuration,
+        checkpoint: impl FnMut(&mut Network<S>) -> bool,
+    ) -> RunReport {
+        assert!(self.warmed_up, "resume requires a warmed-up network");
+        self.drive_with_checkpoints(every, checkpoint)
+    }
+
+    /// Continues a restored run (see [`snapshot::Snapshot::resume_into`])
+    /// straight to quiescence, with no further checkpoints. The report
+    /// covers the whole measured workload, as for
+    /// [`Network::resume_with_checkpoints`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Network::warm_up`].
+    pub fn resume(&mut self) -> RunReport {
+        assert!(self.warmed_up, "resume requires a warmed-up network");
+        let (outcome, _) = self.drive();
         RunReport {
             convergence_time: self.conv.convergence_time(),
             message_count: self.msgs.message_count(),
-            events_processed: delta,
+            events_processed: self.processed - self.measured_base,
             outcome,
         }
+    }
+
+    fn drive_with_checkpoints(
+        &mut self,
+        every: SimDuration,
+        mut checkpoint: impl FnMut(&mut Network<S>) -> bool,
+    ) -> RunReport {
+        assert!(!every.is_zero(), "checkpoint interval must be positive");
+        let horizon = self.horizon;
+        let mut next_cp = self.now() + every;
+        let outcome = loop {
+            let cap = next_cp.min(horizon);
+            let (outcome, _) = self.drive_until(cap);
+            match outcome {
+                RunOutcome::HorizonReached if cap < horizon => {
+                    if !checkpoint(self) {
+                        break RunOutcome::HorizonReached;
+                    }
+                    next_cp += every;
+                }
+                other => break other,
+            }
+        };
+        RunReport {
+            convergence_time: self.conv.convergence_time(),
+            message_count: self.msgs.message_count(),
+            events_processed: self.processed - self.measured_base,
+            outcome,
+        }
+    }
+
+    /// Advances the simulation until quiescence or until every event at
+    /// or before `cap` has been processed, whichever comes first, by
+    /// temporarily lowering the horizon. Window segmentation does not
+    /// affect results (pop order is the pure `(time, key)` order and
+    /// cross-shard messages always land beyond the lookahead), so
+    /// splitting a run at `cap` is invisible in every output.
+    fn drive_until(&mut self, cap: SimTime) -> (RunOutcome, u64) {
+        let saved = self.horizon;
+        self.horizon = cap.min(saved);
+        let out = self.drive();
+        self.horizon = saved;
+        out
     }
 
     /// Flaps an **interior** link per `schedule` (failure injection):

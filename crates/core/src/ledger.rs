@@ -126,6 +126,19 @@ pub trait LedgerSink: fmt::Debug + Send {
     fn record(&mut self, record: LedgerRecord);
     /// Called once when the run ends.
     fn finish(&mut self) {}
+    /// Serializes the sink's accumulated state for a checkpoint, or
+    /// `None` when this sink kind does not support snapshots (a
+    /// checkpointed run must then refuse rather than resume with a
+    /// silently wrong ledger).
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+    /// Restores state exported by
+    /// [`export_snapshot`](Self::export_snapshot). Returns `false` when
+    /// unsupported or the bytes do not parse.
+    fn import_snapshot(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 impl LedgerSink for Box<dyn LedgerSink> {
@@ -135,6 +148,12 @@ impl LedgerSink for Box<dyn LedgerSink> {
     fn finish(&mut self) {
         (**self).finish();
     }
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        (**self).export_snapshot()
+    }
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        (**self).import_snapshot(bytes)
+    }
 }
 
 /// The off state: drops every record.
@@ -143,6 +162,136 @@ pub struct NullLedger;
 
 impl LedgerSink for NullLedger {
     fn record(&mut self, _record: LedgerRecord) {}
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
+}
+
+fn encode_record(enc: &mut rfd_snap::Encoder, r: &LedgerRecord) {
+    enc.u64(r.at.as_micros());
+    enc.u32(r.node);
+    enc.u32(r.peer);
+    enc.u32(r.prefix);
+    match r.event {
+        LedgerEvent::Decay { from, to, idle } => {
+            enc.u8(0);
+            enc.f64(from);
+            enc.f64(to);
+            enc.u64(idle.as_micros());
+        }
+        LedgerEvent::Charge {
+            kind,
+            before,
+            after,
+            flap,
+            crossed_cutoff,
+        } => {
+            enc.u8(1);
+            enc.u8(kind as u8);
+            enc.f64(before);
+            enc.f64(after);
+            enc.u64(flap);
+            enc.bool(crossed_cutoff);
+        }
+        LedgerEvent::Suppressed { penalty, reuse_at } => {
+            enc.u8(2);
+            enc.f64(penalty);
+            enc.u64(reuse_at.as_micros());
+        }
+        LedgerEvent::ReuseArmed { due } => {
+            enc.u8(3);
+            enc.u64(due.as_micros());
+        }
+        LedgerEvent::ReuseDeferred { penalty, retry_at } => {
+            enc.u8(4);
+            enc.f64(penalty);
+            enc.u64(retry_at.as_micros());
+        }
+        LedgerEvent::Released { penalty, noisy } => {
+            enc.u8(5);
+            enc.f64(penalty);
+            enc.bool(noisy);
+        }
+        LedgerEvent::ReuseStale => enc.u8(6),
+        LedgerEvent::MraiDeferred {
+            ready_at,
+            held_for,
+            withdrawal,
+        } => {
+            enc.u8(7);
+            enc.u64(ready_at.as_micros());
+            enc.u64(held_for.as_micros());
+            enc.bool(withdrawal);
+        }
+        LedgerEvent::MraiFlushed { withdrawal } => {
+            enc.u8(8);
+            enc.bool(withdrawal);
+        }
+    }
+}
+
+fn decode_record(dec: &mut rfd_snap::Decoder<'_>) -> Result<LedgerRecord, rfd_snap::SnapError> {
+    const CTX: &str = "ledger record";
+    let at = SimTime::from_micros(dec.u64(CTX)?);
+    let node = dec.u32(CTX)?;
+    let peer = dec.u32(CTX)?;
+    let prefix = dec.u32(CTX)?;
+    let kind_of = |tag: u8| match tag {
+        0 => Ok(UpdateKind::Withdrawal),
+        1 => Ok(UpdateKind::ReAnnouncement),
+        2 => Ok(UpdateKind::AttributeChange),
+        3 => Ok(UpdateKind::Duplicate),
+        _ => Err(rfd_snap::SnapError::PayloadExhausted { context: CTX }),
+    };
+    let event = match dec.u8(CTX)? {
+        0 => LedgerEvent::Decay {
+            from: dec.f64(CTX)?,
+            to: dec.f64(CTX)?,
+            idle: SimDuration::from_micros(dec.u64(CTX)?),
+        },
+        1 => LedgerEvent::Charge {
+            kind: kind_of(dec.u8(CTX)?)?,
+            before: dec.f64(CTX)?,
+            after: dec.f64(CTX)?,
+            flap: dec.u64(CTX)?,
+            crossed_cutoff: dec.bool(CTX)?,
+        },
+        2 => LedgerEvent::Suppressed {
+            penalty: dec.f64(CTX)?,
+            reuse_at: SimTime::from_micros(dec.u64(CTX)?),
+        },
+        3 => LedgerEvent::ReuseArmed {
+            due: SimTime::from_micros(dec.u64(CTX)?),
+        },
+        4 => LedgerEvent::ReuseDeferred {
+            penalty: dec.f64(CTX)?,
+            retry_at: SimTime::from_micros(dec.u64(CTX)?),
+        },
+        5 => LedgerEvent::Released {
+            penalty: dec.f64(CTX)?,
+            noisy: dec.bool(CTX)?,
+        },
+        6 => LedgerEvent::ReuseStale,
+        7 => LedgerEvent::MraiDeferred {
+            ready_at: SimTime::from_micros(dec.u64(CTX)?),
+            held_for: SimDuration::from_micros(dec.u64(CTX)?),
+            withdrawal: dec.bool(CTX)?,
+        },
+        8 => LedgerEvent::MraiFlushed {
+            withdrawal: dec.bool(CTX)?,
+        },
+        _ => return Err(rfd_snap::SnapError::PayloadExhausted { context: CTX }),
+    };
+    Ok(LedgerRecord {
+        at,
+        node,
+        peer,
+        prefix,
+        event,
+    })
 }
 
 /// Buffers every record (the `rfd explain` replay sink).
@@ -172,6 +321,21 @@ impl LedgerSink for VecLedger {
     fn record(&mut self, record: LedgerRecord) {
         self.records.push(record);
     }
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        let mut enc = rfd_snap::Encoder::new();
+        enc.seq(&self.records, encode_record);
+        Some(enc.into_bytes())
+    }
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        let mut dec = rfd_snap::Decoder::new(bytes);
+        match dec.seq("ledger records", decode_record) {
+            Ok(records) if dec.is_done() => {
+                self.records = records;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Counts records without retaining them — the sink the
@@ -197,6 +361,18 @@ impl CountingLedger {
 impl LedgerSink for CountingLedger {
     fn record(&mut self, _record: LedgerRecord) {
         self.records += 1;
+    }
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.records.to_le_bytes().to_vec())
+    }
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        match <[u8; 8]>::try_from(bytes) {
+            Ok(raw) => {
+                self.records = u64::from_le_bytes(raw);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -237,6 +413,12 @@ impl<L: LedgerSink> LedgerSink for SharedLedger<L> {
     }
     fn finish(&mut self) {
         self.lock().finish();
+    }
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        self.lock().export_snapshot()
+    }
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        self.lock().import_snapshot(bytes)
     }
 }
 

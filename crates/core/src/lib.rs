@@ -72,6 +72,6 @@ pub use rcn::{LinkStatus, RcnChargePolicy, RcnFilter, RootCause, RootCauseHistor
 pub use reuse_list::ReuseList;
 pub use schedule::FlapSchedule;
 pub use selective::{RelativePreference, SelectiveFilter};
-pub use store::{DamperStore, DecayMode};
+pub use store::{DamperStore, DamperStoreState, DecayMode};
 pub use trace::{PenaltySample, PenaltyTrace};
 pub use update::UpdateKind;

@@ -107,6 +107,17 @@ impl RootCauseHistory {
         self.seen.contains(rc)
     }
 
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remembered root causes, oldest first — the order re-`observe`-ing
+    /// them into a fresh history reproduces this one exactly.
+    pub fn entries(&self) -> impl Iterator<Item = &RootCause> {
+        self.order.iter()
+    }
+
     /// Number of remembered root causes.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -158,6 +169,21 @@ impl RcnFilter {
             history: RootCauseHistory::new(capacity),
             policy,
         }
+    }
+
+    /// Rebuilds a filter from checkpointed state: `entries` are
+    /// re-observed oldest-first, reproducing the history (contents,
+    /// order, and eviction position) exactly.
+    pub fn restore(
+        capacity: usize,
+        policy: RcnChargePolicy,
+        entries: impl IntoIterator<Item = RootCause>,
+    ) -> Self {
+        let mut filter = RcnFilter::new(capacity, policy);
+        for rc in entries {
+            filter.history.observe(rc);
+        }
+        filter
     }
 
     /// The charge policy in use.

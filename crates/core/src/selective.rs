@@ -66,6 +66,11 @@ impl SelectiveFilter {
         self.skipped
     }
 
+    /// Rebuilds a filter from a checkpointed skip count.
+    pub fn from_skipped(skipped: u64) -> Self {
+        SelectiveFilter { skipped }
+    }
+
     /// Decides the penalty increment for one incoming update.
     pub fn charge_for(
         &mut self,

@@ -85,6 +85,27 @@ impl Tables {
     }
 }
 
+/// The raw slot arrays of a [`DamperStore`], exported for
+/// checkpointing and re-imported into a freshly constructed store of
+/// the same mode and parameters (params and decay tables are rebuilt
+/// from config on restore, never serialized).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DamperStoreState {
+    /// Caller-provided identity of each slot.
+    pub keys: Vec<u64>,
+    /// Mode-dependent penalty words (f64 bits or milli-units).
+    pub penalty: Vec<u64>,
+    /// Mode-dependent decay anchors (µs or ticks).
+    pub anchor: Vec<u64>,
+    /// OCCUPIED | SUPPRESSED | REACHABLE flag bytes.
+    pub flags: Vec<u8>,
+    /// Armed reuse deadlines in µs (`u64::MAX` when none).
+    pub reuse_deadline: Vec<u64>,
+    /// Free-list of recycled slots (order matters: it fixes future
+    /// allocation order).
+    pub free: Vec<u32>,
+}
+
 /// A charge amount, pre-converted for the store's decay mode so the
 /// shared charge path never re-quantises on the hot path.
 enum ChargeAmount {
@@ -532,6 +553,59 @@ impl DamperStore {
                 .is_negligible(now, self.effective_params(slot)),
             Some(tables) => self.bucketed_value_milli(tables, slot, now) < tables.forgive_milli,
         }
+    }
+
+    /// Exports the raw slot arrays for checkpointing. Pair with
+    /// [`import_state`](Self::import_state) on a freshly built store of
+    /// the same mode and parameters.
+    pub fn export_state(&self) -> DamperStoreState {
+        DamperStoreState {
+            keys: self.keys.clone(),
+            penalty: self.penalty.clone(),
+            anchor: self.anchor.clone(),
+            flags: self.flags.clone(),
+            reuse_deadline: self.reuse_deadline.clone(),
+            free: self.free.clone(),
+        }
+    }
+
+    /// Overwrites the slot arrays with checkpointed state. The store
+    /// must have been constructed with the same mode and parameters the
+    /// exporter used; only the per-slot state travels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the arrays are mutually inconsistent
+    /// (mismatched lengths, free list disagreeing with flags) — the
+    /// shape a corrupt snapshot payload would produce.
+    pub fn import_state(&mut self, state: DamperStoreState) -> Result<(), String> {
+        let n = state.flags.len();
+        if state.keys.len() != n
+            || state.penalty.len() != n
+            || state.anchor.len() != n
+            || state.reuse_deadline.len() != n
+        {
+            return Err("damper store arrays have mismatched lengths".into());
+        }
+        let occupied = state.flags.iter().filter(|&&f| f & OCCUPIED != 0).count();
+        if state.free.len() != n - occupied
+            || state.free.iter().any(|&s| {
+                state
+                    .flags
+                    .get(s as usize)
+                    .is_none_or(|f| f & OCCUPIED != 0)
+            })
+        {
+            return Err("damper store free list disagrees with slot flags".into());
+        }
+        self.keys = state.keys;
+        self.penalty = state.penalty;
+        self.anchor = state.anchor;
+        self.flags = state.flags;
+        self.reuse_deadline = state.reuse_deadline;
+        self.free = state.free;
+        self.live = occupied;
+        Ok(())
     }
 
     /// Frees every forgettable slot, invoking `evicted(slot, key)` for

@@ -4,7 +4,10 @@
 //! Internet-derived topologies. … Given a network topology, we randomly
 //! select a node to be the ispAS and attach an originAS to it."
 
-use rfd_bgp::{Network, NetworkConfig, RunReport};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rfd_bgp::{DampingDeployment, Network, NetworkConfig, PenaltyFilter, RunReport, Snapshot};
 use rfd_metrics::TraceSink;
 use rfd_sim::{DetRng, SimDuration};
 use rfd_topology::{internet_like, mesh_torus, Graph, NodeId, Relationships};
@@ -166,6 +169,136 @@ pub fn run_pattern_metrics(
     }
 }
 
+/// Sweep-wide cache of warm snapshots for `--warm-fork`, keyed by the
+/// *flow* fingerprint (topology + seed + everything that shapes the
+/// warm-up flow; damping parameters excluded — see
+/// [`rfd_bgp::snapshot::fingerprints`]).
+///
+/// Grid cells that share a (topology, seed) pair also share a flow
+/// fingerprint, so the first cell to arrive warms one donor network and
+/// every damping-parameter variant forks from its snapshot instead of
+/// re-running the warm-up. Each slot is an `OnceLock`, so concurrent
+/// workers block on the single warmer rather than warming redundantly;
+/// a failed warm-up is cached as `None` and every cell on that slot
+/// falls back to a cold start.
+#[derive(Debug, Default)]
+pub struct WarmCache {
+    slots: Mutex<HashMap<u64, WarmSlot>>,
+}
+
+/// One flow-fingerprint slot: settled exactly once, to the donor
+/// snapshot on success or `None` when the warm-up failed.
+type WarmSlot = Arc<OnceLock<Option<Arc<Snapshot>>>>;
+
+impl WarmCache {
+    /// An empty cache; one per sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of donor snapshots currently cached (warmed slots only).
+    pub fn len(&self) -> usize {
+        let slots = self.slots.lock().expect("warm cache poisoned");
+        slots.values().filter(|s| s.get().is_some()).count()
+    }
+
+    /// True when no donor has been warmed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot(&self, flow_fp: u64) -> Arc<OnceLock<Option<Arc<Snapshot>>>> {
+        let mut slots = self.slots.lock().expect("warm cache poisoned");
+        slots.entry(flow_fp).or_default().clone()
+    }
+
+    fn warm(
+        &self,
+        flow_fp: u64,
+        build: impl FnOnce() -> Option<Snapshot>,
+    ) -> Option<Arc<Snapshot>> {
+        self.slot(flow_fp)
+            .get_or_init(|| build().map(Arc::new))
+            .clone()
+    }
+}
+
+/// Like [`run_pattern_metrics`], but seeds the network from a warm
+/// snapshot in `cache` when one exists for this cell's flow
+/// fingerprint, warming a donor on first use.
+///
+/// The donor runs the cell's own configuration normalised exactly the
+/// way the flow fingerprint is computed (damping off, plain filter, no
+/// reuse granularity) — the warm-up flow never consults any of those,
+/// so the fork is byte-equivalent to a cold start (property-tested at
+/// the rfd-bgp layer, and the sweep CSVs are diffed cold-vs-forked in
+/// CI). Any capture or fork failure falls back to a cold start; the
+/// answer is never wrong, only slower.
+pub fn run_pattern_metrics_forked(
+    cache: &WarmCache,
+    kind: TopologyKind,
+    seed: u64,
+    pattern: rfd_core::FlapPattern,
+    make_config: impl FnOnce(&Graph) -> NetworkConfig,
+) -> rfd_runner::RunMetrics {
+    let graph = kind.build(seed);
+    let isp = pick_isp(&graph, seed);
+    let config = make_config(&graph);
+    let key = rfd_bgp::snapshot::fingerprints(&graph, &[isp], &config);
+
+    let donor = cache.warm(key.flow_fp, || {
+        let mut donor_cfg = config.clone();
+        donor_cfg.damping = DampingDeployment::Off;
+        donor_cfg.filter = PenaltyFilter::Plain;
+        donor_cfg.protocol.reuse_granularity = None;
+        let donor_key = rfd_bgp::snapshot::fingerprints(&graph, &[isp], &donor_cfg);
+        debug_assert_eq!(
+            donor_key.flow_fp, key.flow_fp,
+            "flow normalisation must be idempotent"
+        );
+        let mut donor =
+            Network::new_with_sink(&graph, isp, donor_cfg, rfd_metrics::SuppressionStats::new());
+        donor.warm_up();
+        Snapshot::capture(&mut donor, donor_key).ok()
+    });
+
+    let mut network = Network::new_with_sink(
+        &graph,
+        isp,
+        config.clone(),
+        rfd_metrics::SuppressionStats::new(),
+    );
+    let mut forked = false;
+    if let Some(snap) = donor.as_deref() {
+        if snap.fork_into(&mut network, &key).is_ok() {
+            forked = true;
+        } else {
+            // A refused fork may leave partially-restored state behind;
+            // rebuild before the cold fallback.
+            network =
+                Network::new_with_sink(&graph, isp, config, rfd_metrics::SuppressionStats::new());
+        }
+    }
+    if forked {
+        rfd_obs::inc("runner.cell.warm_forks");
+    } else {
+        network.warm_up();
+    }
+
+    let report = network.run_pulses(pattern, SimDuration::from_secs(100));
+    let stats = network.into_sink();
+    assert_eq!(
+        stats.retained_events(),
+        0,
+        "aggregate-only grid cells must not retain trace events"
+    );
+    rfd_runner::RunMetrics {
+        convergence_secs: report.convergence_time.as_secs_f64(),
+        messages: report.message_count as f64,
+        suppressed: stats.ever_suppressed_entries() as f64,
+    }
+}
+
 /// Like [`run_cell_metrics`], but with the timer-interaction ledger
 /// attached for the given (peer, prefix) keys.
 ///
@@ -291,6 +424,31 @@ mod tests {
         );
         assert!(report.message_count > 0);
         assert_eq!(report.message_count, network.trace().message_count());
+    }
+
+    #[test]
+    fn forked_cells_match_cold_cells_and_share_one_donor() {
+        let kind = TopologyKind::Mesh {
+            width: 4,
+            height: 4,
+        };
+        let pattern = rfd_core::FlapPattern::paper_default(2);
+        let cache = WarmCache::new();
+        assert!(cache.is_empty());
+        let configs: [fn(u64) -> NetworkConfig; 3] = [
+            NetworkConfig::paper_full_damping,
+            NetworkConfig::paper_no_damping,
+            NetworkConfig::paper_rcn_damping,
+        ];
+        for make in configs {
+            let cold = run_pattern_metrics(kind, 5, pattern, |_| make(5));
+            let forked = run_pattern_metrics_forked(&cache, kind, 5, pattern, |_| make(5));
+            assert_eq!(cold.convergence_secs, forked.convergence_secs);
+            assert_eq!(cold.messages, forked.messages);
+            assert_eq!(cold.suppressed, forked.suppressed);
+        }
+        // All three variants share one (topology, seed) flow, hence one donor.
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use rfd_sim::SimDuration;
 use rfd_topology::Graph;
 
 use crate::scenarios::{
-    run_cell_metrics, run_cell_metrics_audited, run_cell_metrics_full, run_workload, TopologyKind,
+    run_cell_metrics, run_cell_metrics_audited, run_cell_metrics_full, run_pattern_metrics_forked,
+    run_workload, TopologyKind, WarmCache,
 };
 
 /// One measured point of a sweep (averaged over seeds).
@@ -161,6 +162,14 @@ pub struct SweepOptions {
     /// journal fingerprint: an overridden sweep never resumes a
     /// default-topology journal.
     pub topology: Option<TopologyKind>,
+    /// Warm one donor network per (topology, seed) flow and fork every
+    /// damping-parameter variant from its snapshot instead of repeating
+    /// the warm-up (`--warm-fork`). Byte-identical CSVs either way
+    /// (tested, and diffed in CI); folded into the journal fingerprint
+    /// so forked and cold journals never resume each other. Ignored —
+    /// cells stay cold — when combined with `full_traces` or ledger
+    /// auditing.
+    pub warm_fork: bool,
 }
 
 impl Default for SweepOptions {
@@ -180,6 +189,7 @@ impl Default for SweepOptions {
             ledger_keys: Vec::new(),
             sim_shards: 1,
             topology: None,
+            warm_fork: false,
         }
     }
 }
@@ -321,10 +331,16 @@ pub fn try_measure_sweep(
     // topology each series runs on (the damping parameters live in the
     // config closure; the label names the profile). `sim_shards` is
     // deliberately absent: shard counts do not change results.
-    let salt_parts: Vec<String> = specs
+    let mut salt_parts: Vec<String> = specs
         .iter()
         .flat_map(|s| [s.label.clone(), format!("{:?}", s.kind)])
         .collect();
+    // Warm-forked sweeps produce the same bytes as cold ones, but the
+    // execution strategy is still part of the journal's identity: a
+    // resumed sweep must re-run cells the way the journal says they ran.
+    if opts.warm_fork {
+        salt_parts.push("warm-fork".to_owned());
+    }
     let mut grid = RunGrid::new(name)
         .pulses((0..=opts.max_pulses).collect())
         .seeds(opts.seeds.clone())
@@ -336,6 +352,8 @@ pub fn try_measure_sweep(
     let full = opts.full_traces;
     let ledger = opts.ledger_keys.clone();
     let shards = opts.sim_shards.max(1);
+    let warm_fork = opts.warm_fork && !full && ledger.is_empty();
+    let warm_cache = WarmCache::new();
     let results = run_grid(&grid, &opts.runner_config(), |spec: &SeriesSpec, cell| {
         let make = |g: &Graph| {
             let mut cfg = (spec.make)(g, cell.seed);
@@ -344,6 +362,14 @@ pub fn try_measure_sweep(
         };
         if full {
             run_cell_metrics_full(spec.kind, cell.seed, cell.pulses, make)
+        } else if warm_fork {
+            run_pattern_metrics_forked(
+                &warm_cache,
+                spec.kind,
+                cell.seed,
+                rfd_core::FlapPattern::paper_default(cell.pulses),
+                make,
+            )
         } else if ledger.is_empty() {
             run_cell_metrics(spec.kind, cell.seed, cell.pulses, make)
         } else {
@@ -625,6 +651,42 @@ mod tests {
             streaming.message_table().to_csv(),
             buffered.message_table().to_csv()
         );
+    }
+
+    /// The snapshot subsystem's warm-fork contract at the sweep layer:
+    /// forking every damping variant from one warm donor per
+    /// (topology, seed) renders byte-identical CSVs to cold-starting
+    /// every cell, sequentially and under a parallel pool.
+    #[test]
+    fn sweep_is_byte_identical_with_and_without_warm_fork() {
+        let opts = |threads, warm_fork| SweepOptions {
+            max_pulses: 2,
+            seeds: vec![1, 2],
+            threads,
+            warm_fork,
+            ..SweepOptions::default()
+        };
+        let specs = || {
+            vec![
+                SeriesSpec::by_seed("undamped", TINY, NetworkConfig::paper_no_damping),
+                SeriesSpec::by_seed("damped", TINY, NetworkConfig::paper_full_damping),
+                SeriesSpec::by_seed("rcn", TINY, NetworkConfig::paper_rcn_damping),
+            ]
+        };
+        for threads in [1, 2] {
+            let cold = measure_sweep("fork-check", specs(), &opts(threads, false));
+            let forked = measure_sweep("fork-check", specs(), &opts(threads, true));
+            assert_eq!(
+                cold.convergence_table().to_csv(),
+                forked.convergence_table().to_csv(),
+                "warm-fork perturbed the convergence CSV at threads={threads}"
+            );
+            assert_eq!(
+                cold.message_table().to_csv(),
+                forked.message_table().to_csv(),
+                "warm-fork perturbed the message CSV at threads={threads}"
+            );
+        }
     }
 
     /// The ledger's non-perturbation contract at the sweep layer:

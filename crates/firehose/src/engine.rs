@@ -304,7 +304,15 @@ fn shard_worker(
                             panic!("chaos: injected panic in {chaos_key} (attempt {attempt})")
                         }
                         Some(ChaosKind::Hang(d)) => std::thread::sleep(d),
-                        Some(ChaosKind::ShortWrite) | None => {}
+                        // Write/snapshot-stage faults have no meaning
+                        // inside the apply loop.
+                        Some(
+                            ChaosKind::ShortWrite
+                            | ChaosKind::Kill
+                            | ChaosKind::SnapTruncate
+                            | ChaosKind::SnapBitFlip,
+                        )
+                        | None => {}
                     }
                 }
                 until_check -= 1;

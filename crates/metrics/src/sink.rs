@@ -56,6 +56,21 @@ pub trait TraceSink: std::fmt::Debug + Send {
     fn retained_events(&self) -> usize {
         0
     }
+
+    /// Serializes the sink's accumulated state for a checkpoint, or
+    /// `None` when this sink kind does not support snapshots (a
+    /// checkpointed run must then refuse rather than resume with
+    /// silently wrong metrics).
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state exported by
+    /// [`export_snapshot`](Self::export_snapshot). Returns `false` when
+    /// unsupported or the bytes do not parse.
+    fn import_snapshot(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
@@ -70,6 +85,184 @@ impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
     fn retained_events(&self) -> usize {
         (**self).retained_events()
     }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        (**self).export_snapshot()
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        (**self).import_snapshot(bytes)
+    }
+}
+
+fn encode_event_kind(enc: &mut rfd_snap::Encoder, kind: &TraceEventKind) {
+    match *kind {
+        TraceEventKind::OriginFlap { prefix, up } => {
+            enc.u8(0);
+            enc.u32(prefix);
+            enc.bool(up);
+        }
+        TraceEventKind::LinkFlap { a, b, up } => {
+            enc.u8(1);
+            enc.u32(a);
+            enc.u32(b);
+            enc.bool(up);
+        }
+        TraceEventKind::UpdateSent {
+            from,
+            to,
+            withdrawal,
+        } => {
+            enc.u8(2);
+            enc.u32(from);
+            enc.u32(to);
+            enc.bool(withdrawal);
+        }
+        TraceEventKind::UpdateReceived {
+            from,
+            to,
+            withdrawal,
+        } => {
+            enc.u8(3);
+            enc.u32(from);
+            enc.u32(to);
+            enc.bool(withdrawal);
+        }
+        TraceEventKind::BestRouteChanged {
+            node,
+            unreachable,
+            path_len,
+        } => {
+            enc.u8(4);
+            enc.u32(node);
+            enc.bool(unreachable);
+            enc.u32(path_len);
+        }
+        TraceEventKind::Suppressed { node, peer, prefix } => {
+            enc.u8(5);
+            enc.u32(node);
+            enc.u32(peer);
+            enc.u32(prefix);
+        }
+        TraceEventKind::Reused {
+            node,
+            peer,
+            prefix,
+            noisy,
+        } => {
+            enc.u8(6);
+            enc.u32(node);
+            enc.u32(peer);
+            enc.u32(prefix);
+            enc.bool(noisy);
+        }
+        TraceEventKind::PenaltySample {
+            node,
+            peer,
+            prefix,
+            value,
+            charge,
+            suppressed,
+        } => {
+            enc.u8(7);
+            enc.u32(node);
+            enc.u32(peer);
+            enc.u32(prefix);
+            enc.f64(value);
+            enc.f64(charge);
+            enc.bool(suppressed);
+        }
+    }
+}
+
+fn decode_event_kind(
+    dec: &mut rfd_snap::Decoder<'_>,
+) -> Result<TraceEventKind, rfd_snap::SnapError> {
+    const CTX: &str = "trace event";
+    Ok(match dec.u8(CTX)? {
+        0 => TraceEventKind::OriginFlap {
+            prefix: dec.u32(CTX)?,
+            up: dec.bool(CTX)?,
+        },
+        1 => TraceEventKind::LinkFlap {
+            a: dec.u32(CTX)?,
+            b: dec.u32(CTX)?,
+            up: dec.bool(CTX)?,
+        },
+        2 => TraceEventKind::UpdateSent {
+            from: dec.u32(CTX)?,
+            to: dec.u32(CTX)?,
+            withdrawal: dec.bool(CTX)?,
+        },
+        3 => TraceEventKind::UpdateReceived {
+            from: dec.u32(CTX)?,
+            to: dec.u32(CTX)?,
+            withdrawal: dec.bool(CTX)?,
+        },
+        4 => TraceEventKind::BestRouteChanged {
+            node: dec.u32(CTX)?,
+            unreachable: dec.bool(CTX)?,
+            path_len: dec.u32(CTX)?,
+        },
+        5 => TraceEventKind::Suppressed {
+            node: dec.u32(CTX)?,
+            peer: dec.u32(CTX)?,
+            prefix: dec.u32(CTX)?,
+        },
+        6 => TraceEventKind::Reused {
+            node: dec.u32(CTX)?,
+            peer: dec.u32(CTX)?,
+            prefix: dec.u32(CTX)?,
+            noisy: dec.bool(CTX)?,
+        },
+        7 => TraceEventKind::PenaltySample {
+            node: dec.u32(CTX)?,
+            peer: dec.u32(CTX)?,
+            prefix: dec.u32(CTX)?,
+            value: dec.f64(CTX)?,
+            charge: dec.f64(CTX)?,
+            suppressed: dec.bool(CTX)?,
+        },
+        _ => return Err(rfd_snap::SnapError::PayloadExhausted { context: CTX }),
+    })
+}
+
+fn encode_opt_time(enc: &mut rfd_snap::Encoder, t: Option<SimTime>) {
+    enc.option(t.as_ref(), |e, t| e.u64(t.as_micros()));
+}
+
+fn decode_opt_time(
+    dec: &mut rfd_snap::Decoder<'_>,
+    ctx: &'static str,
+) -> Result<Option<SimTime>, rfd_snap::SnapError> {
+    dec.option(ctx, |d| d.u64(ctx).map(SimTime::from_micros))
+}
+
+fn trace_snapshot(trace: &Trace) -> Vec<u8> {
+    let mut enc = rfd_snap::Encoder::new();
+    enc.seq(trace.events(), |e, ev| {
+        e.u64(ev.at.as_micros());
+        encode_event_kind(e, &ev.kind);
+    });
+    enc.into_bytes()
+}
+
+fn restore_trace(bytes: &[u8]) -> Option<Trace> {
+    let mut dec = rfd_snap::Decoder::new(bytes);
+    let events = dec
+        .seq("trace events", |d| {
+            let at = SimTime::from_micros(d.u64("trace event time")?);
+            Ok((at, decode_event_kind(d)?))
+        })
+        .ok()?;
+    if !dec.is_done() {
+        return None;
+    }
+    let mut trace = Trace::new();
+    for (at, kind) in events {
+        trace.record(at, kind);
+    }
+    Some(trace)
 }
 
 /// [`Trace`] itself is a sink: recording simply appends.
@@ -84,6 +277,20 @@ impl TraceSink for Trace {
 
     fn retained_events(&self) -> usize {
         self.len()
+    }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        Some(trace_snapshot(self))
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        match restore_trace(bytes) {
+            Some(trace) => {
+                *self = trace;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -100,6 +307,25 @@ macro_rules! tuple_sink {
 
             fn retained_events(&self) -> usize {
                 0 $(+ self.$idx.retained_events())+
+            }
+
+            fn export_snapshot(&self) -> Option<Vec<u8>> {
+                let mut enc = rfd_snap::Encoder::new();
+                $(enc.bytes(&self.$idx.export_snapshot()?);)+
+                Some(enc.into_bytes())
+            }
+
+            fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+                let mut dec = rfd_snap::Decoder::new(bytes);
+                $(
+                    let Ok(part) = dec.bytes("tuple sink part") else {
+                        return false;
+                    };
+                    if !self.$idx.import_snapshot(part) {
+                        return false;
+                    }
+                )+
+                dec.is_done()
             }
         }
     };
@@ -154,6 +380,20 @@ impl TraceSink for VecSink {
     fn retained_events(&self) -> usize {
         self.trace.len()
     }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        Some(trace_snapshot(&self.trace))
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        match restore_trace(bytes) {
+            Some(trace) => {
+                self.trace = trace;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Counts events and drops them — the warm-up sink.
@@ -181,6 +421,20 @@ impl TraceSink for NullSink {
 
     fn finish(&mut self) {
         report_sink_obs(self.seen, 0);
+    }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.seen.to_le_bytes().to_vec())
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        match <[u8; 8]>::try_from(bytes) {
+            Ok(raw) => {
+                self.seen = u64::from_le_bytes(raw);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -304,6 +558,35 @@ impl TraceSink for ConvergenceTracker {
     fn finish(&mut self) {
         report_sink_obs(self.seen, 0);
     }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        let mut enc = rfd_snap::Encoder::new();
+        encode_opt_time(&mut enc, self.first_flap);
+        encode_opt_time(&mut enc, self.final_announcement);
+        encode_opt_time(&mut enc, self.last_update);
+        enc.u64(self.seen);
+        Some(enc.into_bytes())
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        const CTX: &str = "convergence tracker";
+        let mut dec = rfd_snap::Decoder::new(bytes);
+        let parse = (|| {
+            Ok::<_, rfd_snap::SnapError>(ConvergenceTracker {
+                first_flap: decode_opt_time(&mut dec, CTX)?,
+                final_announcement: decode_opt_time(&mut dec, CTX)?,
+                last_update: decode_opt_time(&mut dec, CTX)?,
+                seen: dec.u64(CTX)?,
+            })
+        })();
+        match parse {
+            Ok(restored) if dec.is_done() => {
+                *self = restored;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Online equivalent of [`Trace::message_count`]: updates received from
@@ -372,6 +655,39 @@ impl TraceSink for MessageCounter {
 
     fn finish(&mut self) {
         report_sink_obs(self.seen, 0);
+    }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        let mut enc = rfd_snap::Encoder::new();
+        enc.usize(self.total);
+        enc.usize(self.before_flap);
+        enc.bool(self.flap_seen);
+        encode_opt_time(&mut enc, self.cur_instant);
+        enc.usize(self.cur_count);
+        enc.u64(self.seen);
+        Some(enc.into_bytes())
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        const CTX: &str = "message counter";
+        let mut dec = rfd_snap::Decoder::new(bytes);
+        let parse = (|| {
+            Ok::<_, rfd_snap::SnapError>(MessageCounter {
+                total: dec.usize(CTX)?,
+                before_flap: dec.usize(CTX)?,
+                flap_seen: dec.bool(CTX)?,
+                cur_instant: decode_opt_time(&mut dec, CTX)?,
+                cur_count: dec.usize(CTX)?,
+                seen: dec.u64(CTX)?,
+            })
+        })();
+        match parse {
+            Ok(restored) if dec.is_done() => {
+                *self = restored;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -593,6 +909,60 @@ impl TraceSink for SuppressionStats {
             self.peak_damped = self.peak_damped.max(self.damped_now);
         }
         report_sink_obs(self.seen, 0);
+    }
+
+    fn export_snapshot(&self) -> Option<Vec<u8>> {
+        let mut enc = rfd_snap::Encoder::new();
+        // Sort the set so identical state always yields identical bytes
+        // (snapshot files are content-hashed and diffed).
+        let mut ever: Vec<(u32, u32, u32)> = self.ever.iter().copied().collect();
+        ever.sort_unstable();
+        enc.seq(&ever, |e, &(node, peer, prefix)| {
+            e.u32(node);
+            e.u32(peer);
+            e.u32(prefix);
+        });
+        enc.usize(self.noisy);
+        enc.usize(self.silent);
+        enc.f64(self.peak_penalty);
+        enc.u64(self.damped_now as u64);
+        enc.u64(self.peak_damped as u64);
+        enc.option(self.pending_damped.as_ref(), |e, &(at, d)| {
+            e.u64(at.as_micros());
+            e.u64(d as u64);
+        });
+        enc.u64(self.seen);
+        Some(enc.into_bytes())
+    }
+
+    fn import_snapshot(&mut self, bytes: &[u8]) -> bool {
+        const CTX: &str = "suppression stats";
+        let mut dec = rfd_snap::Decoder::new(bytes);
+        let parse = (|| {
+            let ever = dec
+                .seq(CTX, |d| Ok((d.u32(CTX)?, d.u32(CTX)?, d.u32(CTX)?)))?
+                .into_iter()
+                .collect();
+            Ok::<_, rfd_snap::SnapError>(SuppressionStats {
+                ever,
+                noisy: dec.usize(CTX)?,
+                silent: dec.usize(CTX)?,
+                peak_penalty: dec.f64(CTX)?,
+                damped_now: dec.u64(CTX)? as i64,
+                peak_damped: dec.u64(CTX)? as i64,
+                pending_damped: dec.option(CTX, |d| {
+                    Ok((SimTime::from_micros(d.u64(CTX)?), d.u64(CTX)? as i64))
+                })?,
+                seen: dec.u64(CTX)?,
+            })
+        })();
+        match parse {
+            Ok(restored) if dec.is_done() => {
+                *self = restored;
+                true
+            }
+            _ => false,
+        }
     }
 }
 

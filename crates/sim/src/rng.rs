@@ -64,6 +64,26 @@ impl DetRng {
         DetRng::from_seed(probe.next_u64() ^ fnv1a(label.as_bytes()))
     }
 
+    /// The raw xoshiro state words, for checkpointing. Restoring via
+    /// [`DetRng::from_state`] resumes the stream exactly where it was.
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a stream from state captured by [`DetRng::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which xoshiro can never reach and
+    /// from which it would never leave.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(
+            state.iter().any(|&w| w != 0),
+            "DetRng::from_state: all-zero state is not a valid xoshiro state"
+        );
+        DetRng { state }
+    }
+
     /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;

@@ -120,6 +120,20 @@ pub struct RunOptions {
     /// Conservative simulation shards (`--sim-shards N`); results are
     /// byte-identical at any count.
     pub sim_shards: usize,
+    /// Snapshot file for `--checkpoint-every` / `--resume`
+    /// (`--snapshot FILE`).
+    pub snapshot: Option<PathBuf>,
+    /// Write a checkpoint to the snapshot file every this much
+    /// simulated time (`--checkpoint-every SECS`).
+    pub checkpoint_every: Option<SimDuration>,
+    /// Resume from the snapshot file when it holds a matching
+    /// checkpoint; cold-start (with a warning) when it is missing or
+    /// unusable (`--resume`).
+    pub resume: bool,
+    /// Deterministic fault injection for the checkpoint/resume path
+    /// (hidden `--chaos` / `RFD_CHAOS`; stage keys `checkpoint`,
+    /// `resume`).
+    pub chaos: ChaosPlan,
 }
 
 impl Default for RunOptions {
@@ -138,6 +152,10 @@ impl Default for RunOptions {
             protocol: ProtocolOptions::default(),
             obs: None,
             sim_shards: 1,
+            snapshot: None,
+            checkpoint_every: None,
+            resume: false,
+            chaos: ChaosPlan::none(),
         }
     }
 }
@@ -230,6 +248,21 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
                     return Err(CliError("--sim-shards must be at least 1".into()));
                 }
             }
+            "--snapshot" => opts.snapshot = Some(PathBuf::from(value("--snapshot")?)),
+            "--checkpoint-every" => {
+                let secs: f64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| CliError("--checkpoint-every needs seconds".into()))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError("--checkpoint-every must be positive".into()));
+                }
+                opts.checkpoint_every = Some(SimDuration::from_secs_f64(secs));
+            }
+            "--resume" => opts.resume = true,
+            "--chaos" => {
+                opts.chaos = ChaosPlan::parse(&value("--chaos")?)
+                    .map_err(|e| CliError(format!("--chaos: {e}")))?
+            }
             "--obs" => opts.obs = Some(None),
             "--states" => opts.states = true,
             "--wrate" => opts.protocol.withdrawal_pacing = true,
@@ -252,6 +285,11 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
     if opts.filter != PenaltyFilter::Plain && opts.damping.is_none() {
         return Err(CliError(
             "--filter rcn|selective requires damping to be enabled".into(),
+        ));
+    }
+    if (opts.checkpoint_every.is_some() || opts.resume) && opts.snapshot.is_none() {
+        return Err(CliError(
+            "--checkpoint-every and --resume need --snapshot FILE".into(),
         ));
     }
     Ok(opts)
@@ -386,8 +424,8 @@ fn sweep_topology(spec: &TopologySpec) -> Result<TopologyKind, CliError> {
 /// `--sim-shards N`, `--topology torus:RxC|ba:N`, `--resume`,
 /// `--resume-force`, `--retries N`, `--cell-budget SECS`,
 /// `--max-pulses N`, `--seeds A,B,C`, `--quick`, `--no-journal`,
-/// `--full-traces`, `--obs[=PATH]`, plus the hidden fault-injection
-/// knob `--chaos SPEC` (see [`ChaosPlan::parse`]).
+/// `--full-traces`, `--warm-fork`, `--obs[=PATH]`, plus the hidden
+/// fault-injection knob `--chaos SPEC` (see [`ChaosPlan::parse`]).
 ///
 /// # Errors
 ///
@@ -486,6 +524,7 @@ pub fn parse_sweep_command(args: &[String]) -> Result<SweepCommand, CliError> {
             }
             "--no-journal" => cmd.opts.journal_dir = None,
             "--full-traces" => cmd.opts.full_traces = true,
+            "--warm-fork" => cmd.opts.warm_fork = true,
             "--ledger" => {
                 let spec = value("--ledger")?;
                 cmd.opts.ledger_keys.push(parse_ledger_key(&spec)?);
@@ -667,6 +706,78 @@ pub fn parse_firehose_command(args: &[String]) -> Result<FirehoseCommand, CliErr
     Ok(cmd)
 }
 
+/// A parsed `rfd snapshot` invocation.
+#[derive(Debug, Clone)]
+pub enum SnapshotCommand {
+    /// `rfd snapshot save --out FILE [run flags]`: build the run's
+    /// network, warm it up, and write the warm state to FILE.
+    Save {
+        /// Where to write the snapshot.
+        out: PathBuf,
+        /// The run whose warm state to capture (same flags as
+        /// `rfd run`; pulse flags are ignored — nothing is injected).
+        run: RunOptions,
+    },
+    /// `rfd snapshot restore --in FILE [run flags]`: restore FILE into
+    /// the run's network and drive it to quiescence.
+    Restore {
+        /// The snapshot to restore.
+        input: PathBuf,
+        /// The run configuration the snapshot must match.
+        run: RunOptions,
+    },
+    /// `rfd snapshot inspect FILE`: print the container header
+    /// (version, fingerprints, payload size, warmth, sim time) without
+    /// restoring anything.
+    Inspect(PathBuf),
+}
+
+/// Parses the arguments of `rfd snapshot save|restore|inspect`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on a missing/unknown verb, missing
+/// `--out`/`--in` file, or any malformed run flag.
+pub fn parse_snapshot_command(args: &[String]) -> Result<SnapshotCommand, CliError> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Err(CliError(
+            "snapshot needs a verb: save|restore|inspect".into(),
+        ));
+    };
+    match verb.as_str() {
+        "save" | "restore" => {
+            let mut file = None;
+            let mut run_args: Vec<String> = Vec::new();
+            let file_flag = if verb == "save" { "--out" } else { "--in" };
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                if flag == file_flag {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError(format!("{file_flag} needs a file")))?;
+                    file = Some(PathBuf::from(v));
+                } else {
+                    run_args.push(flag.clone());
+                }
+            }
+            let file =
+                file.ok_or_else(|| CliError(format!("snapshot {verb} needs {file_flag} FILE")))?;
+            let run = parse_run_options(&run_args)?;
+            Ok(match verb.as_str() {
+                "save" => SnapshotCommand::Save { out: file, run },
+                _ => SnapshotCommand::Restore { input: file, run },
+            })
+        }
+        "inspect" => match rest {
+            [file] => Ok(SnapshotCommand::Inspect(PathBuf::from(file))),
+            _ => Err(CliError("snapshot inspect needs exactly one FILE".into())),
+        },
+        other => Err(CliError(format!(
+            "unknown snapshot verb `{other}` (save|restore|inspect)"
+        ))),
+    }
+}
+
 /// Builds the [`NetworkConfig`] for parsed run options against a built
 /// graph.
 pub fn network_config(opts: &RunOptions, graph: &Graph) -> NetworkConfig {
@@ -698,12 +809,16 @@ USAGE:
           [--filter plain|rcn|selective] [--policy shortest|novalley]
           [--trace FILE] [--states] [--wrate] [--no-loop-avoidance]
           [--reuse-granularity SECS] [--sim-shards N] [--obs[=PATH]]
+          [--snapshot FILE [--checkpoint-every SECS] [--resume]]
   rfd explain [--peer N] [--prefix N] [--node N] [--json]
               [any `rfd run` flag: --topology, --pulses, --seed, ...]
+  rfd snapshot save --out FILE [any `rfd run` flag]
+  rfd snapshot restore --in FILE [any `rfd run` flag]
+  rfd snapshot inspect FILE
   rfd sweep [--figure fig8-9|fig13-14|fig15] [--threads N] [--resume]
             [--resume-force] [--retries N] [--cell-budget SECS]
             [--max-pulses N] [--seeds A,B,C] [--quick] [--no-journal]
-            [--topology torus:RxC|ba:N] [--sim-shards N]
+            [--topology torus:RxC|ba:N] [--sim-shards N] [--warm-fork]
             [--full-traces] [--ledger PEER[:PREFIX]]... [--obs[=PATH]]
   rfd firehose [--peers N] [--prefixes N] [--rate R] [--duration SIM_SECS]
                [--workload poisson|flap-storm] [--seed N] [--shards N]
@@ -730,6 +845,13 @@ EXPLAIN: replays a run with the timer-interaction ledger focused on
 OBSERVABILITY: --obs (or RFD_OBS=1) records spans/counters to a
   Chrome-trace JSON under results/; inspect with `rfd obs-report` or
   load into Perfetto (ui.perfetto.dev).
+SNAPSHOTS: `rfd run --snapshot FILE --checkpoint-every SECS` writes a
+  crash-safe checkpoint of the whole simulation to FILE every SECS of
+  simulated time; add --resume to continue from FILE after a crash —
+  the finished run is byte-identical to an uninterrupted one. Files
+  are fingerprinted: a snapshot from a different config, topology, or
+  shard count is refused. `rfd sweep --warm-fork` warms one donor per
+  (topology, seed) and forks every damping variant from its snapshot.
 ";
 
 #[cfg(test)]
@@ -780,6 +902,71 @@ mod tests {
         let cmd = parse_sweep_command(&args("--sim-shards 2")).unwrap();
         assert_eq!(cmd.opts.sim_shards, 2);
         assert!(parse_sweep_command(&args("--sim-shards 0")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_require_snapshot() {
+        let opts =
+            parse_run_options(&args("--snapshot s.snap --checkpoint-every 30 --resume")).unwrap();
+        assert_eq!(opts.snapshot, Some(PathBuf::from("s.snap")));
+        assert_eq!(opts.checkpoint_every, Some(SimDuration::from_secs(30)));
+        assert!(opts.resume);
+        assert!(parse_run_options(&args("--checkpoint-every 30")).is_err());
+        assert!(parse_run_options(&args("--resume")).is_err());
+        assert!(parse_run_options(&args("--snapshot s --checkpoint-every 0")).is_err());
+        assert!(parse_run_options(&args("--snapshot s --checkpoint-every x")).is_err());
+    }
+
+    #[test]
+    fn run_chaos_flag_parses() {
+        let opts = parse_run_options(&args(
+            "--snapshot s.snap --checkpoint-every 30 --chaos kill*1@checkpoint",
+        ))
+        .unwrap();
+        assert_eq!(
+            opts.chaos.fault_for("checkpoint", 1),
+            Some(rfd_runner::ChaosKind::Kill)
+        );
+        assert!(parse_run_options(&args("--chaos explode@x")).is_err());
+    }
+
+    #[test]
+    fn snapshot_command_parses() {
+        match parse_snapshot_command(&args("save --out warm.snap --seed 9")).unwrap() {
+            SnapshotCommand::Save { out, run } => {
+                assert_eq!(out, PathBuf::from("warm.snap"));
+                assert_eq!(run.seed, 9);
+            }
+            other => panic!("wrong verb: {other:?}"),
+        }
+        match parse_snapshot_command(&args("restore --in warm.snap --topology ring:6")).unwrap() {
+            SnapshotCommand::Restore { input, run } => {
+                assert_eq!(input, PathBuf::from("warm.snap"));
+                assert_eq!(run.topology, TopologySpec::Ring(6));
+            }
+            other => panic!("wrong verb: {other:?}"),
+        }
+        match parse_snapshot_command(&args("inspect warm.snap")).unwrap() {
+            SnapshotCommand::Inspect(p) => assert_eq!(p, PathBuf::from("warm.snap")),
+            other => panic!("wrong verb: {other:?}"),
+        }
+        assert!(parse_snapshot_command(&args("")).is_err());
+        assert!(parse_snapshot_command(&args("save")).is_err());
+        assert!(parse_snapshot_command(&args("restore --out x")).is_err());
+        assert!(parse_snapshot_command(&args("inspect a b")).is_err());
+        assert!(parse_snapshot_command(&args("explode x")).is_err());
+        assert!(parse_snapshot_command(&args("save --out f --bogus")).is_err());
+    }
+
+    #[test]
+    fn warm_fork_flag_parses_on_sweep() {
+        assert!(
+            parse_sweep_command(&args("--warm-fork"))
+                .unwrap()
+                .opts
+                .warm_fork
+        );
+        assert!(!parse_sweep_command(&args("")).unwrap().opts.warm_fork);
     }
 
     #[test]
